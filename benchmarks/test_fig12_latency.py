@@ -1,0 +1,44 @@
+"""Fig. 12: average probe-flow latency vs. flow-table occupancy.
+
+Paper's result: No-op 4.75 µs, Unverified NAT 5.03 µs, Verified NAT
+5.13 µs; all flat as occupancy grows, with the verified NAT curving up
+only at the last point (64k flows, table nearly full), to ~5.3 µs.
+"""
+
+from benchmarks.conftest import latency_occupancies, latency_settings
+from repro.eval.experiments import latency_vs_occupancy
+from repro.eval.ascii_chart import latency_chart
+from repro.eval.reporting import render_fig12
+
+
+def test_fig12_latency_vs_occupancy(benchmark, publish):
+    settings = latency_settings()
+    occupancies = latency_occupancies()
+
+    points = benchmark.pedantic(
+        lambda: latency_vs_occupancy(occupancies=occupancies, settings=settings),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig12_latency", render_fig12(points) + "\n\n" + latency_chart(points))
+
+    by_nf = {}
+    for p in points:
+        by_nf.setdefault(p.nf, {})[p.background_flows] = p.avg_us
+
+    low = occupancies[0]
+    # Headline averages at low occupancy (paper: 4.75 / 5.03 / 5.13).
+    assert abs(by_nf["noop"][low] - 4.75) < 0.3
+    assert abs(by_nf["unverified-nat"][low] - 5.03) < 0.3
+    assert abs(by_nf["verified-nat"][low] - 5.13) < 0.3
+    # Ordering holds at every occupancy.
+    for occ in occupancies:
+        assert by_nf["noop"][occ] < by_nf["unverified-nat"][occ] < by_nf["verified-nat"][occ]
+    # Flatness except the verified NAT's final upturn.
+    for nf in ("noop", "unverified-nat"):
+        series = [by_nf[nf][occ] for occ in occupancies]
+        assert max(series) - min(series) < 0.2
+    verified = [by_nf["verified-nat"][occ] for occ in occupancies]
+    assert max(verified[:-1]) - min(verified[:-1]) < 0.3  # flat until last
+    assert verified[-1] > verified[0]  # the upturn at the full table
+    assert verified[-1] - verified[0] < 1.0  # but a mild one

@@ -1,0 +1,46 @@
+"""Fig. 14: maximum throughput with <0.1% loss vs. number of flows.
+
+Paper's result: Unverified NAT 2 Mpps, Verified NAT 1.8 Mpps (a 10%
+penalty), both flat across flow counts; No-op well above both; Linux
+NAT far below at 0.6 Mpps.
+"""
+
+from benchmarks.conftest import throughput_flow_counts, throughput_settings
+from repro.eval.experiments import throughput_sweep
+from repro.eval.ascii_chart import throughput_chart
+from repro.eval.reporting import render_fig14
+
+
+def test_fig14_throughput(benchmark, publish):
+    settings = throughput_settings()
+    flow_counts = throughput_flow_counts()
+
+    results = benchmark.pedantic(
+        lambda: throughput_sweep(flow_counts=flow_counts, settings=settings),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig14_throughput", render_fig14(results) + "\n\n" + throughput_chart(results))
+
+    mpps = {
+        name: {r.flow_count: r.max_mpps for r in rs}
+        for name, rs in results.items()
+    }
+    low = flow_counts[0]
+    # Headline numbers (paper: 2.0 / 1.8 / 0.6 Mpps; noop ~3).
+    assert abs(mpps["unverified-nat"][low] - 2.0) < 0.3
+    assert abs(mpps["verified-nat"][low] - 1.8) < 0.3
+    assert abs(mpps["linux-nat"][low] - 0.6) < 0.2
+    assert mpps["noop"][low] > 2.5
+    # The verified penalty is ~10%, never above 20%.
+    for fc in flow_counts:
+        penalty = 1 - mpps["verified-nat"][fc] / mpps["unverified-nat"][fc]
+        assert 0.0 < penalty < 0.20, (fc, penalty)
+    # Ordering holds everywhere.
+    for fc in flow_counts:
+        assert (
+            mpps["noop"][fc]
+            > mpps["unverified-nat"][fc]
+            > mpps["verified-nat"][fc]
+            > mpps["linux-nat"][fc]
+        )

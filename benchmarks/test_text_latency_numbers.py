@@ -1,0 +1,64 @@
+"""§6 in-text numbers: the 60 s-expiry variant and the Linux NAT latency.
+
+Paper's in-text results:
+
+- with a 60 s flow timeout (so probe flows never expire and take the
+  cheaper hit path), the verified NAT's average latency is slightly
+  *lower* (5.07 µs) while the unverified NAT stays at 5.03 µs;
+- the NAT-specific processing adds ~0.28 µs (unverified) and ~0.38 µs
+  (verified) over no-op forwarding;
+- the Linux NAT's latency is ≈20 µs, ~4x the DPDK NFs.
+"""
+
+from benchmarks.conftest import latency_settings, scale
+from repro.eval.experiments import default_nf_factories, latency_vs_occupancy
+from repro.eval.reporting import render_fig12
+
+
+def test_sixty_second_expiry_variant(benchmark, publish):
+    settings2s = latency_settings(expiration_seconds=2.0)
+    settings60s = latency_settings(expiration_seconds=60.0)
+    occupancy = 10_000
+
+    def run():
+        two = latency_vs_occupancy(occupancies=(occupancy,), settings=settings2s)
+        sixty = latency_vs_occupancy(occupancies=(occupancy,), settings=settings60s)
+        return two, sixty
+
+    two, sixty = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "In-text: latency with 2s vs 60s expiry (us)\n"
+        + render_fig12(two)
+        + "\n--- 60s expiry ---\n"
+        + render_fig12(sixty)
+    )
+    publish("text_latency_expiry_variant", text)
+
+    avg = {(p.nf, texp): p.avg_us for ps, texp in ((two, 2), (sixty, 60)) for p in ps}
+    # 60 s expiry: probes become hit-path packets; the verified NAT gets
+    # slightly cheaper, and never more expensive.
+    assert avg[("verified-nat", 60)] <= avg[("verified-nat", 2)] + 0.02
+    # NAT-specific processing deltas over no-op (paper: 0.28 / 0.38 µs).
+    unv_delta = avg[("unverified-nat", 2)] - avg[("noop", 2)]
+    ver_delta = avg[("verified-nat", 2)] - avg[("noop", 2)]
+    assert 0.15 < unv_delta < 0.45
+    assert 0.25 < ver_delta < 0.55
+    assert ver_delta > unv_delta
+
+
+def test_linux_nat_latency(benchmark, publish):
+    settings = latency_settings()
+    occupancy = 2_000 if scale() == "quick" else 10_000
+    factories = default_nf_factories(include_linux=True)
+    linux_only = {"linux-nat": factories["linux-nat"]}
+
+    points = benchmark.pedantic(
+        lambda: latency_vs_occupancy(
+            factories=linux_only, occupancies=(occupancy,), settings=settings
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("text_latency_linux", render_fig12(points))
+    # Paper: ≈20 µs, ~4x the DPDK NATs.
+    assert 15 < points[0].avg_us < 25

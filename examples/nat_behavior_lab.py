@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The RFC 4787 behaviour lab: classify NATs with STUN-style probes.
+
+Runs the standard probes against every corner of the RFC 4787 matrix
+(mapping x filtering) plus VigNat, prints the classification table, and
+demonstrates hairpinning. This is the extension territory §7 gestures
+at: once the verified core exists, behavioural variants become
+configuration.
+
+Run:  python examples/nat_behavior_lab.py
+"""
+
+from repro.nat.behavior import (
+    BehavioralNat,
+    FilteringBehavior,
+    MappingBehavior,
+)
+from repro.nat.config import NatConfig
+from repro.nat.vignat import VigNat
+from repro.packets import make_udp_packet
+
+CFG = NatConfig(max_flows=64, expiration_time=60_000_000, start_port=1000)
+HOST, REMOTE_1, REMOTE_2 = "10.0.0.5", "198.51.100.1", "198.51.100.2"
+#: Never contacted by any probe: distinguishes EIF from ADF.
+STRANGER = "203.0.113.99"
+
+
+def classify(nat) -> str:
+    """The classic STUN-style classification probes."""
+    p1 = nat.process(make_udp_packet(HOST, REMOTE_1, 4000, 80, device=0), 1_000)
+    p2 = nat.process(make_udp_packet(HOST, REMOTE_2, 4000, 80, device=0), 1_001)
+    p3 = nat.process(make_udp_packet(HOST, REMOTE_1, 4000, 8080, device=0), 1_002)
+    if not (p1 and p2 and p3):
+        return "opaque"
+    port1, port2, port3 = (p[0].l4.src_port for p in (p1, p2, p3))
+    if port1 == port2 == port3:
+        mapping = "EIM"
+    elif port1 == port3 or port1 == port2:
+        mapping = "ADM"
+    else:
+        mapping = "APDM"
+
+    def inbound_ok(src_ip, src_port):
+        probe = make_udp_packet(src_ip, CFG.external_ip, src_port, port1, device=1)
+        return bool(nat.process(probe, 2_000))
+
+    if inbound_ok(STRANGER, 9_999):
+        filtering = "EIF (full cone)"
+    elif inbound_ok(REMOTE_1, 9_999):
+        filtering = "ADF (restricted cone)"
+    elif inbound_ok(REMOTE_1, 80):
+        filtering = "APDF (port restricted)"
+    else:
+        filtering = "symmetric-drop"
+    return f"{mapping} + {filtering}"
+
+
+def main() -> None:
+    print(f"{'NAT under test':>42s}  classification")
+    for mapping in MappingBehavior:
+        for filtering in FilteringBehavior:
+            nat = BehavioralNat(CFG, mapping=mapping, filtering=filtering)
+            label = f"BehavioralNat({mapping.value}, {filtering.value})"
+            print(f"{label:>42s}  {classify(nat)}")
+    print(f"{'VigNat (the verified NAT)':>42s}  {classify(VigNat(CFG))}")
+
+    print("\nHairpinning (RFC 4787 REQ-9):")
+    nat = BehavioralNat(CFG, hairpinning=True)
+    b_out = nat.process(make_udp_packet("10.0.0.6", REMOTE_1, 5000, 80, device=0), 1_000)[0]
+    hairpin = make_udp_packet(HOST, CFG.external_ip, 4000, b_out.l4.src_port, device=0)
+    delivered = nat.process(hairpin, 2_000)
+    print(
+        "  internal->external-address packet "
+        + ("delivered back inside (hairpinned)" if delivered else "lost")
+    )
+
+
+if __name__ == "__main__":
+    main()

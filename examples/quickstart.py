@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: translate traffic with the verified NAT.
+
+Builds a VigNat, pushes an outbound packet and its reply through it,
+and shows the RFC 3022 translation plus the checksum patching.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.nat import NatConfig, VigNat
+from repro.packets import ip_to_str, make_udp_packet
+
+
+def main() -> None:
+    config = NatConfig()  # 65,535 flows, 2 s expiry, external 192.0.2.1
+    nat = VigNat(config)
+
+    # A host on the internal network (device 0) sends a DNS query.
+    query = make_udp_packet(
+        "10.0.0.5", "8.8.8.8", 5353, 53, payload=b"example?", device=0
+    )
+    print("outbound, pre-NAT :", render(query))
+
+    translated = nat.process(query, now=1_000_000)[0]
+    print("outbound, post-NAT:", render(translated))
+    assert translated.ipv4.src_ip == config.external_ip
+    assert translated.l4_checksum_valid(), "incremental checksum patch holds"
+
+    # The reply comes back to the NAT's external address and port.
+    reply = make_udp_packet(
+        "8.8.8.8",
+        config.external_ip,
+        53,
+        translated.l4.src_port,
+        payload=b"93.184.216.34",
+        device=1,
+    )
+    print("reply, pre-NAT    :", render(reply))
+
+    delivered = nat.process(reply, now=1_500_000)[0]
+    print("reply, post-NAT   :", render(delivered))
+    assert ip_to_str(delivered.ipv4.dst_ip) == "10.0.0.5"
+    assert delivered.l4.dst_port == 5353
+
+    # An unsolicited packet from outside is dropped: the NAT never
+    # creates state for external arrivals (the security property).
+    unsolicited = make_udp_packet(
+        "203.0.113.66", config.external_ip, 4444, 9999, device=1
+    )
+    assert nat.process(unsolicited, now=1_600_000) == []
+    print("unsolicited packet: dropped (no state created)")
+
+    print(f"\nlive flows: {nat.flow_count()}  counters: {nat.op_counters()}")
+
+
+def render(packet) -> str:
+    return (
+        f"dev{packet.device} "
+        f"{ip_to_str(packet.ipv4.src_ip)}:{packet.l4.src_port} -> "
+        f"{ip_to_str(packet.ipv4.dst_ip)}:{packet.l4.dst_port}"
+    )
+
+
+if __name__ == "__main__":
+    main()

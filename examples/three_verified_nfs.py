@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Four NFs, one library, one toolchain (the §9 amortization claim).
+
+Runs the complete Vigor pipeline on the NAT, the stateful firewall,
+the MAC-learning bridge and the rate limiter — four different state
+shapes (double-keyed flow table, session table, station table with port
+rebinding, per-source counters) — and prints one summary table. The verified library and the
+Validator are shared; each new NF costs only its stateless logic and a
+semantic specification.
+
+Run:  python examples/three_verified_nfs.py
+"""
+
+from repro.nat.bridge import BridgeConfig
+from repro.nat.config import NatConfig
+from repro.nat.limiter import LimiterConfig
+from repro.verif.engine import ExhaustiveSymbolicEngine
+from repro.verif.nf_env import vignat_symbolic_body
+from repro.verif.nf_env_bridge import BridgeSemantics, bridge_symbolic_body
+from repro.verif.nf_env_fw import firewall_symbolic_body
+from repro.verif.nf_env_limiter import LimiterSemantics, limiter_symbolic_body
+from repro.verif.semantics import FirewallSemantics, NatSemantics
+from repro.verif.validator import Validator
+
+
+def main() -> None:
+    nat_cfg = NatConfig()
+    bridge_cfg = BridgeConfig()
+    limiter_cfg = LimiterConfig()
+    lineup = [
+        ("VigNat", vignat_symbolic_body(nat_cfg), NatSemantics(nat_cfg)),
+        ("VigFirewall", firewall_symbolic_body(nat_cfg), FirewallSemantics(nat_cfg)),
+        ("VigBridge", bridge_symbolic_body(bridge_cfg), BridgeSemantics(bridge_cfg)),
+        ("VigLimiter", limiter_symbolic_body(limiter_cfg), LimiterSemantics(limiter_cfg)),
+    ]
+    print(f"{'NF':>12s}  {'paths':>5s}  {'traces':>6s}  {'obligations':>11s}  verdict")
+    engine = ExhaustiveSymbolicEngine()
+    all_verified = True
+    for name, body, semantics in lineup:
+        result = engine.explore(body)
+        report = Validator(semantics).validate(result, name)
+        obligations = sum(v.obligations for v in report.verdicts())
+        verdict = "VERIFIED" if report.verified else "NOT VERIFIED"
+        all_verified &= report.verified
+        print(
+            f"{name:>12s}  {report.paths:>5d}  {report.traces:>6d}  "
+            f"{obligations:>11d}  {verdict}"
+        )
+    if not all_verified:
+        raise SystemExit(1)
+    print("\nSame libVig, same models, same Validator — four proofs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Python reproduction of 'A Formally Verified NAT' (SIGCOMM 2017): "
+        "VigNAT, libVig, and the Vigor lazy-proofs toolchain"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": ["repro-nat=repro.cli:main"],
+    },
+)

@@ -1,0 +1,21 @@
+"""A Python reproduction of "A Formally Verified NAT" (SIGCOMM 2017).
+
+The package mirrors the paper's architecture:
+
+- :mod:`repro.packets` — the packet substrate (headers, checksums, pcap);
+- :mod:`repro.libvig` — the verified data-structure library;
+- :mod:`repro.nat` — VigNat, the evaluation baselines, and three further
+  NFs verified by the same pipeline;
+- :mod:`repro.spec` — the executable RFC 3022 specification (Fig. 6);
+- :mod:`repro.verif` — the Vigor toolchain: exhaustive symbolic
+  execution, symbolic models with contracts, and the lazy-proofs
+  Validator (P1-P5, Fig. 7);
+- :mod:`repro.net` — the simulated RFC 2544 testbed (Fig. 11);
+- :mod:`repro.eval` — experiment runners for every evaluation figure;
+- :mod:`repro.cli` — ``python -m repro`` / ``repro-nat``.
+
+Start with ``examples/quickstart.py`` and ``examples/verify_nat.py``, or
+read ``README.md`` / ``DESIGN.md`` / ``EXPERIMENTS.md``.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``verify {nat,firewall,discard}`` — run the Vigor pipeline and print
+  the Fig. 7 proof report (exit code 1 when not verified). For the
+  discard NF, ``--model`` selects one of the three Fig. 4 ring models.
+  ``--emit-tasks FILE`` writes the Fig. 10-style verification tasks.
+- ``demo`` — translate a conversation through the verified NAT.
+- ``experiments {fig12,fig13,fig14,verification}`` — regenerate one of
+  the paper's evaluation artifacts at quick scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.nat.config import NatConfig
+
+
+def _proof_cache_key(nf: str) -> str:
+    """Fingerprint of everything the proof depends on.
+
+    Hashes the source of the stateless logic, the models, the contracts,
+    the semantics and the toolchain itself, so any edit invalidates the
+    cached proof — the soundness requirement for caching proofs at all.
+    """
+    import hashlib
+    import inspect
+
+    import repro.nat.bridge
+    import repro.nat.core_logic
+    import repro.nat.firewall
+    import repro.verif.contracts
+    import repro.verif.context
+    import repro.verif.engine
+    import repro.verif.models.bridge
+    import repro.verif.models.nat
+    import repro.verif.models.ring
+    import repro.verif.nf_env
+    import repro.verif.nf_env_bridge
+    import repro.verif.nf_env_fw
+    import repro.verif.semantics
+    import repro.verif.solver
+    import repro.verif.validator
+
+    hasher = hashlib.sha256()
+    hasher.update(nf.encode())
+    for module in (
+        repro.nat.core_logic,
+        repro.nat.firewall,
+        repro.nat.bridge,
+        repro.verif.contracts,
+        repro.verif.context,
+        repro.verif.engine,
+        repro.verif.models.nat,
+        repro.verif.models.bridge,
+        repro.verif.models.ring,
+        repro.verif.nf_env,
+        repro.verif.nf_env_bridge,
+        repro.verif.nf_env_fw,
+        repro.verif.semantics,
+        repro.verif.solver,
+        repro.verif.validator,
+    ):
+        hasher.update(inspect.getsource(module).encode())
+    return hasher.hexdigest()
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.verif.engine import ExhaustiveSymbolicEngine
+    from repro.verif.report import ProofReport
+    from repro.verif.validator import Validator
+
+    cache_file = None
+    if args.cache:
+        cache_dir = pathlib.Path(args.cache)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        key = _proof_cache_key(f"{args.nf}:{getattr(args, 'model', '')}")
+        cache_file = cache_dir / f"{args.nf}-{key[:16]}.json"
+        if cache_file.exists():
+            report = ProofReport.from_dict(json.loads(cache_file.read_text()))
+            print(report.render())
+            print(f"\n(proof loaded from cache: {cache_file})")
+            return 0 if report.verified else 1
+
+    config = NatConfig()
+    if args.nf == "nat":
+        from repro.verif.nf_env import vignat_symbolic_body
+        from repro.verif.semantics import NatSemantics
+
+        body, semantics, name = vignat_symbolic_body(config), NatSemantics(config), "VigNat"
+    elif args.nf == "bridge":
+        from repro.nat.bridge import BridgeConfig
+        from repro.verif.nf_env_bridge import BridgeSemantics, bridge_symbolic_body
+
+        bcfg = BridgeConfig()
+        body, semantics, name = (
+            bridge_symbolic_body(bcfg),
+            BridgeSemantics(bcfg),
+            "VigBridge",
+        )
+    elif args.nf == "limiter":
+        from repro.nat.limiter import LimiterConfig
+        from repro.verif.nf_env_limiter import (
+            LimiterSemantics,
+            limiter_symbolic_body,
+        )
+
+        lcfg = LimiterConfig()
+        body, semantics, name = (
+            limiter_symbolic_body(lcfg),
+            LimiterSemantics(lcfg),
+            "VigLimiter",
+        )
+    elif args.nf == "firewall":
+        from repro.verif.nf_env_fw import firewall_symbolic_body
+        from repro.verif.semantics import FirewallSemantics
+
+        body, semantics, name = (
+            firewall_symbolic_body(config),
+            FirewallSemantics(config),
+            "VigFirewall",
+        )
+    else:
+        from repro.verif.models.ring import (
+            GoodRingModel,
+            OverApproximateRingModel,
+            UnderApproximateRingModel,
+        )
+        from repro.verif.nf_env import discard_symbolic_body
+        from repro.verif.semantics import DiscardSemantics
+
+        model = {
+            "good": GoodRingModel,
+            "over": OverApproximateRingModel,
+            "under": UnderApproximateRingModel,
+        }[args.model]
+        body, semantics, name = (
+            discard_symbolic_body(model),
+            DiscardSemantics(),
+            f"discard({args.model})",
+        )
+
+    result = ExhaustiveSymbolicEngine().explore(body)
+    report = Validator(semantics).validate(result, name)
+    print(report.render())
+
+    if args.coverage:
+        print()
+        print(result.render_coverage())
+        one_sided = result.one_sided_branches()
+        if one_sided:
+            print(f"WARNING: {len(one_sided)} one-sided branch site(s)")
+
+    if cache_file is not None:
+        cache_file.write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"(proof cached at {cache_file})")
+
+    if args.emit_tasks:
+        from repro.verif.codegen import render_all_tasks
+
+        text = render_all_tasks(result.tree.paths, semantics, name)
+        with open(args.emit_tasks, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nverification tasks written to {args.emit_tasks}")
+
+    return 0 if report.verified else 1
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.nat.vignat import VigNat
+    from repro.packets.addresses import ip_to_str
+    from repro.packets.builder import make_udp_packet
+
+    config = NatConfig()
+    nat = VigNat(config)
+    packet = make_udp_packet("10.0.0.5", "8.8.8.8", 5353, 53, device=0)
+    out = nat.process(packet, 1_000_000)[0]
+    print(
+        f"10.0.0.5:5353 -> 8.8.8.8:53 translated to "
+        f"{ip_to_str(out.ipv4.src_ip)}:{out.l4.src_port} -> "
+        f"{ip_to_str(out.ipv4.dst_ip)}:{out.l4.dst_port}"
+    )
+    reply = make_udp_packet("8.8.8.8", config.external_ip, 53, out.l4.src_port, device=1)
+    back = nat.process(reply, 1_100_000)[0]
+    print(
+        f"reply delivered to {ip_to_str(back.ipv4.dst_ip)}:{back.l4.dst_port} "
+        f"(flows: {nat.flow_count()})"
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import (
+        EvalSettings,
+        latency_ccdf,
+        latency_vs_occupancy,
+        throughput_sweep,
+    )
+    from repro.eval.reporting import (
+        render_fig12,
+        render_fig13,
+        render_fig14,
+        render_verification,
+    )
+
+    if args.artifact == "verification":
+        from repro.eval.verification_stats import collect
+
+        print(render_verification(collect()))
+        return 0
+    if args.artifact == "fig12":
+        settings = EvalSettings(measure_seconds=0.4)
+        points = latency_vs_occupancy(
+            occupancies=(1_000, 10_000, 30_000), settings=settings
+        )
+        print(render_fig12(points))
+        return 0
+    if args.artifact == "fig13":
+        settings = EvalSettings(measure_seconds=0.4)
+        series = latency_ccdf(background_flows=10_000, settings=settings)
+        print(render_fig13(series, background_flows=10_000))
+        return 0
+    settings = EvalSettings(
+        expiration_seconds=60.0, throughput_packets=10_000, throughput_iterations=6
+    )
+    results = throughput_sweep(flow_counts=(2_000,), settings=settings)
+    print(render_fig14(results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A Formally Verified NAT (SIGCOMM 2017) — Python reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="run the Vigor proof pipeline")
+    verify.add_argument(
+        "nf", choices=["nat", "firewall", "bridge", "limiter", "discard"]
+    )
+    verify.add_argument(
+        "--model",
+        choices=["good", "over", "under"],
+        default="good",
+        help="ring model for the discard NF (Fig. 4)",
+    )
+    verify.add_argument(
+        "--emit-tasks",
+        metavar="FILE",
+        help="write Fig. 10-style verification tasks to FILE",
+    )
+    verify.add_argument(
+        "--coverage",
+        action="store_true",
+        help="print the branch-coverage report from exhaustive exploration",
+    )
+    verify.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="cache the proof in DIR, keyed by a source fingerprint "
+        "(any edit to the NF, models, contracts or toolchain re-proves)",
+    )
+    verify.set_defaults(run=_cmd_verify)
+
+    demo = sub.add_parser("demo", help="translate a conversation through VigNat")
+    demo.set_defaults(run=_cmd_demo)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate an evaluation artifact (quick scale)"
+    )
+    experiments.add_argument(
+        "artifact", choices=["fig12", "fig13", "fig14", "verification"]
+    )
+    experiments.set_defaults(run=_cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

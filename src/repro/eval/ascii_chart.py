@@ -1,0 +1,119 @@
+"""Terminal line charts for the evaluation figures (no plotting deps).
+
+Rendering the Fig. 12/14 series as small ASCII charts makes the
+benchmark output directly comparable to the paper's figures without
+leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_MARKS = "o*x+#@"
+
+
+def line_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Plot named (x, y) series on one shared-axes ASCII chart."""
+    points = [p for ps in series.values() for p in ps]
+    if not points:
+        return title
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1
+    if y_max == y_min:
+        y_max = y_min + 1
+    # A little vertical margin so flat lines are visible mid-chart.
+    pad = (y_max - y_min) * 0.1
+    y_min -= pad
+    y_max += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        return height - 1 - row, col
+
+    for i, (name, ps) in enumerate(series.items()):
+        mark = _MARKS[i % len(_MARKS)]
+        ordered = sorted(ps)
+        # Connect consecutive points with interpolated marks.
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            steps = max(2, width // max(1, len(ordered)))
+            for s in range(steps + 1):
+                t = s / steps
+                r, c = cell(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for x, y in ordered:
+            r, c = cell(x, y)
+            grid[r][c] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.2f}"
+    bottom_label = f"{y_min:.2f}"
+    label_width = max(len(top_label), len(bottom_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(label_width)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * label_width
+        + f"  {x_min:g}"
+        + " " * max(1, width - len(f"{x_min:g}") - len(f"{x_max:g}"))
+        + f"{x_max:g}"
+        + (f"  ({x_label})" if x_label else "")
+    )
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    return "\n".join(lines)
+
+
+def latency_chart(points: Sequence) -> str:
+    """Fig. 12 as an ASCII chart (input: LatencyPoint sequence)."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for p in points:
+        series.setdefault(p.nf, []).append((p.background_flows / 1000, p.avg_us))
+    return line_chart(
+        series,
+        title="Fig. 12 — probe-flow latency",
+        y_label="latency, us",
+        x_label="background flows, thousands",
+    )
+
+
+def throughput_chart(results: Dict[str, list]) -> str:
+    """Fig. 14 as an ASCII chart (input: throughput_sweep output)."""
+    series = {
+        name: [(r.flow_count / 1000, r.max_mpps) for r in rs]
+        for name, rs in results.items()
+    }
+    return line_chart(
+        series,
+        title="Fig. 14 — max throughput, <0.1% loss",
+        y_label="Mpps",
+        x_label="flows, thousands",
+    )

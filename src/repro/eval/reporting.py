@@ -1,0 +1,82 @@
+"""Table rendering for the experiment runners — the rows §6 plots."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.eval.experiments import CcdfSeries, LatencyPoint
+from repro.eval.verification_stats import VerificationStats
+from repro.net.testbed import ThroughputResult
+
+
+def render_fig12(points: Sequence[LatencyPoint]) -> str:
+    """Fig. 12: probe-flow latency vs. background flows, one row per NF."""
+    by_nf: Dict[str, List[LatencyPoint]] = {}
+    for point in points:
+        by_nf.setdefault(point.nf, []).append(point)
+    occupancies = sorted({p.background_flows for p in points})
+    header = "background flows (k): " + "  ".join(
+        f"{occ // 1000:>6d}" for occ in occupancies
+    )
+    lines = ["Fig. 12 — average probe-flow latency (us)", header]
+    for nf, nf_points in by_nf.items():
+        cells = {p.background_flows: p for p in nf_points}
+        row = "  ".join(
+            f"{cells[occ].avg_us:6.2f}" if occ in cells else "     -"
+            for occ in occupancies
+        )
+        lines.append(f"{nf:>20s}: {row}")
+    return "\n".join(lines)
+
+
+def render_fig13(
+    series: Sequence[CcdfSeries],
+    thresholds=(5.0, 5.5, 6.0, 6.5, 10.0, 100.0),
+    background_flows: int | None = None,
+) -> str:
+    """Fig. 13: latency CCDF — P[latency > x] at selected thresholds."""
+    occupancy = (
+        f"{background_flows // 1000}k" if background_flows else "high"
+    )
+    lines = [
+        f"Fig. 13 — latency CCDF at {occupancy} background flows",
+        "threshold (us):      " + "  ".join(f"{t:>8.1f}" for t in thresholds),
+    ]
+    for s in series:
+        row = "  ".join(f"{s.probability_above(t):8.2e}" for t in thresholds)
+        lines.append(f"{s.nf:>20s}: {row}  ({s.samples} samples)")
+    return "\n".join(lines)
+
+
+def render_fig14(results: Dict[str, List[ThroughputResult]]) -> str:
+    """Fig. 14: max throughput with <0.1% loss vs. flow count."""
+    flow_counts = sorted(
+        {r.flow_count for rs in results.values() for r in rs}
+    )
+    header = "flows (k):           " + "  ".join(
+        f"{fc // 1000:>6d}" for fc in flow_counts
+    )
+    lines = ["Fig. 14 — maximum throughput, <0.1% loss (Mpps)", header]
+    for nf, rs in results.items():
+        cells = {r.flow_count: r for r in rs}
+        row = "  ".join(
+            f"{cells[fc].max_mpps:6.2f}" if fc in cells else "     -"
+            for fc in flow_counts
+        )
+        lines.append(f"{nf:>20s}: {row}")
+    return "\n".join(lines)
+
+
+def render_verification(stats: VerificationStats) -> str:
+    """The §5 verification statistics table."""
+    lines = [
+        "Verification statistics (paper: 108 paths, 431 traces, <1 min ESE)",
+        f"  execution paths:     {stats.paths}",
+        f"  traces (w/ prefixes): {stats.traces}",
+        f"  proof obligations:   {stats.obligations}",
+        f"  solver queries:      {stats.solver_queries}",
+        f"  exploration time:    {stats.explore_seconds:.2f}s",
+        f"  validation time:     {stats.validate_seconds:.2f}s",
+        f"  verdict:             {'VERIFIED' if stats.verified else 'NOT VERIFIED'}",
+    ]
+    return "\n".join(lines)

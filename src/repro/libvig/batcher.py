@@ -1,0 +1,46 @@
+"""The batcher: grouping homogeneous items before processing (§5.1.1).
+
+NFs amortize per-call overhead by handling packets in bursts; the batcher
+accumulates items up to a fixed batch size and releases them all at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.libvig.errors import CapacityError
+
+
+class Batcher:
+    """Fixed-capacity accumulator released in one take."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: List[Any] = []
+
+    def _abstract_state(self) -> tuple:
+        return tuple(self._items)
+
+    def push(self, item: Any) -> None:
+        """Add an item; the batcher must not be full."""
+        if self.full():
+            raise CapacityError("batcher is full")
+        self._items.append(item)
+
+    def full(self) -> bool:
+        """True when the batch reached capacity and must be taken."""
+        return len(self._items) >= self.capacity
+
+    def empty(self) -> bool:
+        """True when there is nothing to take."""
+        return not self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def take(self) -> List[Any]:
+        """Remove and return all accumulated items, oldest first."""
+        items, self._items = self._items, []
+        return items

@@ -1,0 +1,111 @@
+"""Runtime contract enforcement for libVig data structures.
+
+The paper specifies each libVig method with a separation-logic contract
+(requires/ensures) checked by VeriFast (§5.1.2-§5.1.3). In this
+reproduction the same contracts exist in two executable forms:
+
+1. *Runtime checks* (this module): decorators that evaluate the pre- and
+   post-condition on every call, against the structure's pure abstract
+   state. The refinement test-suite runs with these enabled and hypothesis
+   drives the structures through random operation sequences — the P3
+   analogue.
+2. *Symbolic contracts* (:mod:`repro.verif.models`): the same conditions
+   expressed over symbolic trace values, used by the Validator for the
+   lazy proofs (P4/P5).
+
+Checking is off by default so the data path pays nothing; tests enable it
+globally or per-block via :func:`checked`.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.libvig.errors import LibVigError
+
+_ENABLED = False
+
+
+class ContractViolation(LibVigError):
+    """A requires- or ensures-clause evaluated to False at runtime."""
+
+    def __init__(self, kind: str, function: str, detail: str = "") -> None:
+        self.kind = kind
+        self.function = function
+        self.detail = detail
+        message = f"{kind} violated in {function}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+def contracts_enabled() -> bool:
+    """True when contract checking is globally enabled."""
+    return _ENABLED
+
+
+def enable_contracts() -> None:
+    """Globally enable runtime contract checking."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable_contracts() -> None:
+    """Globally disable runtime contract checking."""
+    global _ENABLED
+    _ENABLED = False
+
+
+@contextmanager
+def checked() -> Iterator[None]:
+    """Enable contract checking for the duration of a with-block."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = True
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+Predicate = Callable[..., bool]
+
+
+def contract(
+    requires: Predicate | None = None,
+    ensures: Callable[..., bool] | None = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Attach a requires/ensures pair to a method.
+
+    ``requires`` receives the method's arguments (including ``self``).
+    ``ensures`` receives ``old`` (the abstract-state snapshot taken before
+    the call via ``self._abstract_state()``), ``result`` (the return
+    value), then the original arguments. Either clause may be ``None``.
+
+    The contract callables are stored on the wrapper as
+    ``__contract_requires__`` / ``__contract_ensures__`` so tooling (the
+    Validator, documentation generators) can introspect them.
+    """
+
+    def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
+        @functools.wraps(func)
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+            if not _ENABLED:
+                return func(self, *args, **kwargs)
+            if requires is not None and not requires(self, *args, **kwargs):
+                raise ContractViolation("requires", func.__qualname__)
+            old = self._abstract_state()
+            result = func(self, *args, **kwargs)
+            if ensures is not None and not ensures(
+                old, result, self, *args, **kwargs
+            ):
+                raise ContractViolation("ensures", func.__qualname__)
+            return result
+
+        wrapper.__contract_requires__ = requires  # type: ignore[attr-defined]
+        wrapper.__contract_ensures__ = ensures  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate

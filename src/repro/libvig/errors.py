@@ -1,0 +1,16 @@
+"""Exception hierarchy for libVig."""
+
+from __future__ import annotations
+
+
+class LibVigError(Exception):
+    """Base class for all libVig errors."""
+
+
+class CapacityError(LibVigError):
+    """A preallocated structure was asked to exceed its fixed capacity.
+
+    libVig structures never grow: capacity is fixed at construction
+    (§5.1.1), and callers are expected to check for fullness first — the
+    contracts make that obligation explicit.
+    """

@@ -1,0 +1,29 @@
+"""The expirator: evicting stale flows from chain + map together (§5.1.1).
+
+``expire_items`` is the glue the NAT calls at the top of every iteration
+(Fig. 6, ``expire_flows``): it pops indexes whose last-touch time predates
+the expiration threshold from the :class:`DoubleChain` and erases the
+corresponding entries from the :class:`DoubleMap`, keeping the two
+structures consistent.
+"""
+
+from __future__ import annotations
+
+from repro.libvig.double_chain import DoubleChain
+from repro.libvig.double_map import DoubleMap
+
+
+def expire_items(chain: DoubleChain, dmap: DoubleMap, min_time: int) -> int:
+    """Expire every entry last touched strictly before ``min_time``.
+
+    Returns the number of expired entries. The chain's age ordering makes
+    this proportional to the number of *expired* entries only, never to
+    the table size.
+    """
+    count = 0
+    while True:
+        index = chain.expire_one_index(min_time)
+        if index is None:
+            return count
+        dmap.erase(index)
+        count += 1

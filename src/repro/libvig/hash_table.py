@@ -1,0 +1,109 @@
+"""Chaining hash table, mirroring the DPDK hash used by the unverified NAT.
+
+The paper's unverified baseline uses DPDK's hash table, which resolves
+collisions by separate chaining — "a behavior that is hard to specify in a
+formal contract" (§6) — whereas libVig's map uses open addressing. This
+module provides the chaining table so the baseline NAT exercises a
+genuinely different data structure, with the same operation counters the
+cost model consumes.
+
+Chaining needs fewer probes on average than open addressing with chain
+counters (especially for missed lookups), which is exactly the ~0.1 µs
+per-packet advantage the paper measures for the unverified NAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator, Tuple
+
+
+@dataclass
+class HashTableStats:
+    """Operation counters used by the testbed's cost model."""
+
+    gets: int = 0
+    puts: int = 0
+    erases: int = 0
+    probes: int = 0
+
+    def reset(self) -> None:
+        self.gets = self.puts = self.erases = self.probes = 0
+
+
+class ChainingHashTable:
+    """Separate-chaining hash table with a fixed bucket count.
+
+    Unlike libVig's map it has no hard capacity: chains grow without
+    bound, which is one of the behaviors the verified NAT's contracts
+    rule out (and which the fault-injection tests exploit).
+    """
+
+    def __init__(
+        self,
+        bucket_count: int,
+        hash_fn: Callable[[Hashable], int] | None = None,
+    ) -> None:
+        if bucket_count <= 0:
+            raise ValueError("bucket count must be positive")
+        self.bucket_count = bucket_count
+        self._hash = hash_fn if hash_fn is not None else hash
+        self._buckets: list[list[Tuple[Hashable, Any]]] = [
+            [] for _ in range(bucket_count)
+        ]
+        self._size = 0
+        self.stats = HashTableStats()
+
+    def _bucket_of(self, key: Hashable) -> list[Tuple[Hashable, Any]]:
+        return self._buckets[(self._hash(key) & 0xFFFFFFFF) % self.bucket_count]
+
+    def size(self) -> int:
+        """Number of stored entries."""
+        return self._size
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Value stored under ``key``, or ``default`` when absent."""
+        self.stats.gets += 1
+        for stored_key, value in self._bucket_of(key):
+            self.stats.probes += 1
+            if stored_key == key:
+                return value
+        return default
+
+    def has(self, key: Hashable) -> bool:
+        """True when ``key`` is present."""
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        self.stats.puts += 1
+        bucket = self._bucket_of(key)
+        for i, (stored_key, _) in enumerate(bucket):
+            self.stats.probes += 1
+            if stored_key == key:
+                bucket[i] = (key, value)
+                return
+        bucket.append((key, value))
+        self._size += 1
+
+    def erase(self, key: Hashable) -> Any:
+        """Remove a present key; returns the stored value."""
+        self.stats.erases += 1
+        bucket = self._bucket_of(key)
+        for i, (stored_key, value) in enumerate(bucket):
+            self.stats.probes += 1
+            if stored_key == key:
+                del bucket[i]
+                self._size -= 1
+                return value
+        raise KeyError(key)
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        """Iterate all (key, value) pairs, bucket order."""
+        for bucket in self._buckets:
+            yield from bucket
+
+    def longest_chain(self) -> int:
+        """Length of the longest collision chain (degradation metric)."""
+        return max(len(bucket) for bucket in self._buckets)

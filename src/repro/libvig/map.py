@@ -1,0 +1,179 @@
+"""Open-addressing hash map with chain counters — libVig's core map.
+
+This is a faithful port of the libVig map: preallocated arrays of busy
+bits, keys, cached key hashes, values, and *chain counters*. The chain
+counter ``chns[i]`` records how many live keys' probe paths passed
+*through* slot ``i`` on their way to their final slot. A lookup can stop
+as soon as it reaches a free slot whose chain counter is zero — no key
+could possibly live further down that probe sequence. This is the
+"auxiliary metadata that speeds up lookup" of §6, and it is also what
+makes unsuccessful lookups the expensive case (they may scan every
+candidate slot when chains are long), the asymmetry the paper observes
+against the DPDK chaining table.
+
+Probing is linear: slot ``(hash + i) % capacity`` for ``i = 0, 1, ...``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator, Tuple
+
+from repro.libvig.abstract import AbstractMap
+from repro.libvig.contracts import contract
+from repro.libvig.errors import CapacityError
+
+
+@dataclass
+class MapStats:
+    """Operation counters used by the testbed's cost model."""
+
+    gets: int = 0
+    puts: int = 0
+    erases: int = 0
+    probes: int = 0  # total slots inspected across all operations
+
+    def reset(self) -> None:
+        self.gets = self.puts = self.erases = self.probes = 0
+
+
+_MISSING = object()
+
+
+class Map:
+    """Fixed-capacity open-addressing map from hashable keys to values."""
+
+    def __init__(
+        self,
+        capacity: int,
+        hash_fn: Callable[[Hashable], int] | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._hash = hash_fn if hash_fn is not None else hash
+        self._busy = [False] * capacity
+        self._keys: list[Hashable | None] = [None] * capacity
+        self._hashes = [0] * capacity
+        self._values: list[Any] = [None] * capacity
+        self._chains = [0] * capacity
+        self._size = 0
+        self.stats = MapStats()
+
+    # -- abstract state ---------------------------------------------------
+    def _abstract_state(self) -> AbstractMap:
+        entries = {
+            self._keys[i]: self._values[i]
+            for i in range(self.capacity)
+            if self._busy[i]
+        }
+        return AbstractMap(entries, self.capacity)
+
+    # -- queries ----------------------------------------------------------
+    def size(self) -> int:
+        """Number of live entries."""
+        return self._size
+
+    def full(self) -> bool:
+        """True when no further key can be inserted."""
+        return self._size >= self.capacity
+
+    def _home(self, key: Hashable) -> Tuple[int, int]:
+        key_hash = self._hash(key) & 0xFFFFFFFF
+        return key_hash, key_hash % self.capacity
+
+    def _find_slot(self, key: Hashable) -> int:
+        """Index of ``key``'s slot, or -1 if absent.
+
+        Walks the probe sequence; a free slot with a zero chain counter
+        proves the key is absent.
+        """
+        key_hash, home = self._home(key)
+        for i in range(self.capacity):
+            slot = (home + i) % self.capacity
+            self.stats.probes += 1
+            if self._busy[slot]:
+                if self._hashes[slot] == key_hash and self._keys[slot] == key:
+                    return slot
+            elif self._chains[slot] == 0:
+                return -1
+        return -1
+
+    def has(self, key: Hashable) -> bool:
+        """True when ``key`` is present."""
+        self.stats.gets += 1
+        return self._find_slot(key) != -1
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Value stored under ``key``, or ``default`` when absent."""
+        self.stats.gets += 1
+        slot = self._find_slot(key)
+        if slot == -1:
+            return default
+        return self._values[slot]
+
+    # -- updates ----------------------------------------------------------
+    @contract(
+        requires=lambda self, key, value: not self.full()
+        and self.get(key, _MISSING) is _MISSING,
+        ensures=lambda old, result, self, key, value: (
+            self._abstract_state().entries == old.put(key, value).entries
+        ),
+    )
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert a key that is not yet present. Requires spare capacity."""
+        if self._size >= self.capacity:
+            raise CapacityError("map is full")
+        key_hash, home = self._home(key)
+        self.stats.puts += 1
+        for i in range(self.capacity):
+            slot = (home + i) % self.capacity
+            self.stats.probes += 1
+            if not self._busy[slot]:
+                self._busy[slot] = True
+                self._keys[slot] = key
+                self._hashes[slot] = key_hash
+                self._values[slot] = value
+                self._size += 1
+                return
+            # Occupied: this key's path passes through, bump the counter.
+            self._chains[slot] += 1
+        raise CapacityError("map is full")  # unreachable given the size check
+
+    @contract(
+        requires=lambda self, key: self.get(key, _MISSING) is not _MISSING,
+        ensures=lambda old, result, self, key: (
+            self._abstract_state().entries == old.erase(key).entries
+        ),
+    )
+    def erase(self, key: Hashable) -> Any:
+        """Remove a present key; returns the stored value."""
+        key_hash, home = self._home(key)
+        self.stats.erases += 1
+        for i in range(self.capacity):
+            slot = (home + i) % self.capacity
+            self.stats.probes += 1
+            if (
+                self._busy[slot]
+                and self._hashes[slot] == key_hash
+                and self._keys[slot] == key
+            ):
+                value = self._values[slot]
+                self._busy[slot] = False
+                self._keys[slot] = None
+                self._values[slot] = None
+                # Unwind the chain counters bumped by put's probe path.
+                for j in range(i):
+                    passed = (home + j) % self.capacity
+                    self._chains[passed] -= 1
+                self._size -= 1
+                return value
+            if not self._busy[slot] and self._chains[slot] == 0:
+                break
+        raise KeyError(key)
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        """Iterate live (key, value) pairs in slot order."""
+        for i in range(self.capacity):
+            if self._busy[i]:
+                yield self._keys[i], self._values[i]

@@ -1,0 +1,52 @@
+"""The ``nf_time`` abstraction: how NFs observe the current time.
+
+libVig exposes time behind an interface so that (a) the verification
+toolchain can substitute a symbolic model for it and (b) the testbed can
+run NFs against a simulated clock. Times are integers in microseconds,
+matching the granularity the paper's latency measurements use.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Anything that can report the current time in microseconds."""
+
+    def now(self) -> int:
+        """Current time, microseconds, monotone non-decreasing."""
+        ...
+
+
+class MonotonicClock:
+    """Wall clock backed by :func:`time.monotonic_ns`."""
+
+    def now(self) -> int:
+        return _time.monotonic_ns() // 1000
+
+
+class SimulatedClock:
+    """A manually advanced clock for the discrete-event testbed."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("time must be non-negative")
+        self._now = start
+
+    def now(self) -> int:
+        return self._now
+
+    def advance(self, delta: int) -> int:
+        """Move time forward by ``delta`` microseconds; returns new time."""
+        if delta < 0:
+            raise ValueError("the clock cannot move backwards")
+        self._now += delta
+        return self._now
+
+    def set(self, value: int) -> None:
+        """Jump to an absolute time, which must not be in the past."""
+        if value < self._now:
+            raise ValueError("the clock cannot move backwards")
+        self._now = value

@@ -1,0 +1,67 @@
+"""External-port bookkeeping for the NAT (§5.1.1's "port allocator").
+
+VigNAT maps each active flow to a distinct external port drawn from a
+fixed range. The allocator keeps a free list plus an allocation bitmap so
+that allocation, release and membership checks are all O(1) with no
+allocation on the data path.
+"""
+
+from __future__ import annotations
+
+from repro.libvig.errors import LibVigError
+
+
+class PortExhaustion(LibVigError):
+    """All ports in the configured range are allocated."""
+
+
+class PortAllocator:
+    """Allocates 16-bit ports out of ``[start, start + count)``."""
+
+    def __init__(self, start: int, count: int) -> None:
+        if not 0 <= start <= 0xFFFF:
+            raise ValueError("start port out of range")
+        if count <= 0 or start + count - 1 > 0xFFFF:
+            raise ValueError("port range out of bounds")
+        self.start = start
+        self.count = count
+        # LIFO free list: reusing recently released ports keeps the hot
+        # set small, like libVig's index allocator.
+        self._free = list(range(start + count - 1, start - 1, -1))
+        self._allocated = [False] * count
+
+    def _abstract_state(self) -> frozenset:
+        return frozenset(
+            self.start + i for i, taken in enumerate(self._allocated) if taken
+        )
+
+    def allocate(self) -> int:
+        """Take a free port; raises :class:`PortExhaustion` when none."""
+        if not self._free:
+            raise PortExhaustion(f"no port free in [{self.start}, {self.start + self.count})")
+        port = self._free.pop()
+        self._allocated[port - self.start] = True
+        return port
+
+    def release(self, port: int) -> None:
+        """Return an allocated port to the pool."""
+        self._check_port(port)
+        if not self._allocated[port - self.start]:
+            raise KeyError(f"port {port} is not allocated")
+        self._allocated[port - self.start] = False
+        self._free.append(port)
+
+    def is_allocated(self, port: int) -> bool:
+        """True when ``port`` is currently allocated."""
+        self._check_port(port)
+        return self._allocated[port - self.start]
+
+    def available(self) -> int:
+        """Number of ports still free."""
+        return len(self._free)
+
+    def _check_port(self, port: int) -> None:
+        if not self.start <= port < self.start + self.count:
+            raise ValueError(
+                f"port {port} outside range [{self.start}, {self.start + self.count})"
+            )

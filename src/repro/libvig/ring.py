@@ -1,0 +1,90 @@
+"""The ring buffer of the §3 worked example.
+
+A bounded FIFO over a preallocated array. Like the paper's ring, it can
+carry a *packet constraint*: a predicate the caller promises every pushed
+item satisfies. The constraint is part of the ring's contract — the ring
+never alters stored items, so a popped item provably still satisfies it
+(the semantic property of the discard-protocol proof).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.libvig.abstract import AbstractRing
+from repro.libvig.contracts import contract
+from repro.libvig.errors import CapacityError
+
+
+class Ring:
+    """Fixed-capacity FIFO with an optional per-item constraint."""
+
+    def __init__(
+        self,
+        capacity: int,
+        constraint: Callable[[Any], bool] | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.constraint = constraint
+        self._array: list[Any] = [None] * capacity
+        self._begin = 0
+        self._len = 0
+
+    # -- abstract state ---------------------------------------------------
+    def _abstract_state(self) -> AbstractRing:
+        items = tuple(
+            self._array[(self._begin + i) % self.capacity]
+            for i in range(self._len)
+        )
+        return AbstractRing(items, self.capacity)
+
+    # -- queries ----------------------------------------------------------
+    def full(self) -> bool:
+        """True when a push would exceed capacity."""
+        return self._len >= self.capacity
+
+    def empty(self) -> bool:
+        """True when there is nothing to pop."""
+        return self._len == 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- updates ----------------------------------------------------------
+    @contract(
+        requires=lambda self, item: not self.full()
+        and (self.constraint is None or self.constraint(item)),
+        ensures=lambda old, result, self, item: (
+            self._abstract_state().items == old.push_back(item).items
+        ),
+    )
+    def push_back(self, item: Any) -> None:
+        """Append an item satisfying the ring's constraint."""
+        if self._len >= self.capacity:
+            raise CapacityError("ring is full")
+        if self.constraint is not None and not self.constraint(item):
+            raise ValueError("item violates the ring constraint")
+        self._array[(self._begin + self._len) % self.capacity] = item
+        self._len += 1
+
+    @contract(
+        requires=lambda self: not self.empty(),
+        ensures=lambda old, result, self: (
+            result == old.items[0]
+            and self._abstract_state().items == old.pop_front()[1].items
+            and (self.constraint is None or self.constraint(result))
+        ),
+    )
+    def pop_front(self) -> Any:
+        """Remove and return the oldest item; it satisfies the constraint."""
+        if self._len == 0:
+            raise IndexError("ring is empty")
+        item = self._array[self._begin]
+        self._array[self._begin] = None
+        self._begin += 1
+        self._len -= 1
+        if self._begin >= self.capacity:
+            self._begin = 0
+        return item

@@ -1,0 +1,65 @@
+"""Preallocated vector with a borrow/return ownership discipline.
+
+libVig's vector hands out elements under an explicit ownership protocol:
+``borrow`` transfers the element to the caller, who must ``give_back``
+before borrowing it again (§5.2.4 tracks exactly this kind of transfer).
+The runtime version enforces the discipline eagerly so that misuse in the
+stateless code shows up as a :class:`OwnershipError` rather than silent
+aliasing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.libvig.errors import LibVigError
+
+
+class OwnershipError(LibVigError):
+    """The borrow/return discipline was violated."""
+
+
+class Vector:
+    """Fixed-size array of slots, each initialized by a factory."""
+
+    def __init__(self, capacity: int, init: Callable[[int], Any] | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        factory = init if init is not None else (lambda _i: None)
+        self._slots: list[Any] = [factory(i) for i in range(capacity)]
+        self._borrowed = [False] * capacity
+
+    def _abstract_state(self) -> tuple:
+        return tuple(self._slots)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"index {index} out of range [0, {self.capacity})")
+
+    def borrow(self, index: int) -> Any:
+        """Take ownership of slot ``index``'s element."""
+        self._check_index(index)
+        if self._borrowed[index]:
+            raise OwnershipError(f"slot {index} already borrowed")
+        self._borrowed[index] = True
+        return self._slots[index]
+
+    def give_back(self, index: int, value: Any) -> None:
+        """Return (possibly updated) ownership of slot ``index``."""
+        self._check_index(index)
+        if not self._borrowed[index]:
+            raise OwnershipError(f"slot {index} was not borrowed")
+        self._slots[index] = value
+        self._borrowed[index] = False
+
+    def outstanding_borrows(self) -> int:
+        """Number of slots currently borrowed (0 at loop boundaries)."""
+        return sum(self._borrowed)
+
+    def get(self, index: int) -> Any:
+        """Read a slot without borrowing (callers must not mutate)."""
+        self._check_index(index)
+        if self._borrowed[index]:
+            raise OwnershipError(f"slot {index} is borrowed")
+        return self._slots[index]

@@ -1,0 +1,39 @@
+"""Network functions: VigNAT and the evaluation baselines.
+
+- :mod:`repro.nat.vignat` — the verified NAT (the paper's contribution),
+- :mod:`repro.nat.unverified` — the unverified DPDK NAT baseline,
+- :mod:`repro.nat.netfilter` — the Linux NetFilter/conntrack-style NAT,
+- :mod:`repro.nat.noop` — DPDK no-op forwarding,
+- :mod:`repro.nat.firewall` — a second verified NF (stateful firewall),
+- :mod:`repro.nat.discard` — the §3 discard-protocol worked example.
+"""
+
+from repro.nat.base import NetworkFunction
+from repro.nat.bridge import BridgeConfig, VigBridge
+from repro.nat.config import NatConfig
+from repro.nat.discard import DiscardNF
+from repro.nat.firewall import VigFirewall
+from repro.nat.flow import Flow, FlowId, flow_id_of_packet
+from repro.nat.limiter import LimiterConfig, VigLimiter
+from repro.nat.netfilter import NetfilterNat
+from repro.nat.noop import NoopForwarder
+from repro.nat.unverified import UnverifiedNat
+from repro.nat.vignat import VigNat
+
+__all__ = [
+    "BridgeConfig",
+    "DiscardNF",
+    "Flow",
+    "FlowId",
+    "NatConfig",
+    "NetfilterNat",
+    "LimiterConfig",
+    "NetworkFunction",
+    "NoopForwarder",
+    "VigBridge",
+    "VigLimiter",
+    "VigFirewall",
+    "UnverifiedNat",
+    "VigNat",
+    "flow_id_of_packet",
+]

@@ -1,0 +1,38 @@
+"""The common shape of a network function in this reproduction.
+
+An NF consumes one received packet at a simulated time and returns the
+packets to transmit (each carries its output device in ``packet.device``).
+NFs additionally expose monotone operation counters that the testbed's
+cost model turns into per-packet processing latency — the simulation
+analogue of the CPU work a real DPDK NF performs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List
+
+from repro.packets.headers import Packet
+
+
+class NetworkFunction(abc.ABC):
+    """One packet in, zero or more packets out, with visible work counters."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "nf"
+
+    @abc.abstractmethod
+    def process(self, packet: Packet, now: int) -> List[Packet]:
+        """Handle one received packet at time ``now`` (microseconds).
+
+        Returns the packets to transmit; an empty list means drop.
+        """
+
+    def op_counters(self) -> Dict[str, int]:
+        """Monotone counters of abstract work done so far.
+
+        The cost model charges latency per counter increment. The base
+        implementation reports nothing, i.e. only the NF's fixed
+        per-packet cost applies.
+        """
+        return {}

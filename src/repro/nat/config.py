@@ -1,0 +1,44 @@
+"""Static NAT configuration (the paper's CAP, Texp, EXT_IP triple, §4.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.packets.addresses import ip_to_int
+
+#: The flow-table capacity both evaluated NATs support (§6).
+DEFAULT_MAX_FLOWS = 65_535
+
+#: Default flow timeout used in the first latency experiment: 2 seconds.
+DEFAULT_EXPIRATION_TIME_US = 2_000_000
+
+#: First external port handed out; index i maps to port START + i. It
+#: defaults to 1 so that the full 65,535-flow table fits the 16-bit port
+#: space (flow index 65,534 maps to port 65,535).
+DEFAULT_START_PORT = 1
+
+
+@dataclass(frozen=True)
+class NatConfig:
+    """Immutable NAT configuration shared by all NAT implementations."""
+
+    external_ip: int = ip_to_int("192.0.2.1")
+    internal_device: int = 0
+    external_device: int = 1
+    max_flows: int = DEFAULT_MAX_FLOWS
+    expiration_time: int = DEFAULT_EXPIRATION_TIME_US  # microseconds
+    start_port: int = DEFAULT_START_PORT
+
+    def __post_init__(self) -> None:
+        if self.max_flows <= 0:
+            raise ValueError("max_flows must be positive")
+        if self.expiration_time <= 0:
+            raise ValueError("expiration_time must be positive")
+        if self.internal_device == self.external_device:
+            raise ValueError("internal and external devices must differ")
+        if not 0 < self.start_port <= 0xFFFF:
+            raise ValueError("start_port out of range")
+        if self.start_port + self.max_flows - 1 > 0xFFFF:
+            raise ValueError(
+                "port range [start_port, start_port + max_flows) exceeds 65535"
+            )

@@ -1,0 +1,188 @@
+"""VigFW: a stateful firewall on libVig — the paper's generalization claim.
+
+§9 hopes the Vigor technique "will eventually generalize to proving
+properties of many other software NFs, thereby amortizing the tedious
+work that has gone into building a library of verified NF data
+structures." This module cashes that claim in: a second NF, built on the
+*same* libVig structures and verified by the *same* pipeline with a new
+~80-line semantic specification
+(:class:`repro.verif.semantics.FirewallSemantics`).
+
+Semantics (a connection-tracking allow-outbound firewall):
+
+- a TCP/UDP packet from the internal network is forwarded unchanged and
+  creates (or refreshes) a session, unless the session table is full and
+  the flow is new — then it is dropped, never evicting a live session;
+- a packet from the external network is forwarded unchanged iff it
+  belongs to an established session (its 5-tuple is the reverse of a
+  tracked one), which it also refreshes; anything else is dropped;
+- sessions expire after the configured idle timeout.
+
+Like VigNat, the stateless logic is one shared function
+(:func:`firewall_loop_iteration`) run concretely here and symbolically
+by :func:`repro.verif.nf_env_fw.firewall_symbolic_body`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Protocol
+
+from repro.libvig.double_chain import DoubleChain
+from repro.libvig.double_map import DoubleMap
+from repro.libvig.expirator import expire_items
+from repro.nat.base import NetworkFunction
+from repro.nat.config import NatConfig
+from repro.nat.flow import FlowId
+from repro.packets.headers import ETHERTYPE_IPV4, PROTO_TCP, PROTO_UDP, Packet
+
+
+class FirewallEnv(Protocol):
+    """The libVig + DPDK interface the firewall's stateless code uses."""
+
+    def current_time(self) -> Any: ...
+
+    def expire_sessions(self, min_time: Any) -> None: ...
+
+    def receive(self) -> Optional[Any]: ...
+
+    def session_get_internal(self, packet: Any) -> Optional[Any]: ...
+
+    def session_get_external(self, packet: Any) -> Optional[Any]: ...
+
+    def session_create(self, packet: Any, now: Any) -> Optional[Any]: ...
+
+    def session_rejuvenate(self, index: Any, now: Any) -> None: ...
+
+    def forward(self, packet: Any, device: Any) -> None: ...
+
+    def drop(self, packet: Any) -> None: ...
+
+
+def firewall_loop_iteration(env: FirewallEnv, config: Any) -> None:
+    """One loop iteration of the firewall; shared concrete/symbolic."""
+    now = env.current_time()
+    if now >= config.expiration_time:
+        min_time = now - config.expiration_time + 1
+    else:
+        min_time = 0
+    env.expire_sessions(min_time)
+
+    packet = env.receive()
+    if packet is None:
+        return
+    if packet.ethertype != ETHERTYPE_IPV4:
+        env.drop(packet)
+        return
+    if (packet.protocol == PROTO_TCP) | (packet.protocol == PROTO_UDP):
+        pass
+    else:
+        env.drop(packet)
+        return
+
+    if packet.device == config.internal_device:
+        index = env.session_get_internal(packet)
+        if index is None:
+            index = env.session_create(packet, now)
+            if index is None:
+                env.drop(packet)  # table full: never evict a live session
+                return
+        else:
+            env.session_rejuvenate(index, now)
+        env.forward(packet, device=config.external_device)
+    elif packet.device == config.external_device:
+        index = env.session_get_external(packet)
+        if index is None:
+            env.drop(packet)  # not part of an established session
+            return
+        env.session_rejuvenate(index, now)
+        env.forward(packet, device=config.internal_device)
+    else:
+        env.drop(packet)
+
+
+class _ConcreteFwEnv:
+    """Binds the firewall logic to libVig and real packets."""
+
+    def __init__(self, fw: "VigFirewall", packet: Packet, now: int) -> None:
+        self._fw = fw
+        self._packet = packet
+        self._now = now
+        self.outputs: List[Packet] = []
+
+    def current_time(self) -> int:
+        return self._now
+
+    def expire_sessions(self, min_time: int) -> None:
+        self._fw._expired_total += expire_items(
+            self._fw._chain, self._fw._sessions, min_time
+        )
+
+    def receive(self):
+        from repro.nat.vignat import _ConcretePacketView
+
+        return _ConcretePacketView(self._packet)
+
+    def session_get_internal(self, packet) -> Optional[int]:
+        return self._fw._sessions.get_by_a(packet.flow_id())
+
+    def session_get_external(self, packet) -> Optional[int]:
+        return self._fw._sessions.get_by_b(packet.flow_id())
+
+    def session_create(self, packet, now: int) -> Optional[int]:
+        index = self._fw._chain.allocate_new_index(now)
+        if index is None:
+            return None
+        self._fw._sessions.put(index, packet.flow_id())
+        return index
+
+    def session_rejuvenate(self, index: int, now: int) -> None:
+        self._fw._chain.rejuvenate_index(index, now)
+
+    def forward(self, packet, device: int) -> None:
+        out = packet.packet.clone()
+        out.device = device
+        self.outputs.append(out)
+        self._fw._forwarded_total += 1
+
+    def drop(self, packet) -> None:
+        self._fw._dropped_total += 1
+
+
+class VigFirewall(NetworkFunction):
+    """The verified connection-tracking firewall."""
+
+    name = "verified-firewall"
+
+    def __init__(self, config: NatConfig | None = None) -> None:
+        # NatConfig is reused: external_ip is simply unused by a firewall.
+        self.config = config if config is not None else NatConfig()
+        self._sessions = DoubleMap(
+            capacity=self.config.max_flows,
+            key_a_of=lambda fid: fid,
+            key_b_of=lambda fid: fid.reversed(),
+        )
+        self._chain = DoubleChain(self.config.max_flows)
+        self._expired_total = 0
+        self._dropped_total = 0
+        self._forwarded_total = 0
+
+    def session_count(self) -> int:
+        """Number of tracked sessions."""
+        return self._sessions.size()
+
+    def has_session(self, flow_id: FlowId) -> bool:
+        """True when ``flow_id`` (internal orientation) is tracked."""
+        return self._sessions.get_by_a(flow_id) is not None
+
+    def op_counters(self) -> Dict[str, int]:
+        return {
+            "map_probes": self._sessions.probe_count,
+            "expired": self._expired_total,
+            "dropped": self._dropped_total,
+            "forwarded": self._forwarded_total,
+        }
+
+    def process(self, packet: Packet, now: int) -> List[Packet]:
+        env = _ConcreteFwEnv(self, packet, now)
+        firewall_loop_iteration(env, self.config)
+        return env.outputs

@@ -1,0 +1,227 @@
+"""VigLimiter: a verified per-source rate limiter — the tutorial NF.
+
+Fourth NF on libVig (see ``docs/TUTORIAL.md`` for a step-by-step
+walkthrough of how it was built and verified). Policy:
+
+- traffic entering on the protected ingress (device 0) is budgeted per
+  source IP: each source may send at most ``max_packets`` packets per
+  ``window`` (a fixed window: the budget entry expires ``window`` after
+  the *first* packet and is **never refreshed** — unlike the NAT's idle
+  timeout, traffic does not extend its own window);
+- a source over budget is dropped; a new source when the table is full
+  is dropped (fail closed);
+- traffic in the other direction (device 1) passes through untouched.
+
+Verification-wise the interesting bits are (a) the *absence* of
+rejuvenation is itself a proven property (fixed window vs idle window),
+and (b) the counter increment ``count + 1`` is only provably free of
+u32 overflow because it sits under the ``count < max_packets`` guard —
+remove the guard and P2 fails (see the mutation test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Protocol
+
+from repro.libvig.double_chain import DoubleChain
+from repro.libvig.map import Map
+from repro.libvig.static_array import StaticArray
+from repro.nat.base import NetworkFunction
+from repro.packets.headers import ETHERTYPE_IPV4, Packet
+
+
+@dataclass(frozen=True)
+class LimiterConfig:
+    """Static limiter configuration."""
+
+    ingress_device: int = 0
+    egress_device: int = 1
+    capacity: int = 65_536  # distinct sources tracked concurrently
+    window: int = 1_000_000  # microseconds (1 s fixed window)
+    max_packets: int = 100  # budget per source per window
+
+    def __post_init__(self) -> None:
+        if self.ingress_device == self.egress_device:
+            raise ValueError("devices must differ")
+        if self.capacity <= 0 or self.window <= 0 or self.max_packets <= 0:
+            raise ValueError("capacity, window and budget must be positive")
+
+
+class LimiterEnv(Protocol):
+    """The libVig + DPDK interface of the limiter's stateless code."""
+
+    def current_time(self) -> Any: ...
+
+    def expire_budgets(self, min_time: Any) -> None: ...
+
+    def receive(self) -> Optional[Any]: ...
+
+    def budget_get(self, src_ip: Any) -> Optional[Any]: ...  # index or None
+
+    def budget_create(self, src_ip: Any, now: Any) -> Optional[Any]: ...
+
+    def counter_read(self, index: Any) -> Any: ...
+
+    def counter_bump(self, index: Any, new_value: Any) -> None: ...
+
+    def forward(self, packet: Any, device: Any) -> None: ...
+
+    def drop(self, packet: Any) -> None: ...
+
+
+def limiter_loop_iteration(env: LimiterEnv, config: Any) -> None:
+    """One loop iteration of the limiter; shared concrete/symbolic."""
+    now = env.current_time()
+    if now >= config.window:
+        min_time = now - config.window + 1
+    else:
+        min_time = 0
+    env.expire_budgets(min_time)
+
+    packet = env.receive()
+    if packet is None:
+        return
+    if packet.ethertype != ETHERTYPE_IPV4:
+        env.drop(packet)
+        return
+
+    if packet.device == config.ingress_device:
+        index = env.budget_get(packet.src_ip)
+        if index is None:
+            # First packet of the window: open a budget (fail closed
+            # when the table is full — an unbudgeted source never
+            # bypasses the limiter).
+            index = env.budget_create(packet.src_ip, now)
+            if index is None:
+                env.drop(packet)
+                return
+            env.forward(packet, device=config.egress_device)
+            return
+        count = env.counter_read(index)
+        if count < config.max_packets:
+            # The guard bounds the increment: count + 1 <= max_packets,
+            # so the u32 addition provably cannot wrap (P2).
+            env.counter_bump(index, count + 1)
+            env.forward(packet, device=config.egress_device)
+        else:
+            env.drop(packet)  # over budget for this window
+    elif packet.device == config.egress_device:
+        env.forward(packet, device=config.ingress_device)
+    else:
+        env.drop(packet)
+
+
+class _FrameView:
+    __slots__ = ("packet",)
+
+    def __init__(self, packet: Packet) -> None:
+        self.packet = packet
+
+    @property
+    def ethertype(self) -> int:
+        return self.packet.eth.ethertype
+
+    @property
+    def device(self) -> int:
+        return self.packet.device
+
+    @property
+    def src_ip(self) -> int:
+        assert self.packet.ipv4 is not None
+        return self.packet.ipv4.src_ip
+
+
+class _ConcreteLimiterEnv:
+    """Binds the limiter logic to libVig and real packets."""
+
+    def __init__(self, limiter: "VigLimiter", packet: Packet, now: int) -> None:
+        self._limiter = limiter
+        self._packet = packet
+        self._now = now
+        self.outputs: List[Packet] = []
+
+    def current_time(self) -> int:
+        return self._now
+
+    def expire_budgets(self, min_time: int) -> None:
+        limiter = self._limiter
+        while True:
+            index = limiter._chain.expire_one_index(min_time)
+            if index is None:
+                return
+            src_ip = limiter._source_of[index]
+            limiter._table.erase(src_ip)
+            del limiter._source_of[index]
+            limiter._expired_total += 1
+
+    def receive(self) -> _FrameView:
+        return _FrameView(self._packet)
+
+    def budget_get(self, src_ip: int) -> Optional[int]:
+        return self._limiter._table.get(src_ip)
+
+    def budget_create(self, src_ip: int, now: int) -> Optional[int]:
+        limiter = self._limiter
+        index = limiter._chain.allocate_new_index(now)
+        if index is None:
+            return None
+        limiter._table.put(src_ip, index)
+        limiter._source_of[index] = src_ip
+        limiter._counters.set(index, 1)
+        return index
+
+    def counter_read(self, index: int) -> int:
+        return self._limiter._counters.get(index)
+
+    def counter_bump(self, index: int, new_value: int) -> None:
+        self._limiter._counters.set(index, new_value)
+
+    def forward(self, packet: _FrameView, device: int) -> None:
+        out = packet.packet.clone()
+        out.device = device
+        self.outputs.append(out)
+        self._limiter._forwarded_total += 1
+
+    def drop(self, packet: _FrameView) -> None:
+        self._limiter._dropped_total += 1
+
+
+class VigLimiter(NetworkFunction):
+    """The verified per-source fixed-window rate limiter."""
+
+    name = "verified-limiter"
+
+    def __init__(self, config: LimiterConfig | None = None) -> None:
+        self.config = config if config is not None else LimiterConfig()
+        self._table = Map(self.config.capacity + self.config.capacity // 8 + 1)
+        self._chain = DoubleChain(self.config.capacity)
+        self._counters = StaticArray(self.config.capacity)
+        self._source_of: Dict[int, int] = {}
+        self._expired_total = 0
+        self._dropped_total = 0
+        self._forwarded_total = 0
+
+    def tracked_sources(self) -> int:
+        """Number of sources with an open budget window."""
+        return self._chain.size()
+
+    def budget_used(self, src_ip: int) -> Optional[int]:
+        """Packets this source has spent in its current window."""
+        index = self._table.get(src_ip)
+        if index is None:
+            return None
+        return self._counters.get(index)
+
+    def op_counters(self) -> Dict[str, int]:
+        return {
+            "map_probes": self._table.stats.probes,
+            "expired": self._expired_total,
+            "dropped": self._dropped_total,
+            "forwarded": self._forwarded_total,
+        }
+
+    def process(self, packet: Packet, now: int) -> List[Packet]:
+        env = _ConcreteLimiterEnv(self, packet, now)
+        limiter_loop_iteration(env, self.config)
+        return env.outputs

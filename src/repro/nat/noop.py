@@ -1,0 +1,40 @@
+"""No-op forwarding — the DPDK baseline NF (§6).
+
+Receives on one port, transmits on the other, no inspection. Shows the
+best latency/throughput the substrate can achieve; every NAT's extra cost
+is measured against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.nat.base import NetworkFunction
+from repro.packets.headers import Packet
+
+
+class NoopForwarder(NetworkFunction):
+    """Forward every packet to the paired device, untouched."""
+
+    name = "noop"
+
+    def __init__(self, device_a: int = 0, device_b: int = 1) -> None:
+        if device_a == device_b:
+            raise ValueError("devices must differ")
+        self.device_a = device_a
+        self.device_b = device_b
+        self._forwarded_total = 0
+
+    def process(self, packet: Packet, now: int) -> List[Packet]:
+        out = packet.clone()
+        if packet.device == self.device_a:
+            out.device = self.device_b
+        elif packet.device == self.device_b:
+            out.device = self.device_a
+        else:
+            return []
+        self._forwarded_total += 1
+        return [out]
+
+    def op_counters(self) -> Dict[str, int]:
+        return {"forwarded": self._forwarded_total}

@@ -1,0 +1,201 @@
+"""The unverified DPDK NAT baseline (§6, "Unverified NAT").
+
+Written the way "an experienced software developer with little
+verification expertise" would: same RFC 3022 semantics and the same
+65,535-flow budget as VigNat, but using a separate-chaining hash table
+(mirroring the DPDK hash) and ad-hoc state handling sprinkled through the
+packet path instead of contracted libVig structures.
+
+Because nothing is proven about it, it ships with the kind of latent
+edge-case defects the paper's introduction cites CVEs for. They are
+deliberate, documented reproductions of real NAT bug classes, and the
+fault-injection test-suite demonstrates each one while showing VigNat is
+immune:
+
+- **Eviction instead of drop when full**: when the table is full the
+  developer "helpfully" evicts the least-recently-used flow even if it
+  has not expired, silently breaking an established connection — a
+  semantic deviation from Fig. 6 l.15 that no test of theirs caught.
+- **Port leak on eviction, then crash** (cf. the Cisco NAT crash
+  CVE-2015-6271 and hang CVE-2013-1138): the eviction path forgets to
+  return the victim's external port to the free pool, so sustained flow
+  churn past capacity eventually exhausts the port space, at which point
+  flow creation raises instead of dropping the packet and the NF dies.
+- **Checksum corruption for zero-checksum UDP reply traffic** on the
+  inbound path only (hand-rolled rewrite code patches a disabled UDP
+  checksum, emitting an invalid non-zero one).
+- **Hash-flooding degradation**: chaining with no chain-length bound lets
+  an adversary who can craft colliding 5-tuples degrade lookups to O(n),
+  "hanging" the NAT — libVig's bounded open addressing cannot degrade
+  past its fixed capacity.
+
+On the happy path it is slightly *faster* than VigNat (fewer probes per
+lookup thanks to chaining), which is what Figs. 12/14 measure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.libvig.hash_table import ChainingHashTable
+from repro.nat.base import NetworkFunction
+from repro.nat.config import NatConfig
+from repro.nat.flow import FlowId, flow_id_of_packet
+from repro.nat.rewrite import rewrite_source
+from repro.packets.checksum import checksum_update_u16, checksum_update_u32
+from repro.packets.headers import Packet
+
+
+class NatCrash(RuntimeError):
+    """The unverified NAT hit an unhandled edge case and died."""
+
+
+@dataclass
+class _Entry:
+    internal_id: FlowId
+    external_port: int
+    last_seen: int
+
+
+class UnverifiedNat(NetworkFunction):
+    """RFC 3022 NAT over a chaining hash table, no contracts, no proofs."""
+
+    name = "unverified-nat"
+
+    def __init__(self, config: NatConfig | None = None) -> None:
+        self.config = config if config is not None else NatConfig()
+        # Two lookup directions share the entry objects; the LRU order for
+        # expiry lives in an insertion-ordered dict keyed by external port.
+        self._by_internal = ChainingHashTable(self.config.max_flows)
+        self._by_external = ChainingHashTable(self.config.max_flows)
+        self._lru: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._next_port = self.config.start_port
+        self._free_ports: List[int] = []
+        self._dropped_total = 0
+        self._forwarded_total = 0
+        self._evicted_total = 0
+        self._expired_total = 0
+
+    # -- introspection ----------------------------------------------------
+    def flow_count(self) -> int:
+        """Current number of live translation entries."""
+        return len(self._lru)
+
+    def has_flow(self, internal_id: FlowId) -> bool:
+        """True when a translation exists for this internal 5-tuple."""
+        return self._by_internal.has(internal_id)
+
+    def op_counters(self) -> Dict[str, int]:
+        return {
+            "table_probes": self._by_internal.stats.probes
+            + self._by_external.stats.probes,
+            "dropped": self._dropped_total,
+            "forwarded": self._forwarded_total,
+            "evicted": self._evicted_total,
+            "expired": self._expired_total,
+        }
+
+    # -- state handling (sprinkled, not contracted) ------------------------
+    def _expire(self, now: int) -> None:
+        threshold = now - self.config.expiration_time
+        while self._lru:
+            port, entry = next(iter(self._lru.items()))
+            if entry.last_seen > threshold:
+                break
+            self._remove(port, entry)
+            self._expired_total += 1
+
+    def _remove(self, port: int, entry: _Entry, free_port: bool = True) -> None:
+        del self._lru[port]
+        self._by_internal.erase(entry.internal_id)
+        self._by_external.erase(self._external_key(entry))
+        if free_port:
+            self._free_ports.append(port)
+
+    def _external_key(self, entry: _Entry) -> FlowId:
+        return FlowId(
+            src_ip=entry.internal_id.dst_ip,
+            src_port=entry.internal_id.dst_port,
+            dst_ip=self.config.external_ip,
+            dst_port=entry.external_port,
+            protocol=entry.internal_id.protocol,
+        )
+
+    def _allocate_port(self) -> int:
+        if self._free_ports:
+            return self._free_ports.pop()
+        port = self._next_port
+        # BUG (documented above): when the port space is exhausted this
+        # walks off the end of the 16-bit range and crashes instead of
+        # dropping the packet.
+        if port > 0xFFFF:
+            raise NatCrash("port allocator overflow: no free external port")
+        self._next_port += 1
+        return port
+
+    def _touch(self, port: int, entry: _Entry, now: int) -> None:
+        entry.last_seen = now
+        self._lru.move_to_end(port)
+
+    # -- packet path --------------------------------------------------------
+    def process(self, packet: Packet, now: int) -> List[Packet]:
+        self._expire(now)
+        if not packet.is_tcpudp_ipv4():
+            self._dropped_total += 1
+            return []
+        flow_id = flow_id_of_packet(packet)
+        if packet.device == self.config.internal_device:
+            return self._outbound(packet, flow_id, now)
+        if packet.device == self.config.external_device:
+            return self._inbound(packet, flow_id, now)
+        self._dropped_total += 1
+        return []
+
+    def _outbound(self, packet: Packet, flow_id: FlowId, now: int) -> List[Packet]:
+        entry: _Entry | None = self._by_internal.get(flow_id)
+        if entry is None:
+            if len(self._lru) >= self.config.max_flows:
+                # BUG (documented above): evicts the oldest live flow
+                # instead of dropping the newcomer as RFC 3022 requires —
+                # and leaks the victim's port on the way out.
+                port, victim = next(iter(self._lru.items()))
+                self._remove(port, victim, free_port=False)
+                self._evicted_total += 1
+            port = self._allocate_port()
+            entry = _Entry(internal_id=flow_id, external_port=port, last_seen=now)
+            self._by_internal.put(flow_id, entry)
+            self._by_external.put(self._external_key(entry), entry)
+            self._lru[port] = entry
+        self._touch(entry.external_port, entry, now)
+        out = packet.clone()
+        rewrite_source(out, self.config.external_ip, entry.external_port)
+        out.device = self.config.external_device
+        self._forwarded_total += 1
+        return [out]
+
+    def _inbound(self, packet: Packet, flow_id: FlowId, now: int) -> List[Packet]:
+        entry: _Entry | None = self._by_external.get(flow_id)
+        if entry is None:
+            self._dropped_total += 1
+            return []
+        self._touch(entry.external_port, entry, now)
+        out = packet.clone()
+        # Hand-rolled rewrite: patches the headers and checksums inline
+        # rather than via a shared helper (the asymmetry noted above —
+        # a zero UDP checksum is "patched" here, producing an invalid
+        # non-zero checksum, where the outbound path handles it right).
+        assert out.ipv4 is not None and out.l4 is not None
+        old_ip = out.ipv4.dst_ip
+        old_port = out.l4.dst_port
+        new_ip = entry.internal_id.src_ip
+        new_port = entry.internal_id.src_port
+        out.ipv4.dst_ip = new_ip
+        out.l4.dst_port = new_port
+        out.ipv4.checksum = checksum_update_u32(out.ipv4.checksum, old_ip, new_ip)
+        out.l4.checksum = checksum_update_u32(out.l4.checksum, old_ip, new_ip)
+        out.l4.checksum = checksum_update_u16(out.l4.checksum, old_port, new_port)
+        out.device = self.config.internal_device
+        self._forwarded_total += 1
+        return [out]

@@ -1,0 +1,41 @@
+"""The network substrate: a discrete-event stand-in for the paper's testbed.
+
+The paper evaluates on two Xeon machines with 10 GbE NICs, MoonGen as
+the tester and DPDK under the NFs (Fig. 11). This package simulates that
+setup closely enough to reproduce the evaluation's *relative* results:
+
+- :mod:`repro.net.mbuf` — a finite packet-buffer pool with leak tracking,
+- :mod:`repro.net.nic` — ports with bounded RX descriptor rings,
+- :mod:`repro.net.dpdk` — a DPDK-like burst API over the ports,
+- :mod:`repro.net.costmodel` — per-packet latency/service costs derived
+  from the NF's *actual* abstract work (probe counts, hook traversals,
+  checksum bytes) plus calibrated constants,
+- :mod:`repro.net.testbed` — the RFC 2544 tester/middlebox pair,
+- :mod:`repro.net.moongen` — workload generation and measurement.
+"""
+
+from repro.net.costmodel import CostModel
+from repro.net.dpdk import DpdkRuntime
+from repro.net.mbuf import MbufPool
+from repro.net.nic import Port
+from repro.net.moongen import (
+    BackgroundFlows,
+    PacketSource,
+    ProbeFlows,
+    merge_sources,
+)
+from repro.net.testbed import LatencyStats, Rfc2544Testbed, ThroughputResult
+
+__all__ = [
+    "BackgroundFlows",
+    "CostModel",
+    "DpdkRuntime",
+    "LatencyStats",
+    "MbufPool",
+    "PacketSource",
+    "Port",
+    "ProbeFlows",
+    "Rfc2544Testbed",
+    "ThroughputResult",
+    "merge_sources",
+]

@@ -1,0 +1,73 @@
+"""A DPDK-like runtime: burst receive/transmit over simulated ports.
+
+The NFs in this reproduction consume single packets (they model a
+single-core, one-packet-at-a-time data path, which is how the paper runs
+its NFs), but the runtime exposes the familiar burst API so examples and
+tests can drive NFs the way a DPDK main loop would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.net.mbuf import Mbuf, MbufPool
+from repro.net.nic import Port
+from repro.packets.headers import Packet
+
+
+class DpdkRuntime:
+    """Ports plus an mbuf pool: the NF's execution environment."""
+
+    def __init__(self, port_count: int = 2, rx_capacity: int = 512, pool_size: int = 4096) -> None:
+        if port_count <= 0:
+            raise ValueError("need at least one port")
+        self.ports: Dict[int, Port] = {
+            i: Port(port_id=i, rx_capacity=rx_capacity) for i in range(port_count)
+        }
+        self.pool = MbufPool(pool_size)
+
+    def port(self, port_id: int) -> Port:
+        return self.ports[port_id]
+
+    # -- the burst API ----------------------------------------------------------
+    def rx_burst(self, port_id: int, max_packets: int) -> List[Mbuf]:
+        """rte_eth_rx_burst: up to ``max_packets`` buffers from the ring."""
+        port = self.ports[port_id]
+        burst: List[Mbuf] = []
+        while len(burst) < max_packets:
+            item = port.rx_pop()
+            if item is None:
+                break
+            timestamp, packet = item
+            mbuf = self.pool.alloc(packet, port=port_id, timestamp=timestamp)
+            if mbuf is None:
+                # Pool exhaustion behaves like an RX drop.
+                port.counters.rx_dropped += 1
+                break
+            burst.append(mbuf)
+        return burst
+
+    def tx_burst(self, port_id: int, mbufs: List[Mbuf], timestamp: int) -> int:
+        """rte_eth_tx_burst: transmit buffers, returning them to the pool."""
+        port = self.ports[port_id]
+        for mbuf in mbufs:
+            port.transmit(mbuf.packet, timestamp)
+            self.pool.free(mbuf)
+        return len(mbufs)
+
+    def free(self, mbuf: Mbuf) -> None:
+        """rte_pktmbuf_free: drop a packet, returning its buffer."""
+        self.pool.free(mbuf)
+
+    # -- wire side -----------------------------------------------------------------
+    def inject(self, port_id: int, packet: Packet, timestamp: int) -> bool:
+        """Deliver a packet to a port as if from the wire."""
+        return self.ports[port_id].deliver(packet, timestamp)
+
+    def collect(self) -> List[Tuple[int, int, Packet]]:
+        """All transmissions since last collect: (port, timestamp, packet)."""
+        out: List[Tuple[int, int, Packet]] = []
+        for port_id, port in sorted(self.ports.items()):
+            for timestamp, packet in port.drain_tx():
+                out.append((port_id, timestamp, packet))
+        return out

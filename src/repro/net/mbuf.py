@@ -1,0 +1,60 @@
+"""A finite mbuf pool with ownership/leak accounting.
+
+DPDK applications receive packets in pool-allocated buffers and must
+free (or transmit) every one; forgetting to is the leak class Vigor's
+ownership tracking caught in VigNAT (§5.2.4). The simulated pool keeps
+the same discipline observable: allocation fails when the pool is
+exhausted, and ``in_flight`` exposes outstanding buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.packets.headers import Packet
+
+
+class MbufPoolExhausted(RuntimeError):
+    """No free buffers remain in the pool."""
+
+
+@dataclass
+class Mbuf:
+    """One packet buffer: the payload packet plus receive metadata."""
+
+    packet: Packet
+    port: int = 0
+    timestamp: int = 0  # hardware receive timestamp, microseconds
+    _freed: bool = field(default=False, repr=False)
+
+
+class MbufPool:
+    """Fixed-size buffer pool (like rte_pktmbuf_pool)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._free = capacity
+        self.alloc_failures = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Buffers currently owned by the application."""
+        return self.capacity - self._free
+
+    def alloc(self, packet: Packet, port: int = 0, timestamp: int = 0) -> Optional[Mbuf]:
+        """Wrap a packet in a buffer; None when the pool is exhausted."""
+        if self._free == 0:
+            self.alloc_failures += 1
+            return None
+        self._free -= 1
+        return Mbuf(packet=packet, port=port, timestamp=timestamp)
+
+    def free(self, mbuf: Mbuf) -> None:
+        """Return a buffer to the pool; double-free is an error."""
+        if mbuf._freed:
+            raise RuntimeError("double free of mbuf")
+        mbuf._freed = True
+        self._free += 1

@@ -1,0 +1,188 @@
+"""MoonGen-style workload generation (§6's traffic mixes).
+
+Sources yield time-ordered :class:`PacketEvent` streams. The two
+workloads the paper's latency experiments use:
+
+- *background flows*: N long-lived flows producing a fixed aggregate
+  packet rate, keeping the flow table at a chosen occupancy;
+- *probe flows*: 1,000 flows at 0.47 pps each, whose entries expire
+  between packets (with the 2 s timeout), so every probe packet takes
+  the NAT's worst-case path: lookup miss, then flow creation. Latency
+  is measured on probe packets only.
+
+Packets are prototyped once per flow (with valid checksums) and cloned
+per transmission, like a generator replaying a pcap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Protocol
+
+from repro.packets.builder import make_udp_packet
+from repro.packets.headers import Packet
+
+US = 1_000  # nanoseconds per microsecond
+S = 1_000_000_000  # nanoseconds per second
+
+
+@dataclass(frozen=True)
+class PacketEvent:
+    """One packet hitting the middlebox's wire at an absolute time."""
+
+    time_ns: int
+    packet: Packet
+    probe: bool = False  # latency is measured on probe packets only
+
+
+class PacketSource(Protocol):
+    """Anything producing a time-ordered stream of packet events."""
+
+    def events(self) -> Iterator[PacketEvent]: ...
+
+
+def _flow_prototype(index: int, *, ip_base: int, dst_ip: str, dst_port: int, src_port_base: int, device: int) -> Packet:
+    src_ip = ip_base + index
+    src_port = src_port_base + (index % 40_000)
+    return make_udp_packet(
+        src_ip, dst_ip, src_port, dst_port, payload=b"\x00" * 18, device=device
+    )
+
+
+class BackgroundFlows:
+    """N flows, aggregate ``total_pps``, round-robin, never expiring."""
+
+    def __init__(
+        self,
+        flow_count: int,
+        total_pps: float,
+        duration_ns: int,
+        device: int = 0,
+        start_ns: int = 0,
+        ip_base: int = 0x0A000001,  # 10.0.0.1
+    ) -> None:
+        if flow_count <= 0 or total_pps <= 0:
+            raise ValueError("flow_count and total_pps must be positive")
+        self.flow_count = flow_count
+        self.total_pps = total_pps
+        self.duration_ns = duration_ns
+        self.device = device
+        self.start_ns = start_ns
+        self._prototypes: List[Packet] = [
+            _flow_prototype(
+                i,
+                ip_base=ip_base,
+                dst_ip="198.18.0.1",
+                dst_port=80,
+                src_port_base=10_000,
+                device=device,
+            )
+            for i in range(flow_count)
+        ]
+
+    def events(self) -> Iterator[PacketEvent]:
+        interval_ns = S / self.total_pps
+        count = int(self.duration_ns / interval_ns)
+        for i in range(count):
+            time_ns = self.start_ns + int(i * interval_ns)
+            prototype = self._prototypes[i % self.flow_count]
+            yield PacketEvent(time_ns=time_ns, packet=prototype.clone())
+
+    def prefill_events(self, spacing_ns: int = 2 * US) -> Iterator[PacketEvent]:
+        """One packet per flow before the run starts, to fill the table."""
+        base = self.start_ns - self.flow_count * spacing_ns
+        for i, prototype in enumerate(self._prototypes):
+            yield PacketEvent(time_ns=base + i * spacing_ns, packet=prototype.clone())
+
+
+class ProbeFlows:
+    """1,000 flows at 0.47 pps each (the paper's probe mix), staggered."""
+
+    def __init__(
+        self,
+        flow_count: int = 1_000,
+        per_flow_pps: float = 0.47,
+        duration_ns: int = S,
+        device: int = 0,
+        start_ns: int = 0,
+        ip_base: int = 0xAC100001,  # 172.16.0.1
+    ) -> None:
+        self.flow_count = flow_count
+        self.per_flow_pps = per_flow_pps
+        self.duration_ns = duration_ns
+        self.device = device
+        self.start_ns = start_ns
+        self._prototypes: List[Packet] = [
+            _flow_prototype(
+                i,
+                ip_base=ip_base,
+                dst_ip="198.18.0.2",
+                dst_port=53,
+                src_port_base=20_000,
+                device=device,
+            )
+            for i in range(flow_count)
+        ]
+
+    def events(self) -> Iterator[PacketEvent]:
+        interval_ns = int(S / self.per_flow_pps)
+        # Stagger flow phases uniformly so the probe load is smooth, and
+        # add a prime sub-interval phase so probe arrivals never
+        # phase-lock with the background generator's round intervals
+        # (phase-locked arrivals would bill background service time to
+        # every probe's latency).
+        stagger_ns = interval_ns // max(1, self.flow_count)
+        phase_ns = 7_919
+        events: List[PacketEvent] = []
+        for i, prototype in enumerate(self._prototypes):
+            t = self.start_ns + i * stagger_ns + phase_ns
+            while t < self.start_ns + self.duration_ns:
+                events.append(
+                    PacketEvent(time_ns=t, packet=prototype.clone(), probe=True)
+                )
+                t += interval_ns
+        events.sort(key=lambda e: e.time_ns)
+        return iter(events)
+
+
+class ConstantRateFlows:
+    """Fixed-rate round-robin traffic for the RFC 2544 throughput search."""
+
+    def __init__(
+        self,
+        flow_count: int,
+        rate_pps: float,
+        packet_count: int,
+        device: int = 0,
+        start_ns: int = 0,
+    ) -> None:
+        self.flow_count = flow_count
+        self.rate_pps = rate_pps
+        self.packet_count = packet_count
+        self.device = device
+        self.start_ns = start_ns
+        self._prototypes: List[Packet] = [
+            _flow_prototype(
+                i,
+                ip_base=0x0A000001,
+                dst_ip="198.18.0.1",
+                dst_port=80,
+                src_port_base=10_000,
+                device=device,
+            )
+            for i in range(flow_count)
+        ]
+
+    def events(self) -> Iterator[PacketEvent]:
+        interval_ns = S / self.rate_pps
+        for i in range(self.packet_count):
+            yield PacketEvent(
+                time_ns=self.start_ns + int(i * interval_ns),
+                packet=self._prototypes[i % self.flow_count].clone(),
+            )
+
+
+def merge_sources(*sources: Iterable[PacketEvent]) -> Iterator[PacketEvent]:
+    """Merge several time-ordered event streams into one."""
+    return heapq.merge(*sources, key=lambda event: event.time_ns)

@@ -1,0 +1,66 @@
+"""Simulated NIC ports with bounded RX descriptor rings.
+
+A port's RX ring holds a fixed number of descriptors (512 by default,
+like the 82599's common configuration); packets arriving while the ring
+is full are dropped and counted — this is where RFC 2544 throughput
+loss comes from when the CPU cannot keep up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.packets.headers import Packet
+
+
+@dataclass
+class PortCounters:
+    """Receive/transmit statistics, mirroring NIC hardware counters."""
+
+    rx_packets: int = 0
+    rx_dropped: int = 0
+    tx_packets: int = 0
+
+
+@dataclass
+class Port:
+    """One NIC port: a bounded RX ring plus TX capture."""
+
+    port_id: int
+    rx_capacity: int = 512
+    counters: PortCounters = field(default_factory=PortCounters)
+
+    def __post_init__(self) -> None:
+        self._rx: Deque[Tuple[int, Packet]] = deque()
+        self._tx: List[Tuple[int, Packet]] = []
+
+    # -- receive side ----------------------------------------------------------
+    def deliver(self, packet: Packet, timestamp: int) -> bool:
+        """Wire-side packet arrival; False (and a drop) when the ring is full."""
+        if len(self._rx) >= self.rx_capacity:
+            self.counters.rx_dropped += 1
+            return False
+        self._rx.append((timestamp, packet))
+        self.counters.rx_packets += 1
+        return True
+
+    def rx_pending(self) -> int:
+        return len(self._rx)
+
+    def rx_pop(self) -> Optional[Tuple[int, Packet]]:
+        """Host-side descriptor fetch: (arrival_timestamp, packet)."""
+        if not self._rx:
+            return None
+        return self._rx.popleft()
+
+    # -- transmit side --------------------------------------------------------------
+    def transmit(self, packet: Packet, timestamp: int) -> None:
+        self._tx.append((timestamp, packet))
+        self.counters.tx_packets += 1
+
+    def drain_tx(self) -> List[Tuple[int, Packet]]:
+        """Collect everything transmitted since the last drain."""
+        out, self._tx = self._tx, []
+        return out

@@ -1,0 +1,51 @@
+"""Conversions between human-readable and numeric network addresses.
+
+IPv4 addresses are represented as unsigned 32-bit integers in host order
+throughout the library (the NAT's flow table keys on integers); MAC
+addresses are represented as 6-byte ``bytes`` values.
+"""
+
+from __future__ import annotations
+
+IPV4_MAX = 0xFFFFFFFF
+
+
+def ip_to_int(text: str) -> int:
+    """Parse dotted-quad notation into an unsigned 32-bit integer.
+
+    >>> hex(ip_to_int("10.0.0.1"))
+    '0xa000001'
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip_to_str(value: int) -> str:
+    """Render an unsigned 32-bit integer as dotted-quad notation."""
+    if not 0 <= value <= IPV4_MAX:
+        raise ValueError(f"IPv4 address out of range: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def mac_to_bytes(text: str) -> bytes:
+    """Parse ``aa:bb:cc:dd:ee:ff`` notation into 6 bytes."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"not a MAC address: {text!r}")
+    raw = bytes(int(part, 16) for part in parts)
+    return raw
+
+
+def mac_to_str(raw: bytes) -> str:
+    """Render 6 bytes as ``aa:bb:cc:dd:ee:ff`` notation."""
+    if len(raw) != 6:
+        raise ValueError(f"MAC address must be 6 bytes, got {len(raw)}")
+    return ":".join(f"{b:02x}" for b in raw)

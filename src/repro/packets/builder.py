@@ -1,0 +1,79 @@
+"""Convenience constructors for test and benchmark traffic."""
+
+from __future__ import annotations
+
+from repro.packets.addresses import ip_to_int, mac_to_bytes
+from repro.packets.headers import (
+    PROTO_TCP,
+    PROTO_UDP,
+    EthernetHeader,
+    Ipv4Header,
+    Packet,
+    TcpHeader,
+    UdpHeader,
+)
+
+_DEFAULT_SRC_MAC = mac_to_bytes("02:00:00:00:00:01")
+_DEFAULT_DST_MAC = mac_to_bytes("02:00:00:00:00:02")
+
+
+def _as_ip(value: int | str) -> int:
+    return ip_to_int(value) if isinstance(value, str) else value
+
+
+def make_udp_packet(
+    src_ip: int | str,
+    dst_ip: int | str,
+    src_port: int,
+    dst_port: int,
+    *,
+    payload: bytes = b"",
+    device: int = 0,
+    ttl: int = 64,
+) -> Packet:
+    """Build a UDP/IPv4/Ethernet packet with consistent lengths."""
+    src, dst = _as_ip(src_ip), _as_ip(dst_ip)
+    udp = UdpHeader(
+        src_port=src_port,
+        dst_port=dst_port,
+        length=UdpHeader.SIZE + len(payload),
+    )
+    ipv4 = Ipv4Header(
+        total_length=Ipv4Header.SIZE + udp.length,
+        ttl=ttl,
+        protocol=PROTO_UDP,
+        src_ip=src,
+        dst_ip=dst,
+    )
+    eth = EthernetHeader(dst=_DEFAULT_DST_MAC, src=_DEFAULT_SRC_MAC)
+    packet = Packet(eth=eth, ipv4=ipv4, l4=udp, payload=payload, device=device)
+    packet.to_bytes()  # populate valid IPv4 and UDP checksums
+    return packet
+
+
+def make_tcp_packet(
+    src_ip: int | str,
+    dst_ip: int | str,
+    src_port: int,
+    dst_port: int,
+    *,
+    payload: bytes = b"",
+    flags: int = 0x10,
+    seq: int = 0,
+    device: int = 0,
+    ttl: int = 64,
+) -> Packet:
+    """Build a TCP/IPv4/Ethernet packet with consistent lengths."""
+    src, dst = _as_ip(src_ip), _as_ip(dst_ip)
+    tcp = TcpHeader(src_port=src_port, dst_port=dst_port, seq=seq, flags=flags)
+    ipv4 = Ipv4Header(
+        total_length=Ipv4Header.SIZE + TcpHeader.SIZE + len(payload),
+        ttl=ttl,
+        protocol=PROTO_TCP,
+        src_ip=src,
+        dst_ip=dst,
+    )
+    eth = EthernetHeader(dst=_DEFAULT_DST_MAC, src=_DEFAULT_SRC_MAC)
+    packet = Packet(eth=eth, ipv4=ipv4, l4=tcp, payload=payload, device=device)
+    packet.to_bytes()  # populate valid IPv4 and TCP checksums
+    return packet

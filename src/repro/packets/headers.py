@@ -1,0 +1,337 @@
+"""Byte-accurate Ethernet/IPv4/TCP/UDP header models.
+
+Headers are mutable dataclasses with ``pack``/``unpack`` that round-trip
+byte-for-byte. ``Packet`` composes them together with the receive-device
+metadata the NAT dispatches on, mirroring a DPDK mbuf's (port, data) pair.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+
+from repro.packets.checksum import (
+    checksums_equivalent,
+    internet_checksum,
+    ipv4_header_checksum,
+    l4_checksum,
+)
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_ETH_FMT = ">6s6sH"
+_IPV4_FMT = ">BBHHHBBHII"
+_TCP_FMT = ">HHIIBBHHH"
+_UDP_FMT = ">HHHH"
+
+
+class ParseError(ValueError):
+    """Raised when a byte buffer cannot be parsed as the expected header."""
+
+
+@dataclass
+class EthernetHeader:
+    """Ethernet II header (no VLAN tags)."""
+
+    dst: bytes = b"\x00" * 6
+    src: bytes = b"\x00" * 6
+    ethertype: int = ETHERTYPE_IPV4
+
+    SIZE = 14
+
+    def pack(self) -> bytes:
+        return struct.pack(_ETH_FMT, self.dst, self.src, self.ethertype)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        if len(data) < cls.SIZE:
+            raise ParseError("truncated Ethernet header")
+        dst, src, ethertype = struct.unpack_from(_ETH_FMT, data)
+        return cls(dst=dst, src=src, ethertype=ethertype)
+
+
+@dataclass
+class Ipv4Header:
+    """IPv4 header without options (IHL fixed at 5, as VigNAT assumes)."""
+
+    tos: int = 0
+    total_length: int = 20
+    identification: int = 0
+    flags: int = 0  # 3-bit flags field
+    fragment_offset: int = 0
+    ttl: int = 64
+    protocol: int = PROTO_TCP
+    checksum: int = 0
+    src_ip: int = 0
+    dst_ip: int = 0
+
+    SIZE = 20
+    VERSION_IHL = 0x45
+
+    def pack(self, *, fill_checksum: bool = True) -> bytes:
+        checksum = self.checksum
+        flags_frag = ((self.flags & 0x7) << 13) | (self.fragment_offset & 0x1FFF)
+        raw = struct.pack(
+            _IPV4_FMT,
+            self.VERSION_IHL,
+            self.tos,
+            self.total_length,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.protocol,
+            0 if fill_checksum else checksum,
+            self.src_ip,
+            self.dst_ip,
+        )
+        if fill_checksum:
+            checksum = ipv4_header_checksum(raw)
+            raw = raw[:10] + struct.pack(">H", checksum) + raw[12:]
+        return raw
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Ipv4Header":
+        if len(data) < cls.SIZE:
+            raise ParseError("truncated IPv4 header")
+        (
+            version_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            protocol,
+            checksum,
+            src_ip,
+            dst_ip,
+        ) = struct.unpack_from(_IPV4_FMT, data)
+        if version_ihl >> 4 != 4:
+            raise ParseError(f"not IPv4 (version {version_ihl >> 4})")
+        if version_ihl & 0xF != 5:
+            raise ParseError("IPv4 options are not supported")
+        return cls(
+            tos=tos,
+            total_length=total_length,
+            identification=identification,
+            flags=(flags_frag >> 13) & 0x7,
+            fragment_offset=flags_frag & 0x1FFF,
+            ttl=ttl,
+            protocol=protocol,
+            checksum=checksum,
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+        )
+
+    def header_checksum_valid(self) -> bool:
+        """True when the stored checksum matches the header contents."""
+        raw = self.pack(fill_checksum=False)
+        zeroed = raw[:10] + b"\x00\x00" + raw[12:]
+        return checksums_equivalent(ipv4_header_checksum(zeroed), self.checksum)
+
+
+@dataclass
+class TcpHeader:
+    """TCP header without options (data offset fixed at 5)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0x10  # ACK
+    window: int = 0xFFFF
+    checksum: int = 0
+    urgent: int = 0
+
+    SIZE = 20
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _TCP_FMT,
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            5 << 4,
+            self.flags,
+            self.window,
+            self.checksum,
+            self.urgent,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TcpHeader":
+        if len(data) < cls.SIZE:
+            raise ParseError("truncated TCP header")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            offset_reserved,
+            flags,
+            window,
+            checksum,
+            urgent,
+        ) = struct.unpack_from(_TCP_FMT, data)
+        if offset_reserved >> 4 != 5:
+            raise ParseError("TCP options are not supported")
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            checksum=checksum,
+            urgent=urgent,
+        )
+
+
+@dataclass
+class UdpHeader:
+    """UDP header."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    length: int = 8
+    checksum: int = 0
+
+    SIZE = 8
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _UDP_FMT, self.src_port, self.dst_port, self.length, self.checksum
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UdpHeader":
+        if len(data) < cls.SIZE:
+            raise ParseError("truncated UDP header")
+        src_port, dst_port, length, checksum = struct.unpack_from(_UDP_FMT, data)
+        return cls(
+            src_port=src_port, dst_port=dst_port, length=length, checksum=checksum
+        )
+
+
+@dataclass
+class Packet:
+    """A parsed packet plus the device index it was received on.
+
+    ``l4`` is a :class:`TcpHeader` or :class:`UdpHeader`; the NAT only
+    translates TCP and UDP (RFC 3022 traditional NAT), everything else is
+    handled by the stateless dispatch code.
+    """
+
+    eth: EthernetHeader = field(default_factory=EthernetHeader)
+    ipv4: Ipv4Header | None = None
+    l4: TcpHeader | UdpHeader | None = None
+    payload: bytes = b""
+    device: int = 0
+
+    @property
+    def src_port(self) -> int:
+        if self.l4 is None:
+            raise ValueError("packet has no L4 header")
+        return self.l4.src_port
+
+    @property
+    def dst_port(self) -> int:
+        if self.l4 is None:
+            raise ValueError("packet has no L4 header")
+        return self.l4.dst_port
+
+    def is_tcpudp_ipv4(self) -> bool:
+        """True when this packet is one the NAT can translate."""
+        return (
+            self.eth.ethertype == ETHERTYPE_IPV4
+            and self.ipv4 is not None
+            and self.l4 is not None
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize, recomputing IPv4 and L4 checksums from scratch."""
+        parts = [self.eth.pack()]
+        if self.ipv4 is not None:
+            l4_raw = b""
+            if self.l4 is not None:
+                header = replace(self.l4, checksum=0)
+                if isinstance(header, UdpHeader):
+                    header.length = UdpHeader.SIZE + len(self.payload)
+                l4_raw = header.pack() + self.payload
+                proto = PROTO_UDP if isinstance(header, UdpHeader) else PROTO_TCP
+                csum = l4_checksum(self.ipv4.src_ip, self.ipv4.dst_ip, proto, l4_raw)
+                self.l4.checksum = csum
+                header.checksum = csum
+                l4_raw = header.pack() + self.payload
+            else:
+                l4_raw = self.payload
+            self.ipv4.total_length = Ipv4Header.SIZE + len(l4_raw)
+            ip_raw = self.ipv4.pack(fill_checksum=True)
+            self.ipv4.checksum = struct.unpack_from(">H", ip_raw, 10)[0]
+            parts.append(ip_raw)
+            parts.append(l4_raw)
+        else:
+            parts.append(self.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, device: int = 0) -> "Packet":
+        """Parse a frame. Non-IPv4 or non-TCP/UDP payloads stay opaque."""
+        eth = EthernetHeader.unpack(data)
+        offset = EthernetHeader.SIZE
+        if eth.ethertype != ETHERTYPE_IPV4:
+            return cls(eth=eth, payload=data[offset:], device=device)
+        ipv4 = Ipv4Header.unpack(data[offset:])
+        offset += Ipv4Header.SIZE
+        l4: TcpHeader | UdpHeader | None
+        if ipv4.protocol == PROTO_TCP:
+            l4 = TcpHeader.unpack(data[offset:])
+            offset += TcpHeader.SIZE
+        elif ipv4.protocol == PROTO_UDP:
+            l4 = UdpHeader.unpack(data[offset:])
+            offset += UdpHeader.SIZE
+        else:
+            l4 = None
+        return cls(eth=eth, ipv4=ipv4, l4=l4, payload=data[offset:], device=device)
+
+    def l4_checksum_valid(self) -> bool:
+        """True when the stored L4 checksum matches the packet contents."""
+        if self.ipv4 is None or self.l4 is None:
+            return False
+        header = replace(self.l4, checksum=0)
+        raw = header.pack() + self.payload
+        proto = PROTO_UDP if isinstance(self.l4, UdpHeader) else PROTO_TCP
+        expected = l4_checksum(self.ipv4.src_ip, self.ipv4.dst_ip, proto, raw)
+        return checksums_equivalent(expected, self.l4.checksum)
+
+    def clone(self) -> "Packet":
+        """Deep-copy the packet (headers are small; payload bytes shared)."""
+        return Packet(
+            eth=replace(self.eth),
+            ipv4=replace(self.ipv4) if self.ipv4 is not None else None,
+            l4=replace(self.l4) if self.l4 is not None else None,
+            payload=self.payload,
+            device=self.device,
+        )
+
+
+# internet_checksum is re-exported for callers that only import headers.
+__all__ = [
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "EthernetHeader",
+    "Ipv4Header",
+    "Packet",
+    "ParseError",
+    "TcpHeader",
+    "UdpHeader",
+    "internet_checksum",
+]

@@ -1,0 +1,112 @@
+"""ICMP message model (RFC 792), including embedded-packet errors.
+
+A traditional NAT must translate ICMP *error* messages (RFC 3022 §4.3):
+a "destination unreachable" or "time exceeded" arriving from outside
+carries, in its payload, the IP header + first 8 L4 bytes of the packet
+that *caused* the error — and that embedded packet bears the NAT's
+external address, so the NAT must rewrite it (and the outer header, and
+both checksums) before delivering the error to the internal host.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.packets.checksum import internet_checksum
+from repro.packets.headers import Ipv4Header, ParseError
+
+ICMP_ECHO_REPLY = 0
+ICMP_DEST_UNREACHABLE = 3
+ICMP_ECHO_REQUEST = 8
+ICMP_TIME_EXCEEDED = 11
+
+#: ICMP types that carry an embedded offending packet.
+ERROR_TYPES = (ICMP_DEST_UNREACHABLE, ICMP_TIME_EXCEEDED, 4, 5, 12)
+
+_ICMP_FMT = ">BBHI"
+
+
+@dataclass
+class IcmpMessage:
+    """One ICMP message: header fields plus the raw body."""
+
+    icmp_type: int
+    code: int = 0
+    checksum: int = 0
+    rest: int = 0  # the 4 "rest of header" bytes (id/seq for echo, MTU...)
+    body: bytes = b""
+
+    SIZE = 8
+
+    def pack(self, *, fill_checksum: bool = True) -> bytes:
+        raw = struct.pack(
+            _ICMP_FMT,
+            self.icmp_type,
+            self.code,
+            0 if fill_checksum else self.checksum,
+            self.rest,
+        ) + self.body
+        if fill_checksum:
+            checksum = internet_checksum(raw)
+            self.checksum = checksum
+            raw = raw[:2] + struct.pack(">H", checksum) + raw[4:]
+        return raw
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IcmpMessage":
+        if len(data) < cls.SIZE:
+            raise ParseError("truncated ICMP message")
+        icmp_type, code, checksum, rest = struct.unpack_from(_ICMP_FMT, data)
+        return cls(
+            icmp_type=icmp_type,
+            code=code,
+            checksum=checksum,
+            rest=rest,
+            body=data[cls.SIZE :],
+        )
+
+    def is_error(self) -> bool:
+        return self.icmp_type in ERROR_TYPES
+
+    def checksum_valid(self) -> bool:
+        raw = struct.pack(_ICMP_FMT, self.icmp_type, self.code, 0, self.rest)
+        return internet_checksum(raw + self.body) == self.checksum
+
+    # -- embedded offending packet (error messages) --------------------------
+    def embedded(self) -> Optional[Tuple[Ipv4Header, int, int, bytes]]:
+        """Parse the embedded packet of an error message.
+
+        Returns (ipv4_header, l4_src_port, l4_dst_port, trailing_bytes)
+        or None when this is not an error / the body is too short. Only
+        the first 8 L4 bytes are guaranteed present (RFC 792), which is
+        exactly enough for the ports.
+        """
+        if not self.is_error():
+            return None
+        if len(self.body) < Ipv4Header.SIZE + 4:
+            return None
+        try:
+            inner_ip = Ipv4Header.unpack(self.body)
+        except ParseError:
+            return None
+        l4 = self.body[Ipv4Header.SIZE :]
+        src_port, dst_port = struct.unpack_from(">HH", l4)
+        return inner_ip, src_port, dst_port, l4[4:]
+
+    def replace_embedded(
+        self, inner_ip: Ipv4Header, src_port: int, dst_port: int, trailing: bytes
+    ) -> None:
+        """Rebuild the body from a (rewritten) embedded packet.
+
+        The embedded IP header's checksum is recomputed; the embedded L4
+        checksum (inside ``trailing``, when present) is left as received
+        — per RFC 792 only 8 L4 bytes are included, so receivers do not
+        validate it.
+        """
+        self.body = (
+            inner_ip.pack(fill_checksum=True)
+            + struct.pack(">HH", src_port, dst_port)
+            + trailing
+        )

@@ -1,0 +1,96 @@
+"""Classic pcap (libpcap) file reading and writing.
+
+The testbed can dump what the Tester sent and what came back out of the
+middlebox as standard ``.pcap`` files (microsecond timestamps, LINKTYPE
+Ethernet), openable in Wireshark/tcpdump — handy for debugging the NATs
+and for demonstrating that the simulated traffic is byte-accurate.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator, List, Tuple
+
+from repro.packets.headers import Packet
+
+_MAGIC = 0xA1B2C3D4  # microsecond-resolution pcap
+_VERSION_MAJOR = 2
+_VERSION_MINOR = 4
+_LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+class PcapError(ValueError):
+    """Malformed pcap data."""
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured frame: timestamp (microseconds) and raw bytes."""
+
+    timestamp_us: int
+    data: bytes
+
+    def packet(self, device: int = 0) -> Packet:
+        return Packet.from_bytes(self.data, device=device)
+
+
+def write_pcap(
+    stream: BinaryIO,
+    records: Iterable[Tuple[int, bytes]],
+    snaplen: int = 65_535,
+) -> int:
+    """Write (timestamp_us, frame_bytes) records; returns the count."""
+    stream.write(
+        _GLOBAL_HEADER.pack(
+            _MAGIC, _VERSION_MAJOR, _VERSION_MINOR, 0, 0, snaplen, _LINKTYPE_ETHERNET
+        )
+    )
+    count = 0
+    for timestamp_us, data in records:
+        seconds, micros = divmod(timestamp_us, 1_000_000)
+        captured = data[:snaplen]
+        stream.write(
+            _RECORD_HEADER.pack(seconds, micros, len(captured), len(data))
+        )
+        stream.write(captured)
+        count += 1
+    return count
+
+
+def write_pcap_file(path: str, records: Iterable[Tuple[int, bytes]]) -> int:
+    """Write records to ``path``; returns the count."""
+    with open(path, "wb") as handle:
+        return write_pcap(handle, records)
+
+
+def read_pcap(stream: BinaryIO) -> Iterator[PcapRecord]:
+    """Yield the records of a microsecond-resolution Ethernet pcap."""
+    header = stream.read(_GLOBAL_HEADER.size)
+    if len(header) < _GLOBAL_HEADER.size:
+        raise PcapError("truncated pcap global header")
+    magic, major, minor, _tz, _sig, _snaplen, linktype = _GLOBAL_HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise PcapError(f"unsupported pcap magic {magic:#x}")
+    if linktype != _LINKTYPE_ETHERNET:
+        raise PcapError(f"unsupported linktype {linktype}")
+    del major, minor
+    while True:
+        record_header = stream.read(_RECORD_HEADER.size)
+        if not record_header:
+            return
+        if len(record_header) < _RECORD_HEADER.size:
+            raise PcapError("truncated pcap record header")
+        seconds, micros, captured_len, _orig_len = _RECORD_HEADER.unpack(record_header)
+        data = stream.read(captured_len)
+        if len(data) < captured_len:
+            raise PcapError("truncated pcap record body")
+        yield PcapRecord(timestamp_us=seconds * 1_000_000 + micros, data=data)
+
+
+def read_pcap_file(path: str) -> List[PcapRecord]:
+    """Read every record of the pcap at ``path``."""
+    with open(path, "rb") as handle:
+        return list(read_pcap(handle))

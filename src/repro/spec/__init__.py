@@ -1,0 +1,26 @@
+"""The formal NAT specification (§4.1).
+
+:mod:`repro.spec.state` defines the abstract NAT state (the mathematical
+flow table of Fig. 6); :mod:`repro.spec.rfc3022` is the executable
+decision-tree specification derived from RFC 3022, used both as a
+differential-testing oracle against the implementations and — in its
+symbolic form in :mod:`repro.verif.semantics` — as the property P1 the
+Validator proves about VigNat.
+"""
+
+from repro.spec.rfc3022 import (
+    NatSpec,
+    SpecOutput,
+    SpecPacket,
+    spec_packet_of,
+)
+from repro.spec.state import AbstractFlowEntry, AbstractNatState
+
+__all__ = [
+    "AbstractFlowEntry",
+    "AbstractNatState",
+    "NatSpec",
+    "SpecOutput",
+    "SpecPacket",
+    "spec_packet_of",
+]

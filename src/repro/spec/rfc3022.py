@@ -1,0 +1,219 @@
+"""The executable RFC 3022 specification — a transcription of Fig. 6.
+
+``NatSpec.step`` is the paper's decision tree: given the abstract state
+and an arriving packet it returns the new abstract state and the output
+(a rewritten packet descriptor, or ``None`` for a drop). It is written
+at the specification's level of abstraction: no hash tables, no chains,
+no checksums — just the flow table as a map.
+
+Port allocation is where implementations legitimately differ (any unused
+port in range is RFC-conformant), so the spec is parameterized by a
+*port oracle*. Differential tests pass an oracle that asks the
+implementation which port it chose and the spec then *checks* the choice
+was legal; conformance over everything else must be exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Tuple
+
+from repro.nat.flow import FlowId
+from repro.packets.headers import Packet
+from repro.spec.state import AbstractFlowEntry, AbstractNatState
+
+INTERNAL = "internal"
+EXTERNAL = "external"
+
+
+@dataclass(frozen=True)
+class SpecPacket:
+    """A packet at the specification's level of detail."""
+
+    iface: str  # INTERNAL or EXTERNAL
+    src_ip: int
+    src_port: int
+    dst_ip: int
+    dst_port: int
+    protocol: int
+    data: bytes = b""
+
+    def flow_id(self) -> FlowId:
+        return FlowId(
+            src_ip=self.src_ip,
+            src_port=self.src_port,
+            dst_ip=self.dst_ip,
+            dst_port=self.dst_port,
+            protocol=self.protocol,
+        )
+
+
+@dataclass(frozen=True)
+class SpecOutput:
+    """The spec's verdict for one packet arrival."""
+
+    state: AbstractNatState
+    sent: Optional[SpecPacket]  # None means the packet was dropped
+    case: str  # which branch of the decision tree fired (for reports)
+
+
+class PortUnavailable(ValueError):
+    """The port oracle proposed a port the spec deems illegal."""
+
+
+PortOracle = Callable[[AbstractNatState, SpecPacket], int]
+
+
+def lowest_free_port(start_port: int, max_port: int) -> PortOracle:
+    """The default oracle: smallest unallocated port in range."""
+
+    def oracle(state: AbstractNatState, _packet: SpecPacket) -> int:
+        taken = state.allocated_ports()
+        for port in range(start_port, max_port + 1):
+            if port not in taken:
+                return port
+        raise PortUnavailable("no free port in range")
+
+    return oracle
+
+
+class NatSpec:
+    """Fig. 6, executable. One instance per NAT configuration."""
+
+    def __init__(
+        self,
+        external_ip: int,
+        capacity: int,
+        expiration_time: int,
+        port_oracle: PortOracle | None = None,
+        start_port: int = 1,
+    ) -> None:
+        self.external_ip = external_ip
+        self.capacity = capacity
+        self.expiration_time = expiration_time
+        self.start_port = start_port
+        self.max_port = min(0xFFFF, start_port + capacity - 1)
+        self._oracle = (
+            port_oracle
+            if port_oracle is not None
+            else lowest_free_port(start_port, self.max_port)
+        )
+
+    def initial_state(self) -> AbstractNatState:
+        return AbstractNatState({}, self.capacity)
+
+    # -- Fig. 6, line by line ----------------------------------------------
+    def step(self, state: AbstractNatState, packet: SpecPacket, now: int) -> SpecOutput:
+        """Packet P arrives at time t (Fig. 6 l.1)."""
+        # l.2: expire_flows(t)
+        state = state.expire(now, self.expiration_time)
+        # l.3: update_flow(P, t)
+        state, case_prefix = self._update_flow(state, packet, now)
+        # l.4: forward(P)
+        return self._forward(state, packet, case_prefix)
+
+    def _update_flow(
+        self, state: AbstractNatState, packet: SpecPacket, now: int
+    ) -> Tuple[AbstractNatState, str]:
+        flow_id = self._table_key(state, packet)
+        if flow_id is not None:
+            # ll.10-12: refresh the timestamp of the matching entry.
+            entry = state.entry(flow_id)
+            return (
+                state.with_flow(flow_id, replace(entry, timestamp=now)),
+                "existing",
+            )
+        if packet.iface == INTERNAL:
+            if state.size() < self.capacity:
+                # ll.14-17: insert F(P).
+                port = self._oracle(state, packet)
+                self._check_port_legal(state, port)
+                return (
+                    state.with_flow(
+                        packet.flow_id(),
+                        AbstractFlowEntry(external_port=port, timestamp=now),
+                    ),
+                    "created",
+                )
+            return state, "table-full"
+        return state, "no-entry"
+
+    def _forward(
+        self, state: AbstractNatState, packet: SpecPacket, case_prefix: str
+    ) -> SpecOutput:
+        flow_id = self._table_key(state, packet)
+        if flow_id is None:
+            # l.39: drop.
+            return SpecOutput(state=state, sent=None, case=f"{case_prefix}/drop")
+        entry = state.entry(flow_id)
+        if packet.iface == INTERNAL:
+            # ll.21-28: rewrite source to (EXT_IP, ext_port), send external.
+            sent = SpecPacket(
+                iface=EXTERNAL,
+                src_ip=self.external_ip,
+                src_port=entry.external_port,
+                dst_ip=packet.dst_ip,
+                dst_port=packet.dst_port,
+                protocol=packet.protocol,
+                data=packet.data,
+            )
+        else:
+            # ll.29-36: rewrite destination to the internal endpoint.
+            sent = SpecPacket(
+                iface=INTERNAL,
+                src_ip=packet.src_ip,
+                src_port=packet.src_port,
+                dst_ip=flow_id.src_ip,
+                dst_port=flow_id.src_port,
+                protocol=packet.protocol,
+                data=packet.data,
+            )
+        return SpecOutput(state=state, sent=sent, case=f"{case_prefix}/forward")
+
+    # -- helpers -------------------------------------------------------------
+    def _table_key(
+        self, state: AbstractNatState, packet: SpecPacket
+    ) -> FlowId | None:
+        """The flow-table entry matching F(P), if any (Fig. 6's G = F(P)).
+
+        Internal packets match by their own 5-tuple; external packets
+        match the entry whose translated reply tuple equals the packet's
+        5-tuple: src must be the remote endpoint and dst the NAT's
+        external (ip, port).
+        """
+        if packet.iface == INTERNAL:
+            fid = packet.flow_id()
+            return fid if state.has(fid) else None
+        if packet.dst_ip != self.external_ip:
+            return None
+        owner = state.flow_of_external_port(packet.dst_port)
+        if owner is None:
+            return None
+        if (
+            owner.dst_ip == packet.src_ip
+            and owner.dst_port == packet.src_port
+            and owner.protocol == packet.protocol
+        ):
+            return owner
+        return None
+
+    def _check_port_legal(self, state: AbstractNatState, port: int) -> None:
+        if not self.start_port <= port <= self.max_port:
+            raise PortUnavailable(f"port {port} outside [{self.start_port}, {self.max_port}]")
+        if port in state.allocated_ports():
+            raise PortUnavailable(f"port {port} already allocated")
+
+
+def spec_packet_of(packet: Packet, internal_device: int) -> SpecPacket:
+    """Lift a concrete packet to the spec's level of abstraction."""
+    if packet.ipv4 is None or packet.l4 is None:
+        raise ValueError("spec packets are TCP/UDP over IPv4")
+    return SpecPacket(
+        iface=INTERNAL if packet.device == internal_device else EXTERNAL,
+        src_ip=packet.ipv4.src_ip,
+        src_port=packet.l4.src_port,
+        dst_ip=packet.ipv4.dst_ip,
+        dst_port=packet.l4.dst_port,
+        protocol=packet.ipv4.protocol,
+        data=packet.payload,
+    )

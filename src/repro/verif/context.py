@@ -1,0 +1,230 @@
+"""The per-path exploration context: path condition, branching, checks.
+
+One :class:`ExplorationContext` lives for one execution of the NF body
+down one path. It owns the path condition, decides branches (consulting
+the path plan for replayed prefixes, the solver for new choice points),
+mints fresh symbols, discharges low-level property checks (P2), and
+records the symbolic trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.verif.expr import BoolExpr, BoolConst, IntExpr, conj, le, negate
+from repro.verif.solver import Solver, SolverUnknown
+from repro.verif.symbols import SymBool, SymInt
+from repro.verif.trace import CallRecord, CheckRecord, PathTrace, SendRecord
+
+
+class PathAbort(Exception):
+    """Internal: the scheduled path became infeasible (should not happen)."""
+
+
+@dataclass
+class BranchOutcome:
+    value: bool
+    forced: bool  # True when only one side was feasible
+    flip_feasible: bool  # True when the other side is worth scheduling
+
+
+@dataclass
+class ExplorationContext:
+    """Mutable state of one symbolic execution path."""
+
+    plan: List[bool] = field(default_factory=list)
+    check_arithmetic: bool = True
+
+    def __post_init__(self) -> None:
+        self.pc: List[BoolExpr] = []
+        #: Parallel to ``pc``: "branch" for constraints added by branch
+        #: decisions, "assume" for constraints a model imposed. The
+        #: Validator's P5 check needs the distinction (§5.2.3): branch
+        #: constraints select the contract case, assume constraints are
+        #: what must be *justified by* the contract.
+        self.pc_tags: List[str] = []
+        self.decisions: List[BranchOutcome] = []
+        self.widths: Dict[str, int] = {}
+        self.calls: List[CallRecord] = []
+        self.sends: List[SendRecord] = []
+        self.checks: List[CheckRecord] = []
+        #: (source-site, outcome) pairs decided on this path — the raw
+        #: material of the engine's branch-coverage report.
+        self.covered: set = set()
+        self._fresh_counters: Dict[str, int] = {}
+        self._solver = Solver(self.widths)
+        self.solver_queries = 0
+
+    # -- symbols ---------------------------------------------------------------
+    def fresh(self, name: str, width: int) -> SymInt:
+        """Mint a fresh unconstrained symbol with a unique name."""
+        counter = self._fresh_counters.get(name, 0)
+        self._fresh_counters[name] = counter + 1
+        unique = name if counter == 0 else f"{name}#{counter}"
+        self.widths[unique] = width
+        return SymInt(IntExpr.var(unique, width), self)
+
+    def const(self, value: int, width: int = 64) -> SymInt:
+        return SymInt(IntExpr.const(value, width), self)
+
+    def bool_sym(self, name: str) -> SymInt:
+        """A fresh 0/1 flag symbol (used by models for 'found' bits)."""
+        return self.fresh(name, 1)
+
+    # -- path condition -----------------------------------------------------
+    def assume(self, condition: SymBool | BoolExpr) -> None:
+        """Add a constraint the model guarantees on this path."""
+        expr = condition.expr if isinstance(condition, SymBool) else condition
+        if isinstance(expr, BoolConst):
+            if not expr.value:
+                raise PathAbort("model assumed false")
+            return
+        self.pc.append(expr)
+        self.pc_tags.append("assume")
+
+    def _feasible(self, extra: BoolExpr) -> bool:
+        self.solver_queries += 1
+        try:
+            return self._solver.satisfiable(self.pc + [extra]) is not None
+        except SolverUnknown:
+            # Conservatively explore: a spurious path can only add noise,
+            # never unsoundness, to the property proofs.
+            return True
+
+    @staticmethod
+    def _branch_site() -> str:
+        """The source location of the NF-code branch being decided.
+
+        Walks out of the toolchain's own frames so coverage points at
+        the stateless code (or a model), not at ``SymBool.__bool__``.
+        """
+        import sys
+
+        frame = sys._getframe(2)
+        while frame is not None:
+            filename = frame.f_code.co_filename
+            if not (
+                filename.endswith("symbols.py") or filename.endswith("context.py")
+            ):
+                return f"{filename}:{frame.f_lineno}"
+            frame = frame.f_back
+        return "<unknown>"
+
+    def branch(self, expr: BoolExpr) -> bool:
+        """Decide a symbolic branch; schedule the alternative if feasible."""
+        if isinstance(expr, BoolConst):
+            return expr.value
+        site = self._branch_site()
+        position = len(self.decisions)
+        if position < len(self.plan):
+            value = self.plan[position]
+            self.decisions.append(
+                BranchOutcome(value=value, forced=False, flip_feasible=False)
+            )
+            self.pc.append(expr if value else negate(expr))
+            self.pc_tags.append("branch")
+            self.covered.add((site, value))
+            return value
+        true_ok = self._feasible(expr)
+        false_ok = self._feasible(negate(expr))
+        if not true_ok and not false_ok:
+            raise PathAbort("both branch directions infeasible")
+        if true_ok and false_ok:
+            self.decisions.append(
+                BranchOutcome(value=True, forced=False, flip_feasible=True)
+            )
+            self.pc.append(expr)
+            self.pc_tags.append("branch")
+            self.covered.add((site, True))
+            return True
+        value = true_ok
+        self.decisions.append(
+            BranchOutcome(value=value, forced=True, flip_feasible=False)
+        )
+        self.pc.append(expr if value else negate(expr))
+        self.pc_tags.append("branch")
+        self.covered.add((site, value))
+        return value
+
+    # -- low-level property checks (P2) ------------------------------------------
+    def check(self, prop: BoolExpr, kind: str, detail: str = "") -> bool:
+        """Prove ``pc ⟹ prop``; record the outcome either way."""
+        self.solver_queries += 1
+        counterexample: Optional[Dict[str, int]] = None
+        try:
+            model = self._solver.satisfiable(self.pc + [negate(prop)])
+            proven = model is None
+            if model is not None:
+                counterexample = model
+        except SolverUnknown:
+            proven = False
+        self.checks.append(
+            CheckRecord(
+                kind=kind,
+                property=prop,
+                proven=proven,
+                detail=detail,
+                counterexample=counterexample,
+            )
+        )
+        return proven
+
+    def check_arith(self, value: SymInt) -> None:
+        """Bounds check for an arithmetic result (no wrap under/overflow)."""
+        if not self.check_arithmetic:
+            return
+        expr = value.expr
+        if expr.is_const:
+            if not 0 <= expr.offset < (1 << expr.width):
+                self.checks.append(
+                    CheckRecord(
+                        kind="arith-bounds",
+                        property=BoolConst(False),
+                        proven=False,
+                        detail=f"constant {expr.offset} outside u{expr.width}",
+                    )
+                )
+            return
+        low = le(IntExpr.const(0), expr)
+        high = le(expr, IntExpr.const((1 << expr.width) - 1))
+        self.check(conj(low, high), "arith-bounds", detail=str(expr))
+
+    def check_index(self, index: SymInt, capacity: int, structure: str) -> None:
+        """Array-bounds check for an index into a preallocated structure."""
+        low = le(IntExpr.const(0), index.expr)
+        high = le(index.expr, IntExpr.const(capacity - 1))
+        self.check(conj(low, high), "index-bounds", detail=structure)
+
+    # -- trace recording -----------------------------------------------------------
+    def record_call(self, record: CallRecord) -> CallRecord:
+        record.pc_index = len(self.pc)
+        self.calls.append(record)
+        return record
+
+    def record_send(self, record: SendRecord) -> None:
+        record.pc_index = len(self.pc)
+        self.sends.append(record)
+
+    # -- finalization ---------------------------------------------------------------
+    def finish(self, path_id: int, crashed: Optional[str] = None) -> PathTrace:
+        witness: Dict[str, int] = {}
+        try:
+            model = self._solver.satisfiable(self.pc)
+            if model is not None:
+                witness = model
+        except SolverUnknown:
+            pass
+        return PathTrace(
+            path_id=path_id,
+            decisions=tuple(
+                (outcome.value, outcome.forced) for outcome in self.decisions
+            ),
+            pc=list(self.pc),
+            calls=list(self.calls),
+            sends=list(self.sends),
+            checks=list(self.checks),
+            witness=witness,
+            widths=dict(self.widths),
+            crashed=crashed,
+        )

@@ -1,0 +1,285 @@
+"""Symbolic interface contracts for the libVig data types (§5.1.2).
+
+These are the machine-readable pre/post-conditions the Validator checks
+traces against — the reproduction's analogue of libVig's separation-logic
+contracts. Each contract instantiates, for a concrete call site, the
+precondition over the argument expressions (proof obligation P4) and the
+postcondition over argument and result expressions (the antecedent of
+the model-validation proof P5).
+
+The contracts speak the solver's fragment, so abstract-state relations
+are expressed through the symbols the models mint: table occupancy is
+the shared ``table_size`` symbol, membership is a 0/1 ``found`` flag
+whose allowed valuations the postcondition ties to occupancy and index
+bounds. Where the paper's separation-logic contracts quantify over all
+entries, this reproduction instantiates the needed instance lazily —
+the same move the lazy-proofs technique makes (§5.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping
+
+from repro.verif.expr import (
+    BoolExpr,
+    IntExpr,
+    conj,
+    disj,
+    eq,
+    implies,
+    le,
+    lt,
+)
+
+Exprs = Mapping[str, IntExpr]
+ClauseBuilder = Callable[[Exprs, Exprs, "ContractContext"], List[BoolExpr]]
+
+
+@dataclass(frozen=True)
+class ContractContext:
+    """Static facts contracts may reference (configuration constants)."""
+
+    capacity: int
+    start_port: int = 1
+
+
+@dataclass
+class SymbolicContract:
+    """A named contract with precondition and postcondition builders."""
+
+    name: str
+    description: str
+    pre: ClauseBuilder = field(default=lambda args, rets, cc: [])
+    post: ClauseBuilder = field(default=lambda args, rets, cc: [])
+    #: Part of the trusted computing base (§5.4): P5 is not checked.
+    trusted: bool = False
+
+
+def _c(value: int) -> IntExpr:
+    return IntExpr.const(value)
+
+
+# -- the flow-table (DoubleMap) contracts --------------------------------------
+
+
+def _dmap_get_pre(args: Exprs, rets: Exprs, cc: ContractContext) -> List[BoolExpr]:
+    # The key is an output-parameter struct owned by the caller; nothing
+    # to require beyond well-formed field widths, which typing ensures.
+    return []
+
+
+def _dmap_get_post(args: Exprs, rets: Exprs, cc: ContractContext) -> List[BoolExpr]:
+    # Fig. 8: found==1 means a valid occupied index and a non-empty map;
+    # found==0 means the key is absent (no other facts).
+    found = rets["found"]
+    clauses: List[BoolExpr] = []
+    if "index" in rets:
+        clauses.append(
+            disj(
+                conj(
+                    eq(found, _c(1)),
+                    le(_c(0), rets["index"]),
+                    lt(rets["index"], _c(cc.capacity)),
+                    le(_c(1), rets["size"]),
+                ),
+                eq(found, _c(0)),
+            )
+        )
+    return clauses
+
+
+def _dmap_put_pre(args: Exprs, rets: Exprs, cc: ContractContext) -> List[BoolExpr]:
+    return [
+        le(_c(0), args["index"]),
+        lt(args["index"], _c(cc.capacity)),
+        lt(args["size"], _c(cc.capacity)),
+    ]
+
+
+def _dmap_get_value_pre(
+    args: Exprs, rets: Exprs, cc: ContractContext
+) -> List[BoolExpr]:
+    return [
+        le(_c(0), args["index"]),
+        lt(args["index"], _c(cc.capacity)),
+    ]
+
+
+def _dmap_get_value_post(
+    args: Exprs, rets: Exprs, cc: ContractContext
+) -> List[BoolExpr]:
+    # The entry's external port is well-formed, and — woven in from the
+    # NF's loop invariant (§3 "Loop invariants") — equal to
+    # start_port + index, the allocation rule the NAT maintains.
+    clauses: List[BoolExpr] = [
+        le(_c(0), rets["ext_port"]),
+        le(rets["ext_port"], _c(0xFFFF)),
+        eq(rets["ext_port"], args["index"].add(_c(cc.start_port))),
+    ]
+    return clauses
+
+
+# -- the allocator (DoubleChain) contracts -------------------------------------
+
+
+def _dchain_alloc_post(
+    args: Exprs, rets: Exprs, cc: ContractContext
+) -> List[BoolExpr]:
+    success = rets["success"]
+    size = args["size"]
+    clauses: List[BoolExpr] = [
+        implies(lt(size, _c(cc.capacity)), eq(success, _c(1))),
+        implies(le(_c(cc.capacity), size), eq(success, _c(0))),
+    ]
+    if "index" in rets:
+        clauses.append(
+            implies(
+                eq(success, _c(1)),
+                conj(
+                    le(_c(0), rets["index"]),
+                    lt(rets["index"], _c(cc.capacity)),
+                ),
+            )
+        )
+    return clauses
+
+
+def _dchain_rejuvenate_pre(
+    args: Exprs, rets: Exprs, cc: ContractContext
+) -> List[BoolExpr]:
+    return [
+        le(_c(0), args["index"]),
+        lt(args["index"], _c(cc.capacity)),
+    ]
+
+
+# -- the expirator contract ----------------------------------------------------
+
+
+def _expire_post(args: Exprs, rets: Exprs, cc: ContractContext) -> List[BoolExpr]:
+    # Expiration only shrinks the table, never below empty.
+    return [
+        le(_c(0), rets["new_size"]),
+        le(rets["new_size"], args["size"]),
+    ]
+
+
+# -- the ring contracts (the §3 worked example) ---------------------------------
+
+
+def _ring_pop_pre(args: Exprs, rets: Exprs, cc: ContractContext) -> List[BoolExpr]:
+    # Fig. 3 l.3: lst != nil — the ring must be non-empty.
+    return [le(_c(1), args["length"])]
+
+
+def _ne_helper(expr: IntExpr, value: int) -> BoolExpr:
+    from repro.verif.expr import ne
+
+    return ne(expr, _c(value))
+
+
+def _ring_pop_post(args: Exprs, rets: Exprs, cc: ContractContext) -> List[BoolExpr]:
+    # Fig. 3 ll.4-6: the popped packet satisfies the packet constraint
+    # (target port != 9 for the discard NF).
+    from repro.nat.discard import DISCARD_PORT
+
+    return [_ne_helper(rets["dst_port"], DISCARD_PORT)]
+
+
+def _ring_push_pre(args: Exprs, rets: Exprs, cc: ContractContext) -> List[BoolExpr]:
+    return [
+        lt(args["length"], _c(cc.capacity)),
+        _ne_helper(args["dst_port"], 9),
+    ]
+
+
+# -- registry --------------------------------------------------------------------
+
+CONTRACTS: Dict[str, SymbolicContract] = {
+    "loop_invariant_produce": SymbolicContract(
+        name="loop_invariant_produce",
+        description="Havoc loop-carried state subject to the loop invariant",
+        post=lambda args, rets, cc: [
+            le(_c(0), rets["size"]),
+            le(rets["size"], _c(cc.capacity)),
+        ],
+    ),
+    "current_time": SymbolicContract(
+        name="current_time",
+        description="System time is a non-negative microsecond count",
+        trusted=True,  # part of the TCB like the paper's nf_time model
+    ),
+    "receive": SymbolicContract(
+        name="receive",
+        description="DPDK receive: fully adversarial packet (trusted model)",
+        trusted=True,
+    ),
+    "expire_items": SymbolicContract(
+        name="expire_items",
+        description="Expire all flows stamped strictly before min_time",
+        post=_expire_post,
+    ),
+    "dmap_get_by_first_key": SymbolicContract(
+        name="dmap_get_by_first_key",
+        description="Flow lookup by internal 5-tuple (Fig. 8)",
+        pre=_dmap_get_pre,
+        post=_dmap_get_post,
+    ),
+    "dmap_get_by_second_key": SymbolicContract(
+        name="dmap_get_by_second_key",
+        description="Flow lookup by external 5-tuple",
+        pre=_dmap_get_pre,
+        post=_dmap_get_post,
+    ),
+    "dmap_put": SymbolicContract(
+        name="dmap_put",
+        description="Bind a flow to a vacant index",
+        pre=_dmap_put_pre,
+    ),
+    "dmap_get_value": SymbolicContract(
+        name="dmap_get_value",
+        description="Read the flow entry at an occupied index",
+        pre=_dmap_get_value_pre,
+        post=_dmap_get_value_post,
+    ),
+    "dchain_allocate_new_index": SymbolicContract(
+        name="dchain_allocate_new_index",
+        description="Allocate the oldest free index, stamped now",
+        post=_dchain_alloc_post,
+    ),
+    "dchain_rejuvenate_index": SymbolicContract(
+        name="dchain_rejuvenate_index",
+        description="Refresh an allocated index's timestamp",
+        pre=_dchain_rejuvenate_pre,
+    ),
+    "ring_full": SymbolicContract(
+        name="ring_full",
+        description="result == (length == capacity)",
+    ),
+    "ring_empty": SymbolicContract(
+        name="ring_empty",
+        description="result == (length == 0)",
+    ),
+    "can_send": SymbolicContract(
+        name="can_send",
+        description="DPDK transmit readiness (trusted model)",
+        trusted=True,
+    ),
+    "ring_push_back": SymbolicContract(
+        name="ring_push_back",
+        description="Append an item satisfying the ring constraint",
+        pre=_ring_push_pre,
+    ),
+    "ring_pop_front": SymbolicContract(
+        name="ring_pop_front",
+        description="Pop the front item; it satisfies the ring constraint",
+        pre=_ring_pop_pre,
+        post=_ring_pop_post,
+    ),
+    "drop": SymbolicContract(
+        name="drop",
+        description="Return the packet buffer to DPDK (trusted model)",
+        trusted=True,
+    ),
+}

@@ -1,0 +1,124 @@
+"""Exhaustive symbolic execution: the reproduction's KLEE (§5.2.1).
+
+The engine repeatedly runs the NF body under an
+:class:`~repro.verif.context.ExplorationContext`, each run following a
+*path plan* (a prefix of branch decisions). Whenever a run discovers a
+new two-way choice point, the unexplored alternative is scheduled; the
+worklist drains when every feasible path has been executed — exhaustive
+symbolic execution, with one loop iteration explored under havoced state
+exactly as the paper's loop-invariant havocing prescribes.
+
+Any Python exception escaping the NF body is a *crash*: it is recorded
+on the trace and fails the crash-freedom property, the most basic of the
+P2 low-level properties.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.verif.context import ExplorationContext, PathAbort
+from repro.verif.trace import ExecutionTree
+
+NfBody = Callable[[ExplorationContext], None]
+
+
+@dataclass
+class ExplorationStats:
+    """Bookkeeping reported alongside the execution tree."""
+
+    paths: int = 0
+    aborted: int = 0
+    solver_queries: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class ExplorationResult:
+    tree: ExecutionTree
+    stats: ExplorationStats = field(default_factory=ExplorationStats)
+    #: Branch coverage: source site -> set of outcomes taken ({True, False}).
+    coverage: dict = field(default_factory=dict)
+
+    @property
+    def crash_free(self) -> bool:
+        return not self.tree.crashed_paths()
+
+    @property
+    def all_checks_proven(self) -> bool:
+        return not self.tree.violations()
+
+    def one_sided_branches(self) -> list:
+        """Branch sites where only one outcome was ever feasible.
+
+        Exhaustive exploration covers every *feasible* direction, so a
+        one-sided site means the other direction is dead under the
+        models — worth a look (dead code, or an over-strong model).
+        """
+        return sorted(
+            site for site, outcomes in self.coverage.items() if len(outcomes) < 2
+        )
+
+    def render_coverage(self) -> str:
+        lines = ["Branch coverage (exhaustive symbolic execution):"]
+        for site in sorted(self.coverage):
+            outcomes = self.coverage[site]
+            marker = "both" if len(outcomes) == 2 else f"only {outcomes}"
+            lines.append(f"  {site}: {marker}")
+        return "\n".join(lines)
+
+
+class ExhaustiveSymbolicEngine:
+    """Worklist-driven exhaustive exploration of an NF body."""
+
+    def __init__(self, max_paths: int = 10_000, check_arithmetic: bool = True) -> None:
+        self.max_paths = max_paths
+        self.check_arithmetic = check_arithmetic
+
+    def explore(self, body: NfBody) -> ExplorationResult:
+        """Run ``body`` down every feasible path."""
+        started = time.monotonic()
+        stats = ExplorationStats()
+        tree = ExecutionTree()
+        coverage: dict = {}
+        worklist: List[List[bool]] = [[]]
+        path_id = 0
+
+        while worklist:
+            if path_id >= self.max_paths:
+                raise RuntimeError(
+                    f"path explosion: more than {self.max_paths} paths"
+                )
+            plan = worklist.pop()
+            ctx = ExplorationContext(
+                plan=plan, check_arithmetic=self.check_arithmetic
+            )
+            crashed: str | None = None
+            try:
+                body(ctx)
+            except PathAbort:
+                stats.aborted += 1
+                stats.solver_queries += ctx.solver_queries
+                continue
+            except Exception as exc:  # noqa: BLE001 - crash detection is the point
+                crashed = f"{type(exc).__name__}: {exc}"
+            trace = ctx.finish(path_id, crashed=crashed)
+            tree.paths.append(trace)
+            path_id += 1
+            stats.solver_queries += ctx.solver_queries
+            for site, outcome in ctx.covered:
+                coverage.setdefault(site, set()).add(outcome)
+            # Schedule the flip of every fresh, feasible choice point
+            # discovered beyond the replayed plan.
+            for position in range(len(plan), len(ctx.decisions)):
+                outcome = ctx.decisions[position]
+                if outcome.flip_feasible:
+                    flipped = [o.value for o in ctx.decisions[:position]]
+                    flipped.append(not outcome.value)
+                    worklist.append(flipped)
+
+        stats.paths = len(tree.paths)
+        stats.wall_seconds = time.monotonic() - started
+        return ExplorationResult(tree=tree, stats=stats, coverage=coverage)

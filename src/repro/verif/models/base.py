@@ -1,0 +1,70 @@
+"""Shared machinery for symbolic models: call recording with contracts."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Union
+
+from repro.verif.context import ExplorationContext
+from repro.verif.contracts import CONTRACTS, ContractContext
+from repro.verif.expr import IntExpr
+from repro.verif.symbols import SymInt
+
+ExprLike = Union[int, IntExpr, SymInt]
+
+
+def as_expr(value: ExprLike, width: int = 64) -> IntExpr:
+    """Lift ints and SymInts to bare expressions for trace records."""
+    if isinstance(value, SymInt):
+        return value.expr
+    if isinstance(value, IntExpr):
+        return value
+    return IntExpr.const(value, width)
+
+
+class ModelBase:
+    """Base class wiring model calls into the trace with their contracts."""
+
+    def __init__(self, ctx: ExplorationContext, contract_ctx: ContractContext) -> None:
+        self.ctx = ctx
+        self.contract_ctx = contract_ctx
+
+    @contextmanager
+    def call(self, fn: str, args: Dict[str, ExprLike]) -> Iterator["_CallScope"]:
+        """Record one traced call; the body performs branches/assumes."""
+        scope = _CallScope(fn, {k: as_expr(v) for k, v in args.items()})
+        pc_start = len(self.ctx.pc)
+        yield scope
+        pc_end = len(self.ctx.pc)
+        from repro.verif.trace import CallRecord
+
+        record = CallRecord(
+            fn=fn,
+            args=scope.args,
+            rets={k: as_expr(v) for k, v in scope.rets.items()},
+        )
+        record.pc_start = pc_start
+        record.selector_indices = tuple(
+            i
+            for i in range(pc_start, pc_end)
+            if self.ctx.pc_tags[i] == "branch"
+        )
+        record.model_constraints = [
+            self.ctx.pc[i]
+            for i in range(pc_start, pc_end)
+            if self.ctx.pc_tags[i] == "assume"
+        ]
+        contract = CONTRACTS.get(fn)
+        if contract is not None and not contract.trusted:
+            record.pre = contract.pre(record.args, record.rets, self.contract_ctx)
+            record.post = contract.post(record.args, record.rets, self.contract_ctx)
+        self.ctx.record_call(record)
+
+
+class _CallScope:
+    """Mutable bag the model body fills with its symbolic results."""
+
+    def __init__(self, fn: str, args: Dict[str, IntExpr]) -> None:
+        self.fn = fn
+        self.args = args
+        self.rets: Dict[str, ExprLike] = {}

@@ -1,0 +1,156 @@
+"""Symbolic models for the bridge's libVig usage (single-keyed table).
+
+Same modelling discipline as the NAT's models: per-path havoced state
+under the loop invariant (station count within capacity), fresh symbols
+for lookup results with the minimal constraints, contracts attached for
+the Validator's P4/P5 checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.verif.context import ExplorationContext
+from repro.verif.contracts import (
+    CONTRACTS,
+    ContractContext,
+    SymbolicContract,
+)
+from repro.verif.expr import W8, W32, W48, W64, conj, disj, eq, le, lt
+from repro.verif.models.base import ModelBase
+from repro.verif.symbols import SymInt
+
+
+def _register_bridge_contracts() -> None:
+    """Bridge-table contracts, added to the shared registry once."""
+    if "bridge_table_get" in CONTRACTS:
+        return
+
+    def _c(value):
+        from repro.verif.expr import IntExpr
+
+        return IntExpr.const(value)
+
+    def _get_post(args, rets, cc):
+        if "device" not in rets:
+            return []  # the not-found case constrains nothing
+        return [
+            disj(
+                conj(
+                    eq(rets["found"], _c(1)),
+                    le(_c(0), rets["device"]),
+                    le(rets["device"], _c(0xFF)),
+                    le(_c(1), rets["size"]),
+                ),
+                eq(rets["found"], _c(0)),
+            )
+        ]
+
+    CONTRACTS["bridge_table_get"] = SymbolicContract(
+        name="bridge_table_get",
+        description="MAC lookup: found implies a bound port and occupancy",
+        post=_get_post,
+    )
+    CONTRACTS["bridge_table_learn_new"] = SymbolicContract(
+        name="bridge_table_learn_new",
+        description="Bind a new station; requires a vacant slot",
+        pre=lambda args, rets, cc: [lt(args["size"], _c(cc.capacity))],
+    )
+    CONTRACTS["bridge_table_refresh"] = SymbolicContract(
+        name="bridge_table_refresh",
+        description="Refresh a known station's port binding and age",
+    )
+
+
+class SymbolicFrame:
+    """The havoced received frame: port and both MAC addresses."""
+
+    def __init__(self, ctx: ExplorationContext) -> None:
+        self.device = ctx.fresh("frm_device", W8)
+        self.src_mac = ctx.fresh("frm_src_mac", W48)
+        self.dst_mac = ctx.fresh("frm_dst_mac", W48)
+
+
+class BridgeModelState(ModelBase):
+    """Per-path symbolic state of the bridge's station table."""
+
+    def __init__(self, ctx: ExplorationContext, capacity: int) -> None:
+        _register_bridge_contracts()
+        super().__init__(ctx, ContractContext(capacity=capacity))
+        self.capacity = capacity
+        with self.call("loop_invariant_produce", {}) as scope:
+            self.size = ctx.fresh("station_count", W32)
+            ctx.assume(self.size <= capacity)
+            scope.rets["size"] = self.size
+        self.size_after_expiry: SymInt = self.size
+        self._lookup_counter = 0
+
+    def current_time(self) -> SymInt:
+        with self.call("current_time", {}) as scope:
+            now = self.ctx.fresh("now", W64)
+            scope.rets["now"] = now
+        return now
+
+    def expire_items(self, min_time) -> SymInt:
+        with self.call(
+            "expire_items", {"min_time": min_time, "size": self.size}
+        ) as scope:
+            new_size = self.ctx.fresh("station_count_after_expiry", W32)
+            self.ctx.assume(new_size <= self.size)
+            scope.rets["new_size"] = new_size
+        self.size_after_expiry = new_size
+        return new_size
+
+    def table_get(self, mac) -> Optional[SymInt]:
+        """Port the MAC is bound to, or None (branches on a flag)."""
+        ctx = self.ctx
+        self._lookup_counter += 1
+        tag = f"lookup{self._lookup_counter}"
+        with self.call(
+            "bridge_table_get", {"mac": mac, "size": self.size_after_expiry}
+        ) as scope:
+            found = ctx.bool_sym(f"{tag}_found")
+            scope.rets["found"] = found
+            scope.rets["size"] = self.size_after_expiry
+            if found == 1:
+                device = ctx.fresh(f"{tag}_device", W8)
+                ctx.assume(self.size_after_expiry >= 1)
+                scope.rets["device"] = device
+                return device
+            return None
+
+    def table_learn_new(self, mac, device, now) -> None:
+        with self.call(
+            "bridge_table_learn_new",
+            {
+                "mac": mac,
+                "device": device,
+                "time": now,
+                "size": self.size_after_expiry,
+            },
+        ):
+            pass
+
+    def table_refresh(self, mac, device, now) -> None:
+        with self.call(
+            "bridge_table_refresh",
+            {"mac": mac, "device": device, "time": now},
+        ):
+            pass
+
+    def receive(self) -> Optional[SymbolicFrame]:
+        ctx = self.ctx
+        with self.call("receive", {}) as scope:
+            got = ctx.bool_sym("frame_received")
+            scope.rets["received"] = got
+            if got == 1:
+                frame = SymbolicFrame(ctx)
+                scope.rets["device"] = frame.device
+                scope.rets["src_mac"] = frame.src_mac
+                scope.rets["dst_mac"] = frame.dst_mac
+                return frame
+            return None
+
+    def drop(self) -> None:
+        with self.call("drop", {}):
+            pass

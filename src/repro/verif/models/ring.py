@@ -1,0 +1,114 @@
+"""The three ring models of Fig. 4 and the discard-NF environment (§3).
+
+- :class:`GoodRingModel` — model (a): the popped packet is constrained to
+  satisfy the packet constraint (dst_port != 9). All proofs succeed.
+- :class:`OverApproximateRingModel` — model (b): no constraint on the
+  popped packet. Model validation (P5) succeeds but the semantic
+  property (P1: no emitted packet targets port 9) becomes unprovable.
+- :class:`UnderApproximateRingModel` — model (c): the popped packet's
+  port is pinned to 0. The semantic property holds trivially, but model
+  validation (P5) fails: the ring's contract allows ports other than 0.
+
+The tests in ``tests/verif/test_discard_example.py`` reproduce the
+paper's worked example with all three.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.verif.context import ExplorationContext
+from repro.verif.contracts import ContractContext
+from repro.verif.expr import W8, W16, W32
+from repro.verif.models.base import ModelBase
+
+
+class SymbolicRingPacket:
+    """A packet as the discard NF sees it: a target port and a device."""
+
+    def __init__(self, ctx: ExplorationContext, prefix: str) -> None:
+        self.dst_port = ctx.fresh(f"{prefix}_dst_port", W16)
+        self.device = ctx.fresh(f"{prefix}_device", W8)
+
+
+class _RingModelBase(ModelBase):
+    """Shared state: the havoced ring length under the loop invariant."""
+
+    def __init__(self, ctx: ExplorationContext, capacity: int) -> None:
+        super().__init__(ctx, ContractContext(capacity=capacity))
+        self.capacity = capacity
+        with self.call("loop_invariant_produce", {}) as scope:
+            self.length = ctx.fresh("ring_length", W32)
+            ctx.assume(self.length <= capacity)
+            scope.rets["size"] = self.length
+
+    def ring_full(self) -> bool:
+        with self.call("ring_full", {"length": self.length}) as scope:
+            full = self.ctx.branch((self.length == self.capacity).expr)
+            scope.rets["result"] = 1 if full else 0
+        return full
+
+    def ring_empty(self) -> bool:
+        with self.call("ring_empty", {"length": self.length}) as scope:
+            empty = self.ctx.branch((self.length == 0).expr)
+            scope.rets["result"] = 1 if empty else 0
+        return empty
+
+    def ring_push_back(self, packet: SymbolicRingPacket) -> None:
+        with self.call(
+            "ring_push_back",
+            {"length": self.length, "dst_port": packet.dst_port},
+        ):
+            self.length = self.length + 1
+
+    def receive(self) -> Optional[SymbolicRingPacket]:
+        with self.call("receive", {}) as scope:
+            got = self.ctx.bool_sym("packet_received")
+            scope.rets["received"] = got
+            if got == 1:
+                packet = SymbolicRingPacket(self.ctx, "rx")
+                scope.rets["dst_port"] = packet.dst_port
+                scope.rets["device"] = packet.device
+                return packet
+            return None
+
+    def can_send(self) -> bool:
+        with self.call("can_send", {}) as scope:
+            ready = self.ctx.bool_sym("link_ready")
+            scope.rets["result"] = ready
+            return bool(ready == 1)
+
+    def _pop_packet(self) -> SymbolicRingPacket:
+        raise NotImplementedError
+
+    def ring_pop_front(self) -> SymbolicRingPacket:
+        with self.call("ring_pop_front", {"length": self.length}) as scope:
+            packet = self._pop_packet()
+            self.length = self.length - 1
+            scope.rets["dst_port"] = packet.dst_port
+        return packet
+
+
+class GoodRingModel(_RingModelBase):
+    """Fig. 4 model (a): pop yields a packet satisfying the constraint."""
+
+    def _pop_packet(self) -> SymbolicRingPacket:
+        packet = SymbolicRingPacket(self.ctx, "popped")
+        self.ctx.assume(packet.dst_port != 9)
+        return packet
+
+
+class OverApproximateRingModel(_RingModelBase):
+    """Fig. 4 model (b): pop yields an unconstrained packet."""
+
+    def _pop_packet(self) -> SymbolicRingPacket:
+        return SymbolicRingPacket(self.ctx, "popped")
+
+
+class UnderApproximateRingModel(_RingModelBase):
+    """Fig. 4 model (c): pop always yields target port 0."""
+
+    def _pop_packet(self) -> SymbolicRingPacket:
+        packet = SymbolicRingPacket(self.ctx, "popped")
+        self.ctx.assume(packet.dst_port == 0)
+        return packet

@@ -1,0 +1,135 @@
+"""Symbolic environments: the NF bodies exhaustive symbolic execution runs.
+
+``vignat_symbolic_body`` binds the *same* stateless function the deployed
+NAT runs (:func:`repro.nat.core_logic.nat_loop_iteration`) to the
+symbolic models — the Step 2(a) substitution of §3. The discard-protocol
+body transcribes Fig. 1 against a chosen ring model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, Type
+
+from repro.nat.config import NatConfig
+from repro.nat.core_logic import nat_loop_iteration
+from repro.verif.context import ExplorationContext
+from repro.verif.models.nat import NatModelState, SymbolicPacket
+from repro.verif.models.ring import _RingModelBase
+from repro.verif.symbols import SymInt
+from repro.verif.trace import SendRecord
+from repro.verif.models.base import as_expr
+
+
+class SymbolicNatEnv:
+    """The NatEnv over symbolic models instead of libVig."""
+
+    def __init__(self, ctx: ExplorationContext, config: NatConfig) -> None:
+        self.ctx = ctx
+        self.config = config
+        self.models = NatModelState(
+            ctx, capacity=config.max_flows, start_port=config.start_port
+        )
+
+    # -- NatEnv interface ----------------------------------------------------
+    def current_time(self) -> SymInt:
+        self._now = self.models.current_time()
+        return self._now
+
+    def expire_flows(self, min_time) -> None:
+        self.models.expire_items(min_time)
+
+    def receive(self) -> Optional[SymbolicPacket]:
+        return self.models.receive()
+
+    @staticmethod
+    def _key_of(packet: SymbolicPacket) -> dict:
+        return {
+            "src_ip": packet.src_ip,
+            "src_port": packet.src_port,
+            "dst_ip": packet.dst_ip,
+            "dst_port": packet.dst_port,
+            "protocol": packet.protocol,
+        }
+
+    def flow_table_get_internal(self, packet: SymbolicPacket) -> Optional[SymInt]:
+        return self.models.dmap_get_by_first_key(self._key_of(packet))
+
+    def flow_table_get_external(self, packet: SymbolicPacket) -> Optional[SymInt]:
+        return self.models.dmap_get_by_second_key(self._key_of(packet))
+
+    def flow_table_create(self, packet: SymbolicPacket, now) -> Optional[SymInt]:
+        index = self.models.dchain_allocate_new_index(now)
+        if index is None:
+            return None
+        external_port = index + self.config.start_port
+        self.models.dmap_put(index, self._key_of(packet), external_port, now)
+        return index
+
+    def flow_table_rejuvenate(self, index: SymInt, now) -> None:
+        self.models.dchain_rejuvenate_index(index, now)
+
+    def flow_external_port(self, index: SymInt) -> SymInt:
+        _ip, _port, ext_port = self.models.dmap_get_value(index)
+        return ext_port
+
+    def flow_internal_endpoint(self, index: SymInt) -> Tuple[SymInt, SymInt]:
+        int_ip, int_port, _ext = self.models.dmap_get_value(index)
+        return int_ip, int_port
+
+    def emit(self, packet, device, src_ip, src_port, dst_ip, dst_port) -> None:
+        self.ctx.record_send(
+            SendRecord(
+                device=as_expr(device),
+                src_ip=as_expr(src_ip),
+                src_port=as_expr(src_port),
+                dst_ip=as_expr(dst_ip),
+                dst_port=as_expr(dst_port),
+                protocol=as_expr(packet.protocol),
+            )
+        )
+
+    def drop(self, packet) -> None:
+        self.models.drop()
+
+
+def vignat_symbolic_body(
+    config: NatConfig | None = None,
+) -> Callable[[ExplorationContext], None]:
+    """The NF body the engine explores: the real stateless NAT logic."""
+    cfg = config if config is not None else NatConfig()
+
+    def body(ctx: ExplorationContext) -> None:
+        env = SymbolicNatEnv(ctx, cfg)
+        nat_loop_iteration(env, cfg)
+
+    return body
+
+
+def discard_symbolic_body(
+    ring_model: Type[_RingModelBase],
+    capacity: int = 512,
+) -> Callable[[ExplorationContext], None]:
+    """The Fig. 1 discard-protocol loop body over a chosen ring model."""
+
+    def body(ctx: ExplorationContext) -> None:
+        ring = ring_model(ctx, capacity)
+        if not ring.ring_full():
+            packet = ring.receive()
+            if packet is not None:
+                if packet.dst_port != 9:
+                    ring.ring_push_back(packet)
+        if not ring.ring_empty():
+            if ring.can_send():
+                packet = ring.ring_pop_front()
+                ctx.record_send(
+                    SendRecord(
+                        device=as_expr(1),
+                        src_ip=as_expr(0),
+                        src_port=as_expr(0),
+                        dst_ip=as_expr(0),
+                        dst_port=as_expr(packet.dst_port),
+                        protocol=as_expr(0),
+                    )
+                )
+
+    return body

@@ -1,0 +1,267 @@
+"""Symbolic environment and semantic specification for the bridge."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.nat.bridge import BridgeConfig, bridge_loop_iteration, BROADCAST_MAC
+from repro.verif.context import ExplorationContext
+from repro.verif.expr import (
+    BoolExpr,
+    IntExpr,
+    TRUE,
+    conj,
+    disj,
+    eq,
+    le,
+    lt,
+    ne,
+    negate,
+)
+from repro.verif.models.base import as_expr
+from repro.verif.models.bridge import BridgeModelState, SymbolicFrame
+from repro.verif.semantics import Obligation
+from repro.verif.solver import Solver, SolverUnknown
+from repro.verif.symbols import SymInt
+from repro.verif.trace import PathTrace, SendRecord
+
+
+class SymbolicBridgeEnv:
+    """The BridgeEnv over symbolic models instead of libVig."""
+
+    def __init__(self, ctx: ExplorationContext, config: BridgeConfig) -> None:
+        self.ctx = ctx
+        self.config = config
+        self.models = BridgeModelState(ctx, capacity=config.capacity)
+
+    def current_time(self) -> SymInt:
+        return self.models.current_time()
+
+    def expire_entries(self, min_time) -> None:
+        self.models.expire_items(min_time)
+
+    def receive(self) -> Optional[SymbolicFrame]:
+        return self.models.receive()
+
+    def table_get(self, mac) -> Optional[SymInt]:
+        return self.models.table_get(mac)
+
+    def table_has_room(self):
+        return self.models.size_after_expiry < self.config.capacity
+
+    def table_learn_new(self, mac, device, now) -> None:
+        self.models.table_learn_new(mac, device, now)
+
+    def table_refresh(self, mac, device, now) -> None:
+        self.models.table_refresh(mac, device, now)
+
+    def forward(self, frame: SymbolicFrame, device) -> None:
+        # Bridges do not touch headers: record MACs in the send record's
+        # address fields (ips/ports are L3 concepts a bridge never sees).
+        self.ctx.record_send(
+            SendRecord(
+                device=as_expr(device),
+                src_ip=as_expr(frame.src_mac),
+                src_port=as_expr(0),
+                dst_ip=as_expr(frame.dst_mac),
+                dst_port=as_expr(0),
+                protocol=as_expr(0),
+            )
+        )
+
+    def drop(self, frame: SymbolicFrame) -> None:
+        self.models.drop()
+
+
+def bridge_symbolic_body(
+    config: BridgeConfig | None = None,
+) -> Callable[[ExplorationContext], None]:
+    """The bridge's stateless logic bound to symbolic models."""
+    cfg = config if config is not None else BridgeConfig()
+
+    def body(ctx: ExplorationContext) -> None:
+        env = SymbolicBridgeEnv(ctx, cfg)
+        bridge_loop_iteration(env, cfg)
+
+    return body
+
+
+def _c(value: int) -> IntExpr:
+    return IntExpr.const(value)
+
+
+class BridgeSemantics:
+    """802.1D learning/filtering/aging as per-trace obligations."""
+
+    name = "802.1D learning bridge semantics"
+
+    def __init__(self, config: BridgeConfig | None = None) -> None:
+        self.config = config if config is not None else BridgeConfig()
+
+    @staticmethod
+    def _entailed(solver: Solver, trace: PathTrace, goal: BoolExpr) -> bool:
+        try:
+            return solver.entails(trace.pc, goal)
+        except SolverUnknown:
+            return False
+
+    def obligations(self, trace: PathTrace) -> List[Obligation]:
+        cfg = self.config
+        solver = Solver(trace.widths)
+        by_fn: dict = {}
+        lookups = []
+        for call in trace.calls:
+            if call.fn == "bridge_table_get":
+                lookups.append(call)
+            else:
+                by_fn.setdefault(call.fn, call)
+        obligations: List[Obligation] = []
+
+        time_call = by_fn.get("current_time")
+        expire = by_fn.get("expire_items")
+        if expire is not None and time_call is not None:
+            now = time_call.rets["now"]
+            aging = cfg.aging_time
+            obligations.append(
+                Obligation(
+                    "aging-threshold",
+                    disj(
+                        conj(
+                            le(_c(aging), now),
+                            eq(expire.args["min_time"], now.sub(_c(aging)).add(_c(1))),
+                        ),
+                        conj(lt(now, _c(aging)), eq(expire.args["min_time"], _c(0))),
+                    ),
+                )
+            )
+
+        recv = by_fn.get("receive")
+        if recv is None or self._entailed(
+            solver, trace, eq(recv.rets["received"], _c(0))
+        ):
+            obligations.append(
+                Obligation(
+                    "silent-when-idle",
+                    TRUE,
+                    structural_ok=not trace.sends,
+                )
+            )
+            return obligations
+
+        device = recv.rets["device"]
+        src_mac = recv.rets["src_mac"]
+        dst_mac = recv.rets["dst_mac"]
+        on_a = eq(device, _c(cfg.device_a))
+        on_b = eq(device, _c(cfg.device_b))
+        known_port = disj(on_a, on_b)
+
+        # Identify which lookup served learning (src) vs filtering (dst):
+        src_lookup = next(
+            (c for c in lookups if c.args["mac"] == src_mac), None
+        )
+        dst_lookup = next(
+            (c for c in lookups if c.args["mac"] == dst_mac and c is not src_lookup),
+            None,
+        )
+        learn_new = by_fn.get("bridge_table_learn_new")
+        refresh = by_fn.get("bridge_table_refresh")
+        now = time_call.rets["now"] if time_call is not None else None
+
+        # -- learning obligations (802.1D clause 7.8) ----------------------
+        if learn_new is not None:
+            obligations.append(
+                Obligation("learn-binds-source", eq(learn_new.args["mac"], src_mac))
+            )
+            obligations.append(
+                Obligation("learn-binds-arrival-port", eq(learn_new.args["device"], device))
+            )
+            obligations.append(
+                Obligation("learn-only-with-room", lt(learn_new.args["size"], _c(cfg.capacity)))
+            )
+            obligations.append(
+                Obligation("learn-not-broadcast", ne(src_mac, _c(BROADCAST_MAC)))
+            )
+            if now is not None:
+                obligations.append(
+                    Obligation("learn-uses-arrival-time", eq(learn_new.args["time"], now))
+                )
+            if src_lookup is not None:
+                obligations.append(
+                    Obligation("learn-only-unknown", eq(src_lookup.rets["found"], _c(0)))
+                )
+        if refresh is not None:
+            obligations.append(
+                Obligation("refresh-binds-source", eq(refresh.args["mac"], src_mac))
+            )
+            if src_lookup is not None:
+                obligations.append(
+                    Obligation("refresh-only-known", eq(src_lookup.rets["found"], _c(1)))
+                )
+        if learn_new is None and refresh is None:
+            # No learning happened: the source must be broadcast, the
+            # port unknown, or the station unknown with the table full.
+            cases = [eq(src_mac, _c(BROADCAST_MAC)), negate(known_port)]
+            if src_lookup is not None:
+                cases.append(
+                    conj(
+                        eq(src_lookup.rets["found"], _c(0)),
+                        le(_c(cfg.capacity), src_lookup.rets["size"]),
+                    )
+                )
+            obligations.append(Obligation("no-learn-justified", disj(*cases)))
+
+        # -- forwarding/filtering obligations (clause 7.7) ------------------
+        if len(trace.sends) > 1:
+            obligations.append(
+                Obligation(
+                    "at-most-one-send",
+                    TRUE,
+                    structural_ok=False,
+                    detail=f"{len(trace.sends)} frames emitted",
+                )
+            )
+            return obligations
+        if trace.sends:
+            send = trace.sends[0]
+            preserved = conj(
+                eq(send.src_ip, src_mac),  # src MAC field
+                eq(send.dst_ip, dst_mac),  # dst MAC field
+            )
+            out_mapping = disj(
+                conj(on_a, eq(send.device, _c(cfg.device_b))),
+                conj(on_b, eq(send.device, _c(cfg.device_a))),
+            )
+            if dst_lookup is None:
+                # No destination lookup happened: only broadcast frames
+                # may skip it (the stateless code's short-circuit).
+                not_filtered = eq(dst_mac, _c(BROADCAST_MAC))
+            else:
+                cases = [
+                    eq(dst_mac, _c(BROADCAST_MAC)),
+                    eq(dst_lookup.rets["found"], _c(0)),
+                ]
+                if "device" in dst_lookup.rets:
+                    cases.append(
+                        conj(
+                            eq(dst_lookup.rets["found"], _c(1)),
+                            ne(dst_lookup.rets["device"], device),
+                        )
+                    )
+                not_filtered = disj(*cases)
+            obligations.append(
+                Obligation(
+                    "forward-justified",
+                    conj(known_port, preserved, out_mapping, not_filtered),
+                )
+            )
+        else:
+            drop_cases = [negate(known_port)]
+            if dst_lookup is not None and "device" in dst_lookup.rets:
+                drop_cases.append(
+                    conj(
+                        eq(dst_lookup.rets["found"], _c(1)),
+                        eq(dst_lookup.rets["device"], device),
+                    )
+                )
+            obligations.append(Obligation("filter-justified", disj(*drop_cases)))
+        return obligations

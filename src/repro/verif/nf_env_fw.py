@@ -1,0 +1,93 @@
+"""Symbolic environment for the verified firewall.
+
+Reuses the flow-table models of :mod:`repro.verif.models.nat` (same
+libVig structures, same contracts) and binds them to the firewall's
+stateless logic — the amortization the paper's §9 promises from a shared
+verified library.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.nat.config import NatConfig
+from repro.nat.firewall import firewall_loop_iteration
+from repro.verif.context import ExplorationContext
+from repro.verif.models.base import as_expr
+from repro.verif.models.nat import NatModelState, SymbolicPacket
+from repro.verif.symbols import SymInt
+from repro.verif.trace import SendRecord
+
+
+class SymbolicFirewallEnv:
+    """The FirewallEnv over symbolic models instead of libVig."""
+
+    def __init__(self, ctx: ExplorationContext, config: NatConfig) -> None:
+        self.ctx = ctx
+        self.config = config
+        self.models = NatModelState(
+            ctx, capacity=config.max_flows, start_port=config.start_port
+        )
+
+    def current_time(self) -> SymInt:
+        return self.models.current_time()
+
+    def expire_sessions(self, min_time) -> None:
+        self.models.expire_items(min_time)
+
+    def receive(self) -> Optional[SymbolicPacket]:
+        return self.models.receive()
+
+    @staticmethod
+    def _key_of(packet: SymbolicPacket) -> dict:
+        return {
+            "src_ip": packet.src_ip,
+            "src_port": packet.src_port,
+            "dst_ip": packet.dst_ip,
+            "dst_port": packet.dst_port,
+            "protocol": packet.protocol,
+        }
+
+    def session_get_internal(self, packet: SymbolicPacket) -> Optional[SymInt]:
+        return self.models.dmap_get_by_first_key(self._key_of(packet))
+
+    def session_get_external(self, packet: SymbolicPacket) -> Optional[SymInt]:
+        return self.models.dmap_get_by_second_key(self._key_of(packet))
+
+    def session_create(self, packet: SymbolicPacket, now) -> Optional[SymInt]:
+        index = self.models.dchain_allocate_new_index(now)
+        if index is None:
+            return None
+        self.models.dmap_put(index, self._key_of(packet), now=now)
+        return index
+
+    def session_rejuvenate(self, index: SymInt, now) -> None:
+        self.models.dchain_rejuvenate_index(index, now)
+
+    def forward(self, packet: SymbolicPacket, device) -> None:
+        self.ctx.record_send(
+            SendRecord(
+                device=as_expr(device),
+                src_ip=as_expr(packet.src_ip),
+                src_port=as_expr(packet.src_port),
+                dst_ip=as_expr(packet.dst_ip),
+                dst_port=as_expr(packet.dst_port),
+                protocol=as_expr(packet.protocol),
+            )
+        )
+
+    def drop(self, packet: SymbolicPacket) -> None:
+        self.models.drop()
+
+
+def firewall_symbolic_body(
+    config: NatConfig | None = None,
+) -> Callable[[ExplorationContext], None]:
+    """The firewall's stateless logic bound to symbolic models."""
+    cfg = config if config is not None else NatConfig()
+
+    def body(ctx: ExplorationContext) -> None:
+        env = SymbolicFirewallEnv(ctx, cfg)
+        firewall_loop_iteration(env, cfg)
+
+    return body

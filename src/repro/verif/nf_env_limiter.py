@@ -1,0 +1,433 @@
+"""Symbolic environment, models and semantics for the rate limiter."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.nat.limiter import LimiterConfig, limiter_loop_iteration
+from repro.packets.headers import ETHERTYPE_IPV4
+from repro.verif.context import ExplorationContext
+from repro.verif.contracts import CONTRACTS, ContractContext, SymbolicContract
+from repro.verif.expr import (
+    BoolExpr,
+    IntExpr,
+    TRUE,
+    W8,
+    W16,
+    W32,
+    W64,
+    conj,
+    disj,
+    eq,
+    le,
+    lt,
+    ne,
+    negate,
+)
+from repro.verif.models.base import ModelBase, as_expr
+from repro.verif.semantics import Obligation
+from repro.verif.solver import Solver, SolverUnknown
+from repro.verif.symbols import SymInt
+from repro.verif.trace import PathTrace, SendRecord
+
+
+def _c(value: int) -> IntExpr:
+    return IntExpr.const(value)
+
+
+def _register_limiter_contracts() -> None:
+    if "budget_get" in CONTRACTS:
+        return
+    CONTRACTS["budget_get"] = SymbolicContract(
+        name="budget_get",
+        description="Per-source budget lookup",
+        post=lambda args, rets, cc: (
+            [
+                disj(
+                    conj(
+                        eq(rets["found"], _c(1)),
+                        le(_c(0), rets["index"]),
+                        lt(rets["index"], _c(cc.capacity)),
+                        le(_c(1), rets["size"]),
+                    ),
+                    eq(rets["found"], _c(0)),
+                )
+            ]
+            if "index" in rets
+            else []
+        ),
+    )
+    def _create_post(args, rets, cc):
+        from repro.verif.expr import implies
+
+        clauses = [
+            implies(lt(args["size"], _c(cc.capacity)), eq(rets["success"], _c(1))),
+            implies(le(_c(cc.capacity), args["size"]), eq(rets["success"], _c(0))),
+        ]
+        if "index" in rets:
+            clauses.append(
+                implies(
+                    eq(rets["success"], _c(1)),
+                    conj(
+                        le(_c(0), rets["index"]),
+                        lt(rets["index"], _c(cc.capacity)),
+                    ),
+                )
+            )
+        return clauses
+
+    CONTRACTS["budget_create"] = SymbolicContract(
+        name="budget_create",
+        description="Open a budget window with count=1; fails iff full",
+        post=_create_post,
+    )
+    CONTRACTS["counter_read"] = SymbolicContract(
+        name="counter_read",
+        description="Read a budget counter; counters fit u32",
+        pre=lambda args, rets, cc: [
+            le(_c(0), args["index"]),
+            lt(args["index"], _c(cc.capacity)),
+        ],
+        post=lambda args, rets, cc: [
+            le(_c(1), rets["count"]),
+            le(rets["count"], _c(0xFFFFFFFF)),
+        ],
+    )
+    CONTRACTS["counter_bump"] = SymbolicContract(
+        name="counter_bump",
+        description="Store an updated budget counter",
+        pre=lambda args, rets, cc: [
+            le(_c(0), args["index"]),
+            lt(args["index"], _c(cc.capacity)),
+            le(args["value"], _c(0xFFFFFFFF)),
+        ],
+    )
+
+
+class SymbolicIpPacket:
+    """The havoced frame the limiter sees: ethertype, device, source IP."""
+
+    def __init__(self, ctx: ExplorationContext) -> None:
+        self.ethertype = ctx.fresh("pkt_ethertype", W16)
+        self.device = ctx.fresh("pkt_device", W8)
+        self.src_ip = ctx.fresh("pkt_src_ip", W32)
+
+
+class LimiterModelState(ModelBase):
+    """Per-path symbolic state of the limiter's budget table."""
+
+    def __init__(self, ctx: ExplorationContext, capacity: int) -> None:
+        _register_limiter_contracts()
+        super().__init__(ctx, ContractContext(capacity=capacity))
+        self.capacity = capacity
+        with self.call("loop_invariant_produce", {}) as scope:
+            self.size = ctx.fresh("budget_count", W32)
+            ctx.assume(self.size <= capacity)
+            scope.rets["size"] = self.size
+        self.size_after_expiry: SymInt = self.size
+
+    def current_time(self) -> SymInt:
+        with self.call("current_time", {}) as scope:
+            now = self.ctx.fresh("now", W64)
+            scope.rets["now"] = now
+        return now
+
+    def expire_items(self, min_time) -> None:
+        with self.call(
+            "expire_items", {"min_time": min_time, "size": self.size}
+        ) as scope:
+            new_size = self.ctx.fresh("budget_count_after_expiry", W32)
+            self.ctx.assume(new_size <= self.size)
+            scope.rets["new_size"] = new_size
+        self.size_after_expiry = new_size
+
+    def budget_get(self, src_ip) -> Optional[SymInt]:
+        ctx = self.ctx
+        with self.call(
+            "budget_get", {"src_ip": src_ip, "size": self.size_after_expiry}
+        ) as scope:
+            found = ctx.bool_sym("budget_found")
+            scope.rets["found"] = found
+            scope.rets["size"] = self.size_after_expiry
+            if found == 1:
+                index = ctx.fresh("budget_index", W32)
+                ctx.assume(index <= self.capacity - 1)
+                ctx.assume(self.size_after_expiry >= 1)
+                scope.rets["index"] = index
+                return index
+            return None
+
+    def budget_create(self, src_ip, now) -> Optional[SymInt]:
+        ctx = self.ctx
+        with self.call(
+            "budget_create",
+            {"src_ip": src_ip, "time": now, "size": self.size_after_expiry},
+        ) as scope:
+            if self.size_after_expiry < self.capacity:
+                index = ctx.fresh("fresh_budget_index", W32)
+                ctx.assume(index <= self.capacity - 1)
+                scope.rets["success"] = 1
+                scope.rets["index"] = index
+                return index
+            scope.rets["success"] = 0
+            return None
+
+    def counter_read(self, index) -> SymInt:
+        ctx = self.ctx
+        with self.call("counter_read", {"index": index}) as scope:
+            count = ctx.fresh("budget_used", W32)
+            ctx.assume(count >= 1)  # a tracked source has spent >= 1
+            scope.rets["count"] = count
+        return count
+
+    def counter_bump(self, index, value) -> None:
+        with self.call("counter_bump", {"index": index, "value": value}):
+            pass
+
+    def receive(self) -> Optional[SymbolicIpPacket]:
+        ctx = self.ctx
+        with self.call("receive", {}) as scope:
+            got = ctx.bool_sym("packet_received")
+            scope.rets["received"] = got
+            if got == 1:
+                packet = SymbolicIpPacket(ctx)
+                scope.rets["device"] = packet.device
+                scope.rets["ethertype"] = packet.ethertype
+                scope.rets["src_ip"] = packet.src_ip
+                return packet
+            return None
+
+    def drop(self) -> None:
+        with self.call("drop", {}):
+            pass
+
+
+class SymbolicLimiterEnv:
+    """The LimiterEnv over symbolic models."""
+
+    def __init__(self, ctx: ExplorationContext, config: LimiterConfig) -> None:
+        self.ctx = ctx
+        self.config = config
+        self.models = LimiterModelState(ctx, capacity=config.capacity)
+
+    def current_time(self):
+        return self.models.current_time()
+
+    def expire_budgets(self, min_time) -> None:
+        self.models.expire_items(min_time)
+
+    def receive(self):
+        return self.models.receive()
+
+    def budget_get(self, src_ip):
+        return self.models.budget_get(src_ip)
+
+    def budget_create(self, src_ip, now):
+        return self.models.budget_create(src_ip, now)
+
+    def counter_read(self, index):
+        return self.models.counter_read(index)
+
+    def counter_bump(self, index, value) -> None:
+        self.models.counter_bump(index, value)
+
+    def forward(self, packet, device) -> None:
+        self.ctx.record_send(
+            SendRecord(
+                device=as_expr(device),
+                src_ip=as_expr(packet.src_ip),
+                src_port=as_expr(0),
+                dst_ip=as_expr(0),
+                dst_port=as_expr(0),
+                protocol=as_expr(0),
+            )
+        )
+
+    def drop(self, packet) -> None:
+        self.models.drop()
+
+
+def limiter_symbolic_body(
+    config: LimiterConfig | None = None,
+) -> Callable[[ExplorationContext], None]:
+    """The limiter's stateless logic bound to symbolic models."""
+    cfg = config if config is not None else LimiterConfig()
+
+    def body(ctx: ExplorationContext) -> None:
+        env = SymbolicLimiterEnv(ctx, cfg)
+        limiter_loop_iteration(env, cfg)
+
+    return body
+
+
+class LimiterSemantics:
+    """Fixed-window per-source budgeting as per-trace obligations."""
+
+    name = "per-source fixed-window rate limiting"
+
+    def __init__(self, config: LimiterConfig | None = None) -> None:
+        self.config = config if config is not None else LimiterConfig()
+
+    @staticmethod
+    def _entailed(solver: Solver, trace: PathTrace, goal: BoolExpr) -> bool:
+        try:
+            return solver.entails(trace.pc, goal)
+        except SolverUnknown:
+            return False
+
+    def obligations(self, trace: PathTrace) -> List[Obligation]:
+        cfg = self.config
+        solver = Solver(trace.widths)
+        by_fn: dict = {}
+        for call in trace.calls:
+            by_fn.setdefault(call.fn, call)
+        obligations: List[Obligation] = []
+
+        time_call = by_fn.get("current_time")
+        expire = by_fn.get("expire_items")
+        if expire is not None and time_call is not None:
+            now = time_call.rets["now"]
+            window = cfg.window
+            obligations.append(
+                Obligation(
+                    "window-threshold",
+                    disj(
+                        conj(
+                            le(_c(window), now),
+                            eq(expire.args["min_time"], now.sub(_c(window)).add(_c(1))),
+                        ),
+                        conj(lt(now, _c(window)), eq(expire.args["min_time"], _c(0))),
+                    ),
+                )
+            )
+
+        # Fixed-window semantics: the window is never extended, so the
+        # limiter must never rejuvenate a budget entry.
+        obligations.append(
+            Obligation(
+                "fixed-window-no-rejuvenation",
+                TRUE,
+                structural_ok=not any(
+                    "rejuvenate" in call.fn for call in trace.calls
+                ),
+                detail="rejuvenation would turn the fixed window into an idle window",
+            )
+        )
+
+        recv = by_fn.get("receive")
+        if recv is None or self._entailed(
+            solver, trace, eq(recv.rets["received"], _c(0))
+        ):
+            obligations.append(
+                Obligation("silent-when-idle", TRUE, structural_ok=not trace.sends)
+            )
+            return obligations
+
+        device = recv.rets["device"]
+        ethertype = recv.rets["ethertype"]
+        src_ip = recv.rets["src_ip"]
+        is_ipv4 = eq(ethertype, _c(ETHERTYPE_IPV4))
+        ingress = eq(device, _c(cfg.ingress_device))
+        egress = eq(device, _c(cfg.egress_device))
+
+        lookup = by_fn.get("budget_get")
+        create = by_fn.get("budget_create")
+        read = by_fn.get("counter_read")
+        bump = by_fn.get("counter_bump")
+        now = time_call.rets["now"] if time_call is not None else None
+
+        if create is not None:
+            obligations.append(
+                Obligation("create-binds-source", eq(create.args["src_ip"], src_ip))
+            )
+            if "success" in create.rets:
+                from repro.verif.expr import implies
+
+                obligations.append(
+                    Obligation(
+                        "create-only-with-room",
+                        implies(
+                            eq(create.rets["success"], _c(1)),
+                            lt(create.args["size"], _c(cfg.capacity)),
+                        ),
+                    )
+                )
+            if now is not None:
+                obligations.append(
+                    Obligation("window-opens-at-arrival", eq(create.args["time"], now))
+                )
+            if lookup is not None:
+                obligations.append(
+                    Obligation("create-only-unknown", eq(lookup.rets["found"], _c(0)))
+                )
+        if bump is not None:
+            assert read is not None
+            obligations.append(
+                Obligation(
+                    "bump-increments-by-one",
+                    eq(bump.args["value"], read.rets["count"].add(_c(1))),
+                )
+            )
+            obligations.append(
+                Obligation(
+                    "bump-only-under-budget",
+                    lt(read.rets["count"], _c(cfg.max_packets)),
+                )
+            )
+            obligations.append(
+                Obligation(
+                    "bump-targets-looked-up-entry",
+                    eq(bump.args["index"], lookup.rets["index"])
+                    if lookup is not None and "index" in lookup.rets
+                    else TRUE,
+                )
+            )
+
+        if len(trace.sends) > 1:
+            obligations.append(
+                Obligation(
+                    "at-most-one-send",
+                    TRUE,
+                    structural_ok=False,
+                    detail=f"{len(trace.sends)} sends",
+                )
+            )
+            return obligations
+        if trace.sends:
+            send = trace.sends[0]
+            within_budget_cases: List[BoolExpr] = []
+            if create is not None and "success" in create.rets:
+                within_budget_cases.append(eq(create.rets["success"], _c(1)))
+            if read is not None:
+                within_budget_cases.append(
+                    lt(read.rets["count"], _c(cfg.max_packets))
+                )
+            ingress_ok = conj(
+                ingress,
+                is_ipv4,
+                eq(send.device, _c(cfg.egress_device)),
+                eq(send.src_ip, src_ip),
+                disj(*within_budget_cases) if within_budget_cases else TRUE,
+            )
+            egress_ok = conj(
+                egress,
+                is_ipv4,
+                eq(send.device, _c(cfg.ingress_device)),
+                eq(send.src_ip, src_ip),
+            )
+            obligations.append(
+                Obligation("forward-justified", disj(ingress_ok, egress_ok))
+            )
+        else:
+            drop_cases: List[BoolExpr] = [
+                negate(is_ipv4),
+                conj(negate(ingress), negate(egress)),
+            ]
+            if read is not None:
+                drop_cases.append(
+                    conj(ingress, le(_c(cfg.max_packets), read.rets["count"]))
+                )
+            if create is not None and "success" in create.rets:
+                drop_cases.append(conj(ingress, eq(create.rets["success"], _c(0))))
+            obligations.append(Obligation("drop-justified", disj(*drop_cases)))
+        return obligations

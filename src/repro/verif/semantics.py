@@ -1,0 +1,422 @@
+"""Semantic trace properties: the P1 obligations woven into each trace.
+
+The paper's Validator takes each symbolic trace and weaves in the NAT
+specification as pre/post-conditions, producing a verification task per
+trace (§5.2.2, Fig. 10). This module builds those obligations:
+
+- :class:`NatSemantics` — the RFC 3022 decision tree of Fig. 6 expressed
+  over the trace's symbols: forwarded packets carry exactly the rewritten
+  headers the spec mandates for their case, drops happen exactly when the
+  spec mandates a drop, and the state updates (create/refresh/expire) use
+  the right timestamps and ports. The external-packet security property
+  ("unsolicited external traffic never creates state") is one of the
+  structural obligations.
+- :class:`DiscardSemantics` — the §3 example's property: no emitted
+  packet targets port 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.nat.config import NatConfig
+from repro.packets.headers import ETHERTYPE_IPV4, PROTO_TCP, PROTO_UDP
+from repro.verif.expr import (
+    BoolExpr,
+    FALSE,
+    IntExpr,
+    TRUE,
+    conj,
+    disj,
+    eq,
+    le,
+    lt,
+    ne,
+    negate,
+)
+from repro.verif.solver import Solver, SolverUnknown
+from repro.verif.trace import CallRecord, PathTrace
+
+
+@dataclass
+class Obligation:
+    """One provable fact a trace must satisfy (part of P1)."""
+
+    name: str
+    formula: BoolExpr
+    #: False when the obligation failed structurally (e.g. two packets
+    #: emitted where the spec allows at most one) — no proof attempted.
+    structural_ok: bool = True
+    detail: str = ""
+
+
+def _c(value: int) -> IntExpr:
+    return IntExpr.const(value)
+
+
+class DiscardSemantics:
+    """The discard NF's semantic property: never emit to port 9."""
+
+    name = "discard protocol (RFC 863)"
+
+    def obligations(self, trace: PathTrace) -> List[Obligation]:
+        found = []
+        for i, send in enumerate(trace.sends):
+            found.append(
+                Obligation(
+                    name=f"send[{i}].dst_port != 9",
+                    formula=ne(send.dst_port, _c(9)),
+                )
+            )
+        return found
+
+
+class NatSemantics:
+    """The RFC 3022 decision tree (Fig. 6) as per-trace obligations."""
+
+    name = "RFC 3022 NAT semantics"
+
+    def __init__(self, config: NatConfig | None = None) -> None:
+        self.config = config if config is not None else NatConfig()
+
+    # -- helpers ---------------------------------------------------------------
+    @staticmethod
+    def _calls_by_fn(trace: PathTrace) -> Dict[str, CallRecord]:
+        seen: Dict[str, CallRecord] = {}
+        for call in trace.calls:
+            seen.setdefault(call.fn, call)
+        return seen
+
+    @staticmethod
+    def _entailed(solver: Solver, trace: PathTrace, goal: BoolExpr) -> bool:
+        try:
+            return solver.entails(trace.pc, goal)
+        except SolverUnknown:
+            return False
+
+    # -- obligation construction -------------------------------------------------
+    def obligations(self, trace: PathTrace) -> List[Obligation]:
+        cfg = self.config
+        solver = Solver(trace.widths)
+        calls = self._calls_by_fn(trace)
+        obligations: List[Obligation] = []
+
+        recv = calls.get("receive")
+        time_call = calls.get("current_time")
+        expire = calls.get("expire_items")
+
+        # Fig. 6 l.2: the expiration threshold is exactly t - Texp
+        # (inclusive), clamped at zero.
+        if expire is not None and time_call is not None:
+            now = time_call.rets["now"]
+            texp = cfg.expiration_time
+            min_time = expire.args["min_time"]
+            threshold_ok = disj(
+                conj(
+                    le(_c(texp), now),
+                    eq(min_time, now.sub(_c(texp)).add(_c(1))),
+                ),
+                conj(lt(now, _c(texp)), eq(min_time, _c(0))),
+            )
+            obligations.append(Obligation("expiry-threshold", threshold_ok))
+
+        if recv is None:
+            obligations.append(
+                Obligation(
+                    "no-receive-no-send",
+                    TRUE,
+                    structural_ok=not trace.sends,
+                    detail="a trace without receive() must not emit",
+                )
+            )
+            return obligations
+
+        received = recv.rets["received"]
+        if self._entailed(solver, trace, eq(received, _c(0))):
+            obligations.append(
+                Obligation(
+                    "silent-when-idle",
+                    TRUE,
+                    structural_ok=not trace.sends,
+                    detail="no packet was received on this path",
+                )
+            )
+            return obligations
+
+        device = recv.rets["device"]
+        ethertype = recv.rets["ethertype"]
+        protocol = recv.rets["protocol"]
+        pkt_src_ip = recv.rets["src_ip"]
+        pkt_src_port = recv.rets["src_port"]
+        pkt_dst_ip = recv.rets["dst_ip"]
+        pkt_dst_port = recv.rets["dst_port"]
+
+        is_flow = conj(
+            eq(ethertype, _c(ETHERTYPE_IPV4)),
+            disj(eq(protocol, _c(PROTO_TCP)), eq(protocol, _c(PROTO_UDP))),
+        )
+        internal = eq(device, _c(cfg.internal_device))
+        external = eq(device, _c(cfg.external_device))
+
+        get_int = calls.get("dmap_get_by_first_key")
+        get_ext = calls.get("dmap_get_by_second_key")
+        alloc = calls.get("dchain_allocate_new_index")
+        put = calls.get("dmap_put")
+        rejuvenate = calls.get("dchain_rejuvenate_index")
+        get_value = calls.get("dmap_get_value")
+        now = time_call.rets["now"] if time_call is not None else None
+
+        # -- state-update obligations (Fig. 6 ll.10-17) ------------------------
+        if rejuvenate is not None and now is not None:
+            obligations.append(
+                Obligation(
+                    "refresh-uses-arrival-time",
+                    eq(rejuvenate.args["time"], now),
+                )
+            )
+            found_index = None
+            if get_int is not None and "index" in get_int.rets:
+                found_index = get_int.rets["index"]
+            elif get_ext is not None and "index" in get_ext.rets:
+                found_index = get_ext.rets["index"]
+            if found_index is not None:
+                obligations.append(
+                    Obligation(
+                        "refresh-targets-matched-flow",
+                        eq(rejuvenate.args["index"], found_index),
+                    )
+                )
+
+        if rejuvenate is None:
+            # Fig. 6 ll.10-12: a matched flow's timestamp must be
+            # refreshed. Without a rejuvenate call, the path must be
+            # provably a no-match path.
+            for get in (get_int, get_ext):
+                if get is not None:
+                    obligations.append(
+                        Obligation(
+                            "match-implies-refresh",
+                            eq(get.rets["found"], _c(0)),
+                        )
+                    )
+
+        if put is not None:
+            # Creation is only legal for internal arrivals (the NAT's
+            # security property: unsolicited external traffic never
+            # creates state).
+            obligations.append(Obligation("create-only-internal", internal))
+            if now is not None and "time" in put.args:
+                obligations.append(
+                    Obligation("create-uses-arrival-time", eq(put.args["time"], now))
+                )
+            if "ext_port" in put.args:
+                obligations.append(
+                    Obligation(
+                        "create-respects-port-rule",
+                        eq(
+                            put.args["ext_port"],
+                            put.args["index"].add(_c(cfg.start_port)),
+                        ),
+                    )
+                )
+            if alloc is not None and "index" in alloc.rets:
+                obligations.append(
+                    Obligation(
+                        "create-uses-allocated-index",
+                        eq(put.args["index"], alloc.rets["index"]),
+                    )
+                )
+            obligations.append(
+                Obligation(
+                    "create-only-when-room",
+                    lt(put.args["size"], _c(cfg.max_flows)),
+                )
+            )
+        elif self._entailed(solver, trace, external):
+            obligations.append(
+                Obligation(
+                    "no-state-for-external",
+                    TRUE,
+                    structural_ok=alloc is None,
+                    detail="external packets must not allocate flow state",
+                )
+            )
+
+        # -- forwarding obligations (Fig. 6 ll.20-39) -----------------------------
+        if len(trace.sends) > 1:
+            obligations.append(
+                Obligation(
+                    "at-most-one-send",
+                    TRUE,
+                    structural_ok=False,
+                    detail=f"{len(trace.sends)} packets emitted for one arrival",
+                )
+            )
+            return obligations
+
+        if not trace.sends:
+            drop_cases: List[BoolExpr] = [
+                negate(is_flow),
+                conj(negate(internal), negate(external)),
+            ]
+            if get_ext is not None:
+                drop_cases.append(conj(external, eq(get_ext.rets["found"], _c(0))))
+            if get_int is not None and alloc is not None:
+                drop_cases.append(
+                    conj(
+                        internal,
+                        eq(get_int.rets["found"], _c(0)),
+                        eq(alloc.rets["success"], _c(0)),
+                    )
+                )
+            obligations.append(Obligation("drop-justified", disj(*drop_cases)))
+            return obligations
+
+        send = trace.sends[0]
+        packet_fields = {
+            "src_ip": pkt_src_ip,
+            "src_port": pkt_src_port,
+            "dst_ip": pkt_dst_ip,
+            "dst_port": pkt_dst_port,
+            "protocol": protocol,
+        }
+        forward_cases = self._forward_cases(
+            send=send,
+            packet=packet_fields,
+            internal=internal,
+            external=external,
+            is_flow=is_flow,
+            get_int=get_int,
+            get_ext=get_ext,
+            alloc=alloc,
+            get_value=get_value,
+        )
+        obligations.append(
+            Obligation(
+                "forward-justified",
+                disj(*forward_cases) if forward_cases else FALSE,
+            )
+        )
+        return obligations
+
+    # -- the per-NF part: which (case, output-fields) pairs justify a send --
+    def _forward_cases(
+        self,
+        send,
+        packet,
+        internal,
+        external,
+        is_flow,
+        get_int,
+        get_ext,
+        alloc,
+        get_value,
+    ) -> List[BoolExpr]:
+        """Fig. 6 ll.20-37: NAT header rewriting per direction."""
+        cfg = self.config
+        forward_cases: List[BoolExpr] = []
+        if get_int is not None:
+            membership = eq(get_int.rets["found"], _c(1))
+            if alloc is not None:
+                membership = disj(
+                    membership,
+                    conj(
+                        eq(get_int.rets["found"], _c(0)),
+                        eq(alloc.rets["success"], _c(1)),
+                    ),
+                )
+            out_fields = conj(
+                eq(send.device, _c(cfg.external_device)),
+                eq(send.src_ip, _c(cfg.external_ip)),
+                eq(send.dst_ip, packet["dst_ip"]),
+                eq(send.dst_port, packet["dst_port"]),
+                eq(send.protocol, packet["protocol"]),
+            )
+            if get_value is not None:
+                out_fields = conj(
+                    out_fields, eq(send.src_port, get_value.rets["ext_port"])
+                )
+            forward_cases.append(conj(internal, is_flow, membership, out_fields))
+        if get_ext is not None and get_value is not None:
+            in_fields = conj(
+                eq(send.device, _c(cfg.internal_device)),
+                eq(send.src_ip, packet["src_ip"]),
+                eq(send.src_port, packet["src_port"]),
+                eq(send.dst_ip, get_value.rets["int_ip"]),
+                eq(send.dst_port, get_value.rets["int_port"]),
+                eq(send.protocol, packet["protocol"]),
+            )
+            forward_cases.append(
+                conj(
+                    external,
+                    is_flow,
+                    eq(get_ext.rets["found"], _c(1)),
+                    in_fields,
+                )
+            )
+        return forward_cases
+
+
+class FirewallSemantics(NatSemantics):
+    """The connection-tracking firewall's semantic specification.
+
+    Same flow-table discipline as the NAT (create only for internal
+    arrivals when there is room, refresh on match, expire by idle time),
+    but forwarding never rewrites a header: every field of the emitted
+    packet equals the received one, only the device changes.
+    """
+
+    name = "stateful firewall semantics (allow outbound, track sessions)"
+
+    def _forward_cases(
+        self,
+        send,
+        packet,
+        internal,
+        external,
+        is_flow,
+        get_int,
+        get_ext,
+        alloc,
+        get_value,
+    ) -> List[BoolExpr]:
+        cfg = self.config
+        preserved = conj(
+            eq(send.src_ip, packet["src_ip"]),
+            eq(send.src_port, packet["src_port"]),
+            eq(send.dst_ip, packet["dst_ip"]),
+            eq(send.dst_port, packet["dst_port"]),
+            eq(send.protocol, packet["protocol"]),
+        )
+        forward_cases: List[BoolExpr] = []
+        if get_int is not None:
+            membership = eq(get_int.rets["found"], _c(1))
+            if alloc is not None:
+                membership = disj(
+                    membership,
+                    conj(
+                        eq(get_int.rets["found"], _c(0)),
+                        eq(alloc.rets["success"], _c(1)),
+                    ),
+                )
+            forward_cases.append(
+                conj(
+                    internal,
+                    is_flow,
+                    membership,
+                    preserved,
+                    eq(send.device, _c(cfg.external_device)),
+                )
+            )
+        if get_ext is not None:
+            forward_cases.append(
+                conj(
+                    external,
+                    is_flow,
+                    eq(get_ext.rets["found"], _c(1)),
+                    preserved,
+                    eq(send.device, _c(cfg.internal_device)),
+                )
+            )
+        return forward_cases

@@ -1,0 +1,147 @@
+"""Symbolic traces and the execution tree (§5.2.2, Fig. 9).
+
+A path trace records, for one feasible execution path of the stateless
+NF code: every call into (the models of) libVig and the DPDK layer with
+its symbolic arguments and results, every packet emission, the path
+condition, and the low-level checks discharged along the way.
+
+The *execution tree* is formed by the common prefixes of all path
+traces; the paper counts both full paths and prefixes as verification
+tasks (108 paths → 431 traces), and :meth:`ExecutionTree.trace_count`
+reproduces that accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.verif.expr import BoolExpr, IntExpr
+
+
+@dataclass
+class CallRecord:
+    """One call across the traced interface (libVig or DPDK model)."""
+
+    fn: str
+    #: Symbolic argument expressions by parameter name.
+    args: Dict[str, IntExpr] = field(default_factory=dict)
+    #: Symbolic results by name ("result" for the return value).
+    rets: Dict[str, IntExpr] = field(default_factory=dict)
+    #: Contract precondition instantiated at this call site (P4 goal).
+    pre: List[BoolExpr] = field(default_factory=list)
+    #: Contract postcondition instantiated on args/rets (P5 antecedent).
+    post: List[BoolExpr] = field(default_factory=list)
+    #: Constraints the *model* imposed on its outputs (P5 consequent).
+    model_constraints: List[BoolExpr] = field(default_factory=list)
+    #: Length of the path condition when the call started.
+    pc_start: int = 0
+    #: Length of the path condition when the call returned.
+    pc_index: int = 0
+    #: Indices into the path condition of branch decisions taken *inside*
+    #: this call — they select which contract case applies (P5).
+    selector_indices: Tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        args = ", ".join(f"{k}={v}" for k, v in self.args.items())
+        rets = ", ".join(f"{k}={v}" for k, v in self.rets.items())
+        return f"{self.fn}({args}) ==> [{rets}]"
+
+
+@dataclass
+class SendRecord:
+    """One emitted packet with its (symbolic) header fields."""
+
+    device: IntExpr
+    src_ip: IntExpr
+    src_port: IntExpr
+    dst_ip: IntExpr
+    dst_port: IntExpr
+    protocol: IntExpr
+    pc_index: int = 0
+
+
+@dataclass
+class CheckRecord:
+    """One low-level property check (P2) discharged on this path."""
+
+    kind: str  # e.g. "arith-bounds", "index-bounds", "assert"
+    property: BoolExpr
+    proven: bool
+    detail: str = ""
+    counterexample: Optional[Dict[str, int]] = None
+
+
+@dataclass
+class PathTrace:
+    """Everything recorded along one feasible execution path."""
+
+    path_id: int
+    decisions: Tuple[Tuple[bool, bool], ...]  # (value, forced) per branch
+    pc: List[BoolExpr] = field(default_factory=list)
+    calls: List[CallRecord] = field(default_factory=list)
+    sends: List[SendRecord] = field(default_factory=list)
+    checks: List[CheckRecord] = field(default_factory=list)
+    #: Example concrete input that drives execution down this path.
+    witness: Dict[str, int] = field(default_factory=dict)
+    #: Widths of every symbol mentioned anywhere in the trace.
+    widths: Dict[str, int] = field(default_factory=dict)
+    crashed: Optional[str] = None  # exception text when the path died
+
+    @property
+    def decision_values(self) -> Tuple[bool, ...]:
+        return tuple(value for value, _ in self.decisions)
+
+    def violations(self) -> List[CheckRecord]:
+        return [check for check in self.checks if not check.proven]
+
+    def render(self) -> str:
+        """Fig. 9-style text rendering of the trace."""
+        lines = []
+        if not self.calls or self.calls[0].fn != "loop_invariant_produce":
+            lines.append("loop_invariant_produce() ==> []")
+        lines.extend(str(call) for call in self.calls)
+        for send in self.sends:
+            lines.append(
+                f"send(device={send.device}, src={send.src_ip}:{send.src_port}, "
+                f"dst={send.dst_ip}:{send.dst_port}, proto={send.protocol}) ==> []"
+            )
+        lines.append("loop_invariant_consume() ==> []")
+        lines.append("--- constraints ---")
+        lines.extend(str(constraint) for constraint in self.pc)
+        return "\n".join(lines)
+
+
+@dataclass
+class ExecutionTree:
+    """All feasible paths, organized by branch-decision prefixes."""
+
+    paths: List[PathTrace] = field(default_factory=list)
+
+    def path_count(self) -> int:
+        return len(self.paths)
+
+    def trace_count(self) -> int:
+        """Paths plus all their distinct proper prefixes (the 431 number).
+
+        Each node of the execution tree is a verification task in the
+        paper's accounting: every prefix of every call sequence, which in
+        decision space is every distinct decision-prefix (including the
+        root and the full paths).
+        """
+        prefixes = set()
+        for path in self.paths:
+            values = path.decision_values
+            for length in range(len(values) + 1):
+                prefixes.add(values[:length])
+        return len(prefixes)
+
+    def violations(self) -> List[Tuple[int, CheckRecord]]:
+        found = []
+        for path in self.paths:
+            for check in path.violations():
+                found.append((path.path_id, check))
+        return found
+
+    def crashed_paths(self) -> List[PathTrace]:
+        return [path for path in self.paths if path.crashed is not None]

@@ -1,0 +1,293 @@
+"""The Vigor Validator: lazy proofs over symbolic traces (§5.2).
+
+Takes the execution tree produced by exhaustive symbolic execution and
+discharges, per trace:
+
+- **P4** (§5.2.4) — at every call into libVig, the contract's
+  precondition is implied by the path condition at the call site.
+- **P5** (§5.2.3) — every constraint a *model* imposed on its outputs is
+  implied by the library contract's postcondition (given the path up to
+  the call and the case-selecting branch decisions inside the call). An
+  under-approximate model fails here; an over-approximate one passes here
+  and fails in P1 instead — the paper's Fig. 4 taxonomy.
+- **P1** (§5.2.2) — the NF's semantic property, woven into the trace by a
+  semantics object (:mod:`repro.verif.semantics`).
+
+P2 is aggregated from the engine's per-path checks, and P3 from an
+executable refinement smoke-test of the real libVig structures against
+their abstract models (the full P3 evidence is the refinement test-suite
+in ``tests/libvig``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Protocol
+
+from repro.verif.engine import ExplorationResult
+from repro.verif.expr import BoolExpr
+from repro.verif.report import ProofReport, PropertyVerdict
+from repro.verif.semantics import Obligation
+from repro.verif.solver import Solver, SolverUnknown
+from repro.verif.trace import PathTrace
+
+
+class SemanticProperty(Protocol):
+    """What the Validator needs from an NF's semantic specification."""
+
+    name: str
+
+    def obligations(self, trace: PathTrace) -> List[Obligation]: ...
+
+
+def _validate_one_trace(payload):
+    """Worker for parallel validation: all per-trace checks for one trace.
+
+    Module-level so it pickles; §5.2.2 notes trace verification is
+    highly parallelizable (the paper: 38 min on one core, 11 min on
+    four) — traces are independent proof tasks.
+    """
+    trace, semantics = payload
+    validator = Validator(semantics)
+    p1_failures: List[str] = []
+    p2_failures: List[str] = []
+    p4_failures: List[str] = []
+    p5_failures: List[str] = []
+    if trace.crashed is not None:
+        p2_failures.append(f"path {trace.path_id}: crashed: {trace.crashed}")
+    p2_count = 0
+    for check in trace.checks:
+        p2_count += 1
+        if not check.proven:
+            p2_failures.append(
+                f"path {trace.path_id}: {check.kind} {check.detail} "
+                f"counterexample={check.counterexample}"
+            )
+    p4_count = validator._check_p4(trace, p4_failures)
+    p5_count = validator._check_p5(trace, p5_failures)
+    p1_count = 0
+    if semantics is not None:
+        p1_count = validator._check_p1(trace, p1_failures)
+    return (
+        (p1_count, p1_failures),
+        (p2_count, p2_failures),
+        (p4_count, p4_failures),
+        (p5_count, p5_failures),
+    )
+
+
+class Validator:
+    """Stitches the sub-proofs of Fig. 7 into one report."""
+
+    def __init__(self, semantics: Optional[SemanticProperty] = None) -> None:
+        self.semantics = semantics
+
+    # -- the per-trace proofs -----------------------------------------------------
+    def _prove(
+        self,
+        solver: Solver,
+        assumptions: List[BoolExpr],
+        goal: BoolExpr,
+    ) -> bool:
+        try:
+            return solver.entails(assumptions, goal)
+        except SolverUnknown:
+            return False
+
+    def _check_p4(self, trace: PathTrace, failures: List[str]) -> int:
+        """Preconditions hold at every call site; returns obligation count."""
+        solver = Solver(trace.widths)
+        count = 0
+        for call in trace.calls:
+            for pre in call.pre:
+                count += 1
+                pc_before = trace.pc[: call.pc_start]
+                if not self._prove(solver, pc_before, pre):
+                    failures.append(
+                        f"path {trace.path_id}: {call.fn} precondition {pre} "
+                        "not implied by the path condition"
+                    )
+        return count
+
+    def _check_p5(self, trace: PathTrace, failures: List[str]) -> int:
+        """Model outputs are justified by contract postconditions."""
+        solver = Solver(trace.widths)
+        count = 0
+        for call in trace.calls:
+            if not call.model_constraints:
+                continue
+            if not call.post and not call.pre:
+                # Trusted model (DPDK, nf_time): part of the TCB (§5.4).
+                continue
+            antecedent = list(trace.pc[: call.pc_start])
+            antecedent.extend(trace.pc[i] for i in call.selector_indices)
+            antecedent.extend(call.post)
+            for constraint in call.model_constraints:
+                count += 1
+                if not self._prove(solver, antecedent, constraint):
+                    failures.append(
+                        f"path {trace.path_id}: {call.fn} model constraint "
+                        f"{constraint} not justified by the contract"
+                    )
+        return count
+
+    def _check_p1(self, trace: PathTrace, failures: List[str]) -> int:
+        assert self.semantics is not None
+        solver = Solver(trace.widths)
+        count = 0
+        for obligation in self.semantics.obligations(trace):
+            count += 1
+            if not obligation.structural_ok:
+                failures.append(
+                    f"path {trace.path_id}: {obligation.name} "
+                    f"(structural): {obligation.detail}"
+                )
+                continue
+            if not self._prove(solver, trace.pc, obligation.formula):
+                failures.append(
+                    f"path {trace.path_id}: {obligation.name} not provable: "
+                    f"{obligation.formula}"
+                )
+        return count
+
+    # -- P3: executable refinement smoke-test ----------------------------------------
+    @staticmethod
+    def refinement_smoke(operations: int = 400, seed: int = 2017) -> List[str]:
+        """Drive real libVig structures against their abstract models.
+
+        The full evidence for P3 is the property-based refinement suite
+        in ``tests/libvig``; this in-process smoke keeps the proof report
+        self-contained.
+        """
+        from repro.libvig.abstract import chain_times_nondecreasing
+        from repro.libvig.contracts import checked
+        from repro.libvig.double_chain import DoubleChain
+        from repro.libvig.map import Map
+
+        failures: List[str] = []
+        rng = random.Random(seed)
+        with checked():
+            concrete = Map(capacity=32)
+            chain = DoubleChain(16)
+            clock = 0
+            for _ in range(operations):
+                op = rng.randrange(4)
+                try:
+                    if op == 0 and not concrete.full():
+                        key = rng.randrange(64)
+                        if not concrete.has(key):
+                            concrete.put(key, rng.randrange(1000))
+                    elif op == 1:
+                        live = [k for k, _ in concrete.items()]
+                        if live:
+                            concrete.erase(rng.choice(live))
+                    elif op == 2:
+                        clock += rng.randrange(3)
+                        if chain.size() < chain.index_range:
+                            chain.allocate_new_index(clock)
+                    else:
+                        clock += rng.randrange(3)
+                        state = chain._abstract_state()
+                        if state.cells:
+                            chain.rejuvenate_index(
+                                rng.choice(state.allocated()), clock
+                            )
+                except Exception as exc:  # noqa: BLE001 - report, don't die
+                    failures.append(f"refinement smoke: {exc}")
+                    break
+                if not chain_times_nondecreasing(chain._abstract_state().cells):
+                    failures.append("chain timestamp ordering violated")
+                    break
+        return failures
+
+    # -- the stitched proof --------------------------------------------------------
+    def validate(
+        self,
+        result: ExplorationResult,
+        nf_name: str = "nf",
+        processes: int = 1,
+    ) -> ProofReport:
+        """Run P1/P4/P5 over every trace and assemble the Fig. 7 report.
+
+        ``processes > 1`` validates traces in parallel (each trace is an
+        independent proof task, §5.2.2); results are identical to the
+        sequential run.
+        """
+        p1_failures: List[str] = []
+        p2_failures: List[str] = []
+        p4_failures: List[str] = []
+        p5_failures: List[str] = []
+        p1_count = p2_count = p4_count = p5_count = 0
+
+        if processes > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            payloads = [(trace, self.semantics) for trace in result.tree.paths]
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                outcomes = list(pool.map(_validate_one_trace, payloads))
+        else:
+            outcomes = [
+                _validate_one_trace((trace, self.semantics))
+                for trace in result.tree.paths
+            ]
+        for (p1c, p1f), (p2c, p2f), (p4c, p4f), (p5c, p5f) in outcomes:
+            p1_count += p1c
+            p1_failures.extend(p1f)
+            p2_count += p2c
+            p2_failures.extend(p2f)
+            p4_count += p4c
+            p4_failures.extend(p4f)
+            p5_count += p5c
+            p5_failures.extend(p5f)
+
+        p3_failures = self.refinement_smoke()
+
+        report = ProofReport(
+            nf_name=nf_name,
+            p1=PropertyVerdict(
+                name="P1",
+                title=(
+                    self.semantics.name
+                    if self.semantics is not None
+                    else "semantic properties (no spec supplied)"
+                ),
+                proven=self.semantics is not None and not p1_failures,
+                obligations=p1_count,
+                failures=p1_failures,
+                note="" if self.semantics is not None else "skipped",
+            ),
+            p2=PropertyVerdict(
+                name="P2",
+                title="low-level properties (crash-freedom, bounds, overflow)",
+                proven=not p2_failures,
+                obligations=p2_count,
+                failures=p2_failures,
+            ),
+            p3=PropertyVerdict(
+                name="P3",
+                title="libVig implementation refines its contracts",
+                proven=not p3_failures,
+                obligations=1,
+                failures=p3_failures,
+                note="full evidence: tests/libvig refinement suite",
+            ),
+            p4=PropertyVerdict(
+                name="P4",
+                title="stateless code respects libVig preconditions",
+                proven=not p4_failures,
+                obligations=p4_count,
+                failures=p4_failures,
+            ),
+            p5=PropertyVerdict(
+                name="P5",
+                title="libVig models faithful to the contracts",
+                proven=not p5_failures,
+                obligations=p5_count,
+                failures=p5_failures,
+            ),
+            paths=result.tree.path_count(),
+            traces=result.tree.trace_count(),
+            solver_queries=result.stats.solver_queries,
+            wall_seconds=result.stats.wall_seconds,
+        )
+        return report

@@ -1,0 +1,13 @@
+"""Shared fixtures for the test-suite."""
+
+import pytest
+
+from repro.libvig.contracts import disable_contracts, enable_contracts
+
+
+@pytest.fixture
+def contracts():
+    """Enable runtime contract checking for the duration of a test."""
+    enable_contracts()
+    yield
+    disable_contracts()

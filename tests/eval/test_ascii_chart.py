@@ -1,0 +1,61 @@
+"""ASCII chart rendering."""
+
+from repro.eval.ascii_chart import latency_chart, line_chart, throughput_chart
+from repro.eval.experiments import LatencyPoint
+from repro.net.testbed import ThroughputResult
+
+
+class TestLineChart:
+    def test_marks_present_for_each_series(self):
+        chart = line_chart(
+            {"a": [(0, 1.0), (10, 1.0)], "b": [(0, 2.0), (10, 2.5)]},
+            title="t",
+        )
+        assert "o" in chart and "*" in chart
+        assert "o a" in chart and "* b" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart(
+            {"a": [(1, 5.0), (64, 5.5)]},
+            y_label="latency", x_label="flows",
+        )
+        assert "latency" in chart and "flows" in chart
+        assert "1" in chart and "64" in chart
+
+    def test_flat_series_visible(self):
+        chart = line_chart({"flat": [(0, 3.0), (5, 3.0), (10, 3.0)]})
+        assert "o" in chart
+
+    def test_empty_series(self):
+        assert line_chart({}, title="nothing") == "nothing"
+
+    def test_extremes_on_chart_edges(self):
+        chart = line_chart({"a": [(0, 0.0), (10, 10.0)]}, height=8, width=30)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert "o" in rows[0] or "o" in rows[1]  # max near the top
+        assert "o" in rows[-1] or "o" in rows[-2]  # min near the bottom
+
+
+class TestFigureCharts:
+    def test_latency_chart(self):
+        points = [
+            LatencyPoint("noop", 1_000, 4.75, 4.8, 100),
+            LatencyPoint("noop", 64_000, 4.76, 4.8, 100),
+            LatencyPoint("verified-nat", 1_000, 5.13, 5.2, 100),
+            LatencyPoint("verified-nat", 64_000, 5.41, 5.6, 100),
+        ]
+        chart = latency_chart(points)
+        assert "Fig. 12" in chart
+        assert "noop" in chart and "verified-nat" in chart
+
+    def test_throughput_chart(self):
+        results = {
+            "noop": [ThroughputResult(1_000, 3.2, 0.0)],
+            "verified-nat": [
+                ThroughputResult(1_000, 1.85, 0.0),
+                ThroughputResult(64_000, 1.83, 0.0),
+            ],
+        }
+        chart = throughput_chart(results)
+        assert "Fig. 14" in chart
+        assert "Mpps" in chart

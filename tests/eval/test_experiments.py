@@ -1,0 +1,134 @@
+"""Quick-scale runs of the §6 experiment harness: the shapes must hold."""
+
+import pytest
+
+from repro.eval.experiments import (
+    EvalSettings,
+    default_nf_factories,
+    latency_ccdf,
+    latency_vs_occupancy,
+    throughput_sweep,
+)
+from repro.eval.reporting import (
+    render_fig12,
+    render_fig13,
+    render_fig14,
+    render_verification,
+)
+from repro.eval.verification_stats import collect
+
+QUICK = EvalSettings(
+    background_pps=20_000,
+    measure_seconds=0.3,
+    probe_flows=150,
+    probe_pps=0.47,
+)
+
+
+@pytest.fixture(scope="module")
+def fig12_points():
+    return latency_vs_occupancy(occupancies=(500, 2_000), settings=QUICK)
+
+
+class TestFig12Shape:
+    def test_all_series_present(self, fig12_points):
+        assert {p.nf for p in fig12_points} == {"noop", "unverified-nat", "verified-nat"}
+
+    def test_ordering_noop_fastest(self, fig12_points):
+        by_nf = {}
+        for p in fig12_points:
+            by_nf.setdefault(p.nf, []).append(p.avg_us)
+        for occupancy_idx in range(2):
+            assert (
+                by_nf["noop"][occupancy_idx]
+                < by_nf["unverified-nat"][occupancy_idx]
+                < by_nf["verified-nat"][occupancy_idx]
+            )
+
+    def test_verified_within_10pct_of_unverified(self, fig12_points):
+        by_nf = {}
+        for p in fig12_points:
+            by_nf.setdefault(p.nf, []).append(p.avg_us)
+        for a, b in zip(by_nf["verified-nat"], by_nf["unverified-nat"]):
+            assert a / b < 1.10
+
+    def test_latency_flat_across_occupancy(self, fig12_points):
+        by_nf = {}
+        for p in fig12_points:
+            by_nf.setdefault(p.nf, []).append(p.avg_us)
+        for series in by_nf.values():
+            assert max(series) - min(series) < 0.3  # µs
+
+    def test_samples_collected(self, fig12_points):
+        assert all(p.samples > 10 for p in fig12_points)
+
+    def test_rendering(self, fig12_points):
+        text = render_fig12(fig12_points)
+        assert "Fig. 12" in text and "verified-nat" in text
+
+
+class TestFig13Shape:
+    def test_ccdf_monotone_and_tailed(self):
+        series = latency_ccdf(background_flows=1_500, settings=QUICK)
+        for s in series:
+            probs = [p for _, p in s.points]
+            assert all(b <= a for a, b in zip(probs, probs[1:]))
+            assert s.points[-1][1] == 0.0
+        text = render_fig13(series)
+        assert "Fig. 13" in text
+
+    def test_tails_coincide_above_outlier_threshold(self):
+        """The paper: the three curves coincide beyond ~6.5 µs (DPDK)."""
+        series = latency_ccdf(background_flows=1_500, settings=QUICK)
+        at_100us = [s.probability_above(100.0) for s in series]
+        # Outlier region: all NFs within one order of magnitude.
+        positive = [p for p in at_100us if p > 0]
+        if len(positive) >= 2:
+            assert max(positive) / min(positive) < 20
+
+
+class TestFig14Shape:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        settings = EvalSettings(
+            expiration_seconds=60.0,
+            throughput_packets=6_000,
+            throughput_iterations=5,
+        )
+        return throughput_sweep(flow_counts=(512,), settings=settings)
+
+    def test_ordering(self, sweep):
+        mpps = {name: rs[0].max_mpps for name, rs in sweep.items()}
+        assert mpps["noop"] > mpps["unverified-nat"] > mpps["verified-nat"]
+        assert mpps["verified-nat"] > mpps["linux-nat"]
+
+    def test_verified_penalty_roughly_10pct(self, sweep):
+        mpps = {name: rs[0].max_mpps for name, rs in sweep.items()}
+        penalty = 1 - mpps["verified-nat"] / mpps["unverified-nat"]
+        assert 0.0 < penalty < 0.25
+
+    def test_linux_much_slower(self, sweep):
+        mpps = {name: rs[0].max_mpps for name, rs in sweep.items()}
+        assert mpps["linux-nat"] < mpps["verified-nat"] / 2
+
+    def test_rendering(self, sweep):
+        assert "Fig. 14" in render_fig14(sweep)
+
+
+class TestVerificationStats:
+    def test_pipeline_verifies_vignat(self):
+        stats = collect()
+        assert stats.verified
+        assert stats.paths >= 12
+        assert stats.traces > stats.paths
+        assert stats.explore_seconds < 60
+        text = render_verification(stats)
+        assert "VERIFIED" in text
+
+
+class TestFactories:
+    def test_default_lineup(self):
+        assert set(default_nf_factories()) == {
+            "noop", "unverified-nat", "verified-nat",
+        }
+        assert "linux-nat" in default_nf_factories(include_linux=True)

@@ -1,0 +1,36 @@
+"""Every example script must run clean (they are the public quickstarts)."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/discard_protocol.py",
+    "examples/crash_the_unverified_nat.py",
+    "examples/verified_firewall.py",
+    "examples/three_verified_nfs.py",
+    "examples/verify_nat.py",
+    "examples/nat_behavior_lab.py",
+    "examples/replay_pcap.py",
+    "examples/find_the_bug.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(script, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+    assert "FAILED" not in out
+
+
+def test_performance_comparison_importable():
+    """The heavy example is at least importable and wired correctly."""
+    sys.path.insert(0, "examples")
+    try:
+        import performance_comparison  # noqa: F401
+    finally:
+        sys.path.pop(0)

@@ -1,0 +1,95 @@
+"""The runtime contract machinery itself."""
+
+import pytest
+
+from repro.libvig.contracts import (
+    ContractViolation,
+    checked,
+    contract,
+    contracts_enabled,
+    disable_contracts,
+    enable_contracts,
+)
+
+
+class Counter:
+    """A tiny contracted class for exercising the decorator."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def _abstract_state(self) -> int:
+        return self.value
+
+    @contract(
+        requires=lambda self, amount: amount >= 0,
+        ensures=lambda old, result, self, amount: self.value == old + amount,
+    )
+    def add(self, amount: int) -> None:
+        self.value += amount
+
+    @contract(
+        requires=lambda self: self.value > 0,
+        ensures=lambda old, result, self: result == old,
+    )
+    def read_then_zero(self) -> int:
+        result = self.value
+        self.value = 0
+        return result
+
+    @contract(ensures=lambda old, result, self: self.value == old + 1)
+    def buggy_increment(self) -> None:
+        self.value += 2  # violates its own postcondition
+
+
+class TestEnablement:
+    def test_disabled_by_default(self):
+        assert not contracts_enabled()
+        Counter().add(-5)  # no violation raised when disabled
+
+    def test_enable_disable(self):
+        enable_contracts()
+        assert contracts_enabled()
+        disable_contracts()
+        assert not contracts_enabled()
+
+    def test_checked_context_restores(self):
+        assert not contracts_enabled()
+        with checked():
+            assert contracts_enabled()
+        assert not contracts_enabled()
+
+    def test_checked_restores_on_exception(self):
+        try:
+            with checked():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not contracts_enabled()
+
+
+class TestEnforcement:
+    def test_requires_violation(self, contracts):
+        with pytest.raises(ContractViolation) as excinfo:
+            Counter().add(-1)
+        assert excinfo.value.kind == "requires"
+
+    def test_ensures_violation(self, contracts):
+        with pytest.raises(ContractViolation) as excinfo:
+            Counter().buggy_increment()
+        assert excinfo.value.kind == "ensures"
+
+    def test_passing_call(self, contracts):
+        counter = Counter()
+        counter.add(5)
+        assert counter.read_then_zero() == 5
+
+    def test_requires_checked_before_mutation(self, contracts):
+        counter = Counter()
+        with pytest.raises(ContractViolation):
+            counter.read_then_zero()  # value == 0 violates requires
+        assert counter.value == 0  # body never ran
+
+    def test_introspection_attributes(self):
+        assert Counter.add.__contract_requires__ is not None
+        assert Counter.add.__contract_ensures__ is not None

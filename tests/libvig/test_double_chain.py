@@ -1,0 +1,182 @@
+"""Double-chain allocator: LRU ordering, expiration, refinement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.libvig.abstract import chain_times_nondecreasing
+from repro.libvig.contracts import ContractViolation
+from repro.libvig.double_chain import DoubleChain, TimeRegression
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_indexes(self):
+        chain = DoubleChain(4)
+        indexes = [chain.allocate_new_index(i) for i in range(4)]
+        assert sorted(indexes) == [0, 1, 2, 3]
+
+    def test_allocate_when_full_returns_none(self):
+        chain = DoubleChain(2)
+        chain.allocate_new_index(0)
+        chain.allocate_new_index(1)
+        assert chain.allocate_new_index(2) is None
+
+    def test_is_index_allocated(self):
+        chain = DoubleChain(4)
+        index = chain.allocate_new_index(10)
+        assert chain.is_index_allocated(index)
+        assert not chain.is_index_allocated((index + 1) % 4)
+
+    def test_free_then_reallocate(self):
+        chain = DoubleChain(2)
+        a = chain.allocate_new_index(0)
+        chain.free_index(a)
+        assert not chain.is_index_allocated(a)
+        b = chain.allocate_new_index(1)
+        assert b == a  # LIFO free list reuses the slot
+
+    def test_size_tracks_allocations(self):
+        chain = DoubleChain(8)
+        for i in range(5):
+            chain.allocate_new_index(i)
+        assert chain.size() == 5
+
+    def test_index_bounds_checked(self):
+        chain = DoubleChain(4)
+        with pytest.raises(IndexError):
+            chain.is_index_allocated(4)
+        with pytest.raises(IndexError):
+            chain.is_index_allocated(-1)
+
+
+class TestLruOrdering:
+    def test_oldest_is_first_allocated(self):
+        chain = DoubleChain(4)
+        first = chain.allocate_new_index(10)
+        chain.allocate_new_index(20)
+        assert chain.get_oldest() == (first, 10)
+
+    def test_rejuvenate_moves_to_back(self):
+        chain = DoubleChain(4)
+        a = chain.allocate_new_index(10)
+        b = chain.allocate_new_index(20)
+        chain.rejuvenate_index(a, 30)
+        assert chain.get_oldest() == (b, 20)
+
+    def test_rejuvenate_unallocated_raises(self):
+        chain = DoubleChain(4)
+        with pytest.raises(KeyError):
+            chain.rejuvenate_index(0, 10)
+
+    def test_time_regression_rejected(self):
+        chain = DoubleChain(4)
+        chain.allocate_new_index(100)
+        with pytest.raises(TimeRegression):
+            chain.allocate_new_index(50)
+        with pytest.raises(TimeRegression):
+            chain.rejuvenate_index(0, 50)
+
+    def test_timestamp_of(self):
+        chain = DoubleChain(4)
+        index = chain.allocate_new_index(123)
+        assert chain.timestamp_of(index) == 123
+        chain.rejuvenate_index(index, 456)
+        assert chain.timestamp_of(index) == 456
+
+
+class TestExpiration:
+    def test_expire_one_frees_oldest_stale(self):
+        chain = DoubleChain(4)
+        a = chain.allocate_new_index(10)
+        chain.allocate_new_index(20)
+        assert chain.expire_one_index(15) == a
+        assert not chain.is_index_allocated(a)
+
+    def test_expire_stops_at_fresh_entries(self):
+        chain = DoubleChain(4)
+        chain.allocate_new_index(10)
+        assert chain.expire_one_index(10) is None  # 10 >= 10: still fresh
+        assert chain.expire_one_index(11) == 0
+
+    def test_expire_empty_returns_none(self):
+        chain = DoubleChain(4)
+        assert chain.expire_one_index(100) is None
+
+    def test_expire_cost_proportional_to_expired(self):
+        """Expiring from a big chain touches only the stale front."""
+        chain = DoubleChain(1000)
+        for i in range(1000):
+            chain.allocate_new_index(i)
+        expired = []
+        while True:
+            index = chain.expire_one_index(10)
+            if index is None:
+                break
+            expired.append(index)
+        assert len(expired) == 10
+        assert chain.size() == 990
+
+    def test_rejuvenation_prevents_expiry(self):
+        chain = DoubleChain(4)
+        a = chain.allocate_new_index(10)
+        chain.rejuvenate_index(a, 100)
+        assert chain.expire_one_index(50) is None
+
+
+class TestContracts:
+    def test_rejuvenate_contract(self, contracts):
+        chain = DoubleChain(4)
+        with pytest.raises((ContractViolation, KeyError)):
+            chain.rejuvenate_index(1, 10)
+
+    def test_allocate_contract_holds(self, contracts):
+        chain = DoubleChain(2)
+        chain.allocate_new_index(1)
+        chain.allocate_new_index(2)
+        assert chain.allocate_new_index(3) is None  # full: None, no violation
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "rejuv", "expire", "free"]), st.integers(0, 7), st.integers(0, 5)),
+        max_size=50,
+    )
+)
+def test_refinement_against_abstract_chain(ops):
+    """The chain commutes with the abstract age-ordered list (P3)."""
+    chain = DoubleChain(8)
+    clock = 0
+    shadow = {}  # index -> timestamp
+    order = []  # indexes, oldest first
+    for op, index, dt in ops:
+        clock += dt
+        if op == "alloc":
+            got = chain.allocate_new_index(clock)
+            if len(shadow) < 8:
+                assert got is not None
+                shadow[got] = clock
+                order.append(got)
+            else:
+                assert got is None
+        elif op == "rejuv" and index in shadow:
+            chain.rejuvenate_index(index, clock)
+            shadow[index] = clock
+            order.remove(index)
+            order.append(index)
+        elif op == "expire":
+            expired = chain.expire_one_index(clock - 3)
+            stale = [i for i in order if shadow[i] < clock - 3]
+            if stale:
+                assert expired == order[0]
+                del shadow[expired]
+                order.pop(0)
+            else:
+                assert expired is None
+        elif op == "free" and index in shadow:
+            chain.free_index(index)
+            del shadow[index]
+            order.remove(index)
+        state = chain._abstract_state()
+        assert list(state.allocated()) == order
+        assert {i: t for i, t in state.cells} == shadow
+        assert chain_times_nondecreasing(state.cells)

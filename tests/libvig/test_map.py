@@ -1,0 +1,187 @@
+"""Open-addressing map: semantics, chain counters, contracts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.libvig.errors import CapacityError
+from repro.libvig.contracts import ContractViolation
+from repro.libvig.map import Map
+
+
+class TestBasicOperations:
+    def test_put_then_get(self):
+        m = Map(8)
+        m.put("key", 42)
+        assert m.get("key") == 42
+        assert m.has("key")
+        assert m.size() == 1
+
+    def test_get_missing_returns_default(self):
+        m = Map(8)
+        assert m.get("missing") is None
+        assert m.get("missing", -1) == -1
+        assert not m.has("missing")
+
+    def test_erase_returns_value(self):
+        m = Map(8)
+        m.put("key", 42)
+        assert m.erase("key") == 42
+        assert not m.has("key")
+        assert m.size() == 0
+
+    def test_erase_missing_raises(self):
+        m = Map(8)
+        with pytest.raises(KeyError):
+            m.erase("missing")
+
+    def test_items_iterates_live_entries(self):
+        m = Map(8)
+        for i in range(4):
+            m.put(i, i * 10)
+        assert dict(m.items()) == {0: 0, 1: 10, 2: 20, 3: 30}
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            Map(0)
+
+
+class TestCapacity:
+    def test_fill_to_capacity(self):
+        m = Map(4)
+        for i in range(4):
+            m.put(i, i)
+        assert m.full()
+        assert m.size() == 4
+
+    def test_put_beyond_capacity_raises(self):
+        m = Map(4)
+        for i in range(4):
+            m.put(i, i)
+        with pytest.raises(CapacityError):
+            m.put(99, 99)
+
+    def test_erase_frees_capacity(self):
+        m = Map(2)
+        m.put("a", 1)
+        m.put("b", 2)
+        m.erase("a")
+        m.put("c", 3)  # must not raise
+        assert m.get("c") == 3
+
+
+class TestCollisionChains:
+    """Force all keys into one probe sequence with a constant hash."""
+
+    def _colliding_map(self, capacity=8):
+        return Map(capacity, hash_fn=lambda key: 0)
+
+    def test_colliding_inserts_all_retrievable(self):
+        m = self._colliding_map()
+        for i in range(5):
+            m.put(f"k{i}", i)
+        for i in range(5):
+            assert m.get(f"k{i}") == i
+
+    def test_erase_middle_of_chain_keeps_rest_reachable(self):
+        m = self._colliding_map()
+        for i in range(5):
+            m.put(f"k{i}", i)
+        m.erase("k2")
+        for i in (0, 1, 3, 4):
+            assert m.get(f"k{i}") == i, f"k{i} lost after erasing k2"
+        assert m.get("k2") is None
+
+    def test_reinsert_after_chain_erase(self):
+        m = self._colliding_map()
+        for i in range(5):
+            m.put(f"k{i}", i)
+        m.erase("k0")
+        m.put("k0", 100)
+        assert m.get("k0") == 100
+        assert m.size() == 5
+
+    def test_wraparound_probing(self):
+        # Hash to the last slot so probing wraps to slot 0.
+        m = Map(4, hash_fn=lambda key: 3)
+        m.put("a", 1)
+        m.put("b", 2)
+        assert m.get("a") == 1
+        assert m.get("b") == 2
+
+    def test_chain_counters_unwind_on_erase(self):
+        m = self._colliding_map()
+        for i in range(5):
+            m.put(f"k{i}", i)
+        for i in range(5):
+            m.erase(f"k{i}")
+        assert all(c == 0 for c in m._chains), "leaked chain counters"
+
+    def test_miss_probe_stops_at_free_zero_chain(self):
+        m = self._colliding_map(capacity=64)
+        m.put("a", 1)
+        m.stats.reset()
+        assert m.get("nonexistent") is None
+        # One occupied slot traversed plus the free slot that ends it.
+        assert m.stats.probes <= 3
+
+
+class TestStats:
+    def test_probe_counting(self):
+        m = Map(8)
+        m.put("a", 1)
+        before = m.stats.probes
+        m.get("a")
+        assert m.stats.probes > before
+
+    def test_reset(self):
+        m = Map(8)
+        m.put("a", 1)
+        m.stats.reset()
+        assert m.stats.probes == 0
+        assert m.stats.puts == 0
+
+
+class TestContracts:
+    def test_put_duplicate_violates_contract(self, contracts):
+        m = Map(8)
+        m.put("a", 1)
+        with pytest.raises(ContractViolation):
+            m.put("a", 2)
+
+    def test_erase_missing_violates_contract(self, contracts):
+        m = Map(8)
+        with pytest.raises(ContractViolation):
+            m.erase("ghost")
+
+    def test_put_full_violates_contract(self, contracts):
+        m = Map(1)
+        m.put("a", 1)
+        with pytest.raises(ContractViolation):
+            m.put("b", 2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "erase", "get"]), st.integers(0, 15)),
+        max_size=60,
+    )
+)
+def test_refinement_against_abstract_map(ops):
+    """The concrete map commutes with the abstract partial map (P3)."""
+    concrete = Map(8)
+    reference = {}
+    for op, key in ops:
+        if op == "put":
+            if key not in reference and len(reference) < 8:
+                concrete.put(key, key * 3)
+                reference[key] = key * 3
+        elif op == "erase":
+            if key in reference:
+                assert concrete.erase(key) == reference.pop(key)
+        else:
+            assert concrete.get(key) == reference.get(key)
+        assert concrete.size() == len(reference)
+        assert dict(concrete.items()) == reference
+        state = concrete._abstract_state()
+        assert dict(state.entries) == reference

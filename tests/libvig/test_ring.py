@@ -1,0 +1,93 @@
+"""Ring buffer: FIFO semantics, constraint enforcement, contracts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.libvig.contracts import ContractViolation
+from repro.libvig.errors import CapacityError
+from repro.libvig.ring import Ring
+
+
+class TestFifoSemantics:
+    def test_push_pop_order(self):
+        ring = Ring(4)
+        for i in range(4):
+            ring.push_back(i)
+        assert [ring.pop_front() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_interleaved_wraparound(self):
+        ring = Ring(3)
+        ring.push_back("a")
+        ring.push_back("b")
+        assert ring.pop_front() == "a"
+        ring.push_back("c")
+        ring.push_back("d")  # wraps around the array boundary
+        assert [ring.pop_front() for _ in range(3)] == ["b", "c", "d"]
+
+    def test_full_empty_flags(self):
+        ring = Ring(2)
+        assert ring.empty() and not ring.full()
+        ring.push_back(1)
+        assert not ring.empty() and not ring.full()
+        ring.push_back(2)
+        assert ring.full()
+
+    def test_len(self):
+        ring = Ring(4)
+        ring.push_back(1)
+        ring.push_back(2)
+        assert len(ring) == 2
+
+    def test_push_full_raises(self):
+        ring = Ring(1)
+        ring.push_back(1)
+        with pytest.raises(CapacityError):
+            ring.push_back(2)
+
+    def test_pop_empty_raises(self):
+        ring = Ring(1)
+        with pytest.raises(IndexError):
+            ring.pop_front()
+
+
+class TestConstraint:
+    """The §3 packet constraint: pushed items must satisfy the predicate."""
+
+    def test_constraint_enforced_on_push(self):
+        ring = Ring(4, constraint=lambda port: port != 9)
+        ring.push_back(80)
+        with pytest.raises(ValueError):
+            ring.push_back(9)
+
+    def test_popped_items_satisfy_constraint(self):
+        ring = Ring(4, constraint=lambda port: port != 9)
+        for port in (80, 443, 53):
+            ring.push_back(port)
+        while not ring.empty():
+            assert ring.pop_front() != 9
+
+    def test_constraint_contract(self, contracts):
+        ring = Ring(4, constraint=lambda port: port != 9)
+        with pytest.raises((ContractViolation, ValueError)):
+            ring.push_back(9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(st.one_of(st.just("pop"), st.integers(0, 100)), max_size=60)
+)
+def test_refinement_against_abstract_ring(ops):
+    """The ring commutes with the abstract bounded FIFO (P3)."""
+    ring = Ring(5)
+    shadow = []
+    for op in ops:
+        if op == "pop":
+            if shadow:
+                assert ring.pop_front() == shadow.pop(0)
+        else:
+            if len(shadow) < 5:
+                ring.push_back(op)
+                shadow.append(op)
+        assert list(ring._abstract_state().items) == shadow
+        assert ring.full() == (len(shadow) == 5)
+        assert ring.empty() == (not shadow)

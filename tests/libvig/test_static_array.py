@@ -1,0 +1,59 @@
+"""StaticArray: bounds checking, contracts, frame isolation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.libvig.contracts import ContractViolation
+from repro.libvig.static_array import StaticArray
+
+
+class TestBasics:
+    def test_init_factory(self):
+        array = StaticArray(4, init=lambda i: i * 10)
+        assert list(array) == [0, 10, 20, 30]
+        assert len(array) == 4
+
+    def test_default_init_zero(self):
+        assert list(StaticArray(3)) == [0, 0, 0]
+
+    def test_get_set(self):
+        array = StaticArray(4)
+        array.set(2, 99)
+        assert array.get(2) == 99
+        assert array.get(0) == 0
+
+    def test_bounds_enforced(self):
+        array = StaticArray(4)
+        with pytest.raises(IndexError):
+            array.get(4)
+        with pytest.raises(IndexError):
+            array.set(-1, 0)
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            StaticArray(0)
+
+
+class TestContracts:
+    def test_out_of_bounds_violates_contract(self, contracts):
+        array = StaticArray(4)
+        with pytest.raises((ContractViolation, IndexError)):
+            array.get(7)
+
+    def test_set_frame_condition(self, contracts):
+        """The ensures clause checks every OTHER cell is untouched."""
+        array = StaticArray(8, init=lambda i: i)
+        array.set(3, 42)
+        assert list(array) == [0, 1, 2, 42, 4, 5, 6, 7]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 100)), max_size=30))
+def test_refinement_against_list(writes):
+    array = StaticArray(8)
+    shadow = [0] * 8
+    for index, value in writes:
+        array.set(index, value)
+        shadow[index] = value
+        assert list(array) == shadow
+        assert array.get(index) == value

@@ -1,0 +1,194 @@
+"""RFC 4787 behaviour classification — the STUN-style probe tests.
+
+Each test performs the standard probes (same internal endpoint to two
+remote endpoints; inbound from third parties) and checks the NAT
+exhibits exactly the configured behaviour. The final class shows VigNat
+sits at the strictest corner of the matrix (APDM + APDF).
+"""
+
+import pytest
+
+from repro.nat.behavior import (
+    BehavioralNat,
+    FilteringBehavior,
+    MappingBehavior,
+)
+from repro.nat.config import NatConfig
+from repro.nat.vignat import VigNat
+from repro.packets.addresses import ip_to_int
+from repro.packets.builder import make_udp_packet
+
+CFG = NatConfig(max_flows=64, expiration_time=60_000_000, start_port=1000)
+
+HOST = "10.0.0.5"
+REMOTE_1 = "198.51.100.1"
+REMOTE_2 = "198.51.100.2"
+
+
+def probe(nat, dst_ip, dst_port, sport=4000, now=1_000):
+    """Outbound probe; returns the external port the NAT chose."""
+    packet = make_udp_packet(HOST, dst_ip, sport, dst_port, device=0)
+    out = nat.process(packet, now)
+    assert out, "probe unexpectedly dropped"
+    return out[0].l4.src_port
+
+
+def inbound(nat, src_ip, src_port, ext_port, now=2_000):
+    packet = make_udp_packet(src_ip, CFG.external_ip, src_port, ext_port, device=1)
+    return nat.process(packet, now)
+
+
+class TestMappingBehaviors:
+    def test_endpoint_independent_mapping_reuses_port(self):
+        nat = BehavioralNat(CFG, mapping=MappingBehavior.ENDPOINT_INDEPENDENT)
+        port_1 = probe(nat, REMOTE_1, 80)
+        port_2 = probe(nat, REMOTE_2, 80)
+        port_3 = probe(nat, REMOTE_1, 8080)
+        assert port_1 == port_2 == port_3  # one mapping per internal endpoint
+        assert nat.mapping_count() == 1
+
+    def test_address_dependent_mapping(self):
+        nat = BehavioralNat(CFG, mapping=MappingBehavior.ADDRESS_DEPENDENT)
+        port_1 = probe(nat, REMOTE_1, 80)
+        port_1b = probe(nat, REMOTE_1, 8080)  # same remote address
+        port_2 = probe(nat, REMOTE_2, 80)  # different remote address
+        assert port_1 == port_1b
+        assert port_1 != port_2
+
+    def test_address_and_port_dependent_mapping(self):
+        nat = BehavioralNat(
+            CFG, mapping=MappingBehavior.ADDRESS_AND_PORT_DEPENDENT
+        )
+        port_1 = probe(nat, REMOTE_1, 80)
+        port_1b = probe(nat, REMOTE_1, 8080)
+        assert port_1 != port_1b  # every 5-tuple gets its own mapping
+
+
+class TestFilteringBehaviors:
+    def _connected_nat(self, filtering):
+        nat = BehavioralNat(
+            CFG,
+            mapping=MappingBehavior.ENDPOINT_INDEPENDENT,
+            filtering=filtering,
+        )
+        ext_port = probe(nat, REMOTE_1, 80)
+        return nat, ext_port
+
+    def test_endpoint_independent_filtering_full_cone(self):
+        nat, ext_port = self._connected_nat(FilteringBehavior.ENDPOINT_INDEPENDENT)
+        # Anyone who learns the port can reach the host.
+        assert inbound(nat, REMOTE_2, 9999, ext_port)
+
+    def test_address_dependent_filtering(self):
+        nat, ext_port = self._connected_nat(FilteringBehavior.ADDRESS_DEPENDENT)
+        assert inbound(nat, REMOTE_1, 9999, ext_port)  # contacted address: any port
+        assert not inbound(nat, REMOTE_2, 80, ext_port)  # uncontacted address
+
+    def test_address_and_port_dependent_filtering(self):
+        nat, ext_port = self._connected_nat(
+            FilteringBehavior.ADDRESS_AND_PORT_DEPENDENT
+        )
+        assert inbound(nat, REMOTE_1, 80, ext_port)  # the exact endpoint
+        assert not inbound(nat, REMOTE_1, 9999, ext_port)  # same addr, other port
+        assert not inbound(nat, REMOTE_2, 80, ext_port)
+
+    def test_delivery_rewrites_to_internal_host(self):
+        nat, ext_port = self._connected_nat(FilteringBehavior.ENDPOINT_INDEPENDENT)
+        back = inbound(nat, REMOTE_1, 80, ext_port)[0]
+        assert back.ipv4.dst_ip == ip_to_int(HOST)
+        assert back.l4.dst_port == 4000
+
+
+class TestHairpinning:
+    def test_internal_hosts_reach_each_other_via_external_address(self):
+        nat = BehavioralNat(CFG, hairpinning=True)
+        # Host B opens a mapping first.
+        b_out = nat.process(
+            make_udp_packet("10.0.0.6", REMOTE_1, 5000, 80, device=0), 1_000
+        )[0]
+        b_ext_port = b_out.l4.src_port
+        # Host A sends to B's *external* address/port from inside.
+        hairpin = make_udp_packet(HOST, CFG.external_ip, 4000, b_ext_port, device=0)
+        delivered = nat.process(hairpin, 2_000)
+        assert len(delivered) == 1
+        out = delivered[0]
+        assert out.device == CFG.internal_device
+        assert out.ipv4.dst_ip == ip_to_int("10.0.0.6")
+        assert out.l4.dst_port == 5000
+        # "External source" flavour: B sees A's external mapping.
+        assert out.ipv4.src_ip == CFG.external_ip
+
+    def test_hairpinning_disabled_is_not_delivered_internally(self):
+        """Without hairpin support the packet leaves on the external
+        side (towards the upstream router) instead of reaching the
+        internal target — the behaviour RFC 4787 REQ-9 exists to fix."""
+        nat = BehavioralNat(CFG, hairpinning=False)
+        nat.process(make_udp_packet("10.0.0.6", REMOTE_1, 5000, 80, device=0), 1_000)
+        hairpin = make_udp_packet(HOST, CFG.external_ip, 4000, 1000, device=0)
+        out = nat.process(hairpin, 2_000)
+        assert all(p.device == CFG.external_device for p in out)
+
+    def test_hairpin_to_unmapped_port_drops(self):
+        nat = BehavioralNat(CFG, hairpinning=True)
+        hairpin = make_udp_packet(HOST, CFG.external_ip, 4000, 1234, device=0)
+        assert nat.process(hairpin, 1_000) == []
+
+
+class TestExpiry:
+    def test_mappings_expire(self):
+        cfg = NatConfig(max_flows=8, expiration_time=1_000_000, start_port=1000)
+        nat = BehavioralNat(cfg)
+        ext_port = probe(nat, REMOTE_1, 80, now=1_000)
+        late = 1_000 + cfg.expiration_time + 1
+        assert not inbound(nat, REMOTE_1, 80, ext_port, now=late)
+        assert nat.mapping_count() == 0
+
+    def test_table_full_drops(self):
+        cfg = NatConfig(max_flows=2, expiration_time=60_000_000, start_port=1000)
+        nat = BehavioralNat(cfg, mapping=MappingBehavior.ENDPOINT_INDEPENDENT)
+        probe(nat, REMOTE_1, 80, sport=1)
+        probe(nat, REMOTE_1, 80, sport=2)
+        packet = make_udp_packet(HOST, REMOTE_1, 3, 80, device=0)
+        assert nat.process(packet, 1_000) == []
+
+
+class TestVigNatClassification:
+    """VigNat behaves exactly like the APDM+APDF corner of the matrix."""
+
+    def test_vignat_is_apdm(self):
+        vig = VigNat(CFG)
+        p1 = vig.process(make_udp_packet(HOST, REMOTE_1, 4000, 80, device=0), 1_000)[0]
+        p2 = vig.process(make_udp_packet(HOST, REMOTE_1, 4000, 8080, device=0), 1_000)[0]
+        assert p1.l4.src_port != p2.l4.src_port  # new mapping per 5-tuple
+
+    def test_vignat_is_apdf(self):
+        vig = VigNat(CFG)
+        out = vig.process(make_udp_packet(HOST, REMOTE_1, 4000, 80, device=0), 1_000)[0]
+        ext_port = out.l4.src_port
+        ok = make_udp_packet(REMOTE_1, CFG.external_ip, 80, ext_port, device=1)
+        wrong_port = make_udp_packet(REMOTE_1, CFG.external_ip, 81, ext_port, device=1)
+        wrong_host = make_udp_packet(REMOTE_2, CFG.external_ip, 80, ext_port, device=1)
+        assert vig.process(ok, 2_000)
+        assert not vig.process(wrong_port, 2_001)
+        assert not vig.process(wrong_host, 2_002)
+
+    def test_matrix_agreement_with_behavioral_nat(self):
+        """BehavioralNat at APDM+APDF forwards/drops exactly like VigNat."""
+        strict = BehavioralNat(
+            CFG,
+            mapping=MappingBehavior.ADDRESS_AND_PORT_DEPENDENT,
+            filtering=FilteringBehavior.ADDRESS_AND_PORT_DEPENDENT,
+            hairpinning=False,
+        )
+        vig = VigNat(CFG)
+        sequence = [
+            make_udp_packet(HOST, REMOTE_1, 4000, 80, device=0),
+            make_udp_packet(HOST, REMOTE_1, 4000, 8080, device=0),
+            make_udp_packet(REMOTE_1, CFG.external_ip, 80, 1000, device=1),
+            make_udp_packet(REMOTE_2, CFG.external_ip, 80, 1000, device=1),
+            make_udp_packet(REMOTE_1, CFG.external_ip, 81, 1001, device=1),
+        ]
+        for now, packet in enumerate(sequence, start=1):
+            a = strict.process(packet.clone(), now * 1_000)
+            b = vig.process(packet.clone(), now * 1_000)
+            assert (len(a) > 0) == (len(b) > 0), f"divergence on packet {now}"

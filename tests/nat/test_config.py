@@ -1,0 +1,38 @@
+"""NAT configuration validation."""
+
+import pytest
+
+from repro.nat.config import NatConfig
+
+
+class TestNatConfig:
+    def test_defaults_valid(self):
+        cfg = NatConfig()
+        assert cfg.max_flows == 65_535
+        assert cfg.expiration_time == 2_000_000
+        assert cfg.start_port + cfg.max_flows - 1 <= 0xFFFF
+
+    def test_devices_must_differ(self):
+        with pytest.raises(ValueError):
+            NatConfig(internal_device=1, external_device=1)
+
+    def test_positive_capacity(self):
+        with pytest.raises(ValueError):
+            NatConfig(max_flows=0)
+
+    def test_positive_expiration(self):
+        with pytest.raises(ValueError):
+            NatConfig(expiration_time=0)
+
+    def test_port_range_fits_16_bits(self):
+        with pytest.raises(ValueError):
+            NatConfig(start_port=60_000, max_flows=10_000)
+
+    def test_custom_values(self):
+        cfg = NatConfig(max_flows=100, expiration_time=5_000_000, start_port=2000)
+        assert cfg.max_flows == 100
+
+    def test_frozen(self):
+        cfg = NatConfig()
+        with pytest.raises(Exception):
+            cfg.max_flows = 1  # type: ignore[misc]

@@ -1,0 +1,145 @@
+"""Differential testing: VigNat against the executable RFC 3022 spec.
+
+The concrete-level counterpart of the P1 proof: hypothesis drives random
+packet sequences (both directions, expiry-crossing time gaps, table
+pressure) through VigNat and through the Fig. 6 decision tree, asserting
+they agree packet-for-packet — same forward/drop decision, same rewritten
+headers, same abstract state size.
+
+The spec's port oracle replays whichever port VigNat allocated, and the
+spec then *checks* the choice was legal (unused, in range), so the
+comparison is exact without fixing an allocation policy.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.nat.config import NatConfig
+from repro.nat.unverified import UnverifiedNat
+from repro.nat.vignat import VigNat
+from repro.packets.builder import make_udp_packet
+from repro.spec.rfc3022 import EXTERNAL, INTERNAL, NatSpec, SpecPacket
+
+CFG = NatConfig(max_flows=4, expiration_time=2_000_000, start_port=1000)
+
+REMOTE_IP = 0x08080808
+INTERNAL_IPS = [0x0A000001, 0x0A000002, 0x0A000003]
+
+
+def _steps():
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["in", "out"]),
+            st.integers(0, 5),  # flow selector
+            st.integers(0, 2_500_000),  # time increment, microseconds
+        ),
+        min_size=1,
+        max_size=30,
+    )
+
+
+def _spec_packet(direction, selector, spec_state, cfg):
+    if direction == "out":
+        src_ip = INTERNAL_IPS[selector % len(INTERNAL_IPS)]
+        src_port = 4000 + selector
+        return SpecPacket(
+            iface=INTERNAL,
+            src_ip=src_ip,
+            src_port=src_port,
+            dst_ip=REMOTE_IP,
+            dst_port=53,
+            protocol=17,
+        )
+    # External packet: aim at an allocated port when one exists, so the
+    # sequence exercises both hits and unsolicited misses.
+    ports = sorted(spec_state.allocated_ports())
+    dst_port = ports[selector % len(ports)] if ports and selector % 2 == 0 else (
+        cfg.start_port + selector
+    )
+    return SpecPacket(
+        iface=EXTERNAL,
+        src_ip=REMOTE_IP,
+        src_port=53,
+        dst_ip=cfg.external_ip,
+        dst_port=dst_port,
+        protocol=17,
+    )
+
+
+def _concrete_packet(spec_packet, cfg):
+    device = (
+        cfg.internal_device if spec_packet.iface == INTERNAL else cfg.external_device
+    )
+    return make_udp_packet(
+        spec_packet.src_ip,
+        spec_packet.dst_ip,
+        spec_packet.src_port,
+        spec_packet.dst_port,
+        device=device,
+    )
+
+
+class TestVigNatAgainstSpec:
+    @settings(max_examples=120, deadline=None)
+    @given(steps=_steps())
+    def test_exact_agreement(self, steps):
+        nat = VigNat(CFG)
+        chosen_port = {}
+
+        def oracle(state, packet):
+            return chosen_port["port"]
+
+        spec = NatSpec(
+            external_ip=CFG.external_ip,
+            capacity=CFG.max_flows,
+            expiration_time=CFG.expiration_time,
+            port_oracle=oracle,
+            start_port=CFG.start_port,
+        )
+        state = spec.initial_state()
+        now = 0
+        for direction, selector, dt in steps:
+            now += dt
+            spec_pkt = _spec_packet(direction, selector, state, CFG)
+            concrete = _concrete_packet(spec_pkt, CFG)
+            outputs = nat.process(concrete, now)
+            # Feed the implementation's allocation to the spec's oracle.
+            if outputs and direction == "out":
+                chosen_port["port"] = outputs[0].l4.src_port
+            verdict = spec.step(state, spec_pkt, now)
+            state = verdict.state
+
+            assert (len(outputs) == 1) == (verdict.sent is not None), (
+                f"forward/drop mismatch at t={now}: case {verdict.case}"
+            )
+            if verdict.sent is not None:
+                sent = verdict.sent
+                out = outputs[0]
+                assert out.ipv4.src_ip == sent.src_ip
+                assert out.l4.src_port == sent.src_port
+                assert out.ipv4.dst_ip == sent.dst_ip
+                assert out.l4.dst_port == sent.dst_port
+                expected_device = (
+                    CFG.internal_device
+                    if sent.iface == INTERNAL
+                    else CFG.external_device
+                )
+                assert out.device == expected_device
+            assert nat.flow_count() == state.size()
+
+
+class TestUnverifiedDivergesFromSpec:
+    """The eviction bug makes the unverified NAT observably non-conformant."""
+
+    def test_divergence_under_table_pressure(self):
+        nat = UnverifiedNat(CFG)
+        # Fill the table, then offer one more flow: the spec drops it,
+        # the unverified NAT forwards it (by evicting a live flow).
+        for i in range(CFG.max_flows):
+            nat.process(
+                make_udp_packet(INTERNAL_IPS[0], REMOTE_IP, 5000 + i, 53, device=0),
+                1_000,
+            )
+        extra = make_udp_packet(INTERNAL_IPS[0], REMOTE_IP, 9999, 53, device=0)
+        outputs = nat.process(extra, 1_001)
+        assert outputs, "unverified NAT forwarded where the spec drops"
+        assert nat.flow_count() == CFG.max_flows  # evicted, not grown

@@ -1,0 +1,59 @@
+"""Differential testing of the firewall against a dictionary shadow."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.nat.config import NatConfig
+from repro.nat.firewall import VigFirewall
+from repro.packets.builder import make_udp_packet
+
+CFG = NatConfig(max_flows=3, expiration_time=1_000_000)
+
+HOSTS = [0x0A000001, 0x0A000002]
+REMOTES = [0x08080808, 0x09090909]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    steps=st.lists(
+        st.tuples(
+            st.sampled_from(["out", "in"]),
+            st.integers(0, 1),  # host selector
+            st.integers(0, 1),  # remote selector
+            st.integers(0, 3),  # port selector
+            st.integers(0, 1_200_000),  # dt
+        ),
+        max_size=30,
+    )
+)
+def test_firewall_matches_shadow_model(steps):
+    fw = VigFirewall(CFG)
+    shadow = {}  # internal 5-tuple -> last_seen
+    now = 0
+    for direction, host_i, remote_i, port_i, dt in steps:
+        now += dt
+        threshold = now - CFG.expiration_time
+        shadow = {k: t for k, t in shadow.items() if t > threshold}
+        host, remote = HOSTS[host_i], REMOTES[remote_i]
+        sport, dport = 4000 + port_i, 80
+
+        if direction == "out":
+            packet = make_udp_packet(host, remote, sport, dport, device=0)
+            key = (host, sport, remote, dport)
+            if key in shadow:
+                expect_forward = True
+                shadow[key] = now
+            elif len(shadow) < CFG.max_flows:
+                expect_forward = True
+                shadow[key] = now
+            else:
+                expect_forward = False
+        else:
+            packet = make_udp_packet(remote, host, dport, sport, device=1)
+            key = (host, sport, remote, dport)
+            expect_forward = key in shadow
+            if expect_forward:
+                shadow[key] = now
+
+        out = fw.process(packet, now)
+        assert bool(out) == expect_forward, (direction, key, now)
+        assert fw.session_count() == len(shadow)

@@ -1,0 +1,60 @@
+"""Flow identifiers and translation entries."""
+
+import pytest
+
+from repro.nat.flow import Flow, FlowId, flow_id_of_packet
+from repro.packets.builder import make_tcp_packet, make_udp_packet
+from repro.packets.headers import PROTO_TCP, PROTO_UDP
+
+
+class TestFlowId:
+    def test_extracted_from_packet(self):
+        packet = make_udp_packet("10.0.0.1", "8.8.8.8", 1234, 53)
+        fid = flow_id_of_packet(packet)
+        assert fid == FlowId(0x0A000001, 1234, 0x08080808, 53, PROTO_UDP)
+
+    def test_protocol_distinguishes_flows(self):
+        udp = flow_id_of_packet(make_udp_packet("10.0.0.1", "8.8.8.8", 1, 2))
+        tcp = flow_id_of_packet(make_tcp_packet("10.0.0.1", "8.8.8.8", 1, 2))
+        assert udp != tcp
+        assert tcp.protocol == PROTO_TCP
+
+    def test_reversed(self):
+        fid = FlowId(1, 2, 3, 4, PROTO_UDP)
+        rev = fid.reversed()
+        assert rev == FlowId(3, 4, 1, 2, PROTO_UDP)
+        assert rev.reversed() == fid
+
+    def test_requires_l4(self):
+        from repro.packets.headers import EthernetHeader, Packet
+
+        with pytest.raises(ValueError):
+            flow_id_of_packet(Packet(eth=EthernetHeader()))
+
+    def test_hashable(self):
+        a = FlowId(1, 2, 3, 4, 6)
+        b = FlowId(1, 2, 3, 4, 6)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestFlow:
+    def test_external_id_orientation(self):
+        """Reply packets bear remote endpoint as src, NAT as dst."""
+        internal = FlowId(
+            src_ip=0x0A000001, src_port=4000, dst_ip=0x08080808, dst_port=53,
+            protocol=PROTO_UDP,
+        )
+        flow = Flow(internal_id=internal, external_port=1024)
+        ext = flow.external_id(external_ip=0xC0000201)
+        assert ext.src_ip == 0x08080808
+        assert ext.src_port == 53
+        assert ext.dst_ip == 0xC0000201
+        assert ext.dst_port == 1024
+        assert ext.protocol == PROTO_UDP
+
+    def test_flows_with_same_internal_differ_by_port(self):
+        internal = FlowId(1, 2, 3, 4, PROTO_UDP)
+        a = Flow(internal, 1000)
+        b = Flow(internal, 1001)
+        assert a.external_id(9) != b.external_id(9)

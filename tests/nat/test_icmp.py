@@ -1,0 +1,191 @@
+"""ICMP translation (RFC 3022 §4.3): errors with embedded packets, echo."""
+
+import pytest
+
+from repro.nat.config import NatConfig
+from repro.nat.icmp_ext import IcmpAwareNat
+from repro.packets.addresses import ip_to_int
+from repro.packets.builder import make_udp_packet
+from repro.packets.headers import (
+    EthernetHeader,
+    Ipv4Header,
+    PROTO_ICMP,
+    PROTO_UDP,
+    Packet,
+)
+from repro.packets.icmp import (
+    ICMP_DEST_UNREACHABLE,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    IcmpMessage,
+)
+
+CFG = NatConfig(max_flows=16, expiration_time=60_000_000, start_port=1000)
+
+HOST = "10.0.0.5"
+REMOTE = "8.8.8.8"
+
+
+def icmp_packet(src, dst, message: IcmpMessage, device: int) -> Packet:
+    payload = message.pack(fill_checksum=True)
+    ipv4 = Ipv4Header(
+        protocol=PROTO_ICMP,
+        src_ip=ip_to_int(src) if isinstance(src, str) else src,
+        dst_ip=ip_to_int(dst) if isinstance(dst, str) else dst,
+        total_length=20 + len(payload),
+    )
+    packet = Packet(eth=EthernetHeader(), ipv4=ipv4, payload=payload, device=device)
+    packet.to_bytes()
+    return packet
+
+
+def open_flow(nat):
+    """Send one outbound UDP packet; returns the translated packet."""
+    return nat.process(make_udp_packet(HOST, REMOTE, 4000, 53, device=0), 1_000)[0]
+
+
+def error_about(translated, icmp_type=ICMP_DEST_UNREACHABLE, code=3) -> IcmpMessage:
+    """An ICMP error embedding the translated outbound packet."""
+    inner_ip = Ipv4Header(
+        protocol=PROTO_UDP,
+        src_ip=translated.ipv4.src_ip,
+        dst_ip=translated.ipv4.dst_ip,
+        total_length=28,
+    )
+    body = inner_ip.pack(fill_checksum=True)
+    body += translated.l4.src_port.to_bytes(2, "big")
+    body += translated.l4.dst_port.to_bytes(2, "big")
+    body += b"\x00\x1c\x00\x00"  # UDP length/checksum stub
+    return IcmpMessage(icmp_type=icmp_type, code=code, body=body)
+
+
+class TestInboundErrors:
+    def test_unreachable_delivered_to_internal_host(self):
+        nat = IcmpAwareNat(CFG)
+        translated = open_flow(nat)
+        error = error_about(translated)
+        arriving = icmp_packet(REMOTE, CFG.external_ip, error, device=1)
+        out = nat.process(arriving, 2_000)
+        assert len(out) == 1
+        delivered = out[0]
+        assert delivered.device == CFG.internal_device
+        assert delivered.ipv4.dst_ip == ip_to_int(HOST)
+
+    def test_embedded_packet_rewritten_back(self):
+        nat = IcmpAwareNat(CFG)
+        translated = open_flow(nat)
+        arriving = icmp_packet(REMOTE, CFG.external_ip, error_about(translated), device=1)
+        delivered = nat.process(arriving, 2_000)[0]
+        message = IcmpMessage.unpack(delivered.payload)
+        inner_ip, sport, dport, _ = message.embedded()
+        assert inner_ip.src_ip == ip_to_int(HOST)  # de-translated
+        assert sport == 4000  # the original internal source port
+        assert dport == 53
+        assert inner_ip.header_checksum_valid()
+        assert message.checksum_valid()
+
+    def test_error_for_unknown_flow_dropped(self):
+        nat = IcmpAwareNat(CFG)
+        translated = open_flow(nat)
+        bogus = error_about(translated)
+        # Claim the error is about a port nobody mapped.
+        inner_ip, sport, dport, trailing = IcmpMessage.unpack(
+            bogus.pack()
+        ).embedded()
+        bogus.replace_embedded(inner_ip, 9999, dport, trailing)
+        arriving = icmp_packet(REMOTE, CFG.external_ip, bogus, device=1)
+        assert nat.process(arriving, 2_000) == []
+
+    def test_error_not_about_our_address_dropped(self):
+        nat = IcmpAwareNat(CFG)
+        translated = open_flow(nat)
+        error = error_about(translated)
+        inner_ip, sport, dport, trailing = IcmpMessage.unpack(error.pack()).embedded()
+        inner_ip.src_ip = ip_to_int("1.2.3.4")  # not the NAT's external IP
+        error.replace_embedded(inner_ip, sport, dport, trailing)
+        arriving = icmp_packet(REMOTE, CFG.external_ip, error, device=1)
+        assert nat.process(arriving, 2_000) == []
+
+    def test_truncated_error_dropped(self):
+        nat = IcmpAwareNat(CFG)
+        open_flow(nat)
+        stub = IcmpMessage(icmp_type=ICMP_DEST_UNREACHABLE, body=b"\x45\x00")
+        arriving = icmp_packet(REMOTE, CFG.external_ip, stub, device=1)
+        assert nat.process(arriving, 2_000) == []
+
+
+class TestOutboundErrors:
+    def test_internal_error_translated_outward(self):
+        """An internal host reports an error about inbound traffic."""
+        nat = IcmpAwareNat(CFG)
+        translated = open_flow(nat)
+        # The embedded packet is the inbound one: remote -> internal host.
+        inner_ip = Ipv4Header(
+            protocol=PROTO_UDP,
+            src_ip=ip_to_int(REMOTE),
+            dst_ip=ip_to_int(HOST),
+            total_length=28,
+        )
+        body = inner_ip.pack(fill_checksum=True)
+        body += (53).to_bytes(2, "big") + (4000).to_bytes(2, "big")
+        body += b"\x00\x1c\x00\x00"
+        error = IcmpMessage(icmp_type=ICMP_DEST_UNREACHABLE, code=3, body=body)
+        outgoing = icmp_packet(HOST, REMOTE, error, device=0)
+        out = nat.process(outgoing, 2_000)
+        assert len(out) == 1
+        emitted = out[0]
+        assert emitted.device == CFG.external_device
+        assert emitted.ipv4.src_ip == CFG.external_ip  # outer masqueraded
+        message = IcmpMessage.unpack(emitted.payload)
+        inner, sport, dport, _ = message.embedded()
+        assert inner.dst_ip == CFG.external_ip  # embedded dst translated
+        assert dport == translated.l4.src_port  # to the external port
+
+
+class TestEcho:
+    def test_echo_round_trip(self):
+        nat = IcmpAwareNat(CFG)
+        request = IcmpMessage(
+            icmp_type=ICMP_ECHO_REQUEST, rest=(0x1234 << 16) | 1, body=b"ping"
+        )
+        out = nat.process(icmp_packet(HOST, REMOTE, request, device=0), 1_000)
+        assert len(out) == 1
+        assert out[0].ipv4.src_ip == CFG.external_ip
+        ext_id = (IcmpMessage.unpack(out[0].payload).rest >> 16) & 0xFFFF
+
+        reply = IcmpMessage(
+            icmp_type=ICMP_ECHO_REPLY, rest=(ext_id << 16) | 1, body=b"ping"
+        )
+        back = nat.process(icmp_packet(REMOTE, CFG.external_ip, reply, device=1), 2_000)
+        assert len(back) == 1
+        assert back[0].ipv4.dst_ip == ip_to_int(HOST)
+        restored = IcmpMessage.unpack(back[0].payload)
+        assert (restored.rest >> 16) & 0xFFFF == 0x1234  # original identifier
+        assert restored.checksum_valid()
+
+    def test_two_hosts_same_identifier_disambiguated(self):
+        nat = IcmpAwareNat(CFG)
+        ids = []
+        for host in ("10.0.0.5", "10.0.0.6"):
+            request = IcmpMessage(icmp_type=ICMP_ECHO_REQUEST, rest=(7 << 16) | 1)
+            out = nat.process(icmp_packet(host, REMOTE, request, device=0), 1_000)[0]
+            ids.append((IcmpMessage.unpack(out.payload).rest >> 16) & 0xFFFF)
+        assert ids[0] != ids[1]
+
+    def test_unsolicited_reply_dropped(self):
+        nat = IcmpAwareNat(CFG)
+        reply = IcmpMessage(icmp_type=ICMP_ECHO_REPLY, rest=(99 << 16) | 1)
+        assert nat.process(icmp_packet(REMOTE, CFG.external_ip, reply, device=1), 1_000) == []
+
+
+class TestDelegation:
+    def test_udp_still_goes_through_the_verified_core(self):
+        nat = IcmpAwareNat(CFG)
+        translated = open_flow(nat)
+        assert translated.ipv4.src_ip == CFG.external_ip
+        assert nat.flow_count() == 1
+
+    def test_other_icmp_types_dropped(self):
+        nat = IcmpAwareNat(CFG)
+        router_ad = IcmpMessage(icmp_type=9)
+        assert nat.process(icmp_packet(REMOTE, CFG.external_ip, router_ad, device=1), 1_000) == []

@@ -1,0 +1,105 @@
+"""The NetFilter-style NAT: conntrack behaviour and translation parity."""
+
+from repro.nat.config import NatConfig
+from repro.nat.netfilter import ConntrackState, NetfilterNat
+from repro.nat.vignat import VigNat
+from repro.packets.addresses import ip_to_int
+from repro.packets.builder import make_tcp_packet, make_udp_packet
+
+CFG = NatConfig(max_flows=32, expiration_time=2_000_000, start_port=1000)
+
+
+def outbound(sport=4000, maker=make_udp_packet):
+    return maker("10.0.0.5", "8.8.8.8", sport, 53, device=0)
+
+
+class TestConntrack:
+    def test_new_connection_tracked(self):
+        nat = NetfilterNat(CFG)
+        nat.process(outbound(), 1_000)
+        assert nat.flow_count() == 1
+        ct = next(iter(nat._lru.values()))
+        assert ct.state is ConntrackState.NEW
+
+    def test_second_outbound_establishes(self):
+        nat = NetfilterNat(CFG)
+        nat.process(outbound(), 1_000)
+        nat.process(outbound(), 2_000)
+        ct = next(iter(nat._lru.values()))
+        assert ct.state is ConntrackState.ESTABLISHED
+
+    def test_tcp_reply_assures(self):
+        nat = NetfilterNat(CFG)
+        out = nat.process(outbound(maker=make_tcp_packet), 1_000)[0]
+        reply = make_tcp_packet("8.8.8.8", CFG.external_ip, 53, out.l4.src_port, device=1)
+        nat.process(reply, 2_000)
+        ct = next(iter(nat._lru.values()))
+        assert ct.state is ConntrackState.ASSURED
+
+    def test_expiration_gc(self):
+        nat = NetfilterNat(CFG)
+        nat.process(outbound(), 0)
+        nat.process(outbound(sport=5000), CFG.expiration_time + 1)
+        assert nat.flow_count() == 1
+
+    def test_full_table_drops(self):
+        cfg = NatConfig(max_flows=2, expiration_time=60_000_000, start_port=1000)
+        nat = NetfilterNat(cfg)
+        assert nat.process(outbound(sport=1), 1_000)
+        assert nat.process(outbound(sport=2), 1_000)
+        assert nat.process(outbound(sport=3), 1_000) == []
+
+    def test_unsolicited_dropped(self):
+        nat = NetfilterNat(CFG)
+        unsolicited = make_udp_packet("8.8.8.8", CFG.external_ip, 53, 1001, device=1)
+        assert nat.process(unsolicited, 1_000) == []
+
+
+class TestHookCosts:
+    def test_hook_traversals_counted(self):
+        nat = NetfilterNat(CFG)
+        nat.process(outbound(), 1_000)
+        assert nat.op_counters()["hook_traversals"] == NetfilterNat.HOOKS_PER_PACKET
+
+    def test_checksum_bytes_counted_for_forwarded(self):
+        nat = NetfilterNat(CFG)
+        nat.process(outbound(), 1_000)
+        assert nat.op_counters()["checksum_bytes"] > 0
+
+    def test_dropped_packets_skip_checksum(self):
+        nat = NetfilterNat(CFG)
+        unsolicited = make_udp_packet("8.8.8.8", CFG.external_ip, 53, 1001, device=1)
+        nat.process(unsolicited, 1_000)
+        assert nat.op_counters()["checksum_bytes"] == 0
+
+
+class TestTranslationParity:
+    """On conforming traffic the Linux NAT translates like VigNat."""
+
+    def test_byte_identical_translations(self):
+        linux = NetfilterNat(CFG)
+        vig = VigNat(CFG)
+        seq = [
+            outbound(sport=4000),
+            outbound(sport=4001),
+            outbound(sport=4000),
+        ]
+        for now, packet in enumerate(seq, start=1):
+            a = linux.process(packet.clone(), now * 1000)
+            b = vig.process(packet.clone(), now * 1000)
+            assert len(a) == len(b) == 1
+            # Port allocation policy may differ; everything else matches.
+            assert a[0].ipv4.src_ip == b[0].ipv4.src_ip
+            assert a[0].ipv4.dst_ip == b[0].ipv4.dst_ip
+            assert a[0].l4.dst_port == b[0].l4.dst_port
+            assert a[0].device == b[0].device
+
+    def test_reply_parity(self):
+        linux = NetfilterNat(CFG)
+        out = linux.process(outbound(sport=4500), 1_000)[0]
+        reply = make_udp_packet("8.8.8.8", CFG.external_ip, 53, out.l4.src_port, device=1)
+        back = linux.process(reply, 2_000)[0]
+        assert back.ipv4.dst_ip == ip_to_int("10.0.0.5")
+        assert back.l4.dst_port == 4500
+        assert back.l4_checksum_valid()
+        assert back.ipv4.header_checksum_valid()

@@ -1,0 +1,134 @@
+"""Conntrack per-state timeouts: NEW connections die early."""
+
+from repro.nat.config import NatConfig
+from repro.nat.netfilter import ConntrackState, NetfilterNat
+from repro.packets.builder import make_udp_packet
+
+# A long idle timeout so the NEW/ESTABLISHED distinction is visible.
+CFG = NatConfig(max_flows=16, expiration_time=300_000_000, start_port=1000)
+
+S = 1_000_000  # microseconds per second
+
+
+def outbound(sport=4000, now=0):
+    return make_udp_packet("10.0.0.5", "8.8.8.8", sport, 53, device=0)
+
+
+class TestPerStateTimeouts:
+    def test_unanswered_new_connection_expires_at_30s(self):
+        nat = NetfilterNat(CFG)
+        out = nat.process(outbound(), 0)[0]
+        # 31 s later the NEW entry is gone: the reply blackholes.
+        reply = make_udp_packet("8.8.8.8", CFG.external_ip, 53, out.l4.src_port, device=1)
+        assert nat.process(reply, 31 * S) == []
+        assert nat.flow_count() == 0
+
+    def test_established_connection_survives_30s(self):
+        nat = NetfilterNat(CFG)
+        nat.process(outbound(), 0)
+        nat.process(outbound(), 1 * S)  # second packet: ESTABLISHED
+        ct = next(iter(nat._lru.values()))
+        assert ct.state is ConntrackState.ESTABLISHED
+        # 31 s after the last packet: still within the 300 s idle timeout.
+        out = nat.process(outbound(), 32 * S)
+        assert out
+        assert nat.flow_count() == 1
+
+    def test_established_connection_expires_at_idle_timeout(self):
+        nat = NetfilterNat(CFG)
+        nat.process(outbound(), 0)
+        nat.process(outbound(), 1 * S)
+        late = 1 * S + CFG.expiration_time
+        # The flow is gone; the next packet opens a NEW conntrack entry.
+        nat.process(outbound(), late)
+        ct = next(iter(nat._lru.values()))
+        assert ct.state is ConntrackState.NEW
+
+    def test_lazy_expiry_on_lookup(self):
+        """A stale NEW entry behind a fresh ESTABLISHED one in the LRU
+        is reaped when looked up, even though the front scan stops."""
+        nat = NetfilterNat(CFG)
+        nat.process(outbound(sport=1), 0)  # becomes ESTABLISHED below
+        nat.process(outbound(sport=1), 1)
+        nat.process(outbound(sport=2), 2)  # NEW, will go stale
+        nat.process(outbound(sport=1), 3)  # moves sport=1 behind sport=2? no: to end
+        # 31 s later: sport=2's NEW entry is stale; front of LRU is
+        # sport=2 (oldest last_seen) so eager expiry handles it, but a
+        # direct lookup must agree regardless of LRU position.
+        out = nat.process(outbound(sport=2), 31 * S)
+        assert out  # re-created as NEW and forwarded
+        ct = nat._lookup(
+            __import__("repro.nat.flow", fromlist=["flow_id_of_packet"]).flow_id_of_packet(
+                outbound(sport=2)
+            ),
+            31 * S,
+        )
+        assert ct is not None and ct.state is ConntrackState.NEW
+
+    def test_short_expiry_config_unchanged(self):
+        """With Texp < 30 s the per-state logic is invisible (default)."""
+        cfg = NatConfig(max_flows=16, expiration_time=2_000_000)
+        nat = NetfilterNat(cfg)
+        nat.process(outbound(), 0)
+        assert nat.process(outbound(sport=9), cfg.expiration_time + 1)
+        assert nat.flow_count() == 1  # the first (NEW) flow expired at Texp
+
+
+class TestTcpTeardown:
+    def _open_tcp(self, nat, now=0):
+        from repro.packets.builder import make_tcp_packet
+
+        out = nat.process(
+            make_tcp_packet("10.0.0.5", "8.8.8.8", 4000, 80, device=0), now
+        )[0]
+        return out
+
+    def test_rst_destroys_mapping_immediately(self):
+        from repro.packets.builder import make_tcp_packet
+
+        nat = NetfilterNat(CFG)
+        out = self._open_tcp(nat)
+        rst = make_tcp_packet(
+            "10.0.0.5", "8.8.8.8", 4000, 80, flags=0x04, device=0
+        )
+        forwarded = nat.process(rst, 1_000)
+        assert forwarded  # the RST itself still goes out
+        assert nat.flow_count() == 0
+        # A reply after the RST finds no mapping.
+        reply = make_tcp_packet(
+            "8.8.8.8", CFG.external_ip, 80, out.l4.src_port, device=1
+        )
+        assert nat.process(reply, 2_000) == []
+
+    def test_fin_moves_to_closing_with_short_timeout(self):
+        from repro.nat.netfilter import ConntrackState
+        from repro.packets.builder import make_tcp_packet
+
+        nat = NetfilterNat(CFG)
+        out = self._open_tcp(nat)
+        fin = make_tcp_packet(
+            "10.0.0.5", "8.8.8.8", 4000, 80, flags=0x01 | 0x10, device=0
+        )
+        nat.process(fin, 1_000)
+        ct = next(iter(nat._lru.values()))
+        assert ct.state is ConntrackState.CLOSING
+        # 31 s later (well within the 300 s idle timeout) it is gone.
+        reply = make_tcp_packet(
+            "8.8.8.8", CFG.external_ip, 80, out.l4.src_port, device=1
+        )
+        assert nat.process(reply, 31 * S) == []
+
+    def test_plain_ack_does_not_tear_down(self):
+        from repro.packets.builder import make_tcp_packet
+
+        nat = NetfilterNat(CFG)
+        self._open_tcp(nat)
+        ack = make_tcp_packet("10.0.0.5", "8.8.8.8", 4000, 80, flags=0x10, device=0)
+        nat.process(ack, 1_000)
+        assert nat.flow_count() == 1
+
+    def test_udp_unaffected_by_flag_logic(self):
+        nat = NetfilterNat(CFG)
+        nat.process(outbound(), 0)
+        nat.process(outbound(), 1_000)
+        assert nat.flow_count() == 1

@@ -1,0 +1,164 @@
+"""The unverified NAT: happy path plus its documented latent defects.
+
+These are the reproduction's analogue of the CVEs the paper's
+introduction cites: crafted inputs that crash, hang, or silently corrupt
+an unverified NAT, each paired with a check that VigNat is immune.
+"""
+
+import pytest
+
+from repro.nat.config import NatConfig
+from repro.nat.flow import FlowId
+from repro.nat.unverified import NatCrash, UnverifiedNat
+from repro.nat.vignat import VigNat
+from repro.packets.addresses import ip_to_int
+from repro.packets.builder import make_udp_packet
+from repro.packets.headers import PROTO_UDP
+
+CFG = NatConfig(max_flows=16, expiration_time=2_000_000, start_port=1000)
+
+
+def outbound(sport=4000, host="10.0.0.5"):
+    return make_udp_packet(host, "8.8.8.8", sport, 53, device=0)
+
+
+class TestHappyPath:
+    def test_round_trip_translation(self):
+        nat = UnverifiedNat(CFG)
+        out = nat.process(outbound(), 1_000)[0]
+        assert out.ipv4.src_ip == CFG.external_ip
+        reply = make_udp_packet(
+            "8.8.8.8", CFG.external_ip, 53, out.l4.src_port, device=1
+        )
+        back = nat.process(reply, 2_000)[0]
+        assert back.ipv4.dst_ip == ip_to_int("10.0.0.5")
+        assert back.l4.dst_port == 4000
+
+    def test_expiration(self):
+        nat = UnverifiedNat(CFG)
+        nat.process(outbound(), 0)
+        nat.process(outbound(sport=5000), CFG.expiration_time + 1)
+        assert nat.flow_count() == 1  # the first flow expired
+
+    def test_unsolicited_dropped(self):
+        nat = UnverifiedNat(CFG)
+        unsolicited = make_udp_packet("8.8.8.8", CFG.external_ip, 53, 1005, device=1)
+        assert nat.process(unsolicited, 1_000) == []
+
+
+class TestEvictionBug:
+    """RFC 3022 says drop when full; this NAT evicts a live flow."""
+
+    def test_eviction_breaks_established_flow(self):
+        nat = UnverifiedNat(CFG)
+        victim_out = nat.process(outbound(sport=1000), 1_000)[0]
+        for i in range(1, CFG.max_flows):
+            nat.process(outbound(sport=1000 + i), 1_000)
+        # Table full. One more new flow evicts the victim...
+        assert nat.process(outbound(sport=9999), 1_001) != []
+        # ...so the victim's reply now blackholes.
+        reply = make_udp_packet(
+            "8.8.8.8", CFG.external_ip, 53, victim_out.l4.src_port, device=1
+        )
+        assert nat.process(reply, 1_002) == []
+
+    def test_vignat_immune(self):
+        nat = VigNat(CFG)
+        victim_out = nat.process(outbound(sport=1000), 1_000)[0]
+        for i in range(1, CFG.max_flows):
+            nat.process(outbound(sport=1000 + i), 1_000)
+        assert nat.process(outbound(sport=9999), 1_001) == []  # dropped
+        reply = make_udp_packet(
+            "8.8.8.8", CFG.external_ip, 53, victim_out.l4.src_port, device=1
+        )
+        assert nat.process(reply, 1_002) != []  # victim flow intact
+
+
+class TestPortLeakCrash:
+    """Eviction leaks the port; sustained churn crashes the NAT."""
+
+    def test_crafted_churn_crashes(self):
+        cfg = NatConfig(
+            max_flows=4, expiration_time=60_000_000, start_port=65_530
+        )
+        nat = UnverifiedNat(cfg)
+        with pytest.raises(NatCrash):
+            # Far more fresh flows than ports: every eviction leaks one.
+            for i in range(10):
+                nat.process(outbound(sport=2000 + i), 1_000 + i)
+
+    def test_vignat_survives_identical_churn(self):
+        cfg = NatConfig(
+            max_flows=4, expiration_time=60_000_000, start_port=65_530
+        )
+        nat = VigNat(cfg)
+        forwarded = 0
+        for i in range(10):
+            forwarded += len(nat.process(outbound(sport=2000 + i), 1_000 + i))
+        assert forwarded == 4  # table capacity; the rest dropped cleanly
+        assert nat.flow_count() == 4
+
+
+class TestChecksumCorruptionBug:
+    """Inbound path corrupts a disabled (zero) UDP checksum."""
+
+    def _reply_with_zero_checksum(self, nat):
+        out = nat.process(outbound(), 1_000)[0]
+        reply = make_udp_packet(
+            "8.8.8.8", CFG.external_ip, 53, out.l4.src_port, device=1
+        )
+        reply.l4.checksum = 0  # sender disabled UDP checksumming
+        return nat.process(reply, 2_000)[0]
+
+    def test_unverified_emits_invalid_checksum(self):
+        back = self._reply_with_zero_checksum(UnverifiedNat(CFG))
+        assert back.l4.checksum != 0  # "patched" a disabled checksum
+        assert not back.l4_checksum_valid()
+
+    def test_vignat_keeps_checksum_disabled(self):
+        back = self._reply_with_zero_checksum(VigNat(CFG))
+        assert back.l4.checksum == 0
+
+
+class TestHashFloodingDegradation:
+    """Crafted colliding 5-tuples degrade chaining lookups to O(n)."""
+
+    @staticmethod
+    def _colliding_flows(nat, count):
+        """Find flow IDs that land in one bucket of the chaining table."""
+        table = nat._by_internal
+        target = None
+        found = []
+        sport = 1
+        while len(found) < count and sport < 60_000:
+            fid = FlowId(ip_to_int("10.9.9.9"), sport, ip_to_int("8.8.8.8"), 53, PROTO_UDP)
+            bucket = (hash(fid) & 0xFFFFFFFF) % table.bucket_count
+            if target is None:
+                target = bucket
+                found.append(fid)
+            elif bucket == target:
+                found.append(fid)
+            sport += 1
+        return found
+
+    def test_chain_grows_under_crafted_collisions(self):
+        cfg = NatConfig(max_flows=64, expiration_time=60_000_000)
+        nat = UnverifiedNat(cfg)
+        flows = self._colliding_flows(nat, 8)
+        if len(flows) < 8:
+            pytest.skip("not enough collisions found in the search budget")
+        for fid in flows:
+            packet = make_udp_packet(fid.src_ip, fid.dst_ip, fid.src_port, fid.dst_port, device=0)
+            nat.process(packet, 1_000)
+        assert nat._by_internal.longest_chain() >= 8
+
+    def test_vignat_probe_work_is_bounded_by_capacity(self):
+        """Open addressing cannot degrade past the preallocated table."""
+        cfg = NatConfig(max_flows=64, expiration_time=60_000_000)
+        nat = VigNat(cfg)
+        for i in range(64):
+            nat.process(outbound(sport=3000 + i), 1_000)
+        before = nat.op_counters()["map_probes"]
+        nat.process(outbound(sport=3000), 1_001)
+        delta = nat.op_counters()["map_probes"] - before
+        assert delta <= 3 * cfg.max_flows

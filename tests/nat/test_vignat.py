@@ -1,0 +1,241 @@
+"""VigNat behaviour: the RFC 3022 semantics, concretely."""
+
+import pytest
+
+from repro.nat.config import NatConfig
+from repro.nat.flow import flow_id_of_packet
+from repro.nat.vignat import VigNat
+from repro.packets.addresses import ip_to_int
+from repro.packets.builder import make_tcp_packet, make_udp_packet
+from repro.packets.headers import EthernetHeader, Packet
+
+CFG = NatConfig(max_flows=16, expiration_time=2_000_000, start_port=1000)
+
+INTERNAL_HOST = "10.0.0.5"
+REMOTE_HOST = "8.8.8.8"
+
+
+def outbound(sport=4000, dport=53, host=INTERNAL_HOST, maker=make_udp_packet):
+    return maker(host, REMOTE_HOST, sport, dport, device=CFG.internal_device)
+
+
+def reply_to(translated, maker=make_udp_packet):
+    return maker(
+        REMOTE_HOST,
+        translated.ipv4.dst_ip if False else CFG.external_ip,
+        translated.l4.dst_port,
+        translated.l4.src_port,
+        device=CFG.external_device,
+    )
+
+
+class TestOutboundTranslation:
+    def test_source_rewritten_to_external(self):
+        nat = VigNat(CFG)
+        out = nat.process(outbound(), 1_000)
+        assert len(out) == 1
+        packet = out[0]
+        assert packet.ipv4.src_ip == CFG.external_ip
+        assert CFG.start_port <= packet.l4.src_port < CFG.start_port + CFG.max_flows
+        assert packet.device == CFG.external_device
+
+    def test_destination_untouched(self):
+        nat = VigNat(CFG)
+        packet = nat.process(outbound(dport=443), 1_000)[0]
+        assert packet.ipv4.dst_ip == ip_to_int(REMOTE_HOST)
+        assert packet.l4.dst_port == 443
+
+    def test_payload_preserved(self):
+        nat = VigNat(CFG)
+        original = make_udp_packet(
+            INTERNAL_HOST, REMOTE_HOST, 4000, 53, payload=b"dns-query", device=0
+        )
+        packet = nat.process(original, 1_000)[0]
+        assert packet.payload == b"dns-query"
+
+    def test_checksums_patched_correctly(self):
+        nat = VigNat(CFG)
+        for maker in (make_udp_packet, make_tcp_packet):
+            packet = nat.process(outbound(maker=maker), 1_000)[0]
+            assert packet.ipv4.header_checksum_valid()
+            assert packet.l4_checksum_valid()
+
+    def test_same_flow_keeps_same_port(self):
+        nat = VigNat(CFG)
+        first = nat.process(outbound(), 1_000)[0]
+        second = nat.process(outbound(), 2_000)[0]
+        assert first.l4.src_port == second.l4.src_port
+        assert nat.flow_count() == 1
+
+    def test_distinct_flows_get_distinct_ports(self):
+        nat = VigNat(CFG)
+        ports = {
+            nat.process(outbound(sport=4000 + i), 1_000)[0].l4.src_port
+            for i in range(8)
+        }
+        assert len(ports) == 8
+
+    def test_tcp_and_udp_are_distinct_flows(self):
+        nat = VigNat(CFG)
+        nat.process(outbound(maker=make_udp_packet), 1_000)
+        nat.process(outbound(maker=make_tcp_packet), 1_000)
+        assert nat.flow_count() == 2
+
+
+class TestInboundTranslation:
+    def test_reply_forwarded_to_internal_host(self):
+        nat = VigNat(CFG)
+        translated = nat.process(outbound(sport=4001), 1_000)[0]
+        back = nat.process(reply_to(translated), 2_000)
+        assert len(back) == 1
+        packet = back[0]
+        assert packet.ipv4.dst_ip == ip_to_int(INTERNAL_HOST)
+        assert packet.l4.dst_port == 4001
+        assert packet.device == CFG.internal_device
+        assert packet.ipv4.header_checksum_valid()
+        assert packet.l4_checksum_valid()
+
+    def test_reply_source_untouched(self):
+        nat = VigNat(CFG)
+        translated = nat.process(outbound(), 1_000)[0]
+        packet = nat.process(reply_to(translated), 2_000)[0]
+        assert packet.ipv4.src_ip == ip_to_int(REMOTE_HOST)
+
+    def test_unsolicited_external_dropped(self):
+        """The security property: no state, no forwarding."""
+        nat = VigNat(CFG)
+        unsolicited = make_udp_packet(
+            REMOTE_HOST, CFG.external_ip, 53, 1005, device=CFG.external_device
+        )
+        assert nat.process(unsolicited, 1_000) == []
+        assert nat.flow_count() == 0
+
+    def test_reply_from_wrong_remote_dropped(self):
+        """Endpoint-dependent filtering: the 5-tuple must match."""
+        nat = VigNat(CFG)
+        translated = nat.process(outbound(), 1_000)[0]
+        wrong_host = make_udp_packet(
+            "9.9.9.9", CFG.external_ip,
+            translated.l4.dst_port, translated.l4.src_port,
+            device=CFG.external_device,
+        )
+        assert nat.process(wrong_host, 2_000) == []
+
+
+class TestExpiration:
+    def test_flow_expires_after_timeout(self):
+        nat = VigNat(CFG)
+        translated = nat.process(outbound(), 1_000)[0]
+        # Beyond Texp: the reply must find no state.
+        late = 1_000 + CFG.expiration_time + 1
+        assert nat.process(reply_to(translated), late) == []
+        assert nat.flow_count() == 0
+
+    def test_boundary_is_inclusive(self):
+        """Fig. 6: timestamp + Texp <= t removes the flow."""
+        nat = VigNat(CFG)
+        translated = nat.process(outbound(), 1_000)[0]
+        exactly = 1_000 + CFG.expiration_time
+        assert nat.process(reply_to(translated), exactly) == []
+
+    def test_just_before_boundary_survives(self):
+        nat = VigNat(CFG)
+        translated = nat.process(outbound(), 1_000)[0]
+        almost = 1_000 + CFG.expiration_time - 1
+        assert len(nat.process(reply_to(translated), almost)) == 1
+
+    def test_traffic_refreshes_flow(self):
+        nat = VigNat(CFG)
+        nat.process(outbound(), 0)
+        nat.process(outbound(), 1_500_000)  # refresh at 1.5s
+        # 3s total: expired relative to creation but not to refresh.
+        out = nat.process(outbound(), 3_000_000)
+        assert nat.flow_count() == 1
+        assert len(out) == 1
+
+    def test_reply_also_refreshes(self):
+        nat = VigNat(CFG)
+        translated = nat.process(outbound(), 0)[0]
+        nat.process(reply_to(translated), 1_500_000)
+        assert len(nat.process(reply_to(translated), 3_000_000)) == 1
+
+    def test_expired_port_is_reusable(self):
+        nat = VigNat(CFG)
+        first = nat.process(outbound(sport=5000), 0)[0]
+        late = CFG.expiration_time + 1
+        second = nat.process(outbound(sport=6000), late)[0]
+        assert second.l4.src_port == first.l4.src_port  # slot recycled
+
+
+class TestCapacity:
+    def test_full_table_drops_new_flows(self):
+        nat = VigNat(CFG)
+        for i in range(CFG.max_flows):
+            assert nat.process(outbound(sport=1000 + i), 1_000)
+        # Table is full; a new flow's packets are dropped (never evicted).
+        assert nat.process(outbound(sport=9999), 1_001) == []
+        assert nat.flow_count() == CFG.max_flows
+
+    def test_existing_flows_survive_full_table(self):
+        nat = VigNat(CFG)
+        for i in range(CFG.max_flows):
+            nat.process(outbound(sport=1000 + i), 1_000)
+        nat.process(outbound(sport=9999), 1_001)  # dropped
+        # The first flow still works.
+        assert len(nat.process(outbound(sport=1000), 1_002)) == 1
+
+    def test_expiry_reopens_capacity(self):
+        nat = VigNat(CFG)
+        for i in range(CFG.max_flows):
+            nat.process(outbound(sport=1000 + i), 0)
+        late = CFG.expiration_time + 1
+        assert len(nat.process(outbound(sport=9999), late)) == 1
+
+
+class TestNonFlowTraffic:
+    def test_non_ipv4_dropped(self):
+        nat = VigNat(CFG)
+        arp = Packet(eth=EthernetHeader(ethertype=0x0806), device=0)
+        assert nat.process(arp, 1_000) == []
+
+    def test_icmp_dropped(self):
+        from repro.packets.headers import Ipv4Header
+
+        nat = VigNat(CFG)
+        icmp = Packet(
+            eth=EthernetHeader(),
+            ipv4=Ipv4Header(protocol=1, src_ip=1, dst_ip=2),
+            device=0,
+        )
+        assert nat.process(icmp, 1_000) == []
+
+    def test_unknown_device_dropped(self):
+        nat = VigNat(CFG)
+        packet = outbound()
+        packet.device = 7
+        assert nat.process(packet, 1_000) == []
+
+
+class TestIntrospection:
+    def test_has_flow_and_port(self):
+        nat = VigNat(CFG)
+        packet = outbound(sport=7777)
+        nat.process(packet, 1_000)
+        fid = flow_id_of_packet(packet)
+        assert nat.has_flow(fid)
+        assert nat.external_port_of(fid) is not None
+        assert nat.external_port_of(fid.reversed()) is None
+
+    def test_op_counters_monotone(self):
+        nat = VigNat(CFG)
+        before = nat.op_counters()
+        nat.process(outbound(), 1_000)
+        after = nat.op_counters()
+        assert after["forwarded"] == before["forwarded"] + 1
+        assert after["map_probes"] >= before["map_probes"]
+
+    def test_port_allocation_rule(self):
+        """The loop invariant: port == start_port + chain index."""
+        nat = VigNat(CFG)
+        packet = nat.process(outbound(), 1_000)[0]
+        assert packet.l4.src_port == CFG.start_port  # first index is 0

@@ -1,0 +1,140 @@
+"""The calibrated cost model."""
+
+from repro.nat.config import NatConfig
+from repro.nat.netfilter import NetfilterNat
+from repro.nat.noop import NoopForwarder
+from repro.nat.unverified import UnverifiedNat
+from repro.nat.vignat import VigNat
+from repro.net.costmodel import (
+    LATENCY_BASE_NS,
+    PATH_OVERHEAD_NS,
+    CostModel,
+)
+from repro.packets.builder import make_udp_packet
+
+CFG = NatConfig(max_flows=64)
+
+
+def one_packet(nf, sport=4000):
+    packet = make_udp_packet("10.0.0.5", "8.8.8.8", sport, 53, device=0)
+    nf.process(packet, 1_000)
+
+
+class TestCostOrdering:
+    def test_noop_cheapest_linux_priciest(self):
+        model = CostModel()
+        costs = {}
+        for nf in (NoopForwarder(), UnverifiedNat(CFG), VigNat(CFG), NetfilterNat(CFG)):
+            one_packet(nf)
+            latency, service = model.packet_costs(nf)
+            total = latency + model.path_overhead_ns(nf)
+            costs[nf.name] = (total, service)
+        assert costs["noop"][0] < costs["unverified-nat"][0]
+        assert costs["unverified-nat"][0] < costs["verified-nat"][0]
+        assert costs["verified-nat"][0] < costs["linux-nat"][0]
+        assert costs["noop"][1] < costs["unverified-nat"][1]
+        assert costs["unverified-nat"][1] < costs["verified-nat"][1]
+        assert costs["verified-nat"][1] < costs["linux-nat"][1]
+
+    def test_headline_latency_calibration(self):
+        """Low-occupancy totals land near the paper's 4.75/5.03/5.13 µs."""
+        model = CostModel()
+        expectations = {
+            "noop": (NoopForwarder(), 4.75),
+            "unverified-nat": (UnverifiedNat(CFG), 5.03),
+            "verified-nat": (VigNat(CFG), 5.13),
+        }
+        for name, (nf, target_us) in expectations.items():
+            one_packet(nf)
+            one_packet(nf)  # second packet: the hit path, like steady state
+            latency, _ = model.packet_costs(nf)
+            total_us = (latency + model.path_overhead_ns(nf)) / 1000
+            assert abs(total_us - target_us) < 0.25, (name, total_us)
+
+    def test_linux_latency_near_20us(self):
+        model = CostModel()
+        nf = NetfilterNat(CFG)
+        one_packet(nf)
+        one_packet(nf)
+        latency, _ = model.packet_costs(nf)
+        total_us = (latency + model.path_overhead_ns(nf)) / 1000
+        assert 15 < total_us < 25
+
+
+class TestDeltaAccounting:
+    def test_costs_use_counter_deltas(self):
+        model = CostModel()
+        nf = VigNat(CFG)
+        one_packet(nf, 4000)
+        first = model.packet_costs(nf)
+        one_packet(nf, 4000)
+        second = model.packet_costs(nf)
+        # Steady-state hit costs a bounded amount, not cumulative probes.
+        assert second[0] <= first[0] + 100
+
+    def test_probe_work_grows_cost(self):
+        """More hash probing (fuller table) means more latency."""
+        model = CostModel()
+        nf = VigNat(CFG)
+        for i in range(60):  # ~94% full
+            one_packet(nf, 4000 + i)
+            model.packet_costs(nf)
+        one_packet(nf, 9999)  # miss + insert scans a long run
+        nearly_full, _ = model.packet_costs(nf)
+
+        model2 = CostModel()
+        nf2 = VigNat(CFG)
+        one_packet(nf2, 4000)
+        model2.packet_costs(nf2)
+        one_packet(nf2, 9999)
+        nearly_empty, _ = model2.packet_costs(nf2)
+        assert nearly_full > nearly_empty
+
+
+class TestOutliers:
+    def test_outliers_are_rare_and_large(self):
+        model = CostModel()
+        samples = [model.sample_outlier_ns() for _ in range(200_000)]
+        hits = [s for s in samples if s > 0]
+        assert 1 <= len(hits) <= 40  # ~1/20k probability
+        assert all(s > 100_000 for s in hits)
+
+    def test_outliers_deterministic_per_seed(self):
+        a = [CostModel(outlier_seed=1).sample_outlier_ns() for _ in range(50_000)]
+        b = [CostModel(outlier_seed=1).sample_outlier_ns() for _ in range(50_000)]
+        assert a == b
+
+    def test_constants_cover_all_nfs(self):
+        for name in ("noop", "unverified-nat", "verified-nat", "linux-nat"):
+            assert name in LATENCY_BASE_NS
+        assert set(PATH_OVERHEAD_NS) == {"dpdk", "linux"}
+
+
+class TestSnapshotLifetime:
+    def test_fresh_nf_never_inherits_stale_snapshot(self):
+        """Snapshots are keyed by the NF object, not its memory address:
+        a new NF at a recycled id must start from a clean slate (costs
+        can never go negative from a stale large snapshot)."""
+        import gc
+
+        model = CostModel()
+        for _ in range(20):
+            nf = VigNat(CFG)
+            for i in range(50):
+                one_packet(nf, 4000 + i)
+            latency, service = model.packet_costs(nf)
+            assert latency > 0 and service > 0
+            del nf
+            gc.collect()
+
+    def test_weak_snapshots_do_not_leak(self):
+        import gc
+
+        model = CostModel()
+        for _ in range(5):
+            nf = VigNat(CFG)
+            one_packet(nf)
+            model.packet_costs(nf)
+            del nf
+        gc.collect()
+        assert len(model._last_counters) == 0

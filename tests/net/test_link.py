@@ -1,0 +1,67 @@
+"""Link impairment: seeded jitter and wire loss."""
+
+import pytest
+
+from repro.nat.noop import NoopForwarder
+from repro.net.costmodel import CostModel
+from repro.net.link import LinkModel
+from repro.net.moongen import BackgroundFlows
+from repro.net.testbed import Rfc2544Testbed
+
+S = 1_000_000_000
+
+
+def run_with(link):
+    testbed = Rfc2544Testbed(cost_model=CostModel(), link=link)
+    source = BackgroundFlows(4, total_pps=2_000, duration_ns=S)
+    return testbed.run(NoopForwarder(), source.events())
+
+
+class TestLinkModel:
+    def test_clean_link_default(self):
+        result = run_with(None)
+        assert result.wire_dropped == 0
+
+    def test_loss_rate_approximated(self):
+        result = run_with(LinkModel(loss_probability=0.1, seed=7))
+        fraction = result.wire_dropped / result.offered
+        assert 0.05 < fraction < 0.15
+        assert result.forwarded == result.offered - result.wire_dropped
+
+    def test_jitter_widens_latency(self):
+        clean = run_with(None)
+        jittery = run_with(LinkModel(jitter_ns=2_000, seed=7))
+        assert jittery.all_latency.average_us() > clean.all_latency.average_us()
+        spread = (
+            jittery.all_latency.percentile_us(0.99)
+            - jittery.all_latency.percentile_us(0.01)
+        )
+        assert spread >= 1.5  # ~2us uniform jitter
+
+    def test_deterministic_per_seed(self):
+        a = run_with(LinkModel(loss_probability=0.05, jitter_ns=500, seed=3))
+        b = run_with(LinkModel(loss_probability=0.05, jitter_ns=500, seed=3))
+        assert a.wire_dropped == b.wire_dropped
+        assert a.all_latency.samples == b.all_latency.samples
+
+    def test_relative_ordering_survives_impairment(self):
+        """The paper's headline ordering holds on an imperfect wire."""
+        from repro.nat.config import NatConfig
+        from repro.nat.unverified import UnverifiedNat
+        from repro.nat.vignat import VigNat
+
+        cfg = NatConfig(max_flows=256)
+        averages = {}
+        for nf in (NoopForwarder(), UnverifiedNat(cfg), VigNat(cfg)):
+            testbed = Rfc2544Testbed(
+                cost_model=CostModel(), link=LinkModel(jitter_ns=1_000, seed=11)
+            )
+            source = BackgroundFlows(16, total_pps=2_000, duration_ns=S)
+            averages[nf.name] = testbed.run(nf, source.events()).all_latency.average_us()
+        assert averages["noop"] < averages["unverified-nat"] < averages["verified-nat"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(loss_probability=1.5)
+        with pytest.raises(ValueError):
+            LinkModel(jitter_ns=-1)

@@ -1,0 +1,125 @@
+"""Workload generation and the RFC 2544 testbed mechanics."""
+
+from repro.nat.config import NatConfig
+from repro.nat.noop import NoopForwarder
+from repro.nat.vignat import VigNat
+from repro.net.costmodel import CostModel
+from repro.net.moongen import (
+    BackgroundFlows,
+    ConstantRateFlows,
+    ProbeFlows,
+    merge_sources,
+)
+from repro.net.testbed import Rfc2544Testbed
+
+CFG = NatConfig(max_flows=256)
+S = 1_000_000_000
+
+
+class TestBackgroundFlows:
+    def test_rate_and_count(self):
+        source = BackgroundFlows(10, total_pps=1000, duration_ns=S)
+        events = list(source.events())
+        assert len(events) == 1000
+        assert events[0].time_ns == 0
+        assert events[-1].time_ns < S
+
+    def test_round_robin_over_flows(self):
+        source = BackgroundFlows(3, total_pps=100, duration_ns=S // 10)
+        ips = [e.packet.ipv4.src_ip for e in source.events()][:6]
+        assert ips[0:3] == ips[3:6]
+        assert len(set(ips[:3])) == 3
+
+    def test_distinct_five_tuples(self):
+        source = BackgroundFlows(50, total_pps=50, duration_ns=S)
+        tuples = {
+            (e.packet.ipv4.src_ip, e.packet.l4.src_port)
+            for e in source.events()
+        }
+        assert len(tuples) == 50
+
+    def test_not_probe_tagged(self):
+        source = BackgroundFlows(2, total_pps=10, duration_ns=S // 10)
+        assert all(not e.probe for e in source.events())
+
+
+class TestProbeFlows:
+    def test_probe_tagged_and_ordered(self):
+        source = ProbeFlows(flow_count=10, per_flow_pps=2.0, duration_ns=S)
+        events = list(source.events())
+        assert events and all(e.probe for e in events)
+        times = [e.time_ns for e in events]
+        assert times == sorted(times)
+
+    def test_rate(self):
+        source = ProbeFlows(flow_count=10, per_flow_pps=2.0, duration_ns=S)
+        assert abs(len(list(source.events())) - 20) <= 10
+
+    def test_merge_preserves_order(self):
+        a = BackgroundFlows(2, total_pps=100, duration_ns=S // 10)
+        b = ProbeFlows(flow_count=2, per_flow_pps=50, duration_ns=S // 10)
+        merged = list(merge_sources(a.events(), b.events()))
+        times = [e.time_ns for e in merged]
+        assert times == sorted(times)
+        assert any(e.probe for e in merged) and any(not e.probe for e in merged)
+
+
+class TestTestbedRun:
+    def test_idle_latency_is_path_plus_processing(self):
+        testbed = Rfc2544Testbed(cost_model=CostModel())
+        source = BackgroundFlows(1, total_pps=100, duration_ns=S // 10)
+        result = testbed.run(NoopForwarder(), source.events())
+        assert result.forwarded == 10
+        # No queueing at 100 pps: latency == fixed path + noop base.
+        assert abs(result.all_latency.average_us() - 4.75) < 0.05
+
+    def test_queue_overflow_produces_loss(self):
+        testbed = Rfc2544Testbed(cost_model=CostModel(), rx_capacity=16)
+        # 10 Mpps >> noop capacity (~3 Mpps): queue must overflow.
+        source = ConstantRateFlows(4, rate_pps=10e6, packet_count=2_000)
+        result = testbed.run(NoopForwarder(), source.events())
+        assert result.queue_dropped > 0
+        assert result.loss_fraction > 0.1
+
+    def test_below_capacity_is_lossless(self):
+        testbed = Rfc2544Testbed(cost_model=CostModel())
+        source = ConstantRateFlows(4, rate_pps=1e6, packet_count=5_000)
+        result = testbed.run(NoopForwarder(), source.events())
+        assert result.queue_dropped == 0
+
+    def test_warmup_window_not_measured(self):
+        testbed = Rfc2544Testbed(cost_model=CostModel(), measure_from_ns=S // 20)
+        source = BackgroundFlows(1, total_pps=100, duration_ns=S // 10)
+        result = testbed.run(NoopForwarder(), source.events())
+        assert result.forwarded == 5  # only the second half measured
+        assert result.offered == 5
+
+    def test_nf_drops_counted_separately(self):
+        testbed = Rfc2544Testbed(cost_model=CostModel())
+        nat = VigNat(CFG)
+        # External-device packets are unsolicited: the NF drops them.
+        source = BackgroundFlows(1, total_pps=100, duration_ns=S // 10, device=1)
+        result = testbed.run(nat, source.events())
+        assert result.nf_dropped == 10
+        assert result.queue_dropped == 0
+
+
+class TestThroughputSearch:
+    def test_noop_near_calibrated_capacity(self):
+        testbed = Rfc2544Testbed(cost_model=CostModel())
+        outcome = testbed.max_throughput(
+            NoopForwarder, flow_count=16, packet_count=8_000, iterations=6
+        )
+        assert 2.8 < outcome.max_mpps < 3.6  # 1/320ns = 3.125 Mpps
+        assert outcome.loss_fraction <= 0.001
+
+    def test_vignat_below_noop(self):
+        testbed = Rfc2544Testbed(cost_model=CostModel())
+        cfg = NatConfig(expiration_time=60_000_000)
+        vig = testbed.max_throughput(
+            lambda: VigNat(cfg), flow_count=64, packet_count=8_000, iterations=6
+        )
+        noop = testbed.max_throughput(
+            NoopForwarder, flow_count=64, packet_count=8_000, iterations=6
+        )
+        assert vig.max_mpps < noop.max_mpps

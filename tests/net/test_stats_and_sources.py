@@ -1,0 +1,98 @@
+"""LatencyStats math and workload-source details."""
+
+import math
+
+import pytest
+
+from repro.net.moongen import BackgroundFlows, ConstantRateFlows
+from repro.net.testbed import LatencyStats
+
+US = 1_000
+S = 1_000_000_000
+
+
+class TestLatencyStats:
+    def test_average(self):
+        stats = LatencyStats()
+        for v in (1_000, 2_000, 3_000):
+            stats.add(v)
+        assert stats.average_us() == pytest.approx(2.0)
+
+    def test_empty_average_is_nan(self):
+        assert math.isnan(LatencyStats().average_us())
+
+    def test_percentile(self):
+        stats = LatencyStats()
+        for v in range(1, 101):
+            stats.add(v * US)
+        assert stats.percentile_us(0.5) == pytest.approx(51.0)
+        assert stats.percentile_us(0.99) == pytest.approx(100.0)
+
+    def test_ccdf_is_monotone_and_ends_at_zero(self):
+        stats = LatencyStats()
+        for v in (1, 1, 2, 3, 3, 3, 9):
+            stats.add(v * US)
+        points = stats.ccdf()
+        probabilities = [p for _x, p in points]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert points[-1][1] == 0.0
+        # P[latency > 1us] = 5/7.
+        assert points[0] == (1.0, pytest.approx(5 / 7))
+
+    def test_ccdf_deduplicates_values(self):
+        stats = LatencyStats()
+        for v in (5, 5, 5):
+            stats.add(v * US)
+        assert len(stats.ccdf()) == 1
+
+    def test_confidence_interval(self):
+        stats = LatencyStats()
+        for v in (1_000,) * 100:
+            stats.add(v)
+        assert stats.confidence_interval_us() == pytest.approx(0.0)
+        stats.add(2_000)
+        assert stats.confidence_interval_us() > 0
+
+    def test_confidence_interval_needs_two_samples(self):
+        stats = LatencyStats()
+        stats.add(1_000)
+        assert math.isnan(stats.confidence_interval_us())
+
+
+class TestSources:
+    def test_prefill_events_one_per_flow_before_start(self):
+        source = BackgroundFlows(10, total_pps=100, duration_ns=S, start_ns=S)
+        prefill = list(source.prefill_events())
+        assert len(prefill) == 10
+        assert all(e.time_ns < S for e in prefill)
+        tuples = {(e.packet.ipv4.src_ip, e.packet.l4.src_port) for e in prefill}
+        assert len(tuples) == 10
+
+    def test_constant_rate_spacing(self):
+        source = ConstantRateFlows(4, rate_pps=1e6, packet_count=100)
+        events = list(source.events())
+        assert len(events) == 100
+        gaps = {
+            events[i + 1].time_ns - events[i].time_ns for i in range(99)
+        }
+        assert gaps == {1_000}  # 1 Mpps -> 1 us spacing
+
+    def test_constant_rate_round_robin(self):
+        source = ConstantRateFlows(3, rate_pps=1e5, packet_count=6)
+        ips = [e.packet.ipv4.src_ip for e in source.events()]
+        assert ips[:3] == ips[3:]
+
+    def test_background_requires_positive_args(self):
+        with pytest.raises(ValueError):
+            BackgroundFlows(0, total_pps=100, duration_ns=S)
+        with pytest.raises(ValueError):
+            BackgroundFlows(5, total_pps=0, duration_ns=S)
+
+    def test_probe_phase_never_aligned_to_round_intervals(self):
+        """Probe times avoid multiples of common generator intervals."""
+        from repro.net.moongen import ProbeFlows
+
+        source = ProbeFlows(flow_count=10, per_flow_pps=5.0, duration_ns=S)
+        times = [e.time_ns for e in source.events()]
+        assert times
+        assert all(t % 50_000 != 0 for t in times)

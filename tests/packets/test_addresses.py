@@ -1,0 +1,54 @@
+"""Address conversion tests."""
+
+import pytest
+
+from repro.packets.addresses import ip_to_int, ip_to_str, mac_to_bytes, mac_to_str
+
+
+class TestIpConversions:
+    def test_roundtrip_simple(self):
+        assert ip_to_str(ip_to_int("192.168.1.1")) == "192.168.1.1"
+
+    def test_known_value(self):
+        assert ip_to_int("10.0.0.1") == 0x0A000001
+
+    def test_zero(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_str(0) == "0.0.0.0"
+
+    def test_broadcast(self):
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+
+    def test_octet_out_of_range(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0.256")
+
+    def test_wrong_part_count(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0")
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ValueError):
+            ip_to_str(1 << 32)
+        with pytest.raises(ValueError):
+            ip_to_str(-1)
+
+    def test_all_octets_distinct(self):
+        assert ip_to_int("1.2.3.4") == 0x01020304
+
+
+class TestMacConversions:
+    def test_roundtrip(self):
+        raw = mac_to_bytes("02:aa:bb:cc:dd:ee")
+        assert mac_to_str(raw) == "02:aa:bb:cc:dd:ee"
+
+    def test_length(self):
+        assert len(mac_to_bytes("00:00:00:00:00:00")) == 6
+
+    def test_invalid_format(self):
+        with pytest.raises(ValueError):
+            mac_to_bytes("00:00:00:00:00")
+
+    def test_invalid_bytes_length(self):
+        with pytest.raises(ValueError):
+            mac_to_str(b"\x00" * 5)

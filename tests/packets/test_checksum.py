@@ -1,0 +1,94 @@
+"""Checksum arithmetic: RFC 1071 vectors and RFC 1624 incremental updates."""
+
+import struct
+
+from hypothesis import given, strategies as st
+
+from repro.packets.checksum import (
+    checksum_update_u16,
+    checksum_update_u32,
+    checksums_equivalent,
+    internet_checksum,
+    ipv4_header_checksum,
+    l4_checksum,
+)
+
+
+class TestInternetChecksum:
+    def test_rfc1071_example(self):
+        # The classic RFC 1071 worked example: 00 01 f2 03 f4 f5 f6 f7.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        # Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> fold 0xddf2
+        assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_odd_length_padding(self):
+        # A trailing odd byte is padded with zero on the right.
+        assert internet_checksum(b"\xab") == internet_checksum(b"\xab\x00")
+
+    def test_checksum_of_data_with_checksum_is_zero(self):
+        # Inserting the checksum into the data makes the sum fold to 0.
+        data = b"\x45\x00\x00\x28\x1c\x46\x40\x00\x40\x06"
+        csum = internet_checksum(data + b"\x00\x00" + b"\x0a\x00\x00\x01\x0a\x00\x00\x02")
+        full = data + struct.pack(">H", csum) + b"\x0a\x00\x00\x01\x0a\x00\x00\x02"
+        assert internet_checksum(full) == 0
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_checksum_is_16_bit(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestIncrementalUpdate:
+    @given(
+        st.binary(min_size=20, max_size=40).filter(lambda d: len(d) % 2 == 0),
+        st.integers(0, 9),
+        st.integers(0, 0xFFFF),
+    )
+    def test_u16_patch_equals_recompute(self, data, word_index, new_value):
+        """RFC 1624: patching a 16-bit word incrementally == recomputing."""
+        offset = word_index * 2
+        old_value = struct.unpack_from(">H", data, offset)[0]
+        original = internet_checksum(data)
+        patched_data = data[:offset] + struct.pack(">H", new_value) + data[offset + 2 :]
+        expected = internet_checksum(patched_data)
+        patched = checksum_update_u16(original, old_value, new_value)
+        assert checksums_equivalent(patched, expected)
+
+    @given(
+        st.binary(min_size=20, max_size=40).filter(lambda d: len(d) % 4 == 0),
+        st.integers(0, 4),
+        st.integers(0, 0xFFFFFFFF),
+    )
+    def test_u32_patch_equals_recompute(self, data, dword_index, new_value):
+        offset = dword_index * 4
+        old_value = struct.unpack_from(">I", data, offset)[0]
+        original = internet_checksum(data)
+        patched_data = data[:offset] + struct.pack(">I", new_value) + data[offset + 4 :]
+        expected = internet_checksum(patched_data)
+        patched = checksum_update_u32(original, old_value, new_value)
+        assert checksums_equivalent(patched, expected)
+
+    def test_identity_patch(self):
+        assert checksum_update_u16(0x1234, 0xBEEF, 0xBEEF) == 0x1234
+
+    def test_u16_range_check(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            checksum_update_u16(0, 0x10000, 0)
+
+
+class TestL4Checksum:
+    def test_pseudo_header_contributes(self):
+        seg = b"\x00" * 8
+        a = l4_checksum(0x0A000001, 0x0A000002, 17, seg)
+        b = l4_checksum(0x0A000001, 0x0A000003, 17, seg)
+        assert a != b
+
+    def test_ipv4_header_checksum_requires_20_bytes(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ipv4_header_checksum(b"\x00" * 19)

@@ -1,0 +1,80 @@
+"""ICMP message model unit tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.packets.headers import Ipv4Header, ParseError, PROTO_UDP
+from repro.packets.icmp import (
+    ERROR_TYPES,
+    ICMP_DEST_UNREACHABLE,
+    ICMP_ECHO_REQUEST,
+    IcmpMessage,
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 255),
+        st.integers(0, 255),
+        st.integers(0, 0xFFFFFFFF),
+        st.binary(max_size=64),
+    )
+    def test_pack_unpack(self, icmp_type, code, rest, body):
+        message = IcmpMessage(icmp_type=icmp_type, code=code, rest=rest, body=body)
+        parsed = IcmpMessage.unpack(message.pack(fill_checksum=True))
+        assert parsed.icmp_type == icmp_type
+        assert parsed.code == code
+        assert parsed.rest == rest
+        assert parsed.body == body
+        assert parsed.checksum_valid()
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ParseError):
+            IcmpMessage.unpack(b"\x08\x00\x00")
+
+    def test_corrupted_checksum_detected(self):
+        raw = bytearray(IcmpMessage(icmp_type=ICMP_ECHO_REQUEST, body=b"x").pack())
+        raw[-1] ^= 0xFF
+        assert not IcmpMessage.unpack(bytes(raw)).checksum_valid()
+
+
+class TestEmbedded:
+    def _error_with_embedded(self):
+        inner = Ipv4Header(protocol=PROTO_UDP, src_ip=1, dst_ip=2, total_length=28)
+        body = inner.pack() + (1234).to_bytes(2, "big") + (53).to_bytes(2, "big") + b"tail"
+        return IcmpMessage(icmp_type=ICMP_DEST_UNREACHABLE, code=3, body=body)
+
+    def test_embedded_parse(self):
+        message = self._error_with_embedded()
+        inner_ip, sport, dport, trailing = message.embedded()
+        assert (inner_ip.src_ip, inner_ip.dst_ip) == (1, 2)
+        assert (sport, dport) == (1234, 53)
+        assert trailing == b"tail"
+
+    def test_non_error_has_no_embedded(self):
+        echo = IcmpMessage(icmp_type=ICMP_ECHO_REQUEST, body=b"\x45" + b"\x00" * 30)
+        assert echo.embedded() is None
+
+    def test_short_body_has_no_embedded(self):
+        stub = IcmpMessage(icmp_type=ICMP_DEST_UNREACHABLE, body=b"\x45\x00\x00")
+        assert stub.embedded() is None
+
+    def test_garbage_inner_header_rejected(self):
+        stub = IcmpMessage(icmp_type=ICMP_DEST_UNREACHABLE, body=b"\x60" + b"\x00" * 30)
+        assert stub.embedded() is None  # IPv6 version nibble
+
+    def test_replace_embedded_roundtrip(self):
+        message = self._error_with_embedded()
+        inner_ip, sport, dport, trailing = message.embedded()
+        inner_ip.src_ip = 99
+        message.replace_embedded(inner_ip, 4321, dport, trailing)
+        inner2, sport2, _dport2, trailing2 = message.embedded()
+        assert inner2.src_ip == 99
+        assert sport2 == 4321
+        assert trailing2 == b"tail"
+        assert inner2.header_checksum_valid()
+
+    def test_error_types_catalogued(self):
+        assert ICMP_DEST_UNREACHABLE in ERROR_TYPES
+        assert ICMP_ECHO_REQUEST not in ERROR_TYPES

@@ -1,0 +1,94 @@
+"""pcap reading/writing."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.packets.builder import make_tcp_packet, make_udp_packet
+from repro.packets.pcap import (
+    PcapError,
+    read_pcap,
+    read_pcap_file,
+    write_pcap,
+    write_pcap_file,
+)
+
+
+def frames(n=3):
+    return [
+        (
+            i * 1_000 + 7,
+            make_udp_packet("10.0.0.1", "10.0.0.2", 1000 + i, 53).to_bytes(),
+        )
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_records_roundtrip(self):
+        buffer = io.BytesIO()
+        original = frames(5)
+        assert write_pcap(buffer, original) == 5
+        buffer.seek(0)
+        parsed = list(read_pcap(buffer))
+        assert [(r.timestamp_us, r.data) for r in parsed] == original
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "capture.pcap")
+        original = frames(3)
+        write_pcap_file(path, original)
+        parsed = read_pcap_file(path)
+        assert [(r.timestamp_us, r.data) for r in parsed] == original
+
+    def test_records_reparse_as_packets(self):
+        buffer = io.BytesIO()
+        packet = make_tcp_packet("10.0.0.1", "8.8.8.8", 1234, 80, payload=b"GET /")
+        write_pcap(buffer, [(42, packet.to_bytes())])
+        buffer.seek(0)
+        record = next(read_pcap(buffer))
+        reparsed = record.packet(device=1)
+        assert reparsed.l4.dst_port == 80
+        assert reparsed.payload == b"GET /"
+        assert reparsed.device == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 2**40), st.binary(min_size=14, max_size=100)), max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_frames_roundtrip(self, records):
+        buffer = io.BytesIO()
+        write_pcap(buffer, records)
+        buffer.seek(0)
+        parsed = [(r.timestamp_us, r.data) for r in read_pcap(buffer)]
+        assert parsed == records
+
+    def test_timestamp_seconds_encoding(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, [(3_500_000, b"\x00" * 14)])
+        raw = buffer.getvalue()
+        seconds, micros = struct.unpack_from("<II", raw, 24)
+        assert (seconds, micros) == (3, 500_000)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            list(read_pcap(io.BytesIO(b"\x00" * 24)))
+
+    def test_truncated_header(self):
+        with pytest.raises(PcapError):
+            list(read_pcap(io.BytesIO(b"\x00" * 10)))
+
+    def test_truncated_record(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, [(0, b"\x00" * 20)])
+        data = buffer.getvalue()[:-5]
+        with pytest.raises(PcapError):
+            list(read_pcap(io.BytesIO(data)))
+
+    def test_snaplen_truncates(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, [(0, b"\xab" * 100)], snaplen=60)
+        buffer.seek(0)
+        record = next(read_pcap(buffer))
+        assert len(record.data) == 60

@@ -1,0 +1,70 @@
+"""Header rewriting: incremental checksum patching vs full recompute."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.nat.rewrite import rewrite_destination, rewrite_source
+from repro.packets.builder import make_tcp_packet, make_udp_packet
+
+ips = st.integers(1, 0xFFFFFFFE)
+ports = st.integers(1, 0xFFFF)
+
+
+class TestRewriteSource:
+    @settings(max_examples=60, deadline=None)
+    @given(ips, ports, ips, ports, st.booleans(), st.binary(max_size=32))
+    def test_patched_checksums_stay_valid(self, src, sport, new_ip, new_port, tcp, payload):
+        maker = make_tcp_packet if tcp else make_udp_packet
+        packet = maker(src, 0x08080808, sport, 80, payload=payload)
+        rewrite_source(packet, new_ip, new_port)
+        assert packet.ipv4.src_ip == new_ip
+        assert packet.l4.src_port == new_port
+        assert packet.ipv4.header_checksum_valid()
+        assert packet.l4_checksum_valid()
+
+    @settings(max_examples=60, deadline=None)
+    @given(ips, ports, ips, ports, st.booleans())
+    def test_patched_equals_serialized_recompute(self, src, sport, new_ip, new_port, tcp):
+        """The patched packet serializes to the same bytes as a packet
+        built from scratch with the rewritten fields."""
+        maker = make_tcp_packet if tcp else make_udp_packet
+        patched = maker(src, 0x08080808, sport, 80)
+        rewrite_source(patched, new_ip, new_port)
+        rebuilt = maker(new_ip, 0x08080808, new_port, 80)
+        assert patched.to_bytes() == rebuilt.to_bytes()
+
+
+class TestRewriteDestination:
+    @settings(max_examples=60, deadline=None)
+    @given(ips, ports, ips, ports, st.booleans())
+    def test_patched_checksums_stay_valid(self, dst, dport, new_ip, new_port, tcp):
+        maker = make_tcp_packet if tcp else make_udp_packet
+        packet = maker(0x0A000001, dst, 4000, dport)
+        rewrite_destination(packet, new_ip, new_port)
+        assert packet.ipv4.dst_ip == new_ip
+        assert packet.l4.dst_port == new_port
+        assert packet.ipv4.header_checksum_valid()
+        assert packet.l4_checksum_valid()
+
+    def test_zero_udp_checksum_stays_disabled(self):
+        packet = make_udp_packet(1, 2, 3, 4)
+        packet.l4.checksum = 0
+        rewrite_destination(packet, 9, 10)
+        assert packet.l4.checksum == 0
+
+    def test_requires_flow_packet(self):
+        import pytest
+
+        from repro.packets.headers import EthernetHeader, Packet
+
+        with pytest.raises(ValueError):
+            rewrite_source(Packet(eth=EthernetHeader()), 1, 2)
+
+
+class TestDoubleRewrite:
+    def test_hairpin_style_double_patch(self):
+        """Source and destination patched in sequence stay consistent."""
+        packet = make_udp_packet(0x0A000001, 0xC0000201, 4000, 1000)
+        rewrite_source(packet, 0xC0000201, 7777)
+        rewrite_destination(packet, 0x0A000002, 5000)
+        assert packet.ipv4.header_checksum_valid()
+        assert packet.l4_checksum_valid()

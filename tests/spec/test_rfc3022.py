@@ -1,0 +1,202 @@
+"""The executable specification: every branch of the Fig. 6 decision tree."""
+
+import pytest
+
+from repro.spec.rfc3022 import (
+    EXTERNAL,
+    INTERNAL,
+    NatSpec,
+    PortUnavailable,
+    SpecPacket,
+    lowest_free_port,
+    spec_packet_of,
+)
+from repro.spec.state import AbstractFlowEntry, AbstractNatState
+
+EXT_IP = 0xC0000201
+
+
+def make_spec(capacity=4, texp=2_000_000):
+    return NatSpec(external_ip=EXT_IP, capacity=capacity, expiration_time=texp, start_port=1000)
+
+
+def out_packet(sport=4000, src=0x0A000001):
+    return SpecPacket(
+        iface=INTERNAL, src_ip=src, src_port=sport,
+        dst_ip=0x08080808, dst_port=53, protocol=17,
+    )
+
+
+def in_packet(dport, src=0x08080808, sport=53):
+    return SpecPacket(
+        iface=EXTERNAL, src_ip=src, src_port=sport,
+        dst_ip=EXT_IP, dst_port=dport, protocol=17,
+    )
+
+
+class TestDecisionTree:
+    def test_internal_new_flow_created_and_forwarded(self):
+        spec = make_spec()
+        result = spec.step(spec.initial_state(), out_packet(), 1_000)
+        assert result.case == "created/forward"
+        assert result.sent.iface == EXTERNAL
+        assert result.sent.src_ip == EXT_IP
+        assert result.state.size() == 1
+
+    def test_internal_existing_flow_forwarded(self):
+        spec = make_spec()
+        state = spec.step(spec.initial_state(), out_packet(), 1_000).state
+        result = spec.step(state, out_packet(), 2_000)
+        assert result.case == "existing/forward"
+        assert result.state.size() == 1
+
+    def test_external_match_forwarded_to_internal(self):
+        spec = make_spec()
+        first = spec.step(spec.initial_state(), out_packet(sport=4242), 1_000)
+        port = first.sent.src_port
+        result = spec.step(first.state, in_packet(port), 2_000)
+        assert result.case == "existing/forward"
+        assert result.sent.iface == INTERNAL
+        assert result.sent.dst_port == 4242
+        assert result.sent.src_ip == 0x08080808  # source untouched
+
+    def test_external_no_match_dropped(self):
+        spec = make_spec()
+        result = spec.step(spec.initial_state(), in_packet(1000), 1_000)
+        assert result.sent is None
+        assert result.case == "no-entry/drop"
+        assert result.state.size() == 0  # no state created
+
+    def test_table_full_drops_new_internal_flow(self):
+        spec = make_spec(capacity=2)
+        state = spec.initial_state()
+        state = spec.step(state, out_packet(sport=1), 1_000).state
+        state = spec.step(state, out_packet(sport=2), 1_000).state
+        result = spec.step(state, out_packet(sport=3), 1_000)
+        assert result.case == "table-full/drop"
+        assert result.state.size() == 2
+
+    def test_expiry_boundary_inclusive(self):
+        """Fig. 6 l.7: timestamp + Texp <= t expires the flow."""
+        spec = make_spec(texp=1_000)
+        state = spec.step(spec.initial_state(), out_packet(), 0).state
+        at_boundary = spec.step(state, in_packet(1000), 1_000)
+        assert at_boundary.sent is None  # expired exactly at the boundary
+        just_before = spec.step(state, in_packet(1000), 999)
+        assert just_before.sent is not None
+
+    def test_refresh_resets_expiry(self):
+        spec = make_spec(texp=1_000)
+        state = spec.step(spec.initial_state(), out_packet(), 0).state
+        state = spec.step(state, out_packet(), 900).state  # refresh
+        result = spec.step(state, out_packet(), 1_800)
+        assert result.case == "existing/forward"
+
+    def test_wrong_remote_endpoint_dropped(self):
+        """The matching entry must agree on the remote (ip, port)."""
+        spec = make_spec()
+        first = spec.step(spec.initial_state(), out_packet(), 1_000)
+        port = first.sent.src_port
+        stray = in_packet(port, src=0x09090909)
+        assert spec.step(first.state, stray, 2_000).sent is None
+
+    def test_wrong_destination_ip_dropped(self):
+        spec = make_spec()
+        first = spec.step(spec.initial_state(), out_packet(), 1_000)
+        packet = SpecPacket(
+            iface=EXTERNAL, src_ip=0x08080808, src_port=53,
+            dst_ip=0x01020304, dst_port=first.sent.src_port, protocol=17,
+        )
+        assert spec.step(first.state, packet, 2_000).sent is None
+
+    def test_payload_carried_through(self):
+        spec = make_spec()
+        packet = SpecPacket(
+            iface=INTERNAL, src_ip=1, src_port=2, dst_ip=3, dst_port=4,
+            protocol=17, data=b"payload",
+        )
+        result = spec.step(spec.initial_state(), packet, 1_000)
+        assert result.sent.data == b"payload"
+
+
+class TestPortOracle:
+    def test_lowest_free_port(self):
+        oracle = lowest_free_port(1000, 1003)
+        state = AbstractNatState(
+            {out_packet(sport=1).flow_id(): AbstractFlowEntry(1000, 0)}, 4
+        )
+        assert oracle(state, out_packet()) == 1001
+
+    def test_oracle_exhaustion(self):
+        oracle = lowest_free_port(1000, 1000)
+        state = AbstractNatState(
+            {out_packet(sport=1).flow_id(): AbstractFlowEntry(1000, 0)}, 4
+        )
+        with pytest.raises(PortUnavailable):
+            oracle(state, out_packet())
+
+    def test_illegal_oracle_choice_rejected(self):
+        spec = NatSpec(
+            external_ip=EXT_IP, capacity=4, expiration_time=1_000,
+            port_oracle=lambda state, packet: 99,  # outside [1000, 1003]
+            start_port=1000,
+        )
+        with pytest.raises(PortUnavailable):
+            spec.step(spec.initial_state(), out_packet(), 0)
+
+    def test_duplicate_oracle_choice_rejected(self):
+        spec = NatSpec(
+            external_ip=EXT_IP, capacity=4, expiration_time=10_000,
+            port_oracle=lambda state, packet: 1000,
+            start_port=1000,
+        )
+        state = spec.step(spec.initial_state(), out_packet(sport=1), 0).state
+        with pytest.raises(PortUnavailable):
+            spec.step(state, out_packet(sport=2), 1)
+
+
+class TestAbstractState:
+    def test_expire(self):
+        state = AbstractNatState(
+            {
+                out_packet(sport=1).flow_id(): AbstractFlowEntry(1000, 0),
+                out_packet(sport=2).flow_id(): AbstractFlowEntry(1001, 500),
+            },
+            4,
+        )
+        survived = state.expire(now=1_000, expiration_time=1_000)
+        assert survived.size() == 1
+
+    def test_allocated_ports(self):
+        state = AbstractNatState(
+            {out_packet(sport=1).flow_id(): AbstractFlowEntry(1007, 0)}, 4
+        )
+        assert state.allocated_ports() == frozenset({1007})
+
+    def test_flow_of_external_port(self):
+        fid = out_packet(sport=5).flow_id()
+        state = AbstractNatState({fid: AbstractFlowEntry(1002, 0)}, 4)
+        assert state.flow_of_external_port(1002) == fid
+        assert state.flow_of_external_port(1003) is None
+
+
+class TestSpecPacketOf:
+    def test_lifts_concrete_packet(self):
+        from repro.packets.builder import make_udp_packet
+
+        packet = make_udp_packet("10.0.0.1", "8.8.8.8", 1234, 53, device=0)
+        spec_pkt = spec_packet_of(packet, internal_device=0)
+        assert spec_pkt.iface == INTERNAL
+        assert spec_pkt.src_port == 1234
+
+    def test_external_device_marked(self):
+        from repro.packets.builder import make_udp_packet
+
+        packet = make_udp_packet("8.8.8.8", "10.0.0.1", 53, 1234, device=1)
+        assert spec_packet_of(packet, internal_device=0).iface == EXTERNAL
+
+    def test_requires_flow_packet(self):
+        from repro.packets.headers import EthernetHeader, Packet
+
+        with pytest.raises(ValueError):
+            spec_packet_of(Packet(eth=EthernetHeader()), 0)

@@ -1,0 +1,101 @@
+"""The §3 worked example: the discard NF under the three Fig. 4 models.
+
+This is the paper's own validation of the lazy-proofs design:
+
+- the *good* model (a) verifies everything;
+- the *over-approximate* model (b) passes model validation (P5) but
+  makes the semantic property (P1) unprovable;
+- the *under-approximate* model (c) trivially satisfies the semantic
+  property but fails model validation (P5).
+"""
+
+import pytest
+
+from repro.verif.engine import ExhaustiveSymbolicEngine
+from repro.verif.models.ring import (
+    GoodRingModel,
+    OverApproximateRingModel,
+    UnderApproximateRingModel,
+)
+from repro.verif.nf_env import discard_symbolic_body
+from repro.verif.semantics import DiscardSemantics
+from repro.verif.validator import Validator
+
+
+def run(model):
+    result = ExhaustiveSymbolicEngine().explore(discard_symbolic_body(model))
+    report = Validator(DiscardSemantics()).validate(result, model.__name__)
+    return result, report
+
+
+class TestGoodModel:
+    def test_fully_verified(self):
+        _, report = run(GoodRingModel)
+        assert report.verified
+        assert all(v.proven for v in report.verdicts())
+
+    def test_path_structure(self):
+        result, _ = run(GoodRingModel)
+        assert result.stats.paths >= 6  # full/empty x received x port-9 x link
+        assert result.tree.trace_count() > result.stats.paths
+
+    def test_pop_precondition_proven(self):
+        """P4: pop only happens on non-empty rings (Fig. 3's requires)."""
+        _, report = run(GoodRingModel)
+        assert report.p4.proven
+        assert report.p4.obligations > 0
+
+
+class TestOverApproximateModel:
+    """Fig. 4 model (b): too abstract."""
+
+    def test_p5_passes_but_p1_fails(self):
+        _, report = run(OverApproximateRingModel)
+        assert report.p5.proven
+        assert not report.p1.proven
+        assert not report.verified
+
+    def test_failure_names_the_semantic_property(self):
+        _, report = run(OverApproximateRingModel)
+        assert any("dst_port != 9" in f for f in report.p1.failures)
+
+
+class TestUnderApproximateModel:
+    """Fig. 4 model (c): too specific."""
+
+    def test_p1_passes_but_p5_fails(self):
+        _, report = run(UnderApproximateRingModel)
+        assert report.p1.proven  # port pinned to 0 trivially satisfies it
+        assert not report.p5.proven
+        assert not report.verified
+
+    def test_failure_names_the_model_constraint(self):
+        _, report = run(UnderApproximateRingModel)
+        assert any("== 0" in f for f in report.p5.failures)
+
+
+class TestInvalidModelsNeverProveIncorrectly:
+    """§7: an invalid model may fail a proof, never fabricate one."""
+
+    @pytest.mark.parametrize(
+        "model", [GoodRingModel, OverApproximateRingModel, UnderApproximateRingModel]
+    )
+    def test_crash_freedom_holds_under_all_models(self, model):
+        result, report = run(model)
+        assert result.crash_free
+        assert report.p2.proven
+
+    def test_only_the_good_model_verifies(self):
+        verdicts = {
+            model.__name__: run(model)[1].verified
+            for model in (
+                GoodRingModel,
+                OverApproximateRingModel,
+                UnderApproximateRingModel,
+            )
+        }
+        assert verdicts == {
+            "GoodRingModel": True,
+            "OverApproximateRingModel": False,
+            "UnderApproximateRingModel": False,
+        }

@@ -1,0 +1,189 @@
+"""The exhaustive symbolic execution engine on toy NF bodies."""
+
+import pytest
+
+from repro.verif.engine import ExhaustiveSymbolicEngine
+
+
+class TestPathEnumeration:
+    def test_straight_line_is_one_path(self):
+        def body(ctx):
+            ctx.fresh("x", 16)
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        assert result.stats.paths == 1
+
+    def test_single_branch_two_paths(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            if x == 0:
+                pass
+            else:
+                pass
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        assert result.stats.paths == 2
+
+    def test_nested_branches(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            y = ctx.fresh("y", 16)
+            if x == 0:
+                if y == 0:
+                    pass
+            else:
+                if y == 1:
+                    pass
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        assert result.stats.paths == 4
+
+    def test_infeasible_branch_not_explored(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            if x < 10:
+                if x >= 10:  # infeasible given the outer branch
+                    raise AssertionError("unreachable")
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        # Paths: x < 10 (inner forced false), x >= 10. No crash.
+        assert result.stats.paths == 2
+        assert result.crash_free
+
+    def test_constraints_accumulate_in_pc(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            if x < 10:
+                pass
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        for path in result.tree.paths:
+            assert len(path.pc) == 1
+
+    def test_witness_satisfies_path(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            if x == 1234:
+                pass
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        witnesses = sorted(path.witness.get("x") for path in result.tree.paths)
+        assert 1234 in witnesses
+
+    def test_path_budget_enforced(self):
+        def body(ctx):
+            for i in range(20):
+                x = ctx.fresh(f"x{i}", 8)
+                if x == 0:
+                    pass
+
+        with pytest.raises(RuntimeError, match="path explosion"):
+            ExhaustiveSymbolicEngine(max_paths=100).explore(body)
+
+
+class TestCrashDetection:
+    def test_crash_recorded_not_raised(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            if x == 9:
+                raise ZeroDivisionError("synthetic bug")
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        assert not result.crash_free
+        crashed = result.tree.crashed_paths()
+        assert len(crashed) == 1
+        assert "ZeroDivisionError" in crashed[0].crashed
+
+    def test_other_paths_survive_a_crash(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            if x == 9:
+                raise RuntimeError("boom")
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        assert result.stats.paths == 2
+
+
+class TestLowLevelChecks:
+    def test_overflow_detected(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            _ = x + 1  # can wrap past 0xFFFF
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        assert not result.all_checks_proven
+
+    def test_guarded_arithmetic_proven(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            if x < 1000:
+                _ = x + 1  # cannot wrap under the guard
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        guarded = [p for p in result.tree.paths if len(p.pc) >= 1]
+        for path in result.tree.paths:
+            for check in path.checks:
+                if path.pc and "x+1" in str(check.property):
+                    assert check.proven
+        assert guarded
+
+    def test_underflow_detected(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            _ = x - 1  # wraps when x == 0
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        assert not result.all_checks_proven
+
+    def test_index_bounds_check(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            ctx.check_index(x, capacity=100, structure="toy")
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        violations = result.tree.violations()
+        assert violations and violations[0][1].kind == "index-bounds"
+
+    def test_counterexample_produced(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            _ = x + 1
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        violation = result.tree.violations()[0][1]
+        assert violation.counterexample == {"x": 0xFFFF}
+
+    def test_checks_can_be_disabled(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            _ = x + 1
+
+        result = ExhaustiveSymbolicEngine(check_arithmetic=False).explore(body)
+        assert result.all_checks_proven
+
+
+class TestTraceTree:
+    def test_trace_count_includes_prefixes(self):
+        def body(ctx):
+            x = ctx.fresh("x", 16)
+            if x == 0:
+                pass
+            y = ctx.fresh("y", 16)
+            if y == 0:
+                pass
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        assert result.stats.paths == 4
+        # Decision prefixes: (), (T), (F), (TT), (TF), (FT), (FF) = 7.
+        assert result.tree.trace_count() == 7
+
+    def test_render_mentions_constraints(self):
+        def body(ctx):
+            x = ctx.fresh("port", 16)
+            if x == 9:
+                pass
+
+        result = ExhaustiveSymbolicEngine().explore(body)
+        text = result.tree.paths[0].render()
+        assert "--- constraints ---" in text
+        assert "port" in text

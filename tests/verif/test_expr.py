@@ -1,0 +1,134 @@
+"""The symbolic expression language: folding, arithmetic, negation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.verif.expr import (
+    And,
+    BoolConst,
+    ExprError,
+    FALSE,
+    IntExpr,
+    Or,
+    TRUE,
+    conj,
+    disj,
+    eq,
+    implies,
+    le,
+    lt,
+    ne,
+    negate,
+)
+
+
+def var(name, width=32):
+    return IntExpr.var(name, width)
+
+
+class TestIntExpr:
+    def test_constant_folding_in_arithmetic(self):
+        a = IntExpr.const(5).add(IntExpr.const(3))
+        assert a.is_const and a.offset == 8
+
+    def test_variable_cancellation(self):
+        x = var("x")
+        assert x.sub(x).is_const
+
+    def test_add_sub_roundtrip(self):
+        x, y = var("x"), var("y")
+        expr = x.add(y).sub(y)
+        assert expr.terms == x.terms
+
+    def test_unit_coefficient_enforced(self):
+        x = var("x")
+        with pytest.raises(ExprError):
+            x.add(x)  # coefficient 2
+
+    def test_evaluate(self):
+        x, y = var("x"), var("y")
+        expr = x.sub(y).add(IntExpr.const(10))
+        assert expr.evaluate({"x": 7, "y": 3}) == 14
+
+    def test_str_rendering(self):
+        x = var("x")
+        assert str(x.add(IntExpr.const(1))) == "x+1"
+        assert str(IntExpr.const(0)) == "+0" or str(IntExpr.const(0)) == "0"
+
+
+class TestComparisonFolding:
+    def test_const_const_folds(self):
+        assert eq(IntExpr.const(1), IntExpr.const(1)) is TRUE or eq(
+            IntExpr.const(1), IntExpr.const(1)
+        ) == BoolConst(True)
+        assert lt(IntExpr.const(2), IntExpr.const(1)) == BoolConst(False)
+
+    def test_identical_expression_folds(self):
+        x = var("x")
+        assert eq(x, x) == BoolConst(True)
+        assert ne(x, x) == BoolConst(False)
+        assert le(x, x) == BoolConst(True)
+        assert lt(x, x) == BoolConst(False)
+
+    def test_width_irrelevant_to_folding(self):
+        a = IntExpr.var("x", 16)
+        b = IntExpr.var("x", 64)
+        assert eq(a, b) == BoolConst(True)
+
+    @given(st.integers(0, 100), st.integers(0, 100))
+    def test_const_comparisons_match_python(self, a, b):
+        assert eq(IntExpr.const(a), IntExpr.const(b)) == BoolConst(a == b)
+        assert lt(IntExpr.const(a), IntExpr.const(b)) == BoolConst(a < b)
+        assert le(IntExpr.const(a), IntExpr.const(b)) == BoolConst(a <= b)
+
+
+class TestBooleanStructure:
+    def test_conj_flattens_and_short_circuits(self):
+        x = var("x")
+        atom = eq(x, IntExpr.const(1))
+        assert conj(TRUE, atom) == atom
+        assert conj(FALSE, atom) == FALSE
+        inner = conj(atom, atom)
+        assert isinstance(inner, And)
+        assert conj(inner, atom) == And((atom, atom, atom))
+
+    def test_disj_flattens_and_short_circuits(self):
+        x = var("x")
+        atom = eq(x, IntExpr.const(1))
+        assert disj(FALSE, atom) == atom
+        assert disj(TRUE, atom) == TRUE
+        assert isinstance(disj(atom, atom), Or)
+
+    def test_empty_conj_disj(self):
+        assert conj() == TRUE
+        assert disj() == FALSE
+
+    def test_negate_atom(self):
+        x = var("x")
+        assert negate(eq(x, IntExpr.const(1))) == ne(x, IntExpr.const(1))
+        assert negate(lt(x, IntExpr.const(5))) == le(IntExpr.const(5), x)
+
+    def test_negate_pushes_into_structure(self):
+        x = var("x")
+        a = eq(x, IntExpr.const(1))
+        b = lt(x, IntExpr.const(5))
+        negated = negate(conj(a, b))
+        assert isinstance(negated, Or)
+
+    def test_double_negation(self):
+        x = var("x")
+        atom = eq(x, IntExpr.const(1))
+        assert negate(negate(atom)) == atom
+
+    def test_implies(self):
+        x = var("x")
+        a = eq(x, IntExpr.const(1))
+        assert implies(FALSE, a) == TRUE
+        assert implies(TRUE, a) == a
+
+    @given(st.booleans(), st.booleans())
+    def test_evaluation_agrees_with_python(self, a, b):
+        fa, fb = BoolConst(a), BoolConst(b)
+        assert conj(fa, fb).evaluate({}) == (a and b)
+        assert disj(fa, fb).evaluate({}) == (a or b)
+        assert negate(fa).evaluate({}) == (not a)

@@ -1,0 +1,69 @@
+"""Proof-report serialization and the CLI proof cache."""
+
+import json
+
+from repro.cli import _proof_cache_key, main
+from repro.nat.config import NatConfig
+from repro.verif.engine import ExhaustiveSymbolicEngine
+from repro.verif.nf_env import vignat_symbolic_body
+from repro.verif.report import ProofReport
+from repro.verif.semantics import NatSemantics
+from repro.verif.validator import Validator
+
+
+def make_report():
+    cfg = NatConfig()
+    result = ExhaustiveSymbolicEngine().explore(vignat_symbolic_body(cfg))
+    return Validator(NatSemantics(cfg)).validate(result, "VigNat")
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        report = make_report()
+        data = json.loads(json.dumps(report.to_dict()))
+        restored = ProofReport.from_dict(data)
+        assert restored.verified == report.verified
+        assert restored.paths == report.paths
+        assert restored.traces == report.traces
+        assert [v.name for v in restored.verdicts()] == ["P1", "P2", "P3", "P4", "P5"]
+        assert restored.render() == report.render()
+
+    def test_failures_survive_roundtrip(self):
+        report = make_report()
+        report.p1.failures.append("synthetic failure")
+        report.p1.proven = False
+        restored = ProofReport.from_dict(report.to_dict())
+        assert not restored.verified
+        assert restored.p1.failures == report.p1.failures
+
+
+class TestProofCache:
+    def test_key_stable_within_a_session(self):
+        assert _proof_cache_key("nat") == _proof_cache_key("nat")
+
+    def test_key_differs_per_nf(self):
+        assert _proof_cache_key("nat") != _proof_cache_key("firewall")
+
+    def test_cache_roundtrip(self, tmp_path, capsys):
+        cache = str(tmp_path / "proofs")
+        assert main(["verify", "nat", "--cache", cache]) == 0
+        first = capsys.readouterr().out
+        assert "proof cached at" in first
+        assert main(["verify", "nat", "--cache", cache]) == 0
+        second = capsys.readouterr().out
+        assert "loaded from cache" in second
+        assert "VERIFIED" in second
+
+    def test_cached_failure_keeps_failing_exit(self, tmp_path, capsys):
+        cache = str(tmp_path / "proofs")
+        assert main(["verify", "discard", "--model", "over", "--cache", cache]) == 1
+        capsys.readouterr()
+        assert main(["verify", "discard", "--model", "over", "--cache", cache]) == 1
+
+
+class TestCliExperiments:
+    def test_verification_artifact(self, capsys):
+        assert main(["experiments", "verification"]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert "108 paths" in out  # the paper's reference number

@@ -1,0 +1,160 @@
+"""The SMT-lite decision procedure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.verif.expr import IntExpr, conj, disj, eq, le, lt, ne, negate
+from repro.verif.solver import Solver, SolverUnknown
+
+W = {"x": 16, "y": 16, "z": 16, "w": 8, "b": 1}
+X, Y, Z = (IntExpr.var(n, 16) for n in "xyz")
+B = IntExpr.var("b", 1)
+
+
+def c(v):
+    return IntExpr.const(v)
+
+
+def solver():
+    return Solver(W)
+
+
+class TestSatisfiability:
+    def test_trivial_sat(self):
+        assert solver().satisfiable([eq(X, c(5))]) == {"x": 5}
+
+    def test_models_are_certified(self):
+        model = solver().satisfiable([eq(X, Y.add(c(5))), lt(X, c(10))])
+        assert model["x"] == model["y"] + 5 and model["x"] < 10
+
+    def test_contradictory_order_unsat(self):
+        assert solver().satisfiable([lt(X, c(3)), lt(c(5), X)]) is None
+
+    def test_equality_chain(self):
+        model = solver().satisfiable([eq(X, Y.add(c(1))), eq(Y, Z.add(c(1))), eq(Z, c(7))])
+        assert model == {"x": 9, "y": 8, "z": 7}
+
+    def test_equality_contradiction(self):
+        assert solver().satisfiable([eq(X, c(1)), eq(X, c(2))]) is None
+
+    def test_equality_vs_disequality_unsat(self):
+        assert solver().satisfiable([eq(X, c(9)), ne(X, c(9))]) is None
+
+    def test_var_var_disequality_in_same_class(self):
+        assert (
+            solver().satisfiable([eq(X, Y.add(c(1))), ne(X, Y.add(c(1)))]) is None
+        )
+
+    def test_pinned_interval_with_exclusions(self):
+        # x in [0, 2], x != 0, 1, 2 -> UNSAT by complete enumeration.
+        formulas = [le(X, c(2)), ne(X, c(0)), ne(X, c(1)), ne(X, c(2))]
+        assert solver().satisfiable(formulas) is None
+
+    def test_disequality_repair(self):
+        model = solver().satisfiable([le(X, c(100)), ne(X, c(0))])
+        assert model is not None and model["x"] != 0
+
+    def test_domain_bounds_respected(self):
+        model = solver().satisfiable([le(c(0xFFFF), X)])
+        assert model == {"x": 0xFFFF}
+        assert solver().satisfiable([lt(c(0xFFFF), X)]) is None
+
+    def test_width1_flag(self):
+        s = Solver(W)
+        assert s.satisfiable([eq(B, c(1))]) == {"b": 1}
+        assert s.satisfiable([ne(B, c(0)), ne(B, c(1))]) is None
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(SolverUnknown):
+            Solver({}).satisfiable([eq(IntExpr.var("ghost", 8), c(1))])
+
+    def test_unrelated_vars_do_not_break_completeness(self):
+        # The pinned-x contradiction must be found even with a huge free y.
+        formulas = [
+            le(X, c(512)),
+            ne(X, c(512)),
+            le(c(512), X),
+            le(Y, c(0xFFFF)),
+            ne(Y, c(9)),
+        ]
+        assert solver().satisfiable(formulas) is None
+
+
+class TestBooleanStructure:
+    def test_disjunction_explored(self):
+        formula = disj(eq(X, c(1)), eq(X, c(2)))
+        model = solver().satisfiable([formula, ne(X, c(1))])
+        assert model == {"x": 2}
+
+    def test_nested_structure(self):
+        formula = conj(
+            disj(eq(X, c(1)), eq(X, c(2))),
+            disj(eq(Y, c(3)), eq(Y, c(4))),
+            ne(X, c(1)),
+            ne(Y, c(4)),
+        )
+        assert solver().satisfiable([formula]) == {"x": 2, "y": 3}
+
+    def test_unsat_across_disjuncts(self):
+        formula = disj(eq(X, c(1)), eq(X, c(2)))
+        assert solver().satisfiable([formula, le(c(3), X)]) is None
+
+    def test_negation_of_structure(self):
+        formula = negate(conj(eq(X, c(1)), eq(Y, c(2))))
+        model = solver().satisfiable([formula, eq(X, c(1))])
+        assert model is not None and model["y"] != 2
+
+
+class TestEntailment:
+    def test_basic_entailment(self):
+        s = solver()
+        assert s.entails([le(X, c(9))], lt(X, c(11)))
+        assert not s.entails([le(X, c(12))], lt(X, c(11)))
+
+    def test_entails_through_equalities(self):
+        s = solver()
+        assert s.entails([eq(X, Y.add(c(1))), eq(Y, c(5))], eq(X, c(6)))
+
+    def test_entails_disjunction_goal(self):
+        s = solver()
+        goal = disj(eq(X, c(1)), le(c(10), X))
+        assert s.entails([eq(X, c(1))], goal)
+        assert s.entails([le(c(20), X)], goal)
+        assert not s.entails([eq(X, c(5))], goal)
+
+    def test_vacuous_entailment(self):
+        s = solver()
+        assert s.entails([eq(X, c(1)), eq(X, c(2))], eq(Y, c(99)))
+
+    def test_equivalent_under(self):
+        s = solver()
+        a = eq(X, c(5))
+        b = conj(le(X, c(5)), le(c(5), X))
+        assert s.equivalent_under([], a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bounds=st.tuples(st.integers(0, 60), st.integers(0, 60)),
+    pivot=st.integers(0, 60),
+)
+def test_interval_reasoning_sound(bounds, pivot):
+    """lo <= x <= hi entails x != pivot iff pivot outside [lo, hi]."""
+    lo, hi = min(bounds), max(bounds)
+    s = solver()
+    entailed = s.entails([le(c(lo), X), le(X, c(hi))], ne(X, c(pivot)))
+    assert entailed == (pivot < lo or pivot > hi)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 5), min_size=0, max_size=7))
+def test_exclusion_set_completeness(excluded):
+    """x in [0,5] minus exclusions is SAT iff something remains."""
+    s = solver()
+    formulas = [le(X, c(5))] + [ne(X, c(v)) for v in excluded]
+    model = s.satisfiable(formulas)
+    remaining = set(range(6)) - set(excluded)
+    if remaining:
+        assert model is not None and model["x"] in remaining
+    else:
+        assert model is None

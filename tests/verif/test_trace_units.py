@@ -1,0 +1,91 @@
+"""Trace datatype unit tests: rendering, prefix accounting, violations."""
+
+from repro.verif.expr import IntExpr, eq
+from repro.verif.trace import (
+    CallRecord,
+    CheckRecord,
+    ExecutionTree,
+    PathTrace,
+    SendRecord,
+)
+
+
+def make_trace(path_id=0, decisions=(), crashed=None):
+    return PathTrace(
+        path_id=path_id,
+        decisions=tuple((d, False) for d in decisions),
+        crashed=crashed,
+    )
+
+
+class TestExecutionTree:
+    def test_trace_count_counts_distinct_prefixes(self):
+        tree = ExecutionTree(
+            paths=[
+                make_trace(0, (True, True)),
+                make_trace(1, (True, False)),
+                make_trace(2, (False,)),
+            ]
+        )
+        # Prefixes: (), (T), (F), (TT), (TF) -> 5.
+        assert tree.trace_count() == 5
+        assert tree.path_count() == 3
+
+    def test_single_path_tree(self):
+        tree = ExecutionTree(paths=[make_trace(0, ())])
+        assert tree.trace_count() == 1
+
+    def test_crashed_paths(self):
+        tree = ExecutionTree(
+            paths=[make_trace(0), make_trace(1, crashed="ZeroDivisionError")]
+        )
+        assert len(tree.crashed_paths()) == 1
+
+    def test_violations_collects_failed_checks(self):
+        trace = make_trace(0)
+        x = IntExpr.var("x", 8)
+        trace.checks.append(
+            CheckRecord(kind="assert", property=eq(x, IntExpr.const(1)), proven=False)
+        )
+        trace.checks.append(
+            CheckRecord(kind="assert", property=eq(x, x), proven=True)
+        )
+        tree = ExecutionTree(paths=[trace])
+        assert len(tree.violations()) == 1
+
+
+class TestRendering:
+    def test_render_includes_calls_sends_constraints(self):
+        trace = make_trace(0)
+        x = IntExpr.var("pkt_port", 16)
+        trace.pc.append(eq(x, IntExpr.const(9)))
+        trace.calls.append(
+            CallRecord(fn="ring_pop_front", args={"length": IntExpr.const(3)},
+                       rets={"dst_port": x})
+        )
+        trace.sends.append(
+            SendRecord(
+                device=IntExpr.const(1), src_ip=IntExpr.const(0),
+                src_port=IntExpr.const(0), dst_ip=IntExpr.const(0),
+                dst_port=x, protocol=IntExpr.const(0),
+            )
+        )
+        text = trace.render()
+        assert "ring_pop_front(length=3) ==> [dst_port=pkt_port]" in text
+        assert "send(" in text
+        assert "(pkt_port == 9)" in text
+        assert text.startswith("loop_invariant_produce")
+
+    def test_render_no_double_invariant_marker(self):
+        trace = make_trace(0)
+        trace.calls.append(CallRecord(fn="loop_invariant_produce"))
+        text = trace.render()
+        assert text.count("loop_invariant_produce") == 1
+
+    def test_call_record_str(self):
+        record = CallRecord(
+            fn="dmap_put",
+            args={"index": IntExpr.const(5)},
+            rets={},
+        )
+        assert str(record) == "dmap_put(index=5) ==> []"
