@@ -68,6 +68,16 @@ def throughput_flow_counts() -> tuple:
     return (1_000, 32_000, 64_000)
 
 
+def burst_sweep_sizes() -> tuple:
+    if scale() == "paper":
+        return (1, 2, 4, 8, 16, 32, 64, 128)
+    return (1, 2, 4, 8, 16, 32)
+
+
+def burst_sweep_packet_count() -> int:
+    return 20_000 if scale() == "paper" else 6_000
+
+
 @pytest.fixture
 def publish():
     """Print a result table and persist it under benchmarks/results/."""

@@ -7,8 +7,9 @@ Commands:
   discard NF, ``--model`` selects one of the three Fig. 4 ring models.
   ``--emit-tasks FILE`` writes the Fig. 10-style verification tasks.
 - ``demo`` — translate a conversation through the verified NAT.
-- ``experiments {fig12,fig13,fig14,verification}`` — regenerate one of
-  the paper's evaluation artifacts at quick scale.
+- ``experiments {fig12,fig13,fig14,burst,verification}`` — regenerate
+  one of the paper's evaluation artifacts at quick scale (``burst`` is
+  the burst-size sweep of the burst-mode data path).
 """
 
 from __future__ import annotations
@@ -227,6 +228,12 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         series = latency_ccdf(background_flows=10_000, settings=settings)
         print(render_fig13(series, background_flows=10_000))
         return 0
+    if args.artifact == "burst":
+        from repro.eval.experiments import burst_size_sweep
+        from repro.eval.reporting import render_burst_sweep
+
+        print(render_burst_sweep(burst_size_sweep()))
+        return 0
     settings = EvalSettings(
         expiration_seconds=60.0, throughput_packets=10_000, throughput_iterations=6
     )
@@ -277,7 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate an evaluation artifact (quick scale)"
     )
     experiments.add_argument(
-        "artifact", choices=["fig12", "fig13", "fig14", "verification"]
+        "artifact", choices=["fig12", "fig13", "fig14", "burst", "verification"]
     )
     experiments.set_defaults(run=_cmd_experiments)
     return parser

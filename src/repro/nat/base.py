@@ -1,7 +1,15 @@
 """The common shape of a network function in this reproduction.
 
-An NF consumes one received packet at a simulated time and returns the
+An NF consumes received packets at a simulated time and returns the
 packets to transmit (each carries its output device in ``packet.device``).
+Two entry points exist, as on real DPDK hardware:
+
+- :meth:`NetworkFunction.process` — one packet at a time, the unit the
+  paper's verification explores;
+- :meth:`NetworkFunction.process_burst` — a whole RX burst at once, the
+  unit a DPDK main loop actually delivers. NFs override it to amortize
+  per-iteration work (flow expiry, environment setup) across the burst.
+
 NFs additionally expose monotone operation counters that the testbed's
 cost model turns into per-packet processing latency — the simulation
 analogue of the CPU work a real DPDK NF performs.
@@ -10,16 +18,21 @@ analogue of the CPU work a real DPDK NF performs.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.packets.headers import Packet
 
 
 class NetworkFunction(abc.ABC):
-    """One packet in, zero or more packets out, with visible work counters."""
+    """One packet (or burst) in, zero or more packets out, with visible work."""
 
     #: Human-readable name used in experiment reports.
     name: str = "nf"
+
+    # Class-level defaults so subclasses need not call ``__init__`` here;
+    # the first increment shadows them with instance attributes.
+    _bursts_total: int = 0
+    _burst_packets_total: int = 0
 
     @abc.abstractmethod
     def process(self, packet: Packet, now: int) -> List[Packet]:
@@ -27,6 +40,30 @@ class NetworkFunction(abc.ABC):
 
         Returns the packets to transmit; an empty list means drop.
         """
+
+    def process_burst(
+        self, packets: Sequence[Packet], now: int
+    ) -> List[List[Packet]]:
+        """Handle a burst of packets received together at time ``now``.
+
+        Returns one output list per input packet, parallel to
+        ``packets``. The base implementation degrades to per-packet
+        :meth:`process` calls; burst-aware NFs override it to run
+        expiry and environment setup once per burst.
+        """
+        self._note_burst(len(packets))
+        return [self.process(packet, now) for packet in packets]
+
+    def _note_burst(self, size: int) -> None:
+        self._bursts_total += 1
+        self._burst_packets_total += size
+
+    def burst_counters(self) -> Dict[str, int]:
+        """Burst-path counters: bursts seen and packets they carried."""
+        return {
+            "bursts": self._bursts_total,
+            "burst_packets": self._burst_packets_total,
+        }
 
     def op_counters(self) -> Dict[str, int]:
         """Monotone counters of abstract work done so far.

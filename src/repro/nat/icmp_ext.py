@@ -15,7 +15,7 @@ its tests are dense.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.nat.base import NetworkFunction
 from repro.nat.config import NatConfig

@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.libvig.hash_table import ChainingHashTable
 from repro.nat.base import NetworkFunction
@@ -80,20 +80,24 @@ class NetfilterNat(NetworkFunction):
         self._dropped_total = 0
         self._forwarded_total = 0
         self._expired_total = 0
+        self._expiry_scans_amortized = 0
 
     def flow_count(self) -> int:
         """Number of tracked connections."""
         return len(self._lru)
 
     def op_counters(self) -> Dict[str, int]:
-        return {
+        counters = {
             "table_probes": self._table.stats.probes,
             "hook_traversals": self._hook_traversals,
             "checksum_bytes": self._checksum_bytes,
             "dropped": self._dropped_total,
             "forwarded": self._forwarded_total,
             "expired": self._expired_total,
+            "expiry_scans_amortized": self._expiry_scans_amortized,
         }
+        counters.update(self.burst_counters())
+        return counters
 
     # -- conntrack bookkeeping ---------------------------------------------
     def _timeout_of(self, ct: _Conntrack) -> int:
@@ -180,6 +184,26 @@ class NetfilterNat(NetworkFunction):
         # the kernel's early_drop/gc behavior. Scanning is what makes it
         # expensive; that cost is visible in table_probes growth.
         self._expire(now)
+        return self._process_one(packet, now)
+
+    def process_burst(
+        self, packets: Sequence[Packet], now: int
+    ) -> List[List[Packet]]:
+        """NAPI-poll-style burst: one GC sweep, then per-packet work.
+
+        The hook chain, conntrack lookups and full checksum recompute
+        still run per packet — the kernel path has nothing like DPDK's
+        per-burst amortization, which is why its cost stays far above
+        the DPDK NFs at every burst size.
+        """
+        self._note_burst(len(packets))
+        if not packets:
+            return []
+        self._expire(now)
+        self._expiry_scans_amortized += len(packets) - 1
+        return [self._process_one(packet, now) for packet in packets]
+
+    def _process_one(self, packet: Packet, now: int) -> List[Packet]:
         self._hook_traversals += self.HOOKS_PER_PACKET
         if not packet.is_tcpudp_ipv4():
             self._dropped_total += 1

@@ -37,4 +37,6 @@ class NoopForwarder(NetworkFunction):
         return [out]
 
     def op_counters(self) -> Dict[str, int]:
-        return {"forwarded": self._forwarded_total}
+        counters = {"forwarded": self._forwarded_total}
+        counters.update(self.burst_counters())
+        return counters

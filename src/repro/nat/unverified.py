@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.libvig.hash_table import ChainingHashTable
 from repro.nat.base import NetworkFunction
@@ -77,6 +77,7 @@ class UnverifiedNat(NetworkFunction):
         self._forwarded_total = 0
         self._evicted_total = 0
         self._expired_total = 0
+        self._expiry_scans_amortized = 0
 
     # -- introspection ----------------------------------------------------
     def flow_count(self) -> int:
@@ -88,14 +89,17 @@ class UnverifiedNat(NetworkFunction):
         return self._by_internal.has(internal_id)
 
     def op_counters(self) -> Dict[str, int]:
-        return {
+        counters = {
             "table_probes": self._by_internal.stats.probes
             + self._by_external.stats.probes,
             "dropped": self._dropped_total,
             "forwarded": self._forwarded_total,
             "evicted": self._evicted_total,
             "expired": self._expired_total,
+            "expiry_scans_amortized": self._expiry_scans_amortized,
         }
+        counters.update(self.burst_counters())
+        return counters
 
     # -- state handling (sprinkled, not contracted) ------------------------
     def _expire(self, now: int) -> None:
@@ -142,6 +146,20 @@ class UnverifiedNat(NetworkFunction):
     # -- packet path --------------------------------------------------------
     def process(self, packet: Packet, now: int) -> List[Packet]:
         self._expire(now)
+        return self._translate(packet, now)
+
+    def process_burst(
+        self, packets: Sequence[Packet], now: int
+    ) -> List[List[Packet]]:
+        """Burst entry point: the LRU expiry sweep runs once per burst."""
+        self._note_burst(len(packets))
+        if not packets:
+            return []
+        self._expire(now)
+        self._expiry_scans_amortized += len(packets) - 1
+        return [self._translate(packet, now) for packet in packets]
+
+    def _translate(self, packet: Packet, now: int) -> List[Packet]:
         if not packet.is_tcpudp_ipv4():
             self._dropped_total += 1
             return []

@@ -12,7 +12,7 @@ real packets.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.libvig.double_chain import DoubleChain
 from repro.libvig.double_map import DoubleMap
@@ -71,18 +71,35 @@ class _ConcretePacketView:
 
 
 class _ConcreteEnv:
-    """Binds the stateless logic to libVig and real packet I/O."""
+    """Binds the stateless logic to libVig and real packet I/O.
+
+    One env serves a whole burst: :meth:`rebind` points it at the next
+    packet, and the expiry scan runs only on the first loop iteration —
+    the stateless code still *requests* expiry every iteration (its
+    verified structure is untouched), but within one burst all packets
+    share one timestamp, so rescanning would find nothing to expire.
+    """
 
     def __init__(self, nat: "VigNat", packet: Packet, now: int) -> None:
         self._nat = nat
         self._packet = packet
         self._now = now
+        self._expiry_done = False
         self.outputs: List[Packet] = []
+
+    def rebind(self, packet: Packet) -> None:
+        """Point the env at the next packet of the burst."""
+        self._packet = packet
+        self.outputs = []
 
     def current_time(self) -> int:
         return self._now
 
     def expire_flows(self, min_time: int) -> None:
+        if self._expiry_done:
+            self._nat._expiry_scans_amortized += 1
+            return
+        self._expiry_done = True
         self._nat._expired_total += expire_items(
             self._nat._chain, self._nat._flow_table, min_time
         )
@@ -158,6 +175,9 @@ class VigNat(NetworkFunction):
         self._expired_total = 0
         self._dropped_total = 0
         self._forwarded_total = 0
+        self._expiry_scans_amortized = 0
+        self._clock_clamped = 0
+        self._last_now = 0
 
     # -- introspection ----------------------------------------------------
     def flow_count(self) -> int:
@@ -176,16 +196,60 @@ class VigNat(NetworkFunction):
         return self._flow_table.get_value(index).external_port
 
     def op_counters(self) -> Dict[str, int]:
-        return {
+        counters = {
             "map_probes": self._flow_table.probe_count,
             "expired": self._expired_total,
             "dropped": self._dropped_total,
             "forwarded": self._forwarded_total,
+            "expiry_scans_amortized": self._expiry_scans_amortized,
+            "clock_clamped": self._clock_clamped,
         }
+        counters.update(self.burst_counters())
+        return counters
+
+    def _clamp_now(self, now: int) -> int:
+        """Monotonic clock at the concrete-env boundary.
+
+        libVig's double chain keeps timestamps non-decreasing and raises
+        :class:`~repro.libvig.double_chain.TimeRegression` on violation —
+        correct for the library, but a backwards hardware timestamp must
+        not crash the NAT's data path (P2 is a crash-freedom proof). A
+        regressing ``now`` is clamped to the newest time already seen,
+        the same defense ``rte_get_timer_cycles`` wrappers apply.
+        """
+        if now < self._last_now:
+            self._clock_clamped += 1
+            return self._last_now
+        self._last_now = now
+        return now
 
     # -- the packet path: the shared stateless logic over libVig ------------
     def process(self, packet: Packet, now: int) -> List[Packet]:
         """One loop iteration of Fig. 6: expire, update, forward."""
+        now = self._clamp_now(now)
         env = _ConcreteEnv(self, packet, now)
         nat_loop_iteration(env, self.config)
         return env.outputs
+
+    def process_burst(
+        self, packets: Sequence[Packet], now: int
+    ) -> List[List[Packet]]:
+        """One RX burst through Fig. 6, expiry scanned once for all.
+
+        All packets of a burst share one receive timestamp (one
+        ``rte_rdtsc`` read per main-loop turn, as VigNAT's C loop does),
+        so the flow-expiry scan on the first iteration already covers
+        the rest; the shared env suppresses the redundant rescans and
+        counts them as ``expiry_scans_amortized``.
+        """
+        now = self._clamp_now(now)
+        self._note_burst(len(packets))
+        if not packets:
+            return []
+        env = _ConcreteEnv(self, packets[0], now)
+        results: List[List[Packet]] = []
+        for packet in packets:
+            env.rebind(packet)
+            nat_loop_iteration(env, self.config)
+            results.append(env.outputs)
+        return results

@@ -60,15 +60,21 @@ class NfApp:
 
     def poll(self, now_us: int) -> int:
         """One main-loop turn: drain every port's RX ring, then flush
-        the TX batches. Returns the number of packets processed."""
+        the TX batches. Returns the number of packets processed.
+
+        Each RX burst goes through the NF's burst entry point
+        (:meth:`~repro.nat.base.NetworkFunction.process_burst`), so
+        burst-aware NFs amortize their per-iteration work here too."""
         processed = 0
         for port_id in sorted(self.runtime.ports):
             while True:
                 burst = self.runtime.rx_burst(port_id, self.burst_size)
                 if not burst:
                     break
-                for mbuf in burst:
-                    outputs = self.nf.process(mbuf.packet, now_us)
+                results = self.nf.process_burst(
+                    [mbuf.packet for mbuf in burst], now_us
+                )
+                for mbuf, outputs in zip(burst, results):
                     if outputs:
                         out = outputs[0]
                         mbuf.packet = out

@@ -1,15 +1,19 @@
 """A DPDK-like runtime: burst receive/transmit over simulated ports.
 
-The NFs in this reproduction consume single packets (they model a
-single-core, one-packet-at-a-time data path, which is how the paper runs
-its NFs), but the runtime exposes the familiar burst API so examples and
-tests can drive NFs the way a DPDK main loop would.
+DPDK's native unit of work is the burst: ``rte_eth_rx_burst`` hands the
+main loop up to N packets at once, the NF processes them, and one
+``rte_eth_tx_burst`` per output port ships the survivors. The runtime
+exposes that API plus :meth:`DpdkRuntime.main_loop_burst`, a complete
+main-loop turn that drives any :class:`~repro.nat.base.NetworkFunction`
+through its burst entry point with the no-leak discipline Vigor's
+ownership tracking enforces (§5.2.4).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.nat.base import NetworkFunction
 from repro.net.mbuf import Mbuf, MbufPool
 from repro.net.nic import Port
 from repro.packets.headers import Packet
@@ -25,25 +29,34 @@ class DpdkRuntime:
             i: Port(port_id=i, rx_capacity=rx_capacity) for i in range(port_count)
         }
         self.pool = MbufPool(pool_size)
+        #: Packets the NF itself decided to drop (its buffers were freed).
+        self.nf_dropped = 0
 
     def port(self, port_id: int) -> Port:
         return self.ports[port_id]
 
     # -- the burst API ----------------------------------------------------------
     def rx_burst(self, port_id: int, max_packets: int) -> List[Mbuf]:
-        """rte_eth_rx_burst: up to ``max_packets`` buffers from the ring."""
+        """rte_eth_rx_burst: up to ``max_packets`` buffers from the ring.
+
+        A packet is only popped from the ring once a buffer is secured
+        for it; on pool exhaustion it stays queued (counted as
+        ``rx_nombuf``, like the hardware counter) rather than being lost.
+        """
         port = self.ports[port_id]
         burst: List[Mbuf] = []
         while len(burst) < max_packets:
+            if self.pool.free_count == 0:
+                if port.rx_pending():
+                    port.counters.rx_nombuf += 1
+                break
             item = port.rx_pop()
             if item is None:
                 break
             timestamp, packet = item
+            # Cannot fail: a free buffer was checked for before the pop.
             mbuf = self.pool.alloc(packet, port=port_id, timestamp=timestamp)
-            if mbuf is None:
-                # Pool exhaustion behaves like an RX drop.
-                port.counters.rx_dropped += 1
-                break
+            assert mbuf is not None
             burst.append(mbuf)
         return burst
 
@@ -58,6 +71,52 @@ class DpdkRuntime:
     def free(self, mbuf: Mbuf) -> None:
         """rte_pktmbuf_free: drop a packet, returning its buffer."""
         self.pool.free(mbuf)
+
+    # -- the burst main loop ----------------------------------------------------
+    def main_loop_burst(
+        self, nf: NetworkFunction, now_us: int, burst_size: int = 32
+    ) -> int:
+        """One main-loop turn: rx_burst → ``nf.process_burst`` → tx_burst.
+
+        Drains every port's RX ring in bursts of ``burst_size``, batches
+        transmissions per output port, and frees the buffer of every
+        dropped packet. Returns the number of packets processed.
+        """
+        if burst_size <= 0:
+            raise ValueError("burst size must be positive")
+        processed = 0
+        for port_id in sorted(self.ports):
+            while True:
+                burst = self.rx_burst(port_id, burst_size)
+                if not burst:
+                    break
+                results = nf.process_burst([m.packet for m in burst], now_us)
+                staged: Dict[int, List[Mbuf]] = {}
+                for mbuf, outputs in zip(burst, results):
+                    if not outputs:
+                        self.free(mbuf)
+                        self.nf_dropped += 1
+                        continue
+                    first = outputs[0]
+                    mbuf.packet = first
+                    staged.setdefault(first.device, []).append(mbuf)
+                    for extra in outputs[1:]:  # multicast/flood NFs
+                        clone = self.pool.alloc(extra, extra.device, now_us)
+                        if clone is not None:
+                            staged.setdefault(extra.device, []).append(clone)
+                for out_port, mbufs in sorted(staged.items()):
+                    self.tx_burst(out_port, mbufs, now_us)
+                processed += len(burst)
+        return processed
+
+    def drop_causes(self) -> Dict[str, int]:
+        """Drops (and near-drops) by cause, aggregated over all ports."""
+        return {
+            "rx_ring_full": sum(p.counters.rx_dropped for p in self.ports.values()),
+            "rx_no_mbuf": sum(p.counters.rx_nombuf for p in self.ports.values()),
+            "nf_drop": self.nf_dropped,
+            "pool_high_water": self.pool.high_water,
+        }
 
     # -- wire side -----------------------------------------------------------------
     def inject(self, port_id: int, packet: Packet, timestamp: int) -> bool:

@@ -38,11 +38,19 @@ class MbufPool:
         self.capacity = capacity
         self._free = capacity
         self.alloc_failures = 0
+        #: Most buffers ever simultaneously in flight — the pool's
+        #: high-water mark, a sizing signal for burst-mode main loops.
+        self.high_water = 0
 
     @property
     def in_flight(self) -> int:
         """Buffers currently owned by the application."""
         return self.capacity - self._free
+
+    @property
+    def free_count(self) -> int:
+        """Buffers currently available for allocation."""
+        return self._free
 
     def alloc(self, packet: Packet, port: int = 0, timestamp: int = 0) -> Optional[Mbuf]:
         """Wrap a packet in a buffer; None when the pool is exhausted."""
@@ -50,11 +58,20 @@ class MbufPool:
             self.alloc_failures += 1
             return None
         self._free -= 1
+        if self.in_flight > self.high_water:
+            self.high_water = self.in_flight
         return Mbuf(packet=packet, port=port, timestamp=timestamp)
 
     def free(self, mbuf: Mbuf) -> None:
-        """Return a buffer to the pool; double-free is an error."""
+        """Return a buffer to the pool; double-free and over-credit are errors."""
         if mbuf._freed:
             raise RuntimeError("double free of mbuf")
+        if self._free >= self.capacity:
+            # Every buffer is already home: this mbuf cannot be ours.
+            # Crediting the pool anyway would let in_flight go negative
+            # and mask real leaks elsewhere.
+            raise RuntimeError(
+                "over-credit: freeing a foreign mbuf into a full pool"
+            )
         mbuf._freed = True
         self._free += 1

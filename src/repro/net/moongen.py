@@ -51,7 +51,12 @@ def _flow_prototype(index: int, *, ip_base: int, dst_ip: str, dst_port: int, src
 
 
 class BackgroundFlows:
-    """N flows, aggregate ``total_pps``, round-robin, never expiring."""
+    """N flows, aggregate ``total_pps``, round-robin, never expiring.
+
+    ``burst`` > 1 emits packets back-to-back in wire bursts of that size
+    (sharing one arrival timestamp) while preserving the aggregate rate —
+    how MoonGen actually transmits when its TX queue batches.
+    """
 
     def __init__(
         self,
@@ -61,14 +66,18 @@ class BackgroundFlows:
         device: int = 0,
         start_ns: int = 0,
         ip_base: int = 0x0A000001,  # 10.0.0.1
+        burst: int = 1,
     ) -> None:
         if flow_count <= 0 or total_pps <= 0:
             raise ValueError("flow_count and total_pps must be positive")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
         self.flow_count = flow_count
         self.total_pps = total_pps
         self.duration_ns = duration_ns
         self.device = device
         self.start_ns = start_ns
+        self.burst = burst
         self._prototypes: List[Packet] = [
             _flow_prototype(
                 i,
@@ -85,7 +94,10 @@ class BackgroundFlows:
         interval_ns = S / self.total_pps
         count = int(self.duration_ns / interval_ns)
         for i in range(count):
-            time_ns = self.start_ns + int(i * interval_ns)
+            # Packets of one wire burst share the burst's start time.
+            time_ns = self.start_ns + int(
+                (i // self.burst) * self.burst * interval_ns
+            )
             prototype = self._prototypes[i % self.flow_count]
             yield PacketEvent(time_ns=time_ns, packet=prototype.clone())
 
@@ -147,7 +159,11 @@ class ProbeFlows:
 
 
 class ConstantRateFlows:
-    """Fixed-rate round-robin traffic for the RFC 2544 throughput search."""
+    """Fixed-rate round-robin traffic for the RFC 2544 throughput search.
+
+    ``burst`` > 1 groups packets into wire bursts at the same aggregate
+    rate, matching a burst-mode middlebox's receive pattern.
+    """
 
     def __init__(
         self,
@@ -156,12 +172,16 @@ class ConstantRateFlows:
         packet_count: int,
         device: int = 0,
         start_ns: int = 0,
+        burst: int = 1,
     ) -> None:
+        if burst <= 0:
+            raise ValueError("burst must be positive")
         self.flow_count = flow_count
         self.rate_pps = rate_pps
         self.packet_count = packet_count
         self.device = device
         self.start_ns = start_ns
+        self.burst = burst
         self._prototypes: List[Packet] = [
             _flow_prototype(
                 i,
@@ -178,7 +198,8 @@ class ConstantRateFlows:
         interval_ns = S / self.rate_pps
         for i in range(self.packet_count):
             yield PacketEvent(
-                time_ns=self.start_ns + int(i * interval_ns),
+                time_ns=self.start_ns
+                + int((i // self.burst) * self.burst * interval_ns),
                 packet=self._prototypes[i % self.flow_count].clone(),
             )
 

@@ -21,6 +21,9 @@ class PortCounters:
 
     rx_packets: int = 0
     rx_dropped: int = 0
+    #: RX attempts stalled by mbuf-pool exhaustion (rte_eth_stats.rx_nombuf).
+    #: Unlike ``rx_dropped``, the packet stays on the ring — nothing is lost.
+    rx_nombuf: int = 0
     tx_packets: int = 0
 
 

@@ -21,7 +21,6 @@ from repro.verif.expr import (
     eq,
     le,
     lt,
-    ne,
     negate,
 )
 from repro.verif.models.base import ModelBase, as_expr

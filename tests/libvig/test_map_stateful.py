@@ -6,7 +6,6 @@ force every key down one probe chain — checking refinement against a
 dict and the chain-counter invariant after every step.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,

@@ -6,7 +6,6 @@ exhibits exactly the configured behaviour. The final class shows VigNat
 sits at the strictest corner of the matrix (APDM + APDF).
 """
 
-import pytest
 
 from repro.nat.behavior import (
     BehavioralNat,

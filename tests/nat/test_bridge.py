@@ -1,6 +1,5 @@
 """The verified MAC-learning bridge: concrete behaviour and its proof."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.nat.bridge import BROADCAST_MAC, BridgeConfig, VigBridge
@@ -158,7 +157,7 @@ class TestBridgeVerification:
 
     def test_hub_mutant_fails_filtering(self):
         """A 'bridge' that never filters is rejected by P1."""
-        from repro.nat.bridge import BridgeConfig as Cfg, bridge_loop_iteration
+        from repro.nat.bridge import BridgeConfig as Cfg
         from repro.verif.engine import ExhaustiveSymbolicEngine
         from repro.verif.nf_env_bridge import (
             BridgeSemantics,

@@ -1,0 +1,141 @@
+"""Burst entry points: same translations as the single-packet path,
+amortized expiry, and the monotonic clock clamp (crash-freedom)."""
+
+import pytest
+
+from repro.nat.config import NatConfig
+from repro.nat.netfilter import NetfilterNat
+from repro.nat.noop import NoopForwarder
+from repro.nat.unverified import UnverifiedNat
+from repro.nat.vignat import VigNat
+from repro.packets.builder import make_udp_packet
+
+CFG = NatConfig(max_flows=64)
+
+
+def outbound(sport):
+    return make_udp_packet("10.0.0.5", "8.8.8.8", sport, 53, device=0)
+
+
+def inbound(dport):
+    return make_udp_packet("8.8.8.8", CFG.external_ip, 53, dport, device=1)
+
+
+def mixed_traffic():
+    packets = [outbound(4000 + i) for i in range(6)]
+    packets.append(make_udp_packet("10.0.0.5", "8.8.8.8", 4000, 53, device=7))
+    return packets
+
+
+def render(outputs):
+    return [(p.device, p.to_bytes()) for p in outputs]
+
+
+NF_FACTORIES = [
+    ("noop", lambda: NoopForwarder(0, 1)),
+    ("unverified", lambda: UnverifiedNat(NatConfig(max_flows=64))),
+    ("verified", lambda: VigNat(NatConfig(max_flows=64))),
+    ("netfilter", lambda: NetfilterNat(NatConfig(max_flows=64))),
+]
+
+
+class TestBurstMatchesSinglePacketPath:
+    @pytest.mark.parametrize("name,factory", NF_FACTORIES, ids=[n for n, _ in NF_FACTORIES])
+    def test_same_outputs_as_process(self, name, factory):
+        burst_nf, single_nf = factory(), factory()
+        packets = mixed_traffic()
+        burst_out = burst_nf.process_burst([p.clone() for p in packets], 1_000)
+        single_out = [single_nf.process(p.clone(), 1_000) for p in packets]
+        assert len(burst_out) == len(packets)
+        for got, want in zip(burst_out, single_out):
+            assert render(got) == render(want)
+
+    @pytest.mark.parametrize("name,factory", NF_FACTORIES, ids=[n for n, _ in NF_FACTORIES])
+    def test_burst_counters_surface(self, name, factory):
+        nf = factory()
+        nf.process_burst([outbound(4000), outbound(4001)], 1_000)
+        counters = nf.op_counters()
+        assert counters["bursts"] == 1
+        assert counters["burst_packets"] == 2
+
+    def test_empty_burst(self):
+        nat = VigNat(NatConfig(max_flows=64))
+        assert nat.process_burst([], 1_000) == []
+
+    def test_reply_translation_in_burst(self):
+        nat = VigNat(NatConfig(max_flows=64))
+        [out] = nat.process_burst([outbound(4000)], 1_000)[0]
+        assert out.device == 1
+        [back] = nat.process_burst([inbound(out.l4.src_port)], 2_000)[0]
+        assert back.device == 0
+        assert back.ipv4.dst_ip == 0x0A000005  # 10.0.0.5
+        assert back.l4.dst_port == 4000
+
+
+class TestAmortizedExpiry:
+    def test_vignat_scans_once_per_burst(self):
+        nat = VigNat(NatConfig(max_flows=64))
+        nat.process_burst([outbound(4000 + i) for i in range(5)], 1_000)
+        assert nat.op_counters()["expiry_scans_amortized"] == 4
+
+    def test_vignat_single_packet_path_still_scans_every_packet(self):
+        nat = VigNat(NatConfig(max_flows=64, expiration_time=100))
+        nat.process(outbound(4000), 1_000)
+        nat.process(outbound(4001), 10_000)  # expires the first flow
+        assert nat.op_counters()["expired"] == 1
+        assert nat.op_counters()["expiry_scans_amortized"] == 0
+
+    def test_expiry_still_runs_between_bursts(self):
+        cfg = NatConfig(max_flows=64, expiration_time=100)
+        nat = VigNat(cfg)
+        nat.process_burst([outbound(4000)], 1_000)
+        assert nat.flow_count() == 1
+        nat.process_burst([outbound(4001)], 10_000)
+        assert nat.op_counters()["expired"] == 1  # first flow aged out
+
+    def test_unverified_and_netfilter_amortize(self):
+        for factory in (
+            lambda: UnverifiedNat(NatConfig(max_flows=64)),
+            lambda: NetfilterNat(NatConfig(max_flows=64)),
+        ):
+            nf = factory()
+            nf.process_burst([outbound(4000 + i) for i in range(4)], 1_000)
+            assert nf.op_counters()["expiry_scans_amortized"] == 3
+
+
+class TestClockRegression:
+    """Regression: a backwards timestamp must not crash the verified NAT.
+
+    Before the clamp, a packet timestamped earlier than the chain's
+    newest entry made ``DoubleChain._guard_time`` raise
+    ``TimeRegression`` from inside ``process()`` — the verified NAT
+    crashing on its data path, against the P2 crash-freedom claim.
+    """
+
+    def test_regressing_clock_forwards_instead_of_raising(self):
+        nat = VigNat(NatConfig(max_flows=64))
+        assert nat.process(outbound(4000), 100_000)  # chain newest = 100000
+        outputs = nat.process(outbound(4001), 50)  # clock ran backwards
+        assert len(outputs) == 1  # forwarded, not crashed
+        assert nat.op_counters()["clock_clamped"] == 1
+
+    def test_regressing_clock_in_burst(self):
+        nat = VigNat(NatConfig(max_flows=64))
+        nat.process_burst([outbound(4000)], 100_000)
+        results = nat.process_burst([outbound(4001), outbound(4002)], 99_000)
+        assert all(len(out) == 1 for out in results)
+        assert nat.op_counters()["clock_clamped"] == 1
+
+    def test_rejuvenation_with_stale_clock(self):
+        nat = VigNat(NatConfig(max_flows=64))
+        nat.process(outbound(4000), 100_000)
+        # Same flow again with a stale clock: rejuvenate, don't crash.
+        outputs = nat.process(outbound(4000), 90_000)
+        assert len(outputs) == 1
+
+    def test_clock_resumes_after_clamp(self):
+        nat = VigNat(NatConfig(max_flows=64))
+        nat.process(outbound(4000), 100_000)
+        nat.process(outbound(4001), 50)
+        assert nat.process(outbound(4002), 200_000)
+        assert nat.op_counters()["clock_clamped"] == 1

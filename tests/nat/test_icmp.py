@@ -1,6 +1,5 @@
 """ICMP translation (RFC 3022 §4.3): errors with embedded packets, echo."""
 
-import pytest
 
 from repro.nat.config import NatConfig
 from repro.nat.icmp_ext import IcmpAwareNat

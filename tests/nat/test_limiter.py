@@ -1,6 +1,5 @@
 """The verified rate limiter: concrete behaviour and its proof."""
 
-import pytest
 
 from repro.nat.limiter import LimiterConfig, VigLimiter, limiter_loop_iteration
 from repro.packets.builder import make_udp_packet

@@ -1,6 +1,5 @@
 """VigNat behaviour: the RFC 3022 semantics, concretely."""
 
-import pytest
 
 from repro.nat.config import NatConfig
 from repro.nat.flow import flow_id_of_packet

@@ -80,6 +80,79 @@ class TestIncrementalUpdate:
             checksum_update_u16(0, 0x10000, 0)
 
 
+class TestNatRewriteProperty:
+    """Incremental patching == full recompute for whole NAT rewrites.
+
+    A NAT rewrite touches an IP address (IPv4 header checksum and the
+    L4 pseudo-header) and a port (L4 only); the incremental RFC 1624
+    path the NATs use must agree with a full recompute via
+    ``ipv4_header_checksum``/``l4_checksum`` under
+    ``checksums_equivalent`` for every randomized rewrite.
+    """
+
+    @staticmethod
+    def _ipv4_header(src_ip, dst_ip, checksum=0):
+        return struct.pack(
+            ">BBHHHBBHII", 0x45, 0, 20, 0x1C46, 0x4000, 64, 17, checksum,
+            src_ip, dst_ip,
+        )
+
+    @staticmethod
+    def _udp_segment(src_port, dst_port, payload, checksum=0):
+        return struct.pack(
+            ">HHHH", src_port, dst_port, 8 + len(payload), checksum
+        ) + payload
+
+    @given(
+        src_ip=st.integers(0, 0xFFFFFFFF),
+        dst_ip=st.integers(0, 0xFFFFFFFF),
+        new_ip=st.integers(0, 0xFFFFFFFF),
+    )
+    def test_ip_rewrite_patches_ipv4_header_checksum(self, src_ip, dst_ip, new_ip):
+        original = ipv4_header_checksum(self._ipv4_header(src_ip, dst_ip))
+        patched = checksum_update_u32(original, src_ip, new_ip)
+        recomputed = ipv4_header_checksum(self._ipv4_header(new_ip, dst_ip))
+        assert checksums_equivalent(patched, recomputed)
+
+    @given(
+        src_ip=st.integers(0, 0xFFFFFFFF),
+        dst_ip=st.integers(0, 0xFFFFFFFF),
+        src_port=st.integers(0, 0xFFFF),
+        dst_port=st.integers(0, 0xFFFF),
+        new_ip=st.integers(0, 0xFFFFFFFF),
+        new_port=st.integers(0, 0xFFFF),
+        payload=st.binary(min_size=0, max_size=32),
+    )
+    def test_source_rewrite_patches_l4_checksum(
+        self, src_ip, dst_ip, src_port, dst_port, new_ip, new_port, payload
+    ):
+        """The full source rewrite (IP in the pseudo-header + port)."""
+        segment = self._udp_segment(src_port, dst_port, payload)
+        original = l4_checksum(src_ip, dst_ip, 17, segment)
+        patched = checksum_update_u32(original, src_ip, new_ip)
+        patched = checksum_update_u16(patched, src_port, new_port)
+        rewritten = self._udp_segment(new_port, dst_port, payload)
+        recomputed = l4_checksum(new_ip, dst_ip, 17, rewritten)
+        assert checksums_equivalent(patched, recomputed)
+
+    def test_zero_ffff_edge(self):
+        """The one's-complement double zero (0x0000 vs 0xFFFF).
+
+        Patching the only nonzero word of a block to zero: the full
+        recompute of the all-zero block yields 0xFFFF, while the
+        incremental path lands on 0x0000 — different bit patterns, the
+        same checksum on the wire.
+        """
+        data = struct.pack(">H", 0x1234) + b"\x00" * 18
+        original = internet_checksum(data)
+        patched = checksum_update_u16(original, 0x1234, 0x0000)
+        recomputed = internet_checksum(b"\x00" * 20)
+        assert recomputed == 0xFFFF
+        assert patched == 0x0000
+        assert patched != recomputed
+        assert checksums_equivalent(patched, recomputed)
+
+
 class TestL4Checksum:
     def test_pseudo_header_contributes(self):
         seg = b"\x00" * 8

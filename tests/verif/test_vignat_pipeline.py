@@ -12,7 +12,6 @@ must be caught by the specific sub-proof that owns that bug class.
 import pytest
 
 from repro.nat.config import NatConfig
-from repro.nat.core_logic import nat_loop_iteration
 from repro.packets.headers import ETHERTYPE_IPV4, PROTO_TCP, PROTO_UDP
 from repro.verif.engine import ExhaustiveSymbolicEngine
 from repro.verif.nf_env import SymbolicNatEnv, vignat_symbolic_body
