@@ -7,7 +7,9 @@ under ``benchmarks/results/``.
 Scale is controlled by ``REPRO_EVAL_SCALE``:
 
 - ``quick`` (default): minutes-scale runs preserving every claimed shape;
-- ``paper``: the paper's full parameter grid (tens of minutes).
+- ``paper``: the paper's full parameter grid (tens of minutes);
+- ``smoke``: the CI smoke grid — fewer sweep points at unchanged
+  per-point fidelity, so the ordering/scaling assertions still bite.
 """
 
 import os
@@ -71,11 +73,26 @@ def throughput_flow_counts() -> tuple:
 def burst_sweep_sizes() -> tuple:
     if scale() == "paper":
         return (1, 2, 4, 8, 16, 32, 64, 128)
+    if scale() == "smoke":
+        return (1, 4, 32)
     return (1, 2, 4, 8, 16, 32)
 
 
 def burst_sweep_packet_count() -> int:
     return 20_000 if scale() == "paper" else 6_000
+
+
+def shard_worker_counts() -> tuple:
+    if scale() == "paper":
+        return (1, 2, 4, 8, 16)
+    if scale() == "smoke":
+        return (1, 2, 4)
+    return (1, 2, 4, 8)
+
+
+def shard_packet_count() -> int:
+    """Per-worker packet budget for the shard sweep (scales with width)."""
+    return 10_000 if scale() == "paper" else 4_000
 
 
 @pytest.fixture

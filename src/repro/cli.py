@@ -7,9 +7,10 @@ Commands:
   discard NF, ``--model`` selects one of the three Fig. 4 ring models.
   ``--emit-tasks FILE`` writes the Fig. 10-style verification tasks.
 - ``demo`` — translate a conversation through the verified NAT.
-- ``experiments {fig12,fig13,fig14,burst,verification}`` — regenerate
-  one of the paper's evaluation artifacts at quick scale (``burst`` is
-  the burst-size sweep of the burst-mode data path).
+- ``experiments {fig12,fig13,fig14,burst,shard,verification}`` —
+  regenerate one of the paper's evaluation artifacts at quick scale
+  (``burst`` is the burst-size sweep of the burst-mode data path,
+  ``shard`` the worker-count scaling sweep of the sharded data path).
 """
 
 from __future__ import annotations
@@ -234,6 +235,16 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
         print(render_burst_sweep(burst_size_sweep()))
         return 0
+    if args.artifact == "shard":
+        from repro.eval.experiments import shard_sweep
+        from repro.eval.reporting import render_shard_sweep
+
+        print(
+            render_shard_sweep(
+                shard_sweep(worker_counts=(1, 2, 4), packet_count=4_000)
+            )
+        )
+        return 0
     settings = EvalSettings(
         expiration_seconds=60.0, throughput_packets=10_000, throughput_iterations=6
     )
@@ -284,7 +295,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate an evaluation artifact (quick scale)"
     )
     experiments.add_argument(
-        "artifact", choices=["fig12", "fig13", "fig14", "burst", "verification"]
+        "artifact",
+        choices=["fig12", "fig13", "fig14", "burst", "shard", "verification"],
     )
     experiments.set_defaults(run=_cmd_experiments)
     return parser

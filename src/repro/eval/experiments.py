@@ -24,6 +24,7 @@ from repro.net.moongen import (
     ProbeFlows,
     merge_sources,
 )
+from repro.net.rss import NatSteering
 from repro.net.testbed import Rfc2544Testbed, ThroughputResult
 
 S = 1_000_000_000
@@ -248,6 +249,112 @@ def burst_size_sweep(
                     implied_mpps=1_000.0 / busy if busy > 0 else 0.0,
                     avg_burst_fill=result.avg_burst_fill,
                     counters=nf.op_counters(),
+                )
+            )
+    return points
+
+
+@dataclass
+class ShardPoint:
+    """One shard-sweep data point: one NF at one worker count."""
+
+    nf: str
+    workers: int
+    burst_size: int
+    #: Mean core occupancy per packet across workers (per-core cost).
+    per_packet_busy_ns: float
+    #: Service-limited rate of the whole sharded box (sum of workers).
+    aggregate_mpps: float
+    #: Each worker's service-limited rate, in worker order.
+    per_worker_mpps: List[float] = field(default_factory=list)
+    #: Packets steered to each worker.
+    steered: List[int] = field(default_factory=list)
+    #: Aggregated NF counters after the run.
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+def shard_sweep(
+    factories: Optional[Dict[str, NfFactory]] = None,
+    worker_counts: Sequence[int] = (1, 2, 4, 8),
+    burst_size: int = 32,
+    flow_count: int = 1_000,
+    packet_count: int = 6_000,
+    offered_pps: float = 4_000_000.0,
+    settings: Optional[EvalSettings] = None,
+) -> List[ShardPoint]:
+    """Aggregate throughput vs. worker count, each NF under saturation.
+
+    Every worker runs the burst-mode main loop over its own shard of the
+    partitioned configuration; the offered load and packet budget scale
+    with the worker count so each worker stays saturated and per-worker
+    service rates are measured in the same regime at every width. The
+    single-worker point takes the exact unsharded code path
+    (:meth:`Rfc2544Testbed.run` with the same workload the burst sweep
+    uses), so ``workers=1`` reproduces the burst-sweep numbers
+    byte-identically. The paper's ordering no-op < unverified <
+    verified ≪ NetFilter must hold at every worker count.
+    """
+    factories = factories if factories is not None else default_nf_factories(
+        include_linux=True
+    )
+    settings = settings if settings is not None else EvalSettings(
+        expiration_seconds=60.0
+    )
+    cfg = settings.nat_config()
+    points: List[ShardPoint] = []
+    for name, factory in factories.items():
+        for workers in worker_counts:
+            if workers == 1:
+                testbed = Rfc2544Testbed(
+                    cost_model=CostModel(), burst_size=burst_size
+                )
+                nf = factory(cfg)
+                workload = ConstantRateFlows(
+                    flow_count, offered_pps, packet_count, burst=burst_size
+                )
+                result = testbed.run(nf, workload.events())
+                busy = result.per_packet_busy_ns
+                mpps = 1_000.0 / busy if busy > 0 else 0.0
+                points.append(
+                    ShardPoint(
+                        nf=name,
+                        workers=1,
+                        burst_size=burst_size,
+                        per_packet_busy_ns=busy,
+                        aggregate_mpps=mpps,
+                        per_worker_mpps=[mpps],
+                        steered=[result.burst_packets],
+                        counters=nf.op_counters(),
+                    )
+                )
+                continue
+            shards = cfg.partition(workers)
+            steering = NatSteering(shards)
+            nfs = [factory(shard) for shard in shards]
+            testbed = Rfc2544Testbed(
+                cost_model=CostModel(), burst_size=burst_size, workers=workers
+            )
+            workload = ConstantRateFlows(
+                flow_count,
+                offered_pps * workers,
+                packet_count * workers,
+                burst=burst_size,
+            )
+            sharded = testbed.run_sharded(nfs, steering.worker_for, workload.events())
+            counters: Dict[str, int] = {}
+            for nf in nfs:
+                for key, value in nf.op_counters().items():
+                    counters[key] = counters.get(key, 0) + value
+            points.append(
+                ShardPoint(
+                    nf=name,
+                    workers=workers,
+                    burst_size=burst_size,
+                    per_packet_busy_ns=sharded.per_packet_busy_ns,
+                    aggregate_mpps=sharded.aggregate_mpps(),
+                    per_worker_mpps=sharded.per_worker_mpps(),
+                    steered=sharded.steered,
+                    counters=counters,
                 )
             )
     return points

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.eval.experiments import BurstPoint, CcdfSeries, LatencyPoint
+from repro.eval.experiments import BurstPoint, CcdfSeries, LatencyPoint, ShardPoint
 from repro.eval.verification_stats import VerificationStats
 from repro.net.testbed import ThroughputResult
 
@@ -109,6 +109,51 @@ def render_burst_sweep(points: Sequence[BurstPoint]) -> str:
             f"avg fill={point.avg_burst_fill:.1f}, "
             f"expiry scans amortized={counters.get('expiry_scans_amortized', 0)}"
         )
+    return "\n".join(lines)
+
+
+def render_shard_sweep(points: Sequence[ShardPoint]) -> str:
+    """Shard sweep: aggregate service-limited throughput per worker count.
+
+    One row per NF, one column per worker width; a second block shows
+    the per-core cost (which stays near-flat — scaling comes from
+    parallelism, not from each core getting faster) and the steering
+    spread at the widest configuration.
+    """
+    by_nf: Dict[str, List[ShardPoint]] = {}
+    for point in points:
+        by_nf.setdefault(point.nf, []).append(point)
+    widths = sorted({p.workers for p in points})
+    burst = points[0].burst_size if points else 0
+    header = "workers:             " + "  ".join(f"{w:>7d}" for w in widths)
+    lines = [
+        f"Shard sweep — aggregate throughput (Mpps), burst size {burst}",
+        header,
+    ]
+    for nf, nf_points in by_nf.items():
+        cells = {p.workers: p for p in nf_points}
+        row = "  ".join(
+            f"{cells[w].aggregate_mpps:7.2f}" if w in cells else "      -"
+            for w in widths
+        )
+        lines.append(f"{nf:>20s}: {row}")
+    lines.append("")
+    lines.append("per-core occupancy per packet (ns)")
+    for nf, nf_points in by_nf.items():
+        cells = {p.workers: p for p in nf_points}
+        row = "  ".join(
+            f"{cells[w].per_packet_busy_ns:7.0f}" if w in cells else "      -"
+            for w in widths
+        )
+        lines.append(f"{nf:>20s}: {row}")
+    lines.append("")
+    widest = widths[-1] if widths else 0
+    for nf, nf_points in by_nf.items():
+        point = next((p for p in nf_points if p.workers == widest), None)
+        if point is None:
+            continue
+        spread = "/".join(str(count) for count in point.steered)
+        lines.append(f"{nf:>20s} @ {widest} workers: steered {spread}")
     return "\n".join(lines)
 
 

@@ -1,11 +1,17 @@
 """Network functions: VigNAT and the evaluation baselines.
 
+- :mod:`repro.nat.config` — :class:`NatConfig`, the unified NF
+  configuration every NAT accepts (and ``NatConfig.partition`` for the
+  sharded data path),
 - :mod:`repro.nat.vignat` — the verified NAT (the paper's contribution),
 - :mod:`repro.nat.unverified` — the unverified DPDK NAT baseline,
 - :mod:`repro.nat.netfilter` — the Linux NetFilter/conntrack-style NAT,
 - :mod:`repro.nat.noop` — DPDK no-op forwarding,
 - :mod:`repro.nat.firewall` — a second verified NF (stateful firewall),
 - :mod:`repro.nat.discard` — the §3 discard-protocol worked example.
+
+The names exported here are the package's stable public surface; code
+outside the repository should import from ``repro.nat`` directly.
 """
 
 from repro.nat.base import NetworkFunction
@@ -14,6 +20,7 @@ from repro.nat.config import NatConfig
 from repro.nat.discard import DiscardNF
 from repro.nat.firewall import VigFirewall
 from repro.nat.flow import Flow, FlowId, flow_id_of_packet
+from repro.nat.icmp_ext import IcmpAwareNat
 from repro.nat.limiter import LimiterConfig, VigLimiter
 from repro.nat.netfilter import NetfilterNat
 from repro.nat.noop import NoopForwarder
@@ -25,15 +32,16 @@ __all__ = [
     "DiscardNF",
     "Flow",
     "FlowId",
+    "IcmpAwareNat",
+    "LimiterConfig",
     "NatConfig",
     "NetfilterNat",
-    "LimiterConfig",
     "NetworkFunction",
     "NoopForwarder",
-    "VigBridge",
-    "VigLimiter",
-    "VigFirewall",
     "UnverifiedNat",
+    "VigBridge",
+    "VigFirewall",
+    "VigLimiter",
     "VigNat",
     "flow_id_of_packet",
 ]

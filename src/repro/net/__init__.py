@@ -5,37 +5,61 @@ the tester and DPDK under the NFs (Fig. 11). This package simulates that
 setup closely enough to reproduce the evaluation's *relative* results:
 
 - :mod:`repro.net.mbuf` — a finite packet-buffer pool with leak tracking,
-- :mod:`repro.net.nic` — ports with bounded RX descriptor rings,
-- :mod:`repro.net.dpdk` — a DPDK-like burst API over the ports,
+- :mod:`repro.net.nic` — ports with bounded RX descriptor rings, plus
+  the :class:`RssNic` multi-queue steering stage,
+- :mod:`repro.net.rss` — RSS 5-tuple hashing and the NAT-aware
+  :class:`NatSteering` (return traffic routed by external-port
+  ownership — see ``docs/SCALING.md``),
+- :mod:`repro.net.dpdk` — a DPDK-like burst API over the ports
+  (:class:`DpdkRuntime`), sharded across N workers by
+  :class:`ShardedRuntime`,
 - :mod:`repro.net.costmodel` — per-packet latency/service costs derived
   from the NF's *actual* abstract work (probe counts, hook traversals,
   checksum bytes) plus calibrated constants,
-- :mod:`repro.net.testbed` — the RFC 2544 tester/middlebox pair,
+- :mod:`repro.net.testbed` — the RFC 2544 tester/middlebox pair, single
+  core or sharded,
 - :mod:`repro.net.moongen` — workload generation and measurement.
+
+The names exported here are the package's stable public surface; code
+outside the repository should import from ``repro.net`` directly.
 """
 
 from repro.net.costmodel import CostModel
-from repro.net.dpdk import DpdkRuntime
+from repro.net.dpdk import DpdkRuntime, ShardedRuntime
 from repro.net.mbuf import MbufPool
-from repro.net.nic import Port
 from repro.net.moongen import (
     BackgroundFlows,
+    ConstantRateFlows,
     PacketSource,
     ProbeFlows,
     merge_sources,
 )
-from repro.net.testbed import LatencyStats, Rfc2544Testbed, ThroughputResult
+from repro.net.nic import Port, RssNic
+from repro.net.rss import NatSteering, rss_hash_packet, rss_queue
+from repro.net.testbed import (
+    LatencyStats,
+    Rfc2544Testbed,
+    ShardedRunResult,
+    ThroughputResult,
+)
 
 __all__ = [
     "BackgroundFlows",
+    "ConstantRateFlows",
     "CostModel",
     "DpdkRuntime",
     "LatencyStats",
     "MbufPool",
+    "NatSteering",
     "PacketSource",
     "Port",
     "ProbeFlows",
     "Rfc2544Testbed",
+    "RssNic",
+    "ShardedRunResult",
+    "ShardedRuntime",
     "ThroughputResult",
     "merge_sources",
+    "rss_hash_packet",
+    "rss_queue",
 ]

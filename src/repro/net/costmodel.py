@@ -97,6 +97,15 @@ CSUM_NS_PER_BYTE = 2
 OUTLIER_PROBABILITY = 1.0 / 20_000
 OUTLIER_NS = 295_000
 
+#: Per-packet cost of the multi-queue path when RSS sharding is active:
+#: the RX-queue indirection, per-queue doorbells and the cache traffic
+#: of N cores sharing one NIC. Charged per packet on every worker when
+#: ``workers > 1``; a single-worker run is byte-identical to the
+#: unsharded path. Small next to any NF's base cost, so the paper's
+#: ordering no-op < unverified < verified ≪ NetFilter is preserved at
+#: every worker count.
+RSS_STEER_NS = 45
+
 
 def _work_ns(delta: Dict[str, int]) -> int:
     """Dynamic work: counter deltas times their per-unit costs."""
@@ -132,6 +141,17 @@ class CostModel:
     def path_overhead_ns(self, nf: NetworkFunction) -> int:
         """Fixed wire/NIC path cost for one forwarded packet."""
         return PATH_OVERHEAD_NS[self._family(nf)]
+
+    @staticmethod
+    def steering_overhead_ns(workers: int) -> int:
+        """Per-packet RSS steering cost for a ``workers``-wide data path.
+
+        Zero for a single worker — the multi-queue machinery is off and
+        single-worker runs reproduce the unsharded numbers exactly.
+        """
+        if workers <= 1:
+            return 0
+        return RSS_STEER_NS
 
     def _delta(self, nf: NetworkFunction) -> Dict[str, int]:
         current = nf.op_counters()

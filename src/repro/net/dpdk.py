@@ -7,15 +7,22 @@ exposes that API plus :meth:`DpdkRuntime.main_loop_burst`, a complete
 main-loop turn that drives any :class:`~repro.nat.base.NetworkFunction`
 through its burst entry point with the no-leak discipline Vigor's
 ownership tracking enforces (§5.2.4).
+
+:class:`ShardedRuntime` scales that out: N workers, each a private
+``DpdkRuntime`` plus an NF built from one shard of a partitioned
+:class:`~repro.nat.config.NatConfig`, behind the NAT-aware RSS steering
+of :mod:`repro.net.rss`. See ``docs/SCALING.md``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.nat.base import NetworkFunction
+from repro.nat.config import NatConfig
 from repro.net.mbuf import Mbuf, MbufPool
-from repro.net.nic import Port
+from repro.net.nic import Port, RssNic
+from repro.net.rss import NatSteering
 from repro.packets.headers import Packet
 
 
@@ -130,3 +137,116 @@ class DpdkRuntime:
             for timestamp, packet in port.drain_tx():
                 out.append((port_id, timestamp, packet))
         return out
+
+
+class ShardedRuntime:
+    """N independent workers behind one RSS-steered NIC.
+
+    Each worker is a complete single-core data path — its own
+    :class:`DpdkRuntime` (ports, mbuf pool) plus its own NF instance
+    built from one shard of the partitioned configuration
+    (:meth:`repro.nat.config.NatConfig.partition`), so no state, buffer
+    or counter is ever shared between workers. Arriving packets pass the
+    NAT-aware steering of :class:`repro.net.rss.NatSteering` (forward
+    traffic by 5-tuple hash, return traffic by external-port ownership),
+    which guarantees every packet of a flow — replies and ICMP errors
+    included — reaches the worker holding that flow's state.
+
+    :meth:`main_loop_burst` runs one burst-mode main-loop turn on every
+    worker in a deterministic round-robin (worker 0 first), which keeps
+    simulated runs reproducible; on hardware the workers would spin on
+    their own cores concurrently. The verified per-packet core is
+    untouched: sharding lives entirely in this (modelled) I/O layer.
+    """
+
+    def __init__(
+        self,
+        nf_factory: Callable[[NatConfig], NetworkFunction],
+        config: Optional[NatConfig] = None,
+        workers: int = 1,
+        *,
+        steering: Optional[NatSteering] = None,
+        port_count: int = 2,
+        rx_capacity: int = 512,
+        pool_size: int = 4096,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("need at least one worker")
+        config = config if config is not None else NatConfig()
+        self.config = config
+        self.shards: Tuple[NatConfig, ...] = config.partition(workers)
+        self.steering = steering if steering is not None else NatSteering(self.shards)
+        self.nfs: List[NetworkFunction] = [nf_factory(cfg) for cfg in self.shards]
+        self.runtimes: List[DpdkRuntime] = [
+            DpdkRuntime(port_count, rx_capacity, pool_size) for _ in range(workers)
+        ]
+        self.nic = RssNic(workers, steer=self.steering.worker_for)
+
+    @property
+    def workers(self) -> int:
+        return len(self.nfs)
+
+    @property
+    def steered(self) -> List[int]:
+        """Packets steered to each worker so far."""
+        return list(self.nic.queue_packets)
+
+    # -- wire side -----------------------------------------------------------
+    def worker_for(self, packet: Packet) -> int:
+        """The worker the steering stage would select (without counting)."""
+        return self.steering.worker_for(packet)
+
+    def inject(self, port_id: int, packet: Packet, timestamp: int) -> bool:
+        """Deliver a packet from the wire: RSS-steer, then enqueue."""
+        worker = self.nic.select(packet)
+        return self.runtimes[worker].inject(port_id, packet, timestamp)
+
+    def collect(self) -> List[Tuple[int, int, Packet]]:
+        """All workers' transmissions, merged: (port, timestamp, packet)."""
+        merged: List[Tuple[int, int, Packet]] = []
+        for runtime in self.runtimes:
+            merged.extend(runtime.collect())
+        merged.sort(key=lambda item: item[1])  # stable: worker order on ties
+        return merged
+
+    def collect_by_worker(self) -> List[List[Tuple[int, int, Packet]]]:
+        """Per-worker transmissions since the last collect."""
+        return [runtime.collect() for runtime in self.runtimes]
+
+    # -- the sharded main loop ------------------------------------------------
+    def main_loop_burst(self, now_us: int, burst_size: int = 32) -> int:
+        """One main-loop turn on every worker, round-robin, worker 0 first.
+
+        Returns the total number of packets processed across workers.
+        """
+        processed = 0
+        for runtime, nf in zip(self.runtimes, self.nfs):
+            processed += runtime.main_loop_burst(nf, now_us, burst_size)
+        return processed
+
+    # -- introspection ----------------------------------------------------------
+    def flow_count(self) -> int:
+        """Live translation entries across all workers."""
+        return sum(
+            nf.flow_count() for nf in self.nfs if hasattr(nf, "flow_count")
+        )
+
+    def per_worker_counters(self) -> List[Dict[str, int]]:
+        """Each worker's NF operation counters, in worker order."""
+        return [dict(nf.op_counters()) for nf in self.nfs]
+
+    def op_counters(self) -> Dict[str, int]:
+        """NF operation counters aggregated (summed) across workers."""
+        aggregate: Dict[str, int] = {}
+        for counters in self.per_worker_counters():
+            for key, value in counters.items():
+                aggregate[key] = aggregate.get(key, 0) + value
+        return aggregate
+
+    def drop_causes(self) -> Dict[str, int]:
+        """Drop/near-drop causes aggregated across all workers."""
+        aggregate: Dict[str, int] = {}
+        for runtime in self.runtimes:
+            for key, value in runtime.drop_causes().items():
+                aggregate[key] = aggregate.get(key, 0) + value
+        return aggregate

@@ -173,6 +173,8 @@ class ConstantRateFlows:
         device: int = 0,
         start_ns: int = 0,
         burst: int = 1,
+        ip_base: int = 0x0A000001,  # 10.0.0.1
+        dst_ip: str = "198.18.0.1",
     ) -> None:
         if burst <= 0:
             raise ValueError("burst must be positive")
@@ -185,8 +187,8 @@ class ConstantRateFlows:
         self._prototypes: List[Packet] = [
             _flow_prototype(
                 i,
-                ip_base=0x0A000001,
-                dst_ip="198.18.0.1",
+                ip_base=ip_base,
+                dst_ip=dst_ip,
                 dst_port=80,
                 src_port_base=10_000,
                 device=device,

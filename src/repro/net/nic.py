@@ -4,13 +4,18 @@ A port's RX ring holds a fixed number of descriptors (512 by default,
 like the 82599's common configuration); packets arriving while the ring
 is full are dropped and counted — this is where RFC 2544 throughput
 loss comes from when the CPU cannot keep up.
+
+:class:`RssNic` models the multi-queue front-end of such a NIC: a
+steering function (Receive-Side Scaling) assigns every arriving packet
+to one of N RX queues, each typically served by its own core — the
+hardware half of the sharded data path (see :mod:`repro.net.rss`).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.packets.headers import Packet
 
@@ -67,3 +72,43 @@ class Port:
         """Collect everything transmitted since the last drain."""
         out, self._tx = self._tx, []
         return out
+
+
+class RssNic:
+    """The RSS stage of a multi-queue NIC: packet → RX queue selection.
+
+    Holds the steering function (by default the plain RSS 5-tuple hash
+    of :func:`repro.net.rss.rss_queue`; the sharded NAT passes
+    :meth:`repro.net.rss.NatSteering.worker_for` instead) plus the
+    per-queue counters real NICs expose per RX queue. The queues
+    themselves are the ports of whatever runtime sits behind each
+    worker — this class only decides and counts, like the hardware
+    redirection table.
+    """
+
+    def __init__(
+        self,
+        queue_count: int,
+        steer: Optional[Callable[[Packet], int]] = None,
+    ) -> None:
+        if queue_count <= 0:
+            raise ValueError("need at least one RX queue")
+        if steer is None:
+            from repro.net.rss import rss_queue
+
+            steer = lambda packet: rss_queue(packet, queue_count)  # noqa: E731
+        self.queue_count = queue_count
+        self._steer = steer
+        #: Packets steered to each queue so far.
+        self.queue_packets: List[int] = [0] * queue_count
+
+    def select(self, packet: Packet) -> int:
+        """Steer one packet: returns its RX queue index and counts it."""
+        queue = self._steer(packet)
+        if not 0 <= queue < self.queue_count:
+            raise ValueError(
+                f"steering function returned queue {queue} "
+                f"(have {self.queue_count})"
+            )
+        self.queue_packets[queue] += 1
+        return queue

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.nat.base import NetworkFunction
 from repro.net.costmodel import CostModel
@@ -130,6 +130,74 @@ class ThroughputResult:
 
 
 @dataclass
+class ShardedRunResult:
+    """Outcome of one workload replay through N parallel workers.
+
+    Each worker is an independent single-core middlebox with its own
+    queue; this holds one :class:`RunResult` per worker plus the
+    steering spread. Aggregates are sums — the workers run on separate
+    cores, so their busy times overlap in wall-clock terms and the
+    aggregate service capacity is the *sum* of per-worker rates
+    (:meth:`aggregate_mpps`), not the rate implied by summed busy time.
+    """
+
+    per_worker: List[RunResult] = field(default_factory=list)
+    #: All packets steered to each worker (warm-up included).
+    steered: List[int] = field(default_factory=list)
+
+    @property
+    def workers(self) -> int:
+        return len(self.per_worker)
+
+    @property
+    def offered(self) -> int:
+        return sum(r.offered for r in self.per_worker)
+
+    @property
+    def forwarded(self) -> int:
+        return sum(r.forwarded for r in self.per_worker)
+
+    @property
+    def nf_dropped(self) -> int:
+        return sum(r.nf_dropped for r in self.per_worker)
+
+    @property
+    def queue_dropped(self) -> int:
+        return sum(r.queue_dropped for r in self.per_worker)
+
+    @property
+    def loss_fraction(self) -> float:
+        offered = self.offered
+        if offered == 0:
+            return 0.0
+        return self.queue_dropped / offered
+
+    @property
+    def burst_packets(self) -> int:
+        return sum(r.burst_packets for r in self.per_worker)
+
+    @property
+    def per_packet_busy_ns(self) -> float:
+        """Mean core occupancy per packet across workers (per-core cost)."""
+        packets = self.burst_packets
+        if packets == 0:
+            return math.nan
+        return sum(r.busy_ns for r in self.per_worker) / packets
+
+    def per_worker_mpps(self) -> List[float]:
+        """Each worker's service-limited forwarding rate, Mpps."""
+        rates: List[float] = []
+        for result in self.per_worker:
+            busy = result.per_packet_busy_ns
+            rates.append(1_000.0 / busy if result.burst_packets and busy > 0 else 0.0)
+        return rates
+
+    def aggregate_mpps(self) -> float:
+        """Service-limited rate of the whole sharded box: sum of workers."""
+        return sum(self.per_worker_mpps())
+
+
+@dataclass
 class _Job:
     arrival_ns: int
     event: PacketEvent
@@ -155,9 +223,12 @@ class Rfc2544Testbed:
         measure_from_ns: int = 0,
         link: Optional[LinkModel] = None,
         burst_size: int = 1,
+        workers: int = 1,
     ) -> None:
         if burst_size <= 0:
             raise ValueError("burst size must be positive")
+        if workers <= 0:
+            raise ValueError("worker count must be positive")
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.rx_capacity = rx_capacity
         #: Events before this time are warm-up: processed but unmeasured.
@@ -165,6 +236,10 @@ class Rfc2544Testbed:
         #: Optional wire impairment (jitter + loss); None = clean links.
         self.link = link
         self.burst_size = burst_size
+        #: Parallel worker cores (:meth:`run_sharded`); :meth:`run` is the
+        #: single-core path regardless, so ``workers == 1`` stays
+        #: byte-identical to the pre-sharding testbed.
+        self.workers = workers
 
     # -- workload replay ---------------------------------------------------------
     def run(self, nf: NetworkFunction, events: Iterable[PacketEvent]) -> RunResult:
@@ -268,6 +343,115 @@ class Rfc2544Testbed:
 
         result.forwarded = result.all_latency.count
         return result
+
+    # -- sharded replay: N parallel worker cores ---------------------------------
+    def run_sharded(
+        self,
+        nfs: Sequence[NetworkFunction],
+        steer: Callable[..., int],
+        events: Iterable[PacketEvent],
+    ) -> ShardedRunResult:
+        """Replay a workload through N workers selected by ``steer``.
+
+        Models the sharded data path: every worker is an independent
+        single-server FIFO (its own RX ring of ``rx_capacity``, its own
+        burst service loop, its own NF), and an RSS-style steering
+        function maps each arriving packet to its worker — pass
+        :meth:`repro.net.rss.NatSteering.worker_for` for NAT-correct
+        return-traffic steering. Workers run on separate cores: each has
+        its own ``free_at`` clock, so their service times overlap.
+        The cost model additionally charges
+        :meth:`~repro.net.costmodel.CostModel.steering_overhead_ns`
+        per packet when more than one worker is configured.
+        """
+        n = len(nfs)
+        if n == 0:
+            raise ValueError("need at least one worker NF")
+        if n != self.workers:
+            raise ValueError(
+                f"testbed configured for {self.workers} worker(s), got {n} NFs"
+            )
+        results = [RunResult() for _ in range(n)]
+        steered = [0] * n
+        queues: List[List[_Job]] = [[] for _ in range(n)]
+        heads = [0] * n
+        free_at = [0] * n
+        steer_ns = self.cost_model.steering_overhead_ns(n)
+
+        def serve(w: int) -> None:
+            result = results[w]
+            queue = queues[w]
+            first = queue[heads[w]]
+            start = max(free_at[w], first.arrival_ns)
+            batch = [first]
+            scan = heads[w] + 1
+            while (
+                scan < len(queue)
+                and len(batch) < self.burst_size
+                and queue[scan].arrival_ns <= start
+            ):
+                batch.append(queue[scan])
+                scan += 1
+            heads[w] = scan
+            now_us = start // US
+            outputs = nfs[w].process_burst([j.event.packet for j in batch], now_us)
+            latency_ns, service_ns = self.cost_model.burst_costs(nfs[w], len(batch))
+            latency_ns += steer_ns
+            service_ns += steer_ns * len(batch)
+            free_at[w] = start + service_ns
+            result.busy_ns += service_ns
+            result.bursts += 1
+            result.burst_packets += len(batch)
+            for job, out in zip(batch, outputs):
+                if not out:
+                    result.nf_dropped += 1
+                    continue
+                if job.arrival_ns >= self.measure_from_ns:
+                    total = (
+                        (start - job.arrival_ns)
+                        + latency_ns
+                        + job.jitter_ns
+                        + self.cost_model.path_overhead_ns(nfs[w])
+                        + self.cost_model.sample_outlier_ns()
+                    )
+                    result.all_latency.add(total)
+                    if job.event.probe:
+                        result.probe_latency.add(total)
+
+        for event in events:
+            target = steer(event.packet)
+            measured = event.time_ns >= self.measure_from_ns
+            if measured:
+                results[target].offered += 1
+            steered[target] += 1
+            jitter_ns = 0
+            if self.link is not None:
+                jitter_ns, wire_dropped = self.link.transit()
+                if wire_dropped:
+                    if measured:
+                        results[target].wire_dropped += 1
+                    continue
+            # Every worker core drains its own queue up to this arrival.
+            for w in range(n):
+                while heads[w] < len(queues[w]):
+                    start = max(free_at[w], queues[w][heads[w]].arrival_ns)
+                    if start >= event.time_ns:
+                        break
+                    serve(w)
+            if len(queues[target]) - heads[target] >= self.rx_capacity:
+                if measured:
+                    results[target].queue_dropped += 1
+                continue
+            queues[target].append(
+                _Job(arrival_ns=event.time_ns, event=event, jitter_ns=jitter_ns)
+            )
+        for w in range(n):
+            while heads[w] < len(queues[w]):
+                serve(w)
+
+        for result in results:
+            result.forwarded = result.all_latency.count
+        return ShardedRunResult(per_worker=results, steered=steered)
 
     # -- RFC 2544 throughput search -------------------------------------------------
     def max_throughput(
