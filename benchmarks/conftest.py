@@ -95,6 +95,28 @@ def shard_packet_count() -> int:
     return 10_000 if scale() == "paper" else 4_000
 
 
+def fastpath_flow_counts() -> tuple:
+    """Flow-locality regimes for the microflow-cache sweep.
+
+    Few flows → near-100% hit rate; flow counts approaching the packet
+    budget → the cache never converges and most packets take the slow
+    path. Both ends must keep the NF ordering and byte-identity.
+    """
+    if scale() == "paper":
+        return (64, 1_024, 4_096, 16_384)
+    if scale() == "smoke":
+        return (64, 1_024)
+    return (64, 1_024, 4_096)
+
+
+def fastpath_packet_count() -> int:
+    if scale() == "paper":
+        return 20_000
+    if scale() == "smoke":
+        return 4_000
+    return 6_000
+
+
 @pytest.fixture
 def publish():
     """Print a result table and persist it under benchmarks/results/."""

@@ -7,10 +7,12 @@ Commands:
   discard NF, ``--model`` selects one of the three Fig. 4 ring models.
   ``--emit-tasks FILE`` writes the Fig. 10-style verification tasks.
 - ``demo`` — translate a conversation through the verified NAT.
-- ``experiments {fig12,fig13,fig14,burst,shard,verification}`` —
-  regenerate one of the paper's evaluation artifacts at quick scale
+- ``experiments {fig12,fig13,fig14,burst,shard,fastpath,verification}``
+  — regenerate one of the paper's evaluation artifacts at quick scale
   (``burst`` is the burst-size sweep of the burst-mode data path,
-  ``shard`` the worker-count scaling sweep of the sharded data path).
+  ``shard`` the worker-count scaling sweep of the sharded data path,
+  ``fastpath`` the microflow-cache locality sweep with its on/off
+  differential check — exit code 1 on any output divergence).
 """
 
 from __future__ import annotations
@@ -245,6 +247,13 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             )
         )
         return 0
+    if args.artifact == "fastpath":
+        from repro.eval.experiments import fastpath_sweep
+        from repro.eval.reporting import render_fastpath_sweep
+
+        points = fastpath_sweep(flow_counts=(64, 1_024), packet_count=4_000)
+        print(render_fastpath_sweep(points))
+        return 1 if any(not p.identical for p in points) else 0
     settings = EvalSettings(
         expiration_seconds=60.0, throughput_packets=10_000, throughput_iterations=6
     )
@@ -296,7 +305,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument(
         "artifact",
-        choices=["fig12", "fig13", "fig14", "burst", "shard", "verification"],
+        choices=[
+            "fig12",
+            "fig13",
+            "fig14",
+            "burst",
+            "shard",
+            "fastpath",
+            "verification",
+        ],
     )
     experiments.set_defaults(run=_cmd_experiments)
     return parser

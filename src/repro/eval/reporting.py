@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.eval.experiments import BurstPoint, CcdfSeries, LatencyPoint, ShardPoint
+from repro.eval.experiments import (
+    BurstPoint,
+    CcdfSeries,
+    FastpathPoint,
+    LatencyPoint,
+    ShardPoint,
+)
 from repro.eval.verification_stats import VerificationStats
 from repro.net.testbed import ThroughputResult
 
@@ -154,6 +160,49 @@ def render_shard_sweep(points: Sequence[ShardPoint]) -> str:
             continue
         spread = "/".join(str(count) for count in point.steered)
         lines.append(f"{nf:>20s} @ {widest} workers: steered {spread}")
+    return "\n".join(lines)
+
+
+def render_fastpath_sweep(points: Sequence[FastpathPoint]) -> str:
+    """Fastpath sweep: per-packet cost with the microflow cache on/off.
+
+    One block per NF across flow-locality regimes, with the measured
+    hit rate, the modeled service-cost improvement, the wall-clock
+    speedup of the replay, and the byte-identity verdict of the
+    differential check.
+    """
+    by_nf: Dict[str, List[FastpathPoint]] = {}
+    for point in points:
+        by_nf.setdefault(point.nf, []).append(point)
+    burst = points[0].burst_size if points else 0
+    lines = [
+        f"Fastpath sweep — microflow cache on vs off, burst size {burst}",
+        "flows    hit-rate   busy off/on (ns)   mpps off/on    wall ×   identical",
+    ]
+    for nf, nf_points in by_nf.items():
+        lines.append(f"{nf}:")
+        for p in sorted(nf_points, key=lambda p: p.flow_count):
+            lines.append(
+                f"  {p.flow_count:>6d}   {p.hit_rate:7.1%}"
+                f"   {p.per_packet_busy_ns_off:7.0f}/{p.per_packet_busy_ns_on:<7.0f}"
+                f"   {p.implied_mpps_off:5.2f}/{p.implied_mpps_on:<5.2f}"
+                f"   {p.wall_speedup:5.2f}"
+                f"   {'yes' if p.identical else 'NO — DIVERGED'}"
+            )
+    lines.append("")
+    smallest = min((p.flow_count for p in points), default=0)
+    for nf, nf_points in by_nf.items():
+        hot = next((p for p in nf_points if p.flow_count == smallest), None)
+        if hot is None:
+            continue
+        counters = hot.counters
+        lines.append(
+            f"{nf:>20s} @ {smallest} flows: "
+            f"hits={counters.get('fastpath_hits', 0)}, "
+            f"misses={counters.get('fastpath_misses', 0)}, "
+            f"invalidations={counters.get('fastpath_invalidations', 0)}, "
+            f"learns={counters.get('fastpath_learns', 0)}"
+        )
     return "\n".join(lines)
 
 

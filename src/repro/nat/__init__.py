@@ -6,6 +6,8 @@
 - :mod:`repro.nat.vignat` — the verified NAT (the paper's contribution),
 - :mod:`repro.nat.unverified` — the unverified DPDK NAT baseline,
 - :mod:`repro.nat.netfilter` — the Linux NetFilter/conntrack-style NAT,
+- :mod:`repro.nat.fastpath` — the microflow action cache over any of
+  the above (`FastPathNat`),
 - :mod:`repro.nat.noop` — DPDK no-op forwarding,
 - :mod:`repro.nat.firewall` — a second verified NF (stateful firewall),
 - :mod:`repro.nat.discard` — the §3 discard-protocol worked example.
@@ -18,6 +20,7 @@ from repro.nat.base import NetworkFunction
 from repro.nat.bridge import BridgeConfig, VigBridge
 from repro.nat.config import NatConfig
 from repro.nat.discard import DiscardNF
+from repro.nat.fastpath import CachedAction, FastPathNat
 from repro.nat.firewall import VigFirewall
 from repro.nat.flow import Flow, FlowId, flow_id_of_packet
 from repro.nat.icmp_ext import IcmpAwareNat
@@ -29,7 +32,9 @@ from repro.nat.vignat import VigNat
 
 __all__ = [
     "BridgeConfig",
+    "CachedAction",
     "DiscardNF",
+    "FastPathNat",
     "Flow",
     "FlowId",
     "IcmpAwareNat",

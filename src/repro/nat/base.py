@@ -73,3 +73,12 @@ class NetworkFunction(abc.ABC):
         per-packet cost applies.
         """
         return {}
+
+    def fastpath_hooks(self):
+        """Hooks for the microflow fast path (see :mod:`repro.nat.fastpath`).
+
+        None (the default) means the NF cannot be wrapped by
+        :class:`~repro.nat.fastpath.FastPathNat` and always takes its
+        slow path.
+        """
+        return None

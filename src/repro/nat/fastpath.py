@@ -1,0 +1,401 @@
+"""The microflow fast path: an action cache over a slow-path NF.
+
+An OVS-style microflow cache keyed on (device, proto, 5-tuple). The
+first packet of a flow takes the slow path — for VigNat that is the
+*verified* ``nat_loop_iteration`` — and the fast path memoizes the
+**action** the slow path took: which endpoint fields it rewrote, to
+what, and out of which device. Every later packet of the flow replays
+that action without touching the flow table.
+
+The cache is strictly an equivalence-preserving memoization; three
+mechanisms enforce it:
+
+- **Self-verifying learn.** A candidate action is applied to a clone of
+  the triggering packet and cached only if the result is byte-identical
+  (``wire_bytes``) to what the slow path actually emitted. A wrong
+  action is never cached in the first place.
+- **Generation invalidation.** The wrapped NF bumps a generation
+  counter whenever its flow state changes shape (flow created, expired
+  or evicted). Cached actions remember the generation they were learned
+  at and are discarded on mismatch, so a stale entry can never fire.
+- **Narrow eligibility.** Only non-fragment IPv4 TCP/UDP packets are
+  cacheable; fragments, ICMP (errors included) and anything else falls
+  through to the slow path unconditionally.
+
+Verification still targets the slow path: the fast path adds no state
+the symbolic engine must model, and the proof report is unchanged.
+
+Each NF that opts in exposes ``fastpath_hooks()`` returning an object
+with: ``supports_raw`` (bool), ``begin_burst(now) -> now`` (clamp the
+clock and run the per-burst expiry scan), ``generation() -> int``,
+``learn_token(packet) -> token | None`` (NF state handle used to keep
+the flow alive), ``rejuvenate(token, now)``, and
+``apply(packet, action) -> Packet`` (the NF's own rewrite code, so NF
+quirks — including deliberate ones — are reproduced exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.nat.base import NetworkFunction
+from repro.nat.rewrite import rewrite_destination, rewrite_source
+from repro.packets.checksum import (
+    checksum_apply_delta,
+    checksum_delta_u16,
+    checksum_delta_u32,
+)
+from repro.packets.headers import (
+    ETHERTYPE_IPV4,
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+    ParseError,
+)
+from repro.packets.lazy import (
+    OFF_DST_IP,
+    OFF_DST_PORT,
+    OFF_SRC_IP,
+    OFF_SRC_PORT,
+    OFF_UDP_CSUM,
+    LazyPacket,
+)
+
+#: A microflow key: (device, proto, src_ip, src_port, dst_ip, dst_port).
+FlowKey = Tuple[int, int, int, int, int, int]
+
+
+@dataclass(slots=True)
+class CachedAction:
+    """What the slow path did to one microflow's packets.
+
+    ``src``/``dst`` are the (ip, port) endpoint targets the slow path
+    rewrote to (None = that endpoint untouched), exactly the arguments
+    its own rewrite helpers receive. ``raw_ops`` is the byte-level
+    replay of the same rewrites for the zero-copy path: field writes
+    plus precomputed RFC 1624 checksum deltas.
+    """
+
+    src: Optional[Tuple[int, int]]
+    dst: Optional[Tuple[int, int]]
+    out_device: int
+    token: Any
+    generation: int
+    raw_ops: Optional[Tuple[tuple, ...]] = None
+
+
+def apply_endpoint_action(packet: Packet, action: CachedAction) -> Packet:
+    """Replay a cached action the way ``_ConcreteEnv.emit`` rewrites.
+
+    Clone, rewrite whichever endpoints the slow path rewrote (with the
+    same shared helpers, so UDP zero-checksum semantics match), set the
+    output device. This is the ``apply`` hook for every NF whose slow
+    path emits via :func:`~repro.nat.rewrite.rewrite_source` /
+    :func:`~repro.nat.rewrite.rewrite_destination`.
+    """
+    out = packet.clone()
+    if action.src is not None:
+        rewrite_source(out, *action.src)
+    if action.dst is not None:
+        rewrite_destination(out, *action.dst)
+    out.device = action.out_device
+    return out
+
+
+def _raw_ops_for(packet: Packet, action: CachedAction) -> Tuple[tuple, ...]:
+    """Compile a cached action into byte-level replay ops.
+
+    The op sequence mirrors the slow path's rewrite call structure
+    *exactly* — one ``("l4", deltas)`` op per ``_patch_l4_for_*`` call,
+    each with its own UDP-zero check, deltas applied in the same word
+    order — so the patched checksum is bit-identical to the slow path's
+    for any starting checksum, not merely equivalent.
+    """
+    assert packet.ipv4 is not None and packet.l4 is not None
+    ops: List[tuple] = []
+    if action.src is not None:
+        new_ip, new_port = action.src
+        old_ip, old_port = packet.ipv4.src_ip, packet.l4.src_port
+        ops.append(("w32", OFF_SRC_IP, new_ip))
+        ops.append(("w16", OFF_SRC_PORT, new_port))
+        ops.append(("ip", checksum_delta_u32(old_ip, new_ip)))
+        ops.append(("l4", checksum_delta_u32(old_ip, new_ip)))
+        ops.append(("l4", (checksum_delta_u16(old_port, new_port),)))
+    if action.dst is not None:
+        new_ip, new_port = action.dst
+        old_ip, old_port = packet.ipv4.dst_ip, packet.l4.dst_port
+        ops.append(("w32", OFF_DST_IP, new_ip))
+        ops.append(("w16", OFF_DST_PORT, new_port))
+        ops.append(("ip", checksum_delta_u32(old_ip, new_ip)))
+        ops.append(("l4", checksum_delta_u32(old_ip, new_ip)))
+        ops.append(("l4", (checksum_delta_u16(old_port, new_port),)))
+    return tuple(ops)
+
+
+def _apply_raw(view: LazyPacket, ops: Tuple[tuple, ...]) -> None:
+    """Replay compiled ops onto the frame bytes in place."""
+    for op in ops:
+        kind = op[0]
+        if kind == "w32":
+            view.write_u32(op[1], op[2])
+        elif kind == "w16":
+            view.write_u16(op[1], op[2])
+        elif kind == "ip":
+            for delta in op[1]:
+                view.patch_ip_checksum(delta)
+        else:  # "l4": one slow-path patch call — zero-checked once
+            offset = view.l4_checksum_offset()
+            checksum = view.read_u16(offset)
+            if checksum == 0 and offset == OFF_UDP_CSUM:
+                continue
+            for delta in op[1]:
+                checksum = checksum_apply_delta(checksum, delta)
+            view.write_u16(offset, checksum)
+
+
+def packet_flow_key(packet: Packet) -> Optional[FlowKey]:
+    """The microflow key of a parsed packet, or None when ineligible.
+
+    Ineligible (→ slow path): non-IPv4, no TCP/UDP header, fragments
+    (MF set or nonzero offset — their L4 header may be absent or belong
+    to another fragment).
+    """
+    ipv4 = packet.ipv4
+    l4 = packet.l4
+    if packet.eth.ethertype != ETHERTYPE_IPV4 or ipv4 is None or l4 is None:
+        return None
+    if (ipv4.flags & 0x1) or ipv4.fragment_offset:
+        return None
+    proto = ipv4.protocol
+    if proto != PROTO_TCP and proto != PROTO_UDP:
+        return None
+    return (
+        packet.device,
+        proto,
+        ipv4.src_ip,
+        l4.src_port,
+        ipv4.dst_ip,
+        l4.dst_port,
+    )
+
+
+class FastPathNat(NetworkFunction):
+    """Wrap a slow-path NF with the microflow action cache.
+
+    The wrapper reports the inner NF's ``name`` so experiment tables and
+    the cost model treat it as the same NF (with extra counters); the
+    inner NF stays reachable as ``.inner`` for introspection.
+    """
+
+    def __init__(self, inner: NetworkFunction, max_entries: int = 65_536) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        hooks = inner.fastpath_hooks()
+        if hooks is None:
+            raise TypeError(
+                f"{type(inner).__name__} does not provide fast-path hooks"
+            )
+        self.inner = inner
+        self.name = inner.name
+        self.max_entries = max_entries
+        self._hooks = hooks
+        self._cache: Dict[FlowKey, CachedAction] = {}
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._evictions = 0
+        self._learns = 0
+        self._learn_rejected = 0
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def op_counters(self) -> Dict[str, int]:
+        counters = dict(self.inner.op_counters())
+        counters.update(self.burst_counters())
+        counters.update(
+            fastpath_hits=self._hits,
+            fastpath_misses=self._misses,
+            fastpath_invalidations=self._invalidations,
+            fastpath_evictions=self._evictions,
+            fastpath_learns=self._learns,
+            fastpath_learn_rejected=self._learn_rejected,
+        )
+        return counters
+
+    def hit_rate(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def flow_count(self) -> int:
+        """The inner NF's live-flow count (0 when it has no flow table)."""
+        inner_count = getattr(self.inner, "flow_count", None)
+        return inner_count() if inner_count is not None else 0
+
+    # -- the cache ----------------------------------------------------------
+    def _lookup(self, key: Optional[FlowKey]) -> Optional[CachedAction]:
+        """A valid cached action for ``key``, discarding stale entries."""
+        if key is None:
+            return None
+        action = self._cache.get(key)
+        if action is None:
+            return None
+        if action.generation != self._hooks.generation():
+            del self._cache[key]
+            self._invalidations += 1
+            return None
+        return action
+
+    def _learn(
+        self, packet: Packet, key: FlowKey, outputs: List[Packet]
+    ) -> None:
+        """Memoize what the slow path just did, if it is cacheable.
+
+        Only single-packet forwards are cached (drops and multi-output
+        behaviors always re-consult the slow path). The candidate action
+        is verified by replay before it is admitted.
+        """
+        if len(outputs) != 1:
+            return
+        token = self._hooks.learn_token(packet)
+        if token is None:
+            return
+        out = outputs[0]
+        assert packet.ipv4 is not None and packet.l4 is not None
+        assert out.ipv4 is not None and out.l4 is not None
+        src: Optional[Tuple[int, int]] = (out.ipv4.src_ip, out.l4.src_port)
+        if src == (packet.ipv4.src_ip, packet.l4.src_port):
+            src = None
+        dst: Optional[Tuple[int, int]] = (out.ipv4.dst_ip, out.l4.dst_port)
+        if dst == (packet.ipv4.dst_ip, packet.l4.dst_port):
+            dst = None
+        action = CachedAction(
+            src=src,
+            dst=dst,
+            out_device=out.device,
+            token=token,
+            generation=self._hooks.generation(),
+        )
+        replayed = self._hooks.apply(packet, action)
+        if replayed.device != out.device or replayed.wire_bytes() != out.wire_bytes():
+            self._learn_rejected += 1
+            return
+        if self._hooks.supports_raw:
+            action.raw_ops = _raw_ops_for(packet, action)
+        if len(self._cache) >= self.max_entries:
+            self._cache.pop(next(iter(self._cache)))
+            self._evictions += 1
+        self._cache[key] = action
+        self._learns += 1
+
+    def _handle(self, packet: Packet, now: int) -> List[Packet]:
+        key = packet_flow_key(packet)
+        action = self._lookup(key)
+        if action is not None:
+            self._hits += 1
+            self._hooks.rejuvenate(action.token, now)
+            return [self._hooks.apply(packet, action)]
+        self._misses += 1
+        outputs = self.inner.process(packet, now)
+        if key is not None:
+            self._learn(packet, key, outputs)
+        return outputs
+
+    # -- packet paths -------------------------------------------------------
+    def process(self, packet: Packet, now: int) -> List[Packet]:
+        now = self._hooks.begin_burst(now)
+        return self._handle(packet, now)
+
+    def process_burst(
+        self, packets: Sequence[Packet], now: int
+    ) -> List[List[Packet]]:
+        """One RX burst: expiry scanned once up front, then per-packet
+        cache consult with slow-path fall-through on miss.
+
+        The loop body is ``_handle`` inlined with the generation read
+        hoisted out: the generation can only move inside a slow-path
+        call, so it is read once per burst and refreshed after each
+        miss instead of per packet.
+        """
+        self._note_burst(len(packets))
+        if not packets:
+            return []
+        hooks = self._hooks
+        now = hooks.begin_burst(now)
+        cache = self._cache
+        generation = hooks.generation()
+        rejuvenate = hooks.rejuvenate
+        apply_action = hooks.apply
+        inner_process = self.inner.process
+        results: List[List[Packet]] = []
+        hits = 0
+        for packet in packets:
+            key = packet_flow_key(packet)
+            action = cache.get(key) if key is not None else None
+            if action is not None:
+                if action.generation == generation:
+                    hits += 1
+                    rejuvenate(action.token, now)
+                    results.append([apply_action(packet, action)])
+                    continue
+                del cache[key]
+                self._invalidations += 1
+            self._misses += 1
+            outputs = inner_process(packet, now)
+            if key is not None:
+                self._learn(packet, key, outputs)
+            generation = hooks.generation()
+            results.append(outputs)
+        self._hits += hits
+        return results
+
+    def process_raw_burst(
+        self, frames: Sequence[Tuple[bytearray, int]], now: int
+    ) -> List[List[Tuple[bytes, int]]]:
+        """The zero-copy burst path over raw frame bytes.
+
+        ``frames`` holds (mutable frame buffer, receive device) pairs.
+        A hit patches the buffer in place through a :class:`LazyPacket`
+        view — no header objects; a miss parses, runs the slow path and
+        serializes its outputs with stored checksums (``wire_bytes``),
+        so both paths produce identical bytes.
+        """
+        if not self._hooks.supports_raw:
+            raise TypeError(f"{self.name} does not support the raw fast path")
+        self._note_burst(len(frames))
+        if not frames:
+            return []
+        now = self._hooks.begin_burst(now)
+        results: List[List[Tuple[bytes, int]]] = []
+        for buf, device in frames:
+            view = LazyPacket(buf, device)
+            key = view.flow_key()
+            action = self._lookup(key)
+            if action is not None and action.raw_ops is not None:
+                self._hits += 1
+                self._hooks.rejuvenate(action.token, now)
+                _apply_raw(view, action.raw_ops)
+                results.append([(bytes(buf), action.out_device)])
+                continue
+            self._misses += 1
+            try:
+                packet = Packet.from_bytes(bytes(buf), device)
+            except ParseError:
+                results.append([])
+                continue
+            outputs = self.inner.process(packet, now)
+            if key is not None:
+                self._learn(packet, key, outputs)
+            results.append([(out.wire_bytes(), out.device) for out in outputs])
+        return results
+
+
+__all__ = [
+    "CachedAction",
+    "FastPathNat",
+    "apply_endpoint_action",
+    "packet_flow_key",
+]

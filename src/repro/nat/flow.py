@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.packets.headers import Packet
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlowId:
     """The 5-tuple identifying a unidirectional flow at an interface."""
 
@@ -48,7 +48,7 @@ def flow_id_of_packet(packet: Packet) -> FlowId:
     )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flow:
     """A NAT translation entry.
 

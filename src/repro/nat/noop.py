@@ -7,10 +7,46 @@ is measured against it.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.nat.base import NetworkFunction
 from repro.packets.headers import Packet
+
+
+class _NoopFastPathHooks:
+    """Fast-path hooks for the stateless forwarder.
+
+    No flow state exists, so the generation never changes, expiry is a
+    no-op and the learn token is a constant sentinel.
+    """
+
+    __slots__ = ("_nf",)
+    supports_raw = True
+
+    def __init__(self, nf: "NoopForwarder") -> None:
+        self._nf = nf
+
+    @staticmethod
+    def generation() -> int:
+        return 0
+
+    @staticmethod
+    def begin_burst(now: int) -> int:
+        return now
+
+    @staticmethod
+    def learn_token(packet: Packet) -> Optional[int]:
+        return 0
+
+    @staticmethod
+    def rejuvenate(token: int, now: int) -> None:
+        pass
+
+    @staticmethod
+    def apply(packet: Packet, action) -> Packet:
+        out = packet.clone()
+        out.device = action.out_device
+        return out
 
 
 class NoopForwarder(NetworkFunction):
@@ -40,3 +76,6 @@ class NoopForwarder(NetworkFunction):
         counters = {"forwarded": self._forwarded_total}
         counters.update(self.burst_counters())
         return counters
+
+    def fastpath_hooks(self) -> _NoopFastPathHooks:
+        return _NoopFastPathHooks(self)

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.libvig.hash_table import ChainingHashTable
 from repro.nat.base import NetworkFunction
@@ -52,11 +52,71 @@ class NatCrash(RuntimeError):
     """The unverified NAT hit an unhandled edge case and died."""
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     internal_id: FlowId
     external_port: int
     last_seen: int
+
+
+class _UnverifiedFastPathHooks:
+    """Fast-path hooks over the unverified NAT's ad-hoc state.
+
+    ``apply`` replays the NAT's *own* rewrite code per direction —
+    including the hand-rolled inbound patch that corrupts disabled UDP
+    checksums. The fast path memoizes the NF as it is, bugs included;
+    fixing them here would make the cached path diverge from the slow
+    path the differential harness compares against.
+
+    ``supports_raw`` is False: the raw byte path only replays the
+    shared RFC-compliant rewrite helpers, which this NF's inbound path
+    deliberately does not use.
+    """
+
+    __slots__ = ("_nat",)
+    supports_raw = False
+
+    def __init__(self, nat: "UnverifiedNat") -> None:
+        self._nat = nat
+
+    def generation(self) -> int:
+        return self._nat._generation
+
+    def begin_burst(self, now: int) -> int:
+        self._nat._expire(now)
+        return now
+
+    def learn_token(self, packet: Packet) -> Optional[_Entry]:
+        nat = self._nat
+        flow_id = flow_id_of_packet(packet)
+        if packet.device == nat.config.internal_device:
+            return nat._by_internal.get(flow_id)
+        if packet.device == nat.config.external_device:
+            return nat._by_external.get(flow_id)
+        return None
+
+    def rejuvenate(self, token: _Entry, now: int) -> None:
+        self._nat._touch(token.external_port, token, now)
+
+    def apply(self, packet: Packet, action) -> Packet:
+        out = packet.clone()
+        if packet.device == self._nat.config.internal_device:
+            rewrite_source(out, *action.src)
+        else:
+            # The inbound path's hand-rolled patch, verbatim (see
+            # _inbound): unconditional, so a zero UDP checksum comes
+            # out wrong on both paths alike.
+            assert out.ipv4 is not None and out.l4 is not None
+            new_ip, new_port = action.dst
+            old_ip = out.ipv4.dst_ip
+            old_port = out.l4.dst_port
+            out.ipv4.dst_ip = new_ip
+            out.l4.dst_port = new_port
+            out.ipv4.checksum = checksum_update_u32(out.ipv4.checksum, old_ip, new_ip)
+            out.l4.checksum = checksum_update_u32(out.l4.checksum, old_ip, new_ip)
+            out.l4.checksum = checksum_update_u16(out.l4.checksum, old_port, new_port)
+        out.device = action.out_device
+        return out
 
 
 class UnverifiedNat(NetworkFunction):
@@ -78,6 +138,9 @@ class UnverifiedNat(NetworkFunction):
         self._evicted_total = 0
         self._expired_total = 0
         self._expiry_scans_amortized = 0
+        #: Bumped whenever an entry is created or removed; checked by
+        #: the microflow cache before replaying an action.
+        self._generation = 0
 
     # -- introspection ----------------------------------------------------
     def flow_count(self) -> int:
@@ -115,6 +178,7 @@ class UnverifiedNat(NetworkFunction):
         del self._lru[port]
         self._by_internal.erase(entry.internal_id)
         self._by_external.erase(self._external_key(entry))
+        self._generation += 1
         if free_port:
             self._free_ports.append(port)
 
@@ -142,6 +206,9 @@ class UnverifiedNat(NetworkFunction):
     def _touch(self, port: int, entry: _Entry, now: int) -> None:
         entry.last_seen = now
         self._lru.move_to_end(port)
+
+    def fastpath_hooks(self) -> _UnverifiedFastPathHooks:
+        return _UnverifiedFastPathHooks(self)
 
     # -- packet path --------------------------------------------------------
     def process(self, packet: Packet, now: int) -> List[Packet]:
@@ -186,6 +253,7 @@ class UnverifiedNat(NetworkFunction):
             self._by_internal.put(flow_id, entry)
             self._by_external.put(self._external_key(entry), entry)
             self._lru[port] = entry
+            self._generation += 1
         self._touch(entry.external_port, entry, now)
         out = packet.clone()
         rewrite_source(out, self.config.external_ip, entry.external_port)

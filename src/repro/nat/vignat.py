@@ -20,6 +20,7 @@ from repro.libvig.expirator import expire_items
 from repro.nat.base import NetworkFunction
 from repro.nat.config import NatConfig
 from repro.nat.core_logic import nat_loop_iteration
+from repro.nat.fastpath import apply_endpoint_action
 from repro.nat.flow import Flow, FlowId, flow_id_of_packet
 from repro.nat.rewrite import rewrite_destination, rewrite_source
 from repro.packets.headers import Packet
@@ -100,9 +101,12 @@ class _ConcreteEnv:
             self._nat._expiry_scans_amortized += 1
             return
         self._expiry_done = True
-        self._nat._expired_total += expire_items(
-            self._nat._chain, self._nat._flow_table, min_time
-        )
+        expired = expire_items(self._nat._chain, self._nat._flow_table, min_time)
+        self._nat._expired_total += expired
+        if expired:
+            # Flow indices were freed: any microflow-cache entry learned
+            # against them is now stale.
+            self._nat._generation += 1
 
     def receive(self) -> Optional[_ConcretePacketView]:
         return _ConcretePacketView(self._packet)
@@ -124,6 +128,7 @@ class _ConcreteEnv:
             external_port=self._nat.config.start_port + index,
         )
         self._nat._flow_table.put(index, flow)
+        self._nat._generation += 1
         return index
 
     def flow_table_rejuvenate(self, index: int, now: int) -> None:
@@ -158,6 +163,57 @@ class _ConcreteEnv:
         self._nat._dropped_total += 1
 
 
+class _VigNatFastPathHooks:
+    """Microflow fast-path hooks over VigNat's libVig state.
+
+    The fast path must keep the flow table's *observable* behavior
+    identical to an all-slow-path run: the per-burst expiry scan still
+    happens (here, once per burst — exactly what ``_ConcreteEnv``
+    amortizes), and every hit rejuvenates its flow in the double chain,
+    or sustained fast-path traffic would let live flows expire.
+    """
+
+    __slots__ = ("_nat",)
+    supports_raw = True
+
+    def __init__(self, nat: "VigNat") -> None:
+        self._nat = nat
+
+    def generation(self) -> int:
+        return self._nat._generation
+
+    def begin_burst(self, now: int) -> int:
+        nat = self._nat
+        now = nat._clamp_now(now)
+        # The same clamped threshold the stateless logic computes
+        # (Fig. 6 expire_flows; underflow-free, as P2 requires).
+        if now >= nat.config.expiration_time:
+            min_time = now - nat.config.expiration_time + 1
+        else:
+            min_time = 0
+        expired = expire_items(nat._chain, nat._flow_table, min_time)
+        nat._expired_total += expired
+        if expired:
+            nat._generation += 1
+        return now
+
+    def learn_token(self, packet: Packet) -> Optional[int]:
+        nat = self._nat
+        flow_id = flow_id_of_packet(packet)
+        if packet.device == nat.config.internal_device:
+            return nat._flow_table.get_by_a(flow_id)
+        if packet.device == nat.config.external_device:
+            return nat._flow_table.get_by_b(flow_id)
+        return None
+
+    def rejuvenate(self, token: int, now: int) -> None:
+        self._nat._chain.rejuvenate_index(token, now)
+
+    @staticmethod
+    def apply(packet: Packet, action) -> Packet:
+        return apply_endpoint_action(packet, action)
+
+
 class VigNat(NetworkFunction):
     """The verified NAT over libVig state (Fig. 6 semantics)."""
 
@@ -178,6 +234,9 @@ class VigNat(NetworkFunction):
         self._expiry_scans_amortized = 0
         self._clock_clamped = 0
         self._last_now = 0
+        #: Bumped whenever the flow table changes shape (create/expire);
+        #: the microflow cache checks it before replaying an action.
+        self._generation = 0
 
     # -- introspection ----------------------------------------------------
     def flow_count(self) -> int:
@@ -222,6 +281,10 @@ class VigNat(NetworkFunction):
             return self._last_now
         self._last_now = now
         return now
+
+    def fastpath_hooks(self) -> _VigNatFastPathHooks:
+        """Opt into the microflow fast path (:mod:`repro.nat.fastpath`)."""
+        return _VigNatFastPathHooks(self)
 
     # -- the packet path: the shared stateless logic over libVig ------------
     def process(self, packet: Packet, now: int) -> List[Packet]:

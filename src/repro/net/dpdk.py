@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.nat.base import NetworkFunction
 from repro.nat.config import NatConfig
+from repro.nat.fastpath import FastPathNat
 from repro.net.mbuf import Mbuf, MbufPool
 from repro.net.nic import Port, RssNic
 from repro.net.rss import NatSteering
@@ -169,6 +170,7 @@ class ShardedRuntime:
         port_count: int = 2,
         rx_capacity: int = 512,
         pool_size: int = 4096,
+        fastpath: bool = False,
     ) -> None:
         if workers <= 0:
             raise ValueError("need at least one worker")
@@ -177,6 +179,11 @@ class ShardedRuntime:
         self.shards: Tuple[NatConfig, ...] = config.partition(workers)
         self.steering = steering if steering is not None else NatSteering(self.shards)
         self.nfs: List[NetworkFunction] = [nf_factory(cfg) for cfg in self.shards]
+        if fastpath:
+            # Per-worker microflow caches: each worker caches only the
+            # flows steered to it, so caches stay private like all other
+            # worker state.
+            self.nfs = [FastPathNat(nf) for nf in self.nfs]
         self.runtimes: List[DpdkRuntime] = [
             DpdkRuntime(port_count, rx_capacity, pool_size) for _ in range(workers)
         ]

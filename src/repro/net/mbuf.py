@@ -19,7 +19,7 @@ class MbufPoolExhausted(RuntimeError):
     """No free buffers remain in the pool."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Mbuf:
     """One packet buffer: the payload packet plus receive metadata."""
 

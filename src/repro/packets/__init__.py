@@ -14,12 +14,16 @@ from repro.packets.addresses import (
     mac_to_str,
 )
 from repro.packets.checksum import (
+    checksum_apply_delta,
+    checksum_delta_u16,
+    checksum_delta_u32,
     checksum_update_u16,
     checksum_update_u32,
     internet_checksum,
     ipv4_header_checksum,
     l4_checksum,
 )
+from repro.packets.lazy import LazyPacket
 from repro.packets.headers import (
     ETHERTYPE_ARP,
     ETHERTYPE_IPV4,
@@ -43,10 +47,14 @@ __all__ = [
     "PROTO_UDP",
     "EthernetHeader",
     "Ipv4Header",
+    "LazyPacket",
     "Packet",
     "ParseError",
     "TcpHeader",
     "UdpHeader",
+    "checksum_apply_delta",
+    "checksum_delta_u16",
+    "checksum_delta_u32",
     "checksum_update_u16",
     "checksum_update_u32",
     "internet_checksum",

@@ -91,3 +91,34 @@ def checksum_update_u32(checksum: int, old: int, new: int) -> int:
         raise ValueError("field values must be 32-bit")
     checksum = checksum_update_u16(checksum, (old >> 16) & 0xFFFF, (new >> 16) & 0xFFFF)
     return checksum_update_u16(checksum, old & 0xFFFF, new & 0xFFFF)
+
+
+def checksum_delta_u16(old: int, new: int) -> int:
+    """Precompute the RFC 1624 delta for a 16-bit field change.
+
+    ``checksum_apply_delta(c, checksum_delta_u16(old, new))`` equals
+    ``checksum_update_u16(c, old, new)`` for every checksum ``c`` — the
+    same ``~old + new`` term is added either way — so a flow cache can
+    compute the delta once at learn time and replay it per packet.
+    """
+    if not (0 <= old <= 0xFFFF and 0 <= new <= 0xFFFF):
+        raise ValueError("field values must be 16-bit")
+    return (~old & 0xFFFF) + new
+
+
+def checksum_delta_u32(old: int, new: int) -> tuple:
+    """Per-word deltas for a 32-bit field change (high word first).
+
+    Applied in order they reproduce ``checksum_update_u32`` bit-exactly.
+    """
+    if not (0 <= old <= 0xFFFFFFFF and 0 <= new <= 0xFFFFFFFF):
+        raise ValueError("field values must be 32-bit")
+    return (
+        checksum_delta_u16((old >> 16) & 0xFFFF, (new >> 16) & 0xFFFF),
+        checksum_delta_u16(old & 0xFFFF, new & 0xFFFF),
+    )
+
+
+def checksum_apply_delta(checksum: int, delta: int) -> int:
+    """Apply one precomputed delta to a stored checksum (RFC 1624 eq. 3)."""
+    return (~_fold((~checksum & 0xFFFF) + delta)) & 0xFFFF

@@ -24,17 +24,21 @@ PROTO_ICMP = 1
 PROTO_TCP = 6
 PROTO_UDP = 17
 
-_ETH_FMT = ">6s6sH"
-_IPV4_FMT = ">BBHHHBBHII"
-_TCP_FMT = ">HHIIBBHHH"
-_UDP_FMT = ">HHHH"
+# Header codecs precompiled once at import: hot-path pack/unpack must not
+# re-parse a format string per packet (struct caches internally, but the
+# lookup still costs; Struct objects skip it entirely).
+_ETH_STRUCT = struct.Struct(">6s6sH")
+_IPV4_STRUCT = struct.Struct(">BBHHHBBHII")
+_TCP_STRUCT = struct.Struct(">HHIIBBHHH")
+_UDP_STRUCT = struct.Struct(">HHHH")
+_U16_STRUCT = struct.Struct(">H")
 
 
 class ParseError(ValueError):
     """Raised when a byte buffer cannot be parsed as the expected header."""
 
 
-@dataclass
+@dataclass(slots=True)
 class EthernetHeader:
     """Ethernet II header (no VLAN tags)."""
 
@@ -45,17 +49,20 @@ class EthernetHeader:
     SIZE = 14
 
     def pack(self) -> bytes:
-        return struct.pack(_ETH_FMT, self.dst, self.src, self.ethertype)
+        return _ETH_STRUCT.pack(self.dst, self.src, self.ethertype)
 
     @classmethod
     def unpack(cls, data: bytes) -> "EthernetHeader":
         if len(data) < cls.SIZE:
             raise ParseError("truncated Ethernet header")
-        dst, src, ethertype = struct.unpack_from(_ETH_FMT, data)
+        dst, src, ethertype = _ETH_STRUCT.unpack_from(data)
         return cls(dst=dst, src=src, ethertype=ethertype)
 
+    def copy(self) -> "EthernetHeader":
+        return EthernetHeader(self.dst, self.src, self.ethertype)
 
-@dataclass
+
+@dataclass(slots=True)
 class Ipv4Header:
     """IPv4 header without options (IHL fixed at 5, as VigNAT assumes)."""
 
@@ -76,8 +83,7 @@ class Ipv4Header:
     def pack(self, *, fill_checksum: bool = True) -> bytes:
         checksum = self.checksum
         flags_frag = ((self.flags & 0x7) << 13) | (self.fragment_offset & 0x1FFF)
-        raw = struct.pack(
-            _IPV4_FMT,
+        raw = _IPV4_STRUCT.pack(
             self.VERSION_IHL,
             self.tos,
             self.total_length,
@@ -91,7 +97,7 @@ class Ipv4Header:
         )
         if fill_checksum:
             checksum = ipv4_header_checksum(raw)
-            raw = raw[:10] + struct.pack(">H", checksum) + raw[12:]
+            raw = raw[:10] + _U16_STRUCT.pack(checksum) + raw[12:]
         return raw
 
     @classmethod
@@ -109,7 +115,7 @@ class Ipv4Header:
             checksum,
             src_ip,
             dst_ip,
-        ) = struct.unpack_from(_IPV4_FMT, data)
+        ) = _IPV4_STRUCT.unpack_from(data)
         if version_ihl >> 4 != 4:
             raise ParseError(f"not IPv4 (version {version_ihl >> 4})")
         if version_ihl & 0xF != 5:
@@ -127,6 +133,20 @@ class Ipv4Header:
             dst_ip=dst_ip,
         )
 
+    def copy(self) -> "Ipv4Header":
+        return Ipv4Header(
+            self.tos,
+            self.total_length,
+            self.identification,
+            self.flags,
+            self.fragment_offset,
+            self.ttl,
+            self.protocol,
+            self.checksum,
+            self.src_ip,
+            self.dst_ip,
+        )
+
     def header_checksum_valid(self) -> bool:
         """True when the stored checksum matches the header contents."""
         raw = self.pack(fill_checksum=False)
@@ -134,7 +154,7 @@ class Ipv4Header:
         return checksums_equivalent(ipv4_header_checksum(zeroed), self.checksum)
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpHeader:
     """TCP header without options (data offset fixed at 5)."""
 
@@ -150,8 +170,7 @@ class TcpHeader:
     SIZE = 20
 
     def pack(self) -> bytes:
-        return struct.pack(
-            _TCP_FMT,
+        return _TCP_STRUCT.pack(
             self.src_port,
             self.dst_port,
             self.seq,
@@ -177,7 +196,7 @@ class TcpHeader:
             window,
             checksum,
             urgent,
-        ) = struct.unpack_from(_TCP_FMT, data)
+        ) = _TCP_STRUCT.unpack_from(data)
         if offset_reserved >> 4 != 5:
             raise ParseError("TCP options are not supported")
         return cls(
@@ -191,8 +210,20 @@ class TcpHeader:
             urgent=urgent,
         )
 
+    def copy(self) -> "TcpHeader":
+        return TcpHeader(
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            self.flags,
+            self.window,
+            self.checksum,
+            self.urgent,
+        )
 
-@dataclass
+
+@dataclass(slots=True)
 class UdpHeader:
     """UDP header."""
 
@@ -204,21 +235,24 @@ class UdpHeader:
     SIZE = 8
 
     def pack(self) -> bytes:
-        return struct.pack(
-            _UDP_FMT, self.src_port, self.dst_port, self.length, self.checksum
+        return _UDP_STRUCT.pack(
+            self.src_port, self.dst_port, self.length, self.checksum
         )
 
     @classmethod
     def unpack(cls, data: bytes) -> "UdpHeader":
         if len(data) < cls.SIZE:
             raise ParseError("truncated UDP header")
-        src_port, dst_port, length, checksum = struct.unpack_from(_UDP_FMT, data)
+        src_port, dst_port, length, checksum = _UDP_STRUCT.unpack_from(data)
         return cls(
             src_port=src_port, dst_port=dst_port, length=length, checksum=checksum
         )
 
+    def copy(self) -> "UdpHeader":
+        return UdpHeader(self.src_port, self.dst_port, self.length, self.checksum)
 
-@dataclass
+
+@dataclass(slots=True)
 class Packet:
     """A parsed packet plus the device index it was received on.
 
@@ -272,8 +306,33 @@ class Packet:
                 l4_raw = self.payload
             self.ipv4.total_length = Ipv4Header.SIZE + len(l4_raw)
             ip_raw = self.ipv4.pack(fill_checksum=True)
-            self.ipv4.checksum = struct.unpack_from(">H", ip_raw, 10)[0]
+            self.ipv4.checksum = _U16_STRUCT.unpack_from(ip_raw, 10)[0]
             parts.append(ip_raw)
+            parts.append(l4_raw)
+        else:
+            parts.append(self.payload)
+        return b"".join(parts)
+
+    def wire_bytes(self) -> bytes:
+        """Serialize with the checksums exactly as currently stored.
+
+        Unlike :meth:`to_bytes` this never recomputes a checksum, so a
+        packet whose checksums were patched incrementally (RFC 1624)
+        serializes to the very bytes a byte-level patching data path
+        produces — the equality the fast-path differential harness
+        asserts. Lengths are taken from the structure (headers plus
+        payload), not from the stored fields.
+        """
+        parts = [self.eth.pack()]
+        if self.ipv4 is not None:
+            if self.l4 is not None:
+                if isinstance(self.l4, UdpHeader):
+                    self.l4.length = UdpHeader.SIZE + len(self.payload)
+                l4_raw = self.l4.pack() + self.payload
+            else:
+                l4_raw = self.payload
+            self.ipv4.total_length = Ipv4Header.SIZE + len(l4_raw)
+            parts.append(self.ipv4.pack(fill_checksum=False))
             parts.append(l4_raw)
         else:
             parts.append(self.payload)
@@ -311,12 +370,14 @@ class Packet:
 
     def clone(self) -> "Packet":
         """Deep-copy the packet (headers are small; payload bytes shared)."""
+        ipv4 = self.ipv4
+        l4 = self.l4
         return Packet(
-            eth=replace(self.eth),
-            ipv4=replace(self.ipv4) if self.ipv4 is not None else None,
-            l4=replace(self.l4) if self.l4 is not None else None,
-            payload=self.payload,
-            device=self.device,
+            self.eth.copy(),
+            ipv4.copy() if ipv4 is not None else None,
+            l4.copy() if l4 is not None else None,
+            self.payload,
+            self.device,
         )
 
 

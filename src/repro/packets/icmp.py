@@ -25,10 +25,14 @@ ICMP_TIME_EXCEEDED = 11
 #: ICMP types that carry an embedded offending packet.
 ERROR_TYPES = (ICMP_DEST_UNREACHABLE, ICMP_TIME_EXCEEDED, 4, 5, 12)
 
-_ICMP_FMT = ">BBHI"
+# Precompiled codecs: the ICMP header and the embedded-quote port pair
+# are unpacked on every ICMP packet the NAT inspects.
+_ICMP_STRUCT = struct.Struct(">BBHI")
+_U16_STRUCT = struct.Struct(">H")
+_PORTS_STRUCT = struct.Struct(">HH")
 
 
-@dataclass
+@dataclass(slots=True)
 class IcmpMessage:
     """One ICMP message: header fields plus the raw body."""
 
@@ -41,8 +45,7 @@ class IcmpMessage:
     SIZE = 8
 
     def pack(self, *, fill_checksum: bool = True) -> bytes:
-        raw = struct.pack(
-            _ICMP_FMT,
+        raw = _ICMP_STRUCT.pack(
             self.icmp_type,
             self.code,
             0 if fill_checksum else self.checksum,
@@ -51,14 +54,14 @@ class IcmpMessage:
         if fill_checksum:
             checksum = internet_checksum(raw)
             self.checksum = checksum
-            raw = raw[:2] + struct.pack(">H", checksum) + raw[4:]
+            raw = raw[:2] + _U16_STRUCT.pack(checksum) + raw[4:]
         return raw
 
     @classmethod
     def unpack(cls, data: bytes) -> "IcmpMessage":
         if len(data) < cls.SIZE:
             raise ParseError("truncated ICMP message")
-        icmp_type, code, checksum, rest = struct.unpack_from(_ICMP_FMT, data)
+        icmp_type, code, checksum, rest = _ICMP_STRUCT.unpack_from(data)
         return cls(
             icmp_type=icmp_type,
             code=code,
@@ -71,7 +74,7 @@ class IcmpMessage:
         return self.icmp_type in ERROR_TYPES
 
     def checksum_valid(self) -> bool:
-        raw = struct.pack(_ICMP_FMT, self.icmp_type, self.code, 0, self.rest)
+        raw = _ICMP_STRUCT.pack(self.icmp_type, self.code, 0, self.rest)
         return internet_checksum(raw + self.body) == self.checksum
 
     # -- embedded offending packet (error messages) --------------------------
@@ -92,7 +95,7 @@ class IcmpMessage:
         except ParseError:
             return None
         l4 = self.body[Ipv4Header.SIZE :]
-        src_port, dst_port = struct.unpack_from(">HH", l4)
+        src_port, dst_port = _PORTS_STRUCT.unpack_from(l4)
         return inner_ip, src_port, dst_port, l4[4:]
 
     def replace_embedded(
@@ -107,6 +110,6 @@ class IcmpMessage:
         """
         self.body = (
             inner_ip.pack(fill_checksum=True)
-            + struct.pack(">HH", src_port, dst_port)
+            + _PORTS_STRUCT.pack(src_port, dst_port)
             + trailing
         )

@@ -1,0 +1,228 @@
+"""Lazy zero-copy packet views for the microflow fast path.
+
+`LazyPacket` wraps a mutable buffer (the mbuf bytes) and reads the
+dispatch fields — ethertype, protocol, 5-tuple — straight out of the
+buffer at fixed offsets via precompiled :class:`struct.Struct` codecs.
+No header objects are allocated; a fast-path hit touches only the few
+bytes it rewrites, patching the IPv4 and L4 checksums incrementally
+per RFC 1624 instead of recomputing them.
+
+The view is deliberately narrow: it understands exactly the frame shape
+the NAT translates (Ethernet II + option-less IPv4 + TCP/UDP, not a
+fragment). Anything else reports itself ineligible via
+:meth:`LazyPacket.flow_key` and must take the slow path, where the full
+header model in :mod:`repro.packets.headers` deals with it.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+from repro.packets.checksum import checksum_apply_delta, checksum_update_u16
+from repro.packets.headers import (
+    ETHERTYPE_IPV4,
+    PROTO_TCP,
+    PROTO_UDP,
+    Ipv4Header,
+)
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+# Fixed field offsets for Ethernet II + option-less IPv4 (IHL=5).
+OFF_ETHERTYPE = 12
+OFF_VERSION_IHL = 14
+OFF_FLAGS_FRAG = 20
+OFF_PROTO = 23
+OFF_IP_CSUM = 24
+OFF_SRC_IP = 26
+OFF_DST_IP = 30
+OFF_L4 = 34
+OFF_SRC_PORT = 34
+OFF_DST_PORT = 36
+OFF_UDP_CSUM = 40
+OFF_TCP_CSUM = 50
+
+_MIN_LEN_UDP = OFF_L4 + 8
+_MIN_LEN_TCP = OFF_L4 + 20
+
+
+class LazyPacket:
+    """A mutable field view over one frame's bytes.
+
+    ``buf`` must be a ``bytearray`` (or any mutable buffer) holding the
+    full frame; writes go straight into it.
+    """
+
+    __slots__ = ("buf", "device")
+
+    def __init__(self, buf: bytearray, device: int = 0) -> None:
+        self.buf = buf
+        self.device = device
+
+    # -- raw field accessors -------------------------------------------------
+    def read_u16(self, offset: int) -> int:
+        return _U16.unpack_from(self.buf, offset)[0]
+
+    def read_u32(self, offset: int) -> int:
+        return _U32.unpack_from(self.buf, offset)[0]
+
+    def write_u16(self, offset: int, value: int) -> None:
+        _U16.pack_into(self.buf, offset, value)
+
+    def write_u32(self, offset: int, value: int) -> None:
+        _U32.pack_into(self.buf, offset, value)
+
+    # -- dispatch fields -----------------------------------------------------
+    @property
+    def ethertype(self) -> int:
+        return _U16.unpack_from(self.buf, OFF_ETHERTYPE)[0]
+
+    @property
+    def protocol(self) -> int:
+        return self.buf[OFF_PROTO]
+
+    @property
+    def src_ip(self) -> int:
+        return _U32.unpack_from(self.buf, OFF_SRC_IP)[0]
+
+    @property
+    def dst_ip(self) -> int:
+        return _U32.unpack_from(self.buf, OFF_DST_IP)[0]
+
+    @property
+    def src_port(self) -> int:
+        return _U16.unpack_from(self.buf, OFF_SRC_PORT)[0]
+
+    @property
+    def dst_port(self) -> int:
+        return _U16.unpack_from(self.buf, OFF_DST_PORT)[0]
+
+    @property
+    def ip_checksum(self) -> int:
+        return _U16.unpack_from(self.buf, OFF_IP_CSUM)[0]
+
+    def is_fragment(self) -> bool:
+        """True when MF is set or the fragment offset is nonzero."""
+        return bool(_U16.unpack_from(self.buf, OFF_FLAGS_FRAG)[0] & 0x3FFF)
+
+    def l4_checksum_offset(self) -> int:
+        return OFF_UDP_CSUM if self.protocol == PROTO_UDP else OFF_TCP_CSUM
+
+    @property
+    def l4_checksum(self) -> int:
+        return _U16.unpack_from(self.buf, self.l4_checksum_offset())[0]
+
+    def flow_key(self) -> Optional[Tuple[int, int, int, int, int, int]]:
+        """(device, proto, src_ip, src_port, dst_ip, dst_port), or None.
+
+        None means the frame is outside the fast path's narrow shape —
+        non-IPv4, IPv4 options, a fragment, or a protocol other than
+        TCP/UDP — and must be handled by the slow path.
+        """
+        buf = self.buf
+        if len(buf) < _MIN_LEN_UDP:
+            return None
+        if _U16.unpack_from(buf, OFF_ETHERTYPE)[0] != ETHERTYPE_IPV4:
+            return None
+        if buf[OFF_VERSION_IHL] != Ipv4Header.VERSION_IHL:
+            return None
+        if _U16.unpack_from(buf, OFF_FLAGS_FRAG)[0] & 0x3FFF:
+            return None
+        proto = buf[OFF_PROTO]
+        if proto == PROTO_TCP:
+            if len(buf) < _MIN_LEN_TCP:
+                return None
+        elif proto != PROTO_UDP:
+            return None
+        return (
+            self.device,
+            proto,
+            _U32.unpack_from(buf, OFF_SRC_IP)[0],
+            _U16.unpack_from(buf, OFF_SRC_PORT)[0],
+            _U32.unpack_from(buf, OFF_DST_IP)[0],
+            _U16.unpack_from(buf, OFF_DST_PORT)[0],
+        )
+
+    # -- checksum patching ---------------------------------------------------
+    def patch_ip_checksum(self, delta: int) -> None:
+        old = _U16.unpack_from(self.buf, OFF_IP_CSUM)[0]
+        _U16.pack_into(self.buf, OFF_IP_CSUM, checksum_apply_delta(old, delta))
+
+    def patch_l4_checksum(self, delta: int) -> None:
+        """Apply a delta to the L4 checksum, honoring RFC 768.
+
+        A UDP checksum of 0 means "no checksum"; it must stay 0 through
+        any rewrite, so the patch is skipped (matching the slow path's
+        rewrite helpers).
+        """
+        offset = self.l4_checksum_offset()
+        old = _U16.unpack_from(self.buf, offset)[0]
+        if old == 0 and offset == OFF_UDP_CSUM:
+            return
+        _U16.pack_into(self.buf, offset, checksum_apply_delta(old, delta))
+
+    # -- semantic field writers (RFC 1624 in-place patching) -----------------
+    def _set_ip(self, offset: int, new_ip: int) -> None:
+        old_ip = _U32.unpack_from(self.buf, offset)[0]
+        if old_ip == new_ip:
+            return
+        _U32.pack_into(self.buf, offset, new_ip)
+        for old_w, new_w in (
+            ((old_ip >> 16) & 0xFFFF, (new_ip >> 16) & 0xFFFF),
+            (old_ip & 0xFFFF, new_ip & 0xFFFF),
+        ):
+            ip_csum = _U16.unpack_from(self.buf, OFF_IP_CSUM)[0]
+            _U16.pack_into(
+                self.buf, OFF_IP_CSUM, checksum_update_u16(ip_csum, old_w, new_w)
+            )
+            self._patch_l4_for_word(old_w, new_w)
+
+    def _patch_l4_for_word(self, old_w: int, new_w: int) -> None:
+        # The L4 checksum covers the pseudo-header (addresses), so IP
+        # rewrites patch it too — unless it's a disabled UDP checksum.
+        offset = self.l4_checksum_offset()
+        l4_csum = _U16.unpack_from(self.buf, offset)[0]
+        if l4_csum == 0 and offset == OFF_UDP_CSUM:
+            return
+        _U16.pack_into(
+            self.buf, offset, checksum_update_u16(l4_csum, old_w, new_w)
+        )
+
+    def _set_port(self, offset: int, new_port: int) -> None:
+        old_port = _U16.unpack_from(self.buf, offset)[0]
+        if old_port == new_port:
+            return
+        _U16.pack_into(self.buf, offset, new_port)
+        self._patch_l4_for_word(old_port, new_port)
+
+    def set_src(self, new_ip: int, new_port: int) -> None:
+        """Rewrite source IP and port, patching both checksums in place."""
+        self._set_ip(OFF_SRC_IP, new_ip)
+        self._set_port(OFF_SRC_PORT, new_port)
+
+    def set_dst(self, new_ip: int, new_port: int) -> None:
+        """Rewrite destination IP and port, patching both checksums in place."""
+        self._set_ip(OFF_DST_IP, new_ip)
+        self._set_port(OFF_DST_PORT, new_port)
+
+    def tobytes(self) -> bytes:
+        return bytes(self.buf)
+
+
+__all__ = [
+    "LazyPacket",
+    "OFF_DST_IP",
+    "OFF_DST_PORT",
+    "OFF_ETHERTYPE",
+    "OFF_FLAGS_FRAG",
+    "OFF_IP_CSUM",
+    "OFF_L4",
+    "OFF_PROTO",
+    "OFF_SRC_IP",
+    "OFF_SRC_PORT",
+    "OFF_TCP_CSUM",
+    "OFF_UDP_CSUM",
+    "OFF_VERSION_IHL",
+]

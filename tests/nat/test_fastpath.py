@@ -1,0 +1,251 @@
+"""The microflow fast path: cache behavior, counters, invalidation.
+
+The byte-identity property itself lives in
+``test_fastpath_differential.py``; this file covers the cache machinery
+— learn/hit/miss accounting, generation invalidation on flow churn,
+rejuvenation keeping flows alive, the eviction cap, fall-through for
+ineligible traffic, and the RFC 768 zero-UDP-checksum regression on
+both paths.
+"""
+
+import pytest
+
+from repro.nat.config import NatConfig
+from repro.nat.fastpath import FastPathNat, packet_flow_key
+from repro.nat.netfilter import NetfilterNat
+from repro.nat.noop import NoopForwarder
+from repro.nat.unverified import UnverifiedNat
+from repro.nat.vignat import VigNat
+from repro.packets.builder import make_tcp_packet, make_udp_packet
+from repro.packets.headers import PROTO_ICMP, Packet
+
+CFG = NatConfig(max_flows=64)
+
+
+def outbound(sport, *, payload=b""):
+    return make_udp_packet("10.0.0.5", "8.8.8.8", sport, 53, device=0, payload=payload)
+
+
+def inbound(dport):
+    return make_udp_packet("8.8.8.8", CFG.external_ip, 53, dport, device=1)
+
+
+def render(outputs):
+    return [(p.device, p.wire_bytes()) for p in outputs]
+
+
+class TestConstruction:
+    def test_wrapper_reports_inner_name(self):
+        fast = FastPathNat(VigNat(CFG))
+        assert fast.name == "verified-nat"
+        assert fast.inner.name == "verified-nat"
+
+    def test_nf_without_hooks_is_rejected(self):
+        with pytest.raises(TypeError):
+            FastPathNat(NetfilterNat(NatConfig(max_flows=64)))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FastPathNat(VigNat(CFG), max_entries=0)
+
+
+class TestCacheAccounting:
+    def test_first_packet_misses_then_hits(self):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)))
+        fast.process(outbound(4000), 1_000)
+        counters = fast.op_counters()
+        assert counters["fastpath_misses"] == 1
+        assert counters["fastpath_hits"] == 0
+        assert counters["fastpath_learns"] == 1
+        assert fast.cache_size == 1
+
+        # Same flow, same generation: a pure cache hit.
+        fast.process(outbound(4000), 1_001)
+        counters = fast.op_counters()
+        assert counters["fastpath_hits"] == 1
+        assert counters["fastpath_misses"] == 1
+        assert fast.hit_rate() == pytest.approx(0.5)
+
+    def test_hit_output_matches_slow_path(self):
+        slow = VigNat(NatConfig(max_flows=64))
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)))
+        for t, packet in [(1_000, outbound(4000)), (1_001, outbound(4000)),
+                          (1_002, outbound(4000, payload=b"hello"))]:
+            assert render(fast.process(packet.clone(), t)) == render(
+                slow.process(packet.clone(), t)
+            )
+        assert fast.op_counters()["fastpath_hits"] == 2
+
+    def test_drops_are_never_cached(self):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)))
+        # Unsolicited inbound: the slow path drops it; nothing to learn.
+        assert fast.process(inbound(9000), 1_000) == []
+        assert fast.cache_size == 0
+        assert fast.op_counters()["fastpath_learns"] == 0
+
+    def test_eviction_cap(self):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)), max_entries=4)
+        for i in range(8):
+            fast.process(outbound(4000 + i), 1_000 + i)
+        assert fast.cache_size <= 4
+        assert fast.op_counters()["fastpath_evictions"] >= 1
+
+
+class TestGenerationInvalidation:
+    def test_new_flow_invalidates_cached_actions(self):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)))
+        fast.process(outbound(4000), 1_000)
+        assert fast.cache_size == 1
+        # A different flow's creation bumps the generation…
+        fast.process(outbound(4001), 1_001)
+        # …so the first flow's entry is discarded on next consult.
+        fast.process(outbound(4000), 1_002)
+        counters = fast.op_counters()
+        assert counters["fastpath_invalidations"] >= 1
+
+    def test_expiry_invalidates_cached_actions(self):
+        cfg = NatConfig(max_flows=64, expiration_time=10)
+        fast = FastPathNat(VigNat(cfg))
+        fast.process(outbound(4000), 0)
+        fast.process(outbound(4000), 1)
+        hits_before = fast.op_counters()["fastpath_hits"]
+        assert hits_before == 1
+        # Jump past expiry: the flow is gone, the cached action must not fire.
+        outputs = fast.process(outbound(4000), 1_000)
+        counters = fast.op_counters()
+        assert counters["fastpath_invalidations"] >= 1
+        assert len(outputs) == 1  # slow path re-translates (new flow)
+
+    def test_rejuvenation_keeps_flow_alive_under_fastpath_traffic(self):
+        cfg = NatConfig(max_flows=64, expiration_time=10)
+        fast = FastPathNat(VigNat(cfg))
+        out = fast.process(outbound(4000), 0)[0]
+        external_port = out.l4.src_port
+        # Sustained fast-path hits, each within the expiry window of the
+        # previous; without per-hit rejuvenation the flow would expire
+        # at t=11 and the reply below would be dropped.
+        for t in range(5, 41, 5):
+            fast.process(outbound(4000), t)
+        assert fast.op_counters()["fastpath_hits"] >= 7
+        replies = fast.process(inbound(external_port), 44)
+        assert len(replies) == 1
+        assert replies[0].ipv4.dst_ip == 0x0A000005  # 10.0.0.5
+
+    def test_expiry_without_traffic_still_expires(self):
+        cfg = NatConfig(max_flows=64, expiration_time=10)
+        fast = FastPathNat(VigNat(cfg))
+        out = fast.process(outbound(4000), 0)[0]
+        external_port = out.l4.src_port
+        # No rejuvenating traffic: the flow dies, the reply is dropped.
+        assert fast.process(inbound(external_port), 1_000) == []
+
+
+class TestFallThrough:
+    def test_fragments_never_cached(self):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)))
+        frag = outbound(4000)
+        frag.ipv4.fragment_offset = 8
+        assert packet_flow_key(frag) is None
+        fast.process(frag, 1_000)
+        fast.process(frag.clone(), 1_001)
+        counters = fast.op_counters()
+        assert counters["fastpath_misses"] == 2
+        assert fast.cache_size == 0
+
+    def test_icmp_never_cached(self):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)))
+        icmp = outbound(4000)
+        icmp.ipv4.protocol = PROTO_ICMP
+        icmp.l4 = None
+        assert packet_flow_key(icmp) is None
+        fast.process(icmp, 1_000)
+        assert fast.cache_size == 0
+
+    def test_non_ipv4_never_cached(self):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)))
+        arp = outbound(4000)
+        arp.eth.ethertype = 0x0806
+        assert packet_flow_key(arp) is None
+
+
+class TestZeroUdpChecksumRegression:
+    """RFC 768: checksum 0 means "no checksum" and must stay 0."""
+
+    def _zero_checksum_outbound(self):
+        packet = outbound(4000)
+        packet.l4.checksum = 0
+        return packet
+
+    def test_stays_zero_on_slow_and_fast_path(self):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)))
+        first = fast.process(self._zero_checksum_outbound(), 1_000)[0]
+        assert first.l4.checksum == 0  # slow path (the learn miss)
+        second = fast.process(self._zero_checksum_outbound(), 1_001)[0]
+        assert second.l4.checksum == 0  # fast path (the cache hit)
+        assert fast.op_counters()["fastpath_hits"] == 1
+        assert first.wire_bytes() == second.wire_bytes()
+
+    def test_raw_path_preserves_zero_checksum(self):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)))
+        frame = bytearray(self._zero_checksum_outbound().wire_bytes())
+        first = fast.process_raw_burst([(bytearray(frame), 0)], 1_000)[0][0]
+        hit = fast.process_raw_burst([(bytearray(frame), 0)], 1_001)[0][0]
+        assert fast.op_counters()["fastpath_hits"] == 1
+        assert first == hit
+        out = Packet.from_bytes(hit[0], hit[1])
+        assert out.l4.checksum == 0
+
+    def test_unverified_nat_zero_checksum_bug_is_reproduced(self):
+        """The unverified NAT's inbound path corrupts disabled checksums;
+        the fast path must reproduce that bug, not fix it."""
+        cfg = NatConfig(max_flows=64)
+        slow = UnverifiedNat(cfg)
+        fast = FastPathNat(UnverifiedNat(cfg))
+        for t in (1_000, 1_001):
+            packet = self._zero_checksum_outbound()
+            slow_out = slow.process(packet.clone(), t)
+            fast_out = fast.process(packet.clone(), t)
+            assert render(fast_out) == render(slow_out)
+        external_port = fast.process(self._zero_checksum_outbound(), 1_002)[0].l4.src_port
+        for t in (1_003, 1_004):
+            reply = inbound(external_port)
+            reply.l4.checksum = 0
+            slow_out = slow.process(reply.clone(), t)
+            fast_out = fast.process(reply.clone(), t)
+            assert render(fast_out) == render(slow_out)
+
+
+class TestRawBurstPath:
+    def test_raw_matches_object_path(self):
+        object_nf = FastPathNat(VigNat(NatConfig(max_flows=64)))
+        raw_nf = FastPathNat(VigNat(NatConfig(max_flows=64)))
+        packets = [outbound(4000), outbound(4001), outbound(4000)]
+        for t in (1_000, 1_001):
+            object_out = object_nf.process_burst([p.clone() for p in packets], t)
+            raw_out = raw_nf.process_raw_burst(
+                [(bytearray(p.wire_bytes()), p.device) for p in packets], t
+            )
+            want = [[(p.wire_bytes(), p.device) for p in outs] for outs in object_out]
+            got = [[(frame, dev) for frame, dev in outs] for outs in raw_out]
+            assert got == want
+        assert raw_nf.op_counters()["fastpath_hits"] >= 1
+
+    def test_unparseable_frame_is_dropped(self):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)))
+        assert fast.process_raw_burst([(bytearray(b"\x00" * 6), 0)], 1_000) == [[]]
+
+    def test_raw_path_requires_support(self):
+        fast = FastPathNat(UnverifiedNat(NatConfig(max_flows=64)))
+        with pytest.raises(TypeError):
+            fast.process_raw_burst([], 1_000)
+
+
+class TestNoopFastPath:
+    def test_noop_hits_and_forwards(self):
+        fast = FastPathNat(NoopForwarder(0, 1))
+        packet = make_tcp_packet("10.0.0.1", "198.18.0.1", 99, 80, device=0)
+        first = fast.process(packet.clone(), 1_000)
+        second = fast.process(packet.clone(), 1_001)
+        assert render(first) == render(second)
+        assert first[0].device == 1
+        assert fast.op_counters()["fastpath_hits"] == 1

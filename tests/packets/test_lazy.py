@@ -1,0 +1,186 @@
+"""Property tests: the zero-copy LazyPacket view against the header model.
+
+Hypothesis drives random packets and random endpoint rewrites through
+both implementations — LazyPacket patching the frame bytes in place with
+RFC 1624 incremental deltas, and the header model rewriting fields then
+serializing — and asserts the resulting frames are byte-identical, the
+patched checksums included.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.nat.rewrite import rewrite_destination, rewrite_source
+from repro.packets.builder import make_tcp_packet, make_udp_packet
+from repro.packets.checksum import ipv4_header_checksum
+from repro.packets.headers import PROTO_TCP, PROTO_UDP, Packet
+from repro.packets.lazy import LazyPacket
+
+
+def ips():
+    return st.integers(1, 0xFFFFFFFE)
+
+
+def ports():
+    return st.integers(1, 0xFFFF)
+
+
+def payloads():
+    return st.binary(min_size=0, max_size=32)
+
+
+@st.composite
+def packets(draw, proto=None):
+    proto = proto if proto is not None else draw(st.sampled_from([PROTO_TCP, PROTO_UDP]))
+    make = make_udp_packet if proto == PROTO_UDP else make_tcp_packet
+    return make(
+        draw(ips()),
+        draw(ips()),
+        draw(ports()),
+        draw(ports()),
+        payload=draw(payloads()),
+        device=draw(st.integers(0, 3)),
+    )
+
+
+class TestFieldViews:
+    @given(packets())
+    @settings(max_examples=60, deadline=None)
+    def test_reads_agree_with_header_model(self, packet):
+        view = LazyPacket(bytearray(packet.to_bytes()), packet.device)
+        assert view.ethertype == packet.eth.ethertype
+        assert view.protocol == packet.ipv4.protocol
+        assert view.src_ip == packet.ipv4.src_ip
+        assert view.dst_ip == packet.ipv4.dst_ip
+        assert view.src_port == packet.l4.src_port
+        assert view.dst_port == packet.l4.dst_port
+        assert view.ip_checksum == packet.ipv4.checksum
+        assert view.l4_checksum == packet.l4.checksum
+        assert not view.is_fragment()
+
+    @given(packets())
+    @settings(max_examples=60, deadline=None)
+    def test_flow_key_matches_parsed_key(self, packet):
+        from repro.nat.fastpath import packet_flow_key
+
+        view = LazyPacket(bytearray(packet.to_bytes()), packet.device)
+        assert view.flow_key() == packet_flow_key(packet)
+
+    def test_fragment_and_non_ipv4_are_ineligible(self):
+        packet = make_udp_packet("10.0.0.1", "8.8.8.8", 1000, 53)
+        packet.ipv4.fragment_offset = 64
+        assert LazyPacket(bytearray(packet.to_bytes())).flow_key() is None
+
+        packet = make_udp_packet("10.0.0.1", "8.8.8.8", 1000, 53)
+        packet.ipv4.flags = 0x1  # more fragments
+        assert LazyPacket(bytearray(packet.to_bytes())).flow_key() is None
+
+        raw = bytearray(make_udp_packet("10.0.0.1", "8.8.8.8", 1000, 53).to_bytes())
+        raw[12:14] = b"\x08\x06"  # ARP ethertype
+        assert LazyPacket(raw).flow_key() is None
+
+        assert LazyPacket(bytearray(10)).flow_key() is None
+
+
+class TestRewriteEquivalence:
+    @given(packets(), ips(), ports())
+    @settings(max_examples=120, deadline=None)
+    def test_set_src_matches_rewrite_source(self, packet, new_ip, new_port):
+        view = LazyPacket(bytearray(packet.wire_bytes()), packet.device)
+        view.set_src(new_ip, new_port)
+
+        model = packet.clone()
+        rewrite_source(model, new_ip, new_port)
+        assert view.tobytes() == model.wire_bytes()
+
+    @given(packets(), ips(), ports())
+    @settings(max_examples=120, deadline=None)
+    def test_set_dst_matches_rewrite_destination(self, packet, new_ip, new_port):
+        view = LazyPacket(bytearray(packet.wire_bytes()), packet.device)
+        view.set_dst(new_ip, new_port)
+
+        model = packet.clone()
+        rewrite_destination(model, new_ip, new_port)
+        assert view.tobytes() == model.wire_bytes()
+
+    @given(packets(), ips(), ports(), ips(), ports())
+    @settings(max_examples=60, deadline=None)
+    def test_double_rewrite_matches(self, packet, sip, sport, dip, dport):
+        view = LazyPacket(bytearray(packet.wire_bytes()), packet.device)
+        view.set_src(sip, sport)
+        view.set_dst(dip, dport)
+
+        model = packet.clone()
+        rewrite_source(model, sip, sport)
+        rewrite_destination(model, dip, dport)
+        assert view.tobytes() == model.wire_bytes()
+
+
+class TestChecksumIntegrity:
+    @given(packets(), ips(), ports())
+    @settings(max_examples=80, deadline=None)
+    def test_patched_checksums_verify(self, packet, new_ip, new_port):
+        """The incrementally patched frame still carries valid checksums."""
+        view = LazyPacket(bytearray(packet.to_bytes()), packet.device)
+        view.set_src(new_ip, new_port)
+        raw = view.tobytes()
+
+        ip_header = bytearray(raw[14:34])
+        stored_ip = view.ip_checksum
+        ip_header[10:12] = b"\x00\x00"
+        recomputed = ipv4_header_checksum(bytes(ip_header))
+        # One's-complement equality: 0x0000 and 0xFFFF are the same sum.
+        assert (stored_ip % 0xFFFF) == (recomputed % 0xFFFF)
+
+        reparsed = Packet.from_bytes(raw, view.device)
+        assert reparsed.ipv4.src_ip == new_ip
+        assert reparsed.l4.src_port == new_port
+
+    @given(ips(), ports(), ips(), ports())
+    @settings(max_examples=40, deadline=None)
+    def test_zero_udp_checksum_stays_zero(self, new_ip, new_port, dip, dport):
+        """RFC 768: a disabled UDP checksum must survive any rewrite as 0."""
+        packet = make_udp_packet("10.0.0.9", "8.8.4.4", 4242, 53)
+        packet.l4.checksum = 0
+        view = LazyPacket(bytearray(packet.wire_bytes()), packet.device)
+        view.set_src(new_ip, new_port)
+        view.set_dst(dip, dport)
+        assert view.l4_checksum == 0
+
+        model = packet.clone()
+        rewrite_source(model, new_ip, new_port)
+        rewrite_destination(model, dip, dport)
+        assert model.l4.checksum == 0
+        assert view.tobytes() == model.wire_bytes()
+
+    @given(
+        st.integers(0, 0xFFFF),
+        st.integers(0, 0xFFFF),
+        st.integers(0, 0xFFFF),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_precomputed_delta_is_bit_exact(self, checksum, old, new):
+        """The raw path's precomputed deltas equal the slow path's updates.
+
+        This is the property that lets a cached action store
+        ``checksum_delta_u16(old, new)`` once and replay it against any
+        packet's stored checksum: the result is bit-identical (not just
+        one's-complement-equivalent) to updating with (old, new) directly.
+        """
+        from repro.packets.checksum import (
+            checksum_apply_delta,
+            checksum_delta_u16,
+            checksum_delta_u32,
+            checksum_update_u16,
+            checksum_update_u32,
+        )
+
+        delta = checksum_delta_u16(old, new)
+        assert checksum_apply_delta(checksum, delta) == checksum_update_u16(
+            checksum, old, new
+        )
+
+        old32 = (old << 16) | new
+        new32 = (new << 16) | old
+        high, low = checksum_delta_u32(old32, new32)
+        stepped = checksum_apply_delta(checksum_apply_delta(checksum, high), low)
+        assert stepped == checksum_update_u32(checksum, old32, new32)
