@@ -1,0 +1,150 @@
+"""Benchmark-regression gate: diff fresh BENCH_*.json against baselines.
+
+Usage::
+
+    python benchmarks/compare_bench.py --baseline DIR --fresh DIR \
+        [--tolerance 0.25]
+
+Both directories hold ``BENCH_*.json`` files as written by the sweep
+benchmarks (a list of per-point records). For every baseline file with
+a fresh counterpart, records are matched by ``(nf, flow_count)`` and
+the gate fails (exit 1) when any matched point:
+
+- regresses more than ``tolerance`` (default 25%) in replay throughput
+  (``replay_pps_off`` or ``replay_pps_on``), or
+- lost the differential byte-identity (``identical`` went false).
+
+Independently of the baseline, every fresh file must preserve the
+paper's NF cost ordering — noop < unverified-nat < verified-nat in
+modeled per-packet busy time — at every flow count it covers.
+
+Points present only in the baseline (e.g. the CI smoke scale sweeps
+fewer flow counts) are reported but do not fail the gate; a fresh file
+sharing *no* point with its baseline does, since the gate would
+otherwise pass vacuously.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Tuple
+
+ORDERED_NFS = ("noop", "unverified-nat", "verified-nat")
+
+THROUGHPUT_FIELDS = ("replay_pps_off", "replay_pps_on")
+
+
+def _load(path: pathlib.Path) -> Dict[Tuple[str, int], Dict]:
+    records = json.loads(path.read_text())
+    return {(r["nf"], r["flow_count"]): r for r in records}
+
+
+def compare_file(
+    baseline_path: pathlib.Path,
+    fresh_path: pathlib.Path,
+    tolerance: float,
+) -> List[str]:
+    """Compare one benchmark file pair; returns failure messages."""
+    failures: List[str] = []
+    baseline = _load(baseline_path)
+    fresh = _load(fresh_path)
+    name = fresh_path.name
+
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        return [f"{name}: no common (nf, flow_count) points with baseline"]
+    for key in sorted(set(baseline) - set(fresh)):
+        print(f"  {name}: baseline-only point {key} (skipped)")
+
+    for key in common:
+        base, new = baseline[key], fresh[key]
+        if base.get("identical", True) and not new.get("identical", True):
+            failures.append(f"{name}: {key} lost differential byte-identity")
+        for field in THROUGHPUT_FIELDS:
+            old_value = base.get(field)
+            new_value = new.get(field)
+            if not old_value or new_value is None:
+                continue
+            change = (new_value - old_value) / old_value
+            marker = ""
+            if change < -tolerance:
+                failures.append(
+                    f"{name}: {key} {field} regressed "
+                    f"{-change:.1%} (> {tolerance:.0%} tolerance): "
+                    f"{old_value:.0f} -> {new_value:.0f}"
+                )
+                marker = "  << REGRESSION"
+            print(
+                f"  {name}: {key[0]}@{key[1]} {field} "
+                f"{old_value:.0f} -> {new_value:.0f} ({change:+.1%}){marker}"
+            )
+
+    # NF ordering within the fresh results: modeled per-packet cost must
+    # keep the paper's structure at every flow count the file covers.
+    by_flow: Dict[int, Dict[str, float]] = {}
+    for (nf, flow_count), record in fresh.items():
+        busy = record.get("modeled_busy_ns_off")
+        if busy is not None:
+            by_flow.setdefault(flow_count, {})[nf] = busy
+    for flow_count, busy_by_nf in sorted(by_flow.items()):
+        present = [nf for nf in ORDERED_NFS if nf in busy_by_nf]
+        costs = [busy_by_nf[nf] for nf in present]
+        if costs != sorted(costs):
+            failures.append(
+                f"{name}: NF cost ordering lost at {flow_count} flows: "
+                + ", ".join(f"{nf}={busy_by_nf[nf]:.0f}ns" for nf in present)
+            )
+    return failures
+
+
+def compare_dirs(
+    baseline_dir: pathlib.Path, fresh_dir: pathlib.Path, tolerance: float
+) -> List[str]:
+    """Compare every baseline BENCH_*.json with its fresh counterpart."""
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        return [f"no BENCH_*.json baselines found in {baseline_dir}"]
+    failures: List[str] = []
+    for baseline_path in baselines:
+        fresh_path = fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            failures.append(f"{baseline_path.name}: missing from fresh results")
+            continue
+        print(f"comparing {baseline_path.name}:")
+        failures.extend(compare_file(baseline_path, fresh_path, tolerance))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", required=True, help="directory of committed baselines"
+    )
+    parser.add_argument(
+        "--fresh", required=True, help="directory of freshly produced results"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional throughput regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    failures = compare_dirs(
+        pathlib.Path(args.baseline), pathlib.Path(args.fresh), args.tolerance
+    )
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

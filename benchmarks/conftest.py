@@ -127,3 +127,19 @@ def publish():
         print(f"\n{text}\n")
 
     return _publish
+
+
+@pytest.fixture
+def publish_snapshot():
+    """Persist a metrics snapshot as ``<name>.metrics.json`` + ``.prom``.
+
+    Every sweep emits one alongside its rendered table, in the shared
+    ``repro-obs/v1`` schema (see ``docs/OBSERVABILITY.md``).
+    """
+
+    def _publish(name: str, snapshot) -> None:
+        from repro.obs.expo import write_snapshot_files
+
+        write_snapshot_files(snapshot, RESULTS_DIR, name)
+
+    return _publish

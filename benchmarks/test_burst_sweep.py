@@ -11,9 +11,10 @@ no-op < unverified < verified ≪ NetFilter at every burst size, so the
 from benchmarks.conftest import burst_sweep_packet_count, burst_sweep_sizes
 from repro.eval.experiments import burst_size_sweep
 from repro.eval.reporting import render_burst_sweep
+from repro.obs import merge_snapshots, snapshot_of_counters
 
 
-def test_burst_sweep(benchmark, publish):
+def test_burst_sweep(benchmark, publish, publish_snapshot):
     sizes = burst_sweep_sizes()
     points = benchmark.pedantic(
         lambda: burst_size_sweep(
@@ -23,6 +24,20 @@ def test_burst_sweep(benchmark, publish):
         iterations=1,
     )
     publish("burst_sweep", render_burst_sweep(points))
+    publish_snapshot(
+        "burst_sweep",
+        merge_snapshots(
+            [
+                snapshot_of_counters(
+                    p.counters,
+                    labels={"nf": p.nf, "burst_size": str(p.burst_size)},
+                    prefix="burst_sweep_",
+                    help_text="burst-sweep NF counters",
+                )
+                for p in points
+            ]
+        ),
+    )
 
     cost = {(p.nf, p.burst_size): p.per_packet_busy_ns for p in points}
     fill = {(p.nf, p.burst_size): p.avg_burst_fill for p in points}

@@ -27,8 +27,18 @@ from benchmarks.conftest import (
 )
 from repro.eval.experiments import fastpath_sweep
 from repro.eval.reporting import render_fastpath_sweep
+from repro.obs import merge_snapshots, snapshot_of_counters
 
 ORDERED_NFS = ("noop", "unverified-nat", "verified-nat")
+
+
+def _point_snapshot(point):
+    """One sweep point's cache counters in the shared snapshot schema."""
+    return snapshot_of_counters(
+        {k: v for k, v in point.counters.items() if k.startswith("fastpath_")},
+        labels={"nf": point.nf, "flows": str(point.flow_count)},
+        help_text="fastpath-sweep cache counters",
+    )
 
 
 def _bench_record(point):
@@ -59,10 +69,11 @@ def _bench_record(point):
             for key, value in point.counters.items()
             if key.startswith("fastpath_")
         },
+        "metrics": _point_snapshot(point),
     }
 
 
-def test_fastpath_sweep(benchmark, publish):
+def test_fastpath_sweep(benchmark, publish, publish_snapshot):
     flow_counts = fastpath_flow_counts()
     points = benchmark.pedantic(
         lambda: fastpath_sweep(
@@ -72,6 +83,9 @@ def test_fastpath_sweep(benchmark, publish):
         iterations=1,
     )
     publish("fastpath_sweep", render_fastpath_sweep(points))
+    publish_snapshot(
+        "fastpath_sweep", merge_snapshots([_point_snapshot(p) for p in points])
+    )
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_fastpath.json").write_text(
         json.dumps([_bench_record(p) for p in points], indent=2) + "\n"

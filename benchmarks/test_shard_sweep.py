@@ -14,11 +14,12 @@ path, not a reinterpretation of it.
 from benchmarks.conftest import shard_packet_count, shard_worker_counts
 from repro.eval.experiments import burst_size_sweep, shard_sweep
 from repro.eval.reporting import render_shard_sweep
+from repro.obs import merge_snapshots, snapshot_of_counters
 
 BURST_SIZE = 32
 
 
-def test_shard_sweep(benchmark, publish):
+def test_shard_sweep(benchmark, publish, publish_snapshot):
     widths = shard_worker_counts()
     packets = shard_packet_count()
     points = benchmark.pedantic(
@@ -31,6 +32,20 @@ def test_shard_sweep(benchmark, publish):
         iterations=1,
     )
     publish("shard_sweep", render_shard_sweep(points))
+    publish_snapshot(
+        "shard_sweep",
+        merge_snapshots(
+            [
+                snapshot_of_counters(
+                    p.counters,
+                    labels={"nf": p.nf, "workers": str(p.workers)},
+                    prefix="shard_sweep_",
+                    help_text="shard-sweep aggregated NF counters",
+                )
+                for p in points
+            ]
+        ),
+    )
 
     mpps = {(p.nf, p.workers): p.aggregate_mpps for p in points}
     by_key = {(p.nf, p.workers): p for p in points}

@@ -7,12 +7,16 @@ Commands:
   discard NF, ``--model`` selects one of the three Fig. 4 ring models.
   ``--emit-tasks FILE`` writes the Fig. 10-style verification tasks.
 - ``demo`` — translate a conversation through the verified NAT.
-- ``experiments {fig12,fig13,fig14,burst,shard,fastpath,verification}``
+- ``experiments {fig12,fig13,fig14,burst,shard,fastpath,metrics,verification}``
   — regenerate one of the paper's evaluation artifacts at quick scale
   (``burst`` is the burst-size sweep of the burst-mode data path,
   ``shard`` the worker-count scaling sweep of the sharded data path,
   ``fastpath`` the microflow-cache locality sweep with its on/off
-  differential check — exit code 1 on any output divergence).
+  differential check — exit code 1 on any output divergence, with the
+  first diverging packet dumped; ``metrics`` a merged observability
+  snapshot from a sharded run).
+- ``metrics`` — the same merged snapshot with knobs: worker count,
+  fastpath on/off, table/Prometheus/JSON rendering, file output.
 """
 
 from __future__ import annotations
@@ -254,11 +258,42 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         points = fastpath_sweep(flow_counts=(64, 1_024), packet_count=4_000)
         print(render_fastpath_sweep(points))
         return 1 if any(not p.identical for p in points) else 0
+    if args.artifact == "metrics":
+        from repro.eval.experiments import collect_sharded_metrics
+        from repro.eval.reporting import render_metrics
+        from repro.obs.expo import render_prometheus
+
+        snapshot = collect_sharded_metrics(workers=2, fastpath=True)
+        print(render_metrics(snapshot))
+        print()
+        print(render_prometheus(snapshot))
+        return 0
     settings = EvalSettings(
         expiration_seconds=60.0, throughput_packets=10_000, throughput_iterations=6
     )
     results = throughput_sweep(flow_counts=(2_000,), settings=settings)
     print(render_fig14(results))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import collect_sharded_metrics
+    from repro.eval.reporting import render_metrics
+    from repro.obs.expo import render_json, render_prometheus, write_snapshot_files
+
+    snapshot = collect_sharded_metrics(
+        workers=args.workers, fastpath=not args.no_fastpath
+    )
+    if args.format == "prom":
+        print(render_prometheus(snapshot))
+    elif args.format == "json":
+        print(render_json(snapshot))
+    else:
+        print(render_metrics(snapshot))
+    if args.output:
+        paths = write_snapshot_files(snapshot, args.output, "metrics")
+        for path in paths.values():
+            print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -312,10 +347,36 @@ def build_parser() -> argparse.ArgumentParser:
             "burst",
             "shard",
             "fastpath",
+            "metrics",
             "verification",
         ],
     )
     experiments.set_defaults(run=_cmd_experiments)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="collect a merged metrics snapshot from a sharded run",
+    )
+    metrics.add_argument(
+        "--workers", type=int, default=2, help="worker count (default 2)"
+    )
+    metrics.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="run without the microflow cache",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=["table", "prom", "json"],
+        default="table",
+        help="output rendering (default: table)",
+    )
+    metrics.add_argument(
+        "--output",
+        metavar="DIR",
+        help="also write DIR/metrics.metrics.json and DIR/metrics.prom",
+    )
+    metrics.set_defaults(run=_cmd_metrics)
     return parser
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.nat.base import NetworkFunction
+from repro.obs.flight import TraceDiff, first_divergence
 from repro.nat.config import NatConfig
 from repro.nat.fastpath import FastPathNat
 from repro.nat.netfilter import NetfilterNat
@@ -387,6 +388,8 @@ class FastpathPoint:
     #: (wire bytes and output device) to the cache-off replay.
     identical: bool
     counters: Dict[str, int] = field(default_factory=dict)
+    #: When not identical: where the two replays first disagreed.
+    divergence: Optional[TraceDiff] = None
 
     @property
     def implied_mpps_off(self) -> float:
@@ -489,6 +492,9 @@ def fastpath_sweep(
                 FastPathNat(factory(cfg)), events, burst_size
             )
             identical = off_outputs == on_outputs
+            divergence = (
+                None if identical else first_divergence(off_outputs, on_outputs)
+            )
 
             def modeled_run(nf: NetworkFunction):
                 testbed = Rfc2544Testbed(
@@ -517,9 +523,53 @@ def fastpath_sweep(
                     wall_seconds_on=wall_on,
                     identical=identical,
                     counters=fast.op_counters(),
+                    divergence=divergence,
                 )
             )
     return points
+
+
+def collect_sharded_metrics(
+    workers: int = 2,
+    *,
+    fastpath: bool = True,
+    flow_count: int = 256,
+    packet_count: int = 2_048,
+    burst_size: int = 32,
+    offered_pps: float = 1_000_000.0,
+    settings: Optional[EvalSettings] = None,
+) -> Dict:
+    """Drive a sharded run and return its merged metrics snapshot.
+
+    Exercises the full modeled I/O path — RSS steering through the NIC,
+    per-worker mbuf pools and ports, the burst main loop, the microflow
+    cache over the verified NAT — then collects one snapshot covering
+    pool, NIC, runtime, fastpath and flow-table metrics, each worker's
+    samples labeled ``worker=<i>``.
+    """
+    from repro.net.dpdk import ShardedRuntime
+
+    settings = settings if settings is not None else EvalSettings(
+        expiration_seconds=60.0
+    )
+    cfg = settings.nat_config()
+    runtime = ShardedRuntime(
+        lambda shard: VigNat(shard), cfg, workers=workers, fastpath=fastpath
+    )
+    workload = ConstantRateFlows(
+        flow_count, offered_pps, packet_count, burst=burst_size
+    )
+    pending = 0
+    now_us = 0
+    for event in workload.events():
+        now_us = event.time_ns // 1_000
+        runtime.inject(cfg.internal_device, event.packet, now_us)
+        pending += 1
+        if pending >= burst_size * workers:
+            runtime.main_loop_burst(now_us, burst_size)
+            pending = 0
+    runtime.main_loop_burst(now_us, burst_size)
+    return runtime.metrics_snapshot()
 
 
 def throughput_sweep(

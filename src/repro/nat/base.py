@@ -82,3 +82,22 @@ class NetworkFunction(abc.ABC):
         slow path.
         """
         return None
+
+    def register_metrics(self, registry, labels=None) -> None:
+        """Expose this NF's counters as callback metrics (collect-on-demand).
+
+        The base implementation publishes every ``op_counters()`` entry
+        as an ``nf_op_total`` sample labeled by operation and NF name —
+        values are read live at snapshot time, so registration adds no
+        per-packet work. Stateful NFs extend this with flow-table
+        occupancy/expiry instruments.
+        """
+        base_labels = dict(labels or {})
+        base_labels["nf"] = self.name
+        for key in self.op_counters():
+            registry.counter_fn(
+                "nf_op_total",
+                lambda k=key: self.op_counters().get(k, 0),
+                "NF operation counters (see op_counters)",
+                {**base_labels, "op": key},
+            )

@@ -39,8 +39,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.nat.base import NetworkFunction
 from repro.nat.rewrite import rewrite_destination, rewrite_source
+from repro.obs import flight
+from repro.obs.registry import MetricsRegistry
 from repro.packets.checksum import (
     checksum_apply_delta,
     checksum_delta_u16,
@@ -201,12 +204,43 @@ class FastPathNat(NetworkFunction):
         self.max_entries = max_entries
         self._hooks = hooks
         self._cache: Dict[FlowKey, CachedAction] = {}
-        self._hits = 0
-        self._misses = 0
-        self._invalidations = 0
-        self._evictions = 0
-        self._learns = 0
-        self._learn_rejected = 0
+        # The cache counters are registry-backed typed instruments
+        # (``repro.obs``): the same objects serve the NF's op_counters()
+        # surface, the merged metrics snapshots and the Prometheus
+        # exposition, instead of ad-hoc ints re-aggregated per consumer.
+        metrics = MetricsRegistry()
+        cache_labels = {"nf": self.name}
+        self._hits = metrics.counter(
+            "fastpath_hits_total", "packets replayed from the action cache", cache_labels
+        )
+        self._misses = metrics.counter(
+            "fastpath_misses_total", "packets that took the slow path", cache_labels
+        )
+        self._invalidations = metrics.counter(
+            "fastpath_invalidations_total",
+            "cached actions discarded on generation mismatch",
+            cache_labels,
+        )
+        self._evictions = metrics.counter(
+            "fastpath_evictions_total",
+            "cached actions evicted by the FIFO capacity cap",
+            cache_labels,
+        )
+        self._learns = metrics.counter(
+            "fastpath_learns_total", "actions admitted after replay verification", cache_labels
+        )
+        self._learn_rejected = metrics.counter(
+            "fastpath_learn_rejected_total",
+            "candidate actions whose replay diverged from the slow path",
+            cache_labels,
+        )
+        metrics.gauge_fn(
+            "fastpath_cache_entries",
+            lambda: len(self._cache),
+            "actions currently cached",
+            cache_labels,
+        )
+        self.metrics = metrics
 
     # -- introspection ------------------------------------------------------
     @property
@@ -217,18 +251,61 @@ class FastPathNat(NetworkFunction):
         counters = dict(self.inner.op_counters())
         counters.update(self.burst_counters())
         counters.update(
-            fastpath_hits=self._hits,
-            fastpath_misses=self._misses,
-            fastpath_invalidations=self._invalidations,
-            fastpath_evictions=self._evictions,
-            fastpath_learns=self._learns,
-            fastpath_learn_rejected=self._learn_rejected,
+            fastpath_hits=self._hits.value,
+            fastpath_misses=self._misses.value,
+            fastpath_invalidations=self._invalidations.value,
+            fastpath_evictions=self._evictions.value,
+            fastpath_learns=self._learns.value,
+            fastpath_learn_rejected=self._learn_rejected.value,
         )
         return counters
 
     def hit_rate(self) -> float:
-        total = self._hits + self._misses
-        return self._hits / total if total else 0.0
+        total = self._hits.value + self._misses.value
+        return self._hits.value / total if total else 0.0
+
+    def metrics_snapshot(self) -> Dict:
+        """This cache's registry snapshot (hits, misses, entries, ...)."""
+        return self.metrics.snapshot()
+
+    def register_metrics(self, registry, labels=None) -> None:
+        """Surface the cache instruments plus the wrapped NF's metrics."""
+        cache_labels = dict(labels or {})
+        cache_labels["nf"] = self.name
+        for counter, name, help_text in (
+            (self._hits, "fastpath_hits_total", "packets replayed from the action cache"),
+            (self._misses, "fastpath_misses_total", "packets that took the slow path"),
+            (
+                self._invalidations,
+                "fastpath_invalidations_total",
+                "cached actions discarded on generation mismatch",
+            ),
+            (
+                self._evictions,
+                "fastpath_evictions_total",
+                "cached actions evicted by the FIFO capacity cap",
+            ),
+            (
+                self._learns,
+                "fastpath_learns_total",
+                "actions admitted after replay verification",
+            ),
+            (
+                self._learn_rejected,
+                "fastpath_learn_rejected_total",
+                "candidate actions whose replay diverged from the slow path",
+            ),
+        ):
+            registry.counter_fn(
+                name, lambda c=counter: c.value, help_text, cache_labels
+            )
+        registry.gauge_fn(
+            "fastpath_cache_entries",
+            lambda: len(self._cache),
+            "actions currently cached",
+            cache_labels,
+        )
+        self.inner.register_metrics(registry, labels)
 
     def flow_count(self) -> int:
         """The inner NF's live-flow count (0 when it has no flow table)."""
@@ -245,7 +322,7 @@ class FastPathNat(NetworkFunction):
             return None
         if action.generation != self._hooks.generation():
             del self._cache[key]
-            self._invalidations += 1
+            self._invalidations.inc()
             return None
         return action
 
@@ -281,24 +358,29 @@ class FastPathNat(NetworkFunction):
         )
         replayed = self._hooks.apply(packet, action)
         if replayed.device != out.device or replayed.wire_bytes() != out.wire_bytes():
-            self._learn_rejected += 1
+            self._learn_rejected.inc()
             return
         if self._hooks.supports_raw:
             action.raw_ops = _raw_ops_for(packet, action)
         if len(self._cache) >= self.max_entries:
             self._cache.pop(next(iter(self._cache)))
-            self._evictions += 1
+            self._evictions.inc()
         self._cache[key] = action
-        self._learns += 1
+        self._learns.inc()
 
     def _handle(self, packet: Packet, now: int) -> List[Packet]:
         key = packet_flow_key(packet)
         action = self._lookup(key)
+        recorder = obs.recorder()
         if action is not None:
-            self._hits += 1
+            self._hits.inc()
+            if recorder.active:
+                recorder.trace(flight.FASTPATH_HIT, t_us=now)
             self._hooks.rejuvenate(action.token, now)
             return [self._hooks.apply(packet, action)]
-        self._misses += 1
+        self._misses.inc()
+        if recorder.active:
+            recorder.trace(flight.SLOW_PATH, t_us=now)
         outputs = self.inner.process(packet, now)
         if key is not None:
             self._learn(packet, key, outputs)
@@ -330,6 +412,8 @@ class FastPathNat(NetworkFunction):
         rejuvenate = hooks.rejuvenate
         apply_action = hooks.apply
         inner_process = self.inner.process
+        recorder = obs.recorder()
+        tracing = recorder.active
         results: List[List[Packet]] = []
         hits = 0
         for packet in packets:
@@ -338,18 +422,22 @@ class FastPathNat(NetworkFunction):
             if action is not None:
                 if action.generation == generation:
                     hits += 1
+                    if tracing:
+                        recorder.trace(flight.FASTPATH_HIT, t_us=now)
                     rejuvenate(action.token, now)
                     results.append([apply_action(packet, action)])
                     continue
                 del cache[key]
-                self._invalidations += 1
-            self._misses += 1
+                self._invalidations.inc()
+            self._misses.inc()
+            if tracing:
+                recorder.trace(flight.SLOW_PATH, t_us=now)
             outputs = inner_process(packet, now)
             if key is not None:
                 self._learn(packet, key, outputs)
             generation = hooks.generation()
             results.append(outputs)
-        self._hits += hits
+        self._hits.inc(hits)
         return results
 
     def process_raw_burst(
@@ -369,18 +457,24 @@ class FastPathNat(NetworkFunction):
         if not frames:
             return []
         now = self._hooks.begin_burst(now)
+        recorder = obs.recorder()
+        tracing = recorder.active
         results: List[List[Tuple[bytes, int]]] = []
         for buf, device in frames:
             view = LazyPacket(buf, device)
             key = view.flow_key()
             action = self._lookup(key)
             if action is not None and action.raw_ops is not None:
-                self._hits += 1
+                self._hits.inc()
+                if tracing:
+                    recorder.trace(flight.FASTPATH_HIT, t_us=now)
                 self._hooks.rejuvenate(action.token, now)
                 _apply_raw(view, action.raw_ops)
                 results.append([(bytes(buf), action.out_device)])
                 continue
-            self._misses += 1
+            self._misses.inc()
+            if tracing:
+                recorder.trace(flight.SLOW_PATH, t_us=now)
             try:
                 packet = Packet.from_bytes(bytes(buf), device)
             except ParseError:

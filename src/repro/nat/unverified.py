@@ -210,6 +210,36 @@ class UnverifiedNat(NetworkFunction):
     def fastpath_hooks(self) -> _UnverifiedFastPathHooks:
         return _UnverifiedFastPathHooks(self)
 
+    def register_metrics(self, registry, labels=None) -> None:
+        """Operation counters plus flow-table occupancy/expiry/eviction."""
+        super().register_metrics(registry, labels)
+        nf_labels = dict(labels or {})
+        nf_labels["nf"] = self.name
+        registry.gauge_fn(
+            "flow_table_occupancy",
+            self.flow_count,
+            "live translation entries",
+            nf_labels,
+        )
+        registry.gauge_fn(
+            "flow_table_capacity",
+            lambda: self.config.max_flows,
+            "maximum translation entries",
+            nf_labels,
+        )
+        registry.counter_fn(
+            "flows_expired_total",
+            lambda: self._expired_total,
+            "flows removed by the expiry sweep",
+            nf_labels,
+        )
+        registry.counter_fn(
+            "flows_evicted_total",
+            lambda: self._evicted_total,
+            "live flows evicted by the buggy capacity path",
+            nf_labels,
+        )
+
     # -- packet path --------------------------------------------------------
     def process(self, packet: Packet, now: int) -> List[Packet]:
         self._expire(now)

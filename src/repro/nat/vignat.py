@@ -286,6 +286,30 @@ class VigNat(NetworkFunction):
         """Opt into the microflow fast path (:mod:`repro.nat.fastpath`)."""
         return _VigNatFastPathHooks(self)
 
+    def register_metrics(self, registry, labels=None) -> None:
+        """Operation counters plus the flow table's occupancy/expiry state."""
+        super().register_metrics(registry, labels)
+        nf_labels = dict(labels or {})
+        nf_labels["nf"] = self.name
+        registry.gauge_fn(
+            "flow_table_occupancy",
+            self.flow_count,
+            "live translation entries",
+            nf_labels,
+        )
+        registry.gauge_fn(
+            "flow_table_capacity",
+            lambda: self.config.max_flows,
+            "maximum translation entries",
+            nf_labels,
+        )
+        registry.counter_fn(
+            "flows_expired_total",
+            lambda: self._expired_total,
+            "flows removed by the expiry scan",
+            nf_labels,
+        )
+
     # -- the packet path: the shared stateless logic over libVig ------------
     def process(self, packet: Packet, now: int) -> List[Packet]:
         """One loop iteration of Fig. 6: expire, update, forward."""

@@ -18,12 +18,15 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.nat.base import NetworkFunction
 from repro.nat.config import NatConfig
 from repro.nat.fastpath import FastPathNat
 from repro.net.mbuf import Mbuf, MbufPool
 from repro.net.nic import Port, RssNic
 from repro.net.rss import NatSteering
+from repro.obs import flight
+from repro.obs.registry import MetricsRegistry
 from repro.packets.headers import Packet
 
 
@@ -39,6 +42,9 @@ class DpdkRuntime:
         self.pool = MbufPool(pool_size)
         #: Packets the NF itself decided to drop (its buffers were freed).
         self.nf_dropped = 0
+        #: Which worker this runtime serves in a sharded deployment
+        #: (0 standalone); labels trace events and metric samples.
+        self.worker_id = 0
 
     def port(self, port_id: int) -> Port:
         return self.ports[port_id]
@@ -93,15 +99,36 @@ class DpdkRuntime:
         if burst_size <= 0:
             raise ValueError("burst size must be positive")
         processed = 0
+        # One recorder fetch per main-loop turn: with observability off
+        # (the default no-op recorder) the per-packet trace calls below
+        # are skipped entirely.
+        recorder = obs.recorder()
+        tracing = recorder.active
         for port_id in sorted(self.ports):
             while True:
                 burst = self.rx_burst(port_id, burst_size)
                 if not burst:
                     break
+                if tracing:
+                    for mbuf in burst:
+                        recorder.trace(
+                            flight.RX,
+                            t_us=mbuf.timestamp,
+                            worker=self.worker_id,
+                            detail=f"port {port_id}",
+                        )
                 results = nf.process_burst([m.packet for m in burst], now_us)
                 staged: Dict[int, List[Mbuf]] = {}
                 for mbuf, outputs in zip(burst, results):
                     if not outputs:
+                        if tracing:
+                            recorder.trace(
+                                flight.DROP,
+                                t_us=now_us,
+                                worker=self.worker_id,
+                                reason=flight.REASON_NF_DROP,
+                                wire=mbuf.packet.wire_bytes(),
+                            )
                         self.free(mbuf)
                         self.nf_dropped += 1
                         continue
@@ -113,6 +140,14 @@ class DpdkRuntime:
                         if clone is not None:
                             staged.setdefault(extra.device, []).append(clone)
                 for out_port, mbufs in sorted(staged.items()):
+                    if tracing:
+                        for mbuf in mbufs:
+                            recorder.trace(
+                                flight.TX,
+                                t_us=now_us,
+                                worker=self.worker_id,
+                                detail=f"port {out_port}",
+                            )
                     self.tx_burst(out_port, mbufs, now_us)
                 processed += len(burst)
         return processed
@@ -125,6 +160,27 @@ class DpdkRuntime:
             "nf_drop": self.nf_dropped,
             "pool_high_water": self.pool.high_water,
         }
+
+    # -- observability -----------------------------------------------------------
+    def register_metrics(self, registry, labels=None) -> None:
+        """Register this runtime's pool, ports and drop counters."""
+        self.pool.register_metrics(registry, labels)
+        for port in self.ports.values():
+            port.register_metrics(registry, labels)
+        registry.counter_fn(
+            "runtime_nf_dropped_total",
+            lambda: self.nf_dropped,
+            "packets the NF decided to drop",
+            labels,
+        )
+
+    def metrics_snapshot(self, nf: Optional[NetworkFunction] = None) -> Dict:
+        """One collected snapshot of this runtime (plus its NF, if given)."""
+        registry = MetricsRegistry()
+        self.register_metrics(registry)
+        if nf is not None:
+            nf.register_metrics(registry)
+        return registry.snapshot()
 
     # -- wire side -----------------------------------------------------------------
     def inject(self, port_id: int, packet: Packet, timestamp: int) -> bool:
@@ -187,6 +243,8 @@ class ShardedRuntime:
         self.runtimes: List[DpdkRuntime] = [
             DpdkRuntime(port_count, rx_capacity, pool_size) for _ in range(workers)
         ]
+        for worker_id, runtime in enumerate(self.runtimes):
+            runtime.worker_id = worker_id
         self.nic = RssNic(workers, steer=self.steering.worker_for)
 
     @property
@@ -206,6 +264,14 @@ class ShardedRuntime:
     def inject(self, port_id: int, packet: Packet, timestamp: int) -> bool:
         """Deliver a packet from the wire: RSS-steer, then enqueue."""
         worker = self.nic.select(packet)
+        recorder = obs.recorder()
+        if recorder.active:
+            recorder.trace(
+                flight.STEER,
+                t_us=timestamp,
+                worker=worker,
+                detail=f"port {port_id}",
+            )
         return self.runtimes[worker].inject(port_id, packet, timestamp)
 
     def collect(self) -> List[Tuple[int, int, Packet]]:
@@ -251,9 +317,39 @@ class ShardedRuntime:
         return aggregate
 
     def drop_causes(self) -> Dict[str, int]:
-        """Drop/near-drop causes aggregated across all workers."""
+        """Drop/near-drop causes aggregated across all workers.
+
+        Drop counts sum; ``pool_high_water`` aggregates by max — every
+        worker owns a private pool (sized ``pool_size`` each), so the
+        merged watermark is the worst any single pool saw, not the sum
+        of marks no pool ever reached together.
+        """
         aggregate: Dict[str, int] = {}
         for runtime in self.runtimes:
             for key, value in runtime.drop_causes().items():
-                aggregate[key] = aggregate.get(key, 0) + value
+                if key == "pool_high_water":
+                    aggregate[key] = max(aggregate.get(key, 0), value)
+                else:
+                    aggregate[key] = aggregate.get(key, 0) + value
         return aggregate
+
+    # -- observability -----------------------------------------------------------
+    def register_metrics(self, registry) -> None:
+        """Register every worker's runtime + NF under a ``worker`` label.
+
+        Each worker's pool reports into the merged snapshot as its own
+        labeled sample (merge strategies do the aggregation at read
+        time) — there is no shared mutable counter between workers,
+        matching the no-shared-state discipline of the data path.
+        """
+        self.nic.register_metrics(registry)
+        for worker_id, (runtime, nf) in enumerate(zip(self.runtimes, self.nfs)):
+            labels = {"worker": str(worker_id)}
+            runtime.register_metrics(registry, labels)
+            nf.register_metrics(registry, labels)
+
+    def metrics_snapshot(self) -> Dict:
+        """One merged snapshot: NIC steering, all workers' runtimes + NFs."""
+        registry = MetricsRegistry()
+        self.register_metrics(registry)
+        return registry.snapshot()

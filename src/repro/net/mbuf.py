@@ -27,6 +27,11 @@ class Mbuf:
     port: int = 0
     timestamp: int = 0  # hardware receive timestamp, microseconds
     _freed: bool = field(default=False, repr=False)
+    #: The pool this buffer belongs to (None for hand-built mbufs).
+    #: Under a sharded runtime every worker owns a private pool; the
+    #: tag makes a cross-worker free an error at the offending call
+    #: site instead of silently corrupting another pool's accounting.
+    _owner: Optional["MbufPool"] = field(default=None, repr=False, compare=False)
 
 
 class MbufPool:
@@ -40,6 +45,9 @@ class MbufPool:
         self.alloc_failures = 0
         #: Most buffers ever simultaneously in flight — the pool's
         #: high-water mark, a sizing signal for burst-mode main loops.
+        #: Per-pool (per-worker) by construction: high-water marks are
+        #: not additive, so merged snapshots report each worker's mark
+        #: under its own label and aggregate by max, never by sum.
         self.high_water = 0
 
     @property
@@ -60,12 +68,24 @@ class MbufPool:
         self._free -= 1
         if self.in_flight > self.high_water:
             self.high_water = self.in_flight
-        return Mbuf(packet=packet, port=port, timestamp=timestamp)
+        return Mbuf(packet=packet, port=port, timestamp=timestamp, _owner=self)
 
     def free(self, mbuf: Mbuf) -> None:
-        """Return a buffer to the pool; double-free and over-credit are errors."""
+        """Return a buffer to the pool; double-free and over-credit are errors.
+
+        A buffer allocated by another pool is rejected outright (the
+        sharded runtime gives every worker a private pool, and crediting
+        worker B's pool for worker A's buffer would corrupt both sides'
+        ``in_flight`` accounting whether or not B's pool is full). For
+        hand-built mbufs with no owner the capacity check is the only
+        available defense, as before.
+        """
         if mbuf._freed:
             raise RuntimeError("double free of mbuf")
+        if mbuf._owner is not None and mbuf._owner is not self:
+            raise RuntimeError(
+                "over-credit: freeing another pool's mbuf (cross-worker free)"
+            )
         if self._free >= self.capacity:
             # Every buffer is already home: this mbuf cannot be ours.
             # Crediting the pool anyway would let in_flight go negative
@@ -75,3 +95,34 @@ class MbufPool:
             )
         mbuf._freed = True
         self._free += 1
+
+    # -- observability -------------------------------------------------------
+    def register_metrics(self, registry, labels=None) -> None:
+        """Expose pool state as callback instruments (collect-on-demand).
+
+        ``pool_high_water`` merges by max across label sets: each
+        worker's pool is a separate resource, and summing watermarks
+        would report a capacity pressure no single pool ever saw.
+        """
+        registry.gauge_fn(
+            "pool_capacity", lambda: self.capacity, "total buffers in the pool", labels
+        )
+        registry.gauge_fn(
+            "pool_in_flight",
+            lambda: self.in_flight,
+            "buffers currently owned by the application",
+            labels,
+        )
+        registry.gauge_fn(
+            "pool_high_water",
+            lambda: self.high_water,
+            "most buffers ever simultaneously in flight",
+            labels,
+            merge="max",
+        )
+        registry.counter_fn(
+            "pool_alloc_failures_total",
+            lambda: self.alloc_failures,
+            "allocations refused because the pool was exhausted",
+            labels,
+        )

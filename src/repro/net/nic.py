@@ -73,6 +73,37 @@ class Port:
         out, self._tx = self._tx, []
         return out
 
+    # -- observability -------------------------------------------------------
+    def register_metrics(self, registry, labels=None) -> None:
+        """Expose the hardware-style port counters as callback metrics."""
+        port_labels = dict(labels or {})
+        port_labels["port"] = str(self.port_id)
+        counters = self.counters
+        registry.counter_fn(
+            "nic_rx_packets_total",
+            lambda: counters.rx_packets,
+            "packets accepted onto the RX ring",
+            port_labels,
+        )
+        registry.counter_fn(
+            "nic_rx_dropped_total",
+            lambda: counters.rx_dropped,
+            "packets dropped because the RX ring was full",
+            port_labels,
+        )
+        registry.counter_fn(
+            "nic_rx_nombuf_total",
+            lambda: counters.rx_nombuf,
+            "RX attempts stalled by mbuf-pool exhaustion (nothing lost)",
+            port_labels,
+        )
+        registry.counter_fn(
+            "nic_tx_packets_total",
+            lambda: counters.tx_packets,
+            "packets transmitted",
+            port_labels,
+        )
+
 
 class RssNic:
     """The RSS stage of a multi-queue NIC: packet → RX queue selection.
@@ -112,3 +143,16 @@ class RssNic:
             )
         self.queue_packets[queue] += 1
         return queue
+
+    # -- observability -------------------------------------------------------
+    def register_metrics(self, registry, labels=None) -> None:
+        """Per-RX-queue steering counters, like hardware per-queue stats."""
+        for queue in range(self.queue_count):
+            queue_labels = dict(labels or {})
+            queue_labels["queue"] = str(queue)
+            registry.counter_fn(
+                "rss_steered_total",
+                lambda q=queue: self.queue_packets[q],
+                "packets steered to this RX queue",
+                queue_labels,
+            )

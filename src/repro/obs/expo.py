@@ -1,0 +1,156 @@
+"""Exposition: render metric snapshots as Prometheus text or JSON.
+
+The Prometheus text format is the lingua franca of NF telemetry (DPDK's
+telemetry socket, sonic-mgmt's counter polling, every scrape pipeline);
+rendering our snapshots in it means any standard tooling can consume a
+sweep's metrics without bespoke parsing. The JSON form is the snapshot
+dict itself (schema ``repro-obs/v1``), the same shape embedded in
+``BENCH_*.json`` benchmark records.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List
+
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.registry import COUNTER, GAUGE, HISTOGRAM
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    name = _NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _label_pairs(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_RE.sub("_", key)}="{_escape(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Dict) -> str:
+    """The snapshot in the Prometheus text exposition format.
+
+    Counters get a ``_total``-preserving name pass-through (our metric
+    names already carry their unit/suffix conventions), histograms
+    expand to cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+    ``_count``, exactly as a scrape endpoint would serve them.
+    """
+    lines: List[str] = []
+    for metric in snapshot.get("metrics", []):
+        name = _metric_name(metric["name"])
+        kind = metric["kind"]
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {_escape(metric['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in metric["samples"]:
+            labels = sample.get("labels", {})
+            if kind == HISTOGRAM:
+                lines.extend(_histogram_lines(name, labels, sample["histogram"]))
+            else:
+                lines.append(
+                    f"{name}{_label_pairs(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _histogram_lines(name: str, labels: Dict[str, str], data: Dict) -> List[str]:
+    hist = LatencyHistogram.from_dict(data)
+    lines: List[str] = []
+    cumulative = 0
+    for index, count in enumerate(hist.counts):
+        if not count:
+            continue
+        cumulative += count
+        le = {**labels, "le": str(LatencyHistogram.bucket_upper_bound(index))}
+        lines.append(f"{name}_bucket{_label_pairs(le)} {cumulative}")
+    inf = {**labels, "le": "+Inf"}
+    lines.append(f"{name}_bucket{_label_pairs(inf)} {hist.count}")
+    lines.append(f"{name}_sum{_label_pairs(labels)} {hist.total}")
+    lines.append(f"{name}_count{_label_pairs(labels)} {hist.count}")
+    return lines
+
+
+def render_json(snapshot: Dict, indent: int = 2) -> str:
+    """The snapshot as pretty JSON (the ``repro-obs/v1`` schema)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=False) + "\n"
+
+
+def write_snapshot_files(snapshot: Dict, directory, stem: str) -> Dict[str, str]:
+    """Persist a snapshot as ``<stem>.metrics.json`` + ``<stem>.prom``."""
+    import pathlib
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    json_path = directory / f"{stem}.metrics.json"
+    prom_path = directory / f"{stem}.prom"
+    json_path.write_text(render_json(snapshot))
+    prom_path.write_text(render_prometheus(snapshot))
+    return {"json": str(json_path), "prom": str(prom_path)}
+
+
+def sample_value(snapshot: Dict, name: str, labels: Dict[str, str] | None = None):
+    """Look one sample's value up in a snapshot (histograms: the dict).
+
+    Returns None when the metric or label set is absent — convenient
+    for tests and for the benchmark-regression comparator.
+    """
+    wanted = dict(labels or {})
+    for metric in snapshot.get("metrics", []):
+        if metric["name"] != name:
+            continue
+        for sample in metric["samples"]:
+            if sample.get("labels", {}) == wanted:
+                if metric["kind"] == HISTOGRAM:
+                    return sample["histogram"]
+                return sample["value"]
+    return None
+
+
+def total_value(snapshot: Dict, name: str) -> float | None:
+    """Sum (or max, per the metric's merge strategy) over all samples."""
+    for metric in snapshot.get("metrics", []):
+        if metric["name"] != name or metric["kind"] == HISTOGRAM:
+            continue
+        values = [s["value"] for s in metric["samples"]]
+        if not values:
+            return None
+        if metric["kind"] == GAUGE and metric.get("merge") == "max":
+            return max(values)
+        return sum(values)
+    return None
+
+
+__all__ = [
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "render_json",
+    "render_prometheus",
+    "sample_value",
+    "total_value",
+    "write_snapshot_files",
+]

@@ -1,0 +1,282 @@
+"""The flight recorder: a bounded ring of per-packet trace events.
+
+Inspired by hardware flight recorders and OVS's last-N-packets
+tracing: the data path appends one compact event per interesting
+per-packet step (rx, steer, slow-path, fastpath-hit, tx, drop — with a
+reason code), the ring keeps only the last N, and on an anomaly —
+drop spike, differential divergence, pool high-water breach — the ring
+is dumped: events as JSON lines plus, for every event that captured
+frame bytes, the offending packets as a standard pcap openable in
+Wireshark.
+
+Recording is append-into-a-preallocated-ring: one index increment and
+one tuple store per event. When observability is disabled the data
+path never calls in here at all (see :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# -- stages ------------------------------------------------------------------
+RX = "rx"
+STEER = "steer"
+SLOW_PATH = "slow-path"
+FASTPATH_HIT = "fastpath-hit"
+TX = "tx"
+DROP = "drop"
+
+STAGES = (RX, STEER, SLOW_PATH, FASTPATH_HIT, TX, DROP)
+
+# -- drop/anomaly reason codes ----------------------------------------------
+REASON_NONE = ""
+REASON_NF_DROP = "nf-drop"
+REASON_RING_FULL = "rx-ring-full"
+REASON_NO_MBUF = "rx-no-mbuf"
+REASON_DIVERGENCE = "divergence"
+REASON_DROP_SPIKE = "drop-spike"
+REASON_POOL_HIGH_WATER = "pool-high-water"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One recorded per-packet step."""
+
+    seq: int
+    t_us: int
+    worker: int
+    stage: str
+    reason: str = REASON_NONE
+    detail: str = ""
+    #: Raw frame bytes, when the call site chose to capture them.
+    wire: Optional[bytes] = None
+
+    def to_dict(self) -> Dict:
+        data: Dict = {
+            "seq": self.seq,
+            "t_us": self.t_us,
+            "worker": self.worker,
+            "stage": self.stage,
+        }
+        if self.reason:
+            data["reason"] = self.reason
+        if self.detail:
+            data["detail"] = self.detail
+        if self.wire is not None:
+            data["wire_len"] = len(self.wire)
+        return data
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`TraceEvent` with anomaly dumping."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ring: List[Optional[TraceEvent]] = [None] * capacity
+        self._next_seq = 0
+        self.dumps = 0
+
+    # -- recording ----------------------------------------------------------
+    def record(
+        self,
+        stage: str,
+        t_us: int = 0,
+        worker: int = 0,
+        reason: str = REASON_NONE,
+        detail: str = "",
+        wire: Optional[bytes] = None,
+    ) -> TraceEvent:
+        event = TraceEvent(
+            seq=self._next_seq,
+            t_us=t_us,
+            worker=worker,
+            stage=stage,
+            reason=reason,
+            detail=detail,
+            wire=wire,
+        )
+        self._ring[self._next_seq % self.capacity] = event
+        self._next_seq += 1
+        return event
+
+    @property
+    def recorded_total(self) -> int:
+        """Events ever recorded (≥ the number still retained)."""
+        return self._next_seq
+
+    def __len__(self) -> int:
+        return min(self._next_seq, self.capacity)
+
+    def last(self, n: Optional[int] = None) -> List[TraceEvent]:
+        """The most recent ``n`` (default: all retained) events, oldest first."""
+        retained = len(self)
+        if n is None or n > retained:
+            n = retained
+        start = self._next_seq - n
+        return [
+            self._ring[seq % self.capacity]  # type: ignore[misc]
+            for seq in range(start, self._next_seq)
+        ]
+
+    # -- anomaly dumping ----------------------------------------------------
+    def dump(self, directory, tag: str, reason: str) -> Dict[str, str]:
+        """Write the retained events under ``directory``; returns paths.
+
+        ``<tag>.trace.jsonl`` holds one JSON object per event (newest
+        last) with a header line naming the anomaly; every event that
+        captured frame bytes also lands in ``<tag>.pcap`` with its
+        event time as the capture timestamp.
+        """
+        import pathlib
+
+        from repro.packets.pcap import write_pcap_file
+
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        events = self.last()
+        trace_path = directory / f"{tag}.trace.jsonl"
+        lines = [json.dumps({"anomaly": reason, "events": len(events)})]
+        lines.extend(json.dumps(event.to_dict()) for event in events)
+        trace_path.write_text("\n".join(lines) + "\n")
+        paths = {"trace": str(trace_path)}
+        frames = [
+            (event.t_us, event.wire) for event in events if event.wire is not None
+        ]
+        if frames:
+            pcap_path = directory / f"{tag}.pcap"
+            write_pcap_file(str(pcap_path), frames)
+            paths["pcap"] = str(pcap_path)
+        self.dumps += 1
+        return paths
+
+
+class AnomalyMonitor:
+    """Watches drop counts and pool high-water, dumps the ring on breach.
+
+    The monitor is fed observations (not wired to any component), so
+    every layer can share one: the runtime reports drops after each
+    main-loop turn, the pool reports its high-water mark, and the
+    differential harnesses report divergence directly. Each anomaly
+    class dumps at most once per monitor, so a sustained breach cannot
+    flood the dump directory.
+    """
+
+    def __init__(
+        self,
+        recorder: FlightRecorder,
+        dump_dir,
+        *,
+        drop_spike_threshold: int = 100,
+        pool_high_water_fraction: float = 0.9,
+    ) -> None:
+        self.recorder = recorder
+        self.dump_dir = dump_dir
+        self.drop_spike_threshold = drop_spike_threshold
+        self.pool_high_water_fraction = pool_high_water_fraction
+        self._fired: Dict[str, Dict[str, str]] = {}
+
+    @property
+    def anomalies(self) -> Dict[str, Dict[str, str]]:
+        """Anomalies seen so far: reason → dump paths."""
+        return dict(self._fired)
+
+    def _fire(self, reason: str, detail: str) -> Optional[Dict[str, str]]:
+        if reason in self._fired:
+            return None
+        self.recorder.record(DROP, reason=reason, detail=detail)
+        paths = self.recorder.dump(self.dump_dir, reason, detail)
+        self._fired[reason] = paths
+        return paths
+
+    def observe_drops(self, dropped_in_window: int) -> Optional[Dict[str, str]]:
+        if dropped_in_window >= self.drop_spike_threshold:
+            return self._fire(
+                REASON_DROP_SPIKE,
+                f"{dropped_in_window} drops in one window "
+                f"(threshold {self.drop_spike_threshold})",
+            )
+        return None
+
+    def observe_pool(self, high_water: int, capacity: int) -> Optional[Dict[str, str]]:
+        if capacity > 0 and high_water >= capacity * self.pool_high_water_fraction:
+            return self._fire(
+                REASON_POOL_HIGH_WATER,
+                f"high water {high_water} of {capacity} buffers",
+            )
+        return None
+
+    def observe_divergence(self, detail: str) -> Optional[Dict[str, str]]:
+        return self._fire(REASON_DIVERGENCE, detail)
+
+
+# -- differential trace diff -------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class TraceDiff:
+    """Where two differential replays first disagree."""
+
+    index: int
+    expected: Tuple[Tuple[bytes, int], ...]
+    actual: Tuple[Tuple[bytes, int], ...]
+
+    def render(self) -> str:
+        def side(outputs: Tuple[Tuple[bytes, int], ...]) -> str:
+            if not outputs:
+                return "    (dropped)"
+            return "\n".join(
+                f"    dev {device}: {wire.hex()}" for wire, device in outputs
+            )
+
+        return "\n".join(
+            [
+                f"first divergence at packet #{self.index}:",
+                "  expected (reference path):",
+                side(self.expected),
+                "  actual (path under test):",
+                side(self.actual),
+            ]
+        )
+
+
+def first_divergence(
+    expected: Sequence[Sequence[Tuple[bytes, int]]],
+    actual: Sequence[Sequence[Tuple[bytes, int]]],
+) -> Optional[TraceDiff]:
+    """The first per-packet output mismatch between two replays, if any.
+
+    Inputs are parallel lists of per-packet outputs as (wire bytes,
+    device) pairs — the shape the differential harnesses already
+    compare. A length mismatch diverges at the first missing index.
+    """
+    for index in range(max(len(expected), len(actual))):
+        want = tuple(tuple(o) for o in expected[index]) if index < len(expected) else ()
+        got = tuple(tuple(o) for o in actual[index]) if index < len(actual) else ()
+        if want != got:
+            return TraceDiff(index=index, expected=want, actual=got)
+    return None
+
+
+__all__ = [
+    "DROP",
+    "FASTPATH_HIT",
+    "RX",
+    "SLOW_PATH",
+    "STAGES",
+    "STEER",
+    "TX",
+    "REASON_DIVERGENCE",
+    "REASON_DROP_SPIKE",
+    "REASON_NF_DROP",
+    "REASON_NO_MBUF",
+    "REASON_NONE",
+    "REASON_POOL_HIGH_WATER",
+    "REASON_RING_FULL",
+    "AnomalyMonitor",
+    "FlightRecorder",
+    "TraceDiff",
+    "TraceEvent",
+    "first_divergence",
+]

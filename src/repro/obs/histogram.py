@@ -1,0 +1,177 @@
+"""Log2-bucketed latency histograms with mergeable state.
+
+The paper's evaluation (Figs. 12-14) is built on per-packet latency
+structure: averages hide the DPDK outlier tail, so the telemetry layer
+records full distributions. A :class:`LatencyHistogram` keeps one
+counter per power-of-two bucket — ``record`` is two integer ops, cheap
+enough for per-packet use — and supports exact merging: per-worker
+histograms from a :class:`~repro.net.dpdk.ShardedRuntime` sum into the
+box-wide distribution without losing information, because bucket counts
+are plain integers (merge is associative and commutative by
+construction, which the property tests pin down).
+
+Percentiles are extracted from bucket upper bounds, clamped to the
+largest observed sample, so ``percentile`` is monotone in the requested
+fraction and never extrapolates beyond the data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Bucket ``i`` holds values whose bit length is ``i``: bucket 0 holds
+#: exactly 0, bucket 1 holds 1, bucket 2 holds 2-3, bucket i holds
+#: [2**(i-1), 2**i). 64 buckets cover every latency a simulation can
+#: produce (2**63 ns ≈ 292 years).
+BUCKETS = 64
+
+
+class LatencyHistogram:
+    """Fixed-shape log2 histogram of non-negative integer samples."""
+
+    __slots__ = ("counts", "count", "total", "min_value", "max_value")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * BUCKETS
+        self.count = 0
+        self.total = 0
+        self.min_value: Optional[int] = None
+        self.max_value: Optional[int] = None
+
+    # -- recording ----------------------------------------------------------
+    def record(self, value: int) -> None:
+        """Add one sample (negative values clamp to 0)."""
+        if value < 0:
+            value = 0
+        index = value.bit_length()
+        if index >= BUCKETS:
+            index = BUCKETS - 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    def record_many(self, values: Sequence[int]) -> None:
+        for value in values:
+            self.record(value)
+
+    @classmethod
+    def of(cls, values: Sequence[int]) -> "LatencyHistogram":
+        hist = cls()
+        hist.record_many(values)
+        return hist
+
+    # -- merging ------------------------------------------------------------
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """A new histogram holding both sample sets (lossless, exact)."""
+        merged = LatencyHistogram()
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        mins = [m for m in (self.min_value, other.min_value) if m is not None]
+        maxs = [m for m in (self.max_value, other.max_value) if m is not None]
+        merged.min_value = min(mins) if mins else None
+        merged.max_value = max(maxs) if maxs else None
+        return merged
+
+    __add__ = merge
+
+    @classmethod
+    def merge_all(
+        cls, histograms: Sequence["LatencyHistogram"]
+    ) -> "LatencyHistogram":
+        merged = cls()
+        for histogram in histograms:
+            merged = merged.merge(histogram)
+        return merged
+
+    # -- extraction ---------------------------------------------------------
+    @staticmethod
+    def bucket_upper_bound(index: int) -> int:
+        """Largest value bucket ``index`` can hold."""
+        return 0 if index == 0 else (1 << index) - 1
+
+    def percentile(self, fraction: float) -> float:
+        """The ``fraction``-quantile estimate, or NaN when empty.
+
+        Returns the upper bound of the bucket containing the rank,
+        clamped to the largest observed sample — monotone in
+        ``fraction`` and never larger than any real sample could be.
+        """
+        if self.count == 0:
+            return float("nan")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        # rank = ceil(fraction * count), at least 1
+        rank = max(1, int(-(-fraction * self.count // 1)))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                bound = self.bucket_upper_bound(index)
+                assert self.max_value is not None
+                return float(min(bound, self.max_value))
+        return float(self.max_value)  # pragma: no cover — rank <= count
+
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def p999(self) -> float:
+        return self.percentile(0.999)
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """The JSON-snapshot form shared with ``BENCH_*.json`` files."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+            "p50": self.percentile(0.50) if self.count else None,
+            "p99": self.percentile(0.99) if self.count else None,
+            "p999": self.percentile(0.999) if self.count else None,
+            # Sparse bucket encoding: {bucket index: count}, zeros elided.
+            "buckets": {
+                str(i): c for i, c in enumerate(self.counts) if c
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LatencyHistogram":
+        hist = cls()
+        for key, value in data.get("buckets", {}).items():
+            hist.counts[int(key)] = int(value)
+        hist.count = int(data.get("count", sum(hist.counts)))
+        hist.total = int(data.get("sum", 0))
+        hist.min_value = data.get("min")
+        hist.max_value = data.get("max")
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (
+            self.counts == other.counts
+            and self.count == other.count
+            and self.total == other.total
+            and self.min_value == other.min_value
+            and self.max_value == other.max_value
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(count={self.count}, min={self.min_value}, "
+            f"max={self.max_value})"
+        )
+
+
+__all__ = ["BUCKETS", "LatencyHistogram"]

@@ -1,0 +1,134 @@
+"""The CI benchmark-regression gate (benchmarks/compare_bench.py)."""
+
+import copy
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+
+from benchmarks.compare_bench import compare_dirs, main  # noqa: E402
+
+BASE_RECORDS = [
+    {
+        "nf": "noop",
+        "flow_count": 64,
+        "identical": True,
+        "replay_pps_off": 1_000_000.0,
+        "replay_pps_on": 1_200_000.0,
+        "modeled_busy_ns_off": 260.0,
+    },
+    {
+        "nf": "unverified-nat",
+        "flow_count": 64,
+        "identical": True,
+        "replay_pps_off": 350_000.0,
+        "replay_pps_on": 460_000.0,
+        "modeled_busy_ns_off": 480.0,
+    },
+    {
+        "nf": "verified-nat",
+        "flow_count": 64,
+        "identical": True,
+        "replay_pps_off": 210_000.0,
+        "replay_pps_on": 410_000.0,
+        "modeled_busy_ns_off": 540.0,
+    },
+]
+
+
+def _write(directory: pathlib.Path, records) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "BENCH_fastpath.json").write_text(json.dumps(records))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline = tmp_path / "baseline"
+    fresh = tmp_path / "fresh"
+    _write(baseline, BASE_RECORDS)
+    return baseline, fresh
+
+
+def test_identical_results_pass(dirs):
+    baseline, fresh = dirs
+    _write(fresh, BASE_RECORDS)
+    assert compare_dirs(baseline, fresh, tolerance=0.25) == []
+
+
+def test_small_drift_within_tolerance_passes(dirs):
+    baseline, fresh = dirs
+    drifted = copy.deepcopy(BASE_RECORDS)
+    for record in drifted:
+        record["replay_pps_off"] *= 0.85
+        record["replay_pps_on"] *= 1.1
+    _write(fresh, drifted)
+    assert compare_dirs(baseline, fresh, tolerance=0.25) == []
+
+
+def test_seeded_regression_fails(dirs):
+    """The acceptance scenario: a >25% replay throughput drop must fail."""
+    baseline, fresh = dirs
+    regressed = copy.deepcopy(BASE_RECORDS)
+    regressed[2]["replay_pps_on"] *= 0.6  # verified-nat down 40%
+    _write(fresh, regressed)
+    failures = compare_dirs(baseline, fresh, tolerance=0.25)
+    assert len(failures) == 1
+    assert "verified-nat" in failures[0]
+    assert "replay_pps_on" in failures[0]
+    assert main(
+        ["--baseline", str(baseline), "--fresh", str(fresh)]
+    ) == 1
+
+
+def test_lost_byte_identity_fails(dirs):
+    baseline, fresh = dirs
+    diverged = copy.deepcopy(BASE_RECORDS)
+    diverged[0]["identical"] = False
+    _write(fresh, diverged)
+    failures = compare_dirs(baseline, fresh, tolerance=0.25)
+    assert any("byte-identity" in f for f in failures)
+
+
+def test_lost_nf_ordering_fails(dirs):
+    baseline, fresh = dirs
+    reordered = copy.deepcopy(BASE_RECORDS)
+    # The noop forwarder suddenly costs more than the verified NAT.
+    reordered[0]["modeled_busy_ns_off"] = 900.0
+    _write(fresh, reordered)
+    failures = compare_dirs(baseline, fresh, tolerance=0.25)
+    assert any("ordering" in f for f in failures)
+
+
+def test_missing_fresh_file_fails(dirs):
+    baseline, fresh = dirs
+    fresh.mkdir()
+    failures = compare_dirs(baseline, fresh, tolerance=0.25)
+    assert any("missing" in f for f in failures)
+
+
+def test_no_common_points_fails(dirs):
+    baseline, fresh = dirs
+    other = copy.deepcopy(BASE_RECORDS)
+    for record in other:
+        record["flow_count"] = 4096
+    _write(fresh, other)
+    failures = compare_dirs(baseline, fresh, tolerance=0.25)
+    assert any("no common" in f for f in failures)
+
+
+def test_baseline_only_points_do_not_fail(dirs):
+    """Smoke scale sweeps fewer points; losing coverage only warns."""
+    baseline, fresh = dirs
+    subset = copy.deepcopy(BASE_RECORDS[:2])
+    _write(fresh, subset)
+    assert compare_dirs(baseline, fresh, tolerance=0.25) == []
+
+
+def test_main_passes_on_identical(dirs, capsys):
+    baseline, fresh = dirs
+    _write(fresh, BASE_RECORDS)
+    assert main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    assert "gate passed" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""The flight recorder: ring wraparound, anomaly dumps, trace diffs."""
+
+import json
+
+from repro.obs import flight
+from repro.obs.flight import (
+    AnomalyMonitor,
+    FlightRecorder,
+    first_divergence,
+)
+from repro.packets.builder import make_udp_packet
+from repro.packets.pcap import read_pcap_file
+
+
+def test_ring_wraparound_keeps_last_n():
+    recorder = FlightRecorder(capacity=4)
+    for i in range(10):
+        recorder.record(flight.RX, t_us=i)
+    assert recorder.recorded_total == 10
+    assert len(recorder) == 4
+    assert [e.seq for e in recorder.last()] == [6, 7, 8, 9]
+    assert [e.t_us for e in recorder.last(2)] == [8, 9]
+
+
+def test_last_before_wraparound():
+    recorder = FlightRecorder(capacity=8)
+    recorder.record(flight.RX)
+    recorder.record(flight.TX)
+    events = recorder.last()
+    assert [e.stage for e in events] == [flight.RX, flight.TX]
+    assert [e.seq for e in events] == [0, 1]
+
+
+def test_dump_writes_trace_and_pcap(tmp_path):
+    recorder = FlightRecorder(capacity=16)
+    wire = make_udp_packet("10.0.0.1", "8.8.8.8", 1234, 53).wire_bytes()
+    recorder.record(flight.RX, t_us=5, worker=1)
+    recorder.record(
+        flight.DROP, t_us=6, worker=1, reason=flight.REASON_NF_DROP, wire=wire
+    )
+    paths = recorder.dump(tmp_path, "incident", flight.REASON_DROP_SPIKE)
+
+    lines = (tmp_path / "incident.trace.jsonl").read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header["anomaly"] == flight.REASON_DROP_SPIKE
+    assert header["events"] == 2
+    events = [json.loads(line) for line in lines[1:]]
+    assert [e["stage"] for e in events] == [flight.RX, flight.DROP]
+    assert events[1]["reason"] == flight.REASON_NF_DROP
+    assert events[1]["wire_len"] == len(wire)
+
+    frames = read_pcap_file(paths["pcap"])
+    assert len(frames) == 1
+    assert frames[0].data == wire
+    assert frames[0].timestamp_us == 6
+    assert recorder.dumps == 1
+
+
+def test_dump_without_wire_events_skips_pcap(tmp_path):
+    recorder = FlightRecorder(capacity=4)
+    recorder.record(flight.TX)
+    paths = recorder.dump(tmp_path, "plain", flight.REASON_DROP_SPIKE)
+    assert "pcap" not in paths
+    assert not (tmp_path / "plain.pcap").exists()
+
+
+def test_anomaly_monitor_fires_each_class_once(tmp_path):
+    recorder = FlightRecorder(capacity=8)
+    recorder.record(flight.RX)
+    monitor = AnomalyMonitor(recorder, tmp_path, drop_spike_threshold=10)
+
+    assert monitor.observe_drops(5) is None
+    first = monitor.observe_drops(50)
+    assert first is not None
+    # The same class never floods the dump directory.
+    assert monitor.observe_drops(500) is None
+
+    assert monitor.observe_pool(high_water=5, capacity=100) is None
+    assert monitor.observe_pool(high_water=95, capacity=100) is not None
+    assert monitor.observe_divergence("outputs differ at #3") is not None
+    assert set(monitor.anomalies) == {
+        flight.REASON_DROP_SPIKE,
+        flight.REASON_POOL_HIGH_WATER,
+        flight.REASON_DIVERGENCE,
+    }
+    assert recorder.dumps == 3
+
+
+def test_first_divergence_none_when_identical():
+    outputs = [[(b"aa", 0)], [], [(b"bb", 1)]]
+    assert first_divergence(outputs, [list(o) for o in outputs]) is None
+
+
+def test_first_divergence_reports_index_and_sides():
+    expected = [[(b"aa", 0)], [(b"bb", 1)]]
+    actual = [[(b"aa", 0)], []]
+    diff = first_divergence(expected, actual)
+    assert diff is not None
+    assert diff.index == 1
+    assert diff.expected == ((b"bb", 1),)
+    assert diff.actual == ()
+    rendered = diff.render()
+    assert "packet #1" in rendered
+    assert "(dropped)" in rendered
+    assert b"bb".hex() in rendered
+
+
+def test_first_divergence_length_mismatch():
+    diff = first_divergence([[(b"aa", 0)]], [[(b"aa", 0)], [(b"cc", 1)]])
+    assert diff is not None
+    assert diff.index == 1
+    assert diff.expected == ()

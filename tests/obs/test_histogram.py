@@ -1,0 +1,104 @@
+"""The log2 latency histogram: exact merging, monotone percentiles."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.histogram import LatencyHistogram
+
+values = st.lists(st.integers(min_value=0, max_value=2**40), max_size=200)
+
+
+def test_empty_histogram():
+    hist = LatencyHistogram()
+    assert hist.count == 0
+    assert math.isnan(hist.mean())
+    assert math.isnan(hist.p50())
+
+
+def test_record_and_count():
+    hist = LatencyHistogram.of([1, 2, 3, 1000])
+    assert hist.count == 4
+    assert hist.min_value == 1
+    assert hist.max_value == 1000
+    assert hist.mean() == (1 + 2 + 3 + 1000) / 4
+
+
+def test_bucket_bounds_cover_value():
+    """Every recorded value sits within its bucket's (lo, hi] range."""
+    hist = LatencyHistogram()
+    for value in (0, 1, 2, 3, 4, 7, 8, 1023, 1024, 2**40):
+        hist = LatencyHistogram.of([value])
+        index = next(i for i, c in enumerate(hist.counts) if c)
+        upper = hist.bucket_upper_bound(index)
+        lower = hist.bucket_upper_bound(index - 1) if index else -1
+        assert lower < value <= upper, (value, index)
+
+
+@given(values, values)
+def test_merge_commutes(a, b):
+    ha, hb = LatencyHistogram.of(a), LatencyHistogram.of(b)
+    assert ha.merge(hb) == hb.merge(ha)
+
+
+@given(values, values, values)
+def test_merge_associates(a, b, c):
+    ha, hb, hc = (LatencyHistogram.of(x) for x in (a, b, c))
+    assert ha.merge(hb).merge(hc) == ha.merge(hb.merge(hc))
+
+
+@given(values, values)
+def test_merge_equals_concatenation(a, b):
+    """Merging two histograms is exactly histogramming the union."""
+    merged = LatencyHistogram.of(a).merge(LatencyHistogram.of(b))
+    assert merged == LatencyHistogram.of(a + b)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1))
+def test_percentile_monotone_in_fraction(samples):
+    hist = LatencyHistogram.of(samples)
+    fractions = (0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0)
+    quantiles = [hist.percentile(f) for f in fractions]
+    assert quantiles == sorted(quantiles)
+    # Percentiles never exceed the max observed nor undershoot a
+    # sound lower bound for the smallest sample's bucket.
+    assert quantiles[-1] <= hist.max_value
+    assert hist.percentile(0.0001) >= 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1))
+def test_percentile_upper_bounds_true_quantile(samples):
+    """The histogram p-quantile never underestimates the true one.
+
+    Log2 buckets report the bucket's upper bound (clamped to the max
+    observed), so the reported quantile is a sound upper bound of the
+    exact sample quantile.
+    """
+    hist = LatencyHistogram.of(samples)
+    ordered = sorted(samples)
+    for fraction in (0.5, 0.99):
+        rank = max(1, math.ceil(fraction * len(ordered)))
+        exact = ordered[rank - 1]
+        assert hist.percentile(fraction) >= exact
+
+
+@given(values)
+def test_dict_round_trip(samples):
+    hist = LatencyHistogram.of(samples)
+    assert LatencyHistogram.from_dict(hist.to_dict()) == hist
+
+
+def test_merge_all():
+    parts = [LatencyHistogram.of([i, i * 10]) for i in range(1, 6)]
+    merged = LatencyHistogram.merge_all(parts)
+    assert merged.count == 10
+    assert merged == LatencyHistogram.of(
+        [v for i in range(1, 6) for v in (i, i * 10)]
+    )
+
+
+def test_negative_values_clamp_to_zero():
+    hist = LatencyHistogram.of([-5])
+    assert hist.count == 1
+    assert hist.min_value == 0

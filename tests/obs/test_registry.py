@@ -1,0 +1,127 @@
+"""The metrics registry: instruments, label families, snapshot merging."""
+
+import pytest
+
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.registry import (
+    MERGE_MAX,
+    SNAPSHOT_SCHEMA,
+    MetricsRegistry,
+    NullRegistry,
+    merge_snapshots,
+)
+
+
+def test_counter_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests_total", "help")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_same_name_same_labels_shares_instrument():
+    registry = MetricsRegistry()
+    a = registry.counter("x_total", labels={"nf": "nat"})
+    b = registry.counter("x_total", labels={"nf": "nat"})
+    assert a is b
+    c = registry.counter("x_total", labels={"nf": "noop"})
+    assert c is not a
+
+
+def test_label_order_is_irrelevant():
+    registry = MetricsRegistry()
+    a = registry.gauge("g", labels={"a": "1", "b": "2"})
+    b = registry.gauge("g", labels={"b": "2", "a": "1"})
+    assert a is b
+
+
+def test_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("busy")
+    with pytest.raises(ValueError):
+        registry.gauge("busy")
+
+
+def test_callback_reregistration_raises():
+    registry = MetricsRegistry()
+    registry.counter_fn("cb_total", lambda: 1)
+    with pytest.raises(ValueError):
+        registry.counter_fn("cb_total", lambda: 2)
+
+
+def test_callbacks_read_live_values():
+    registry = MetricsRegistry()
+    state = {"drops": 0}
+    registry.counter_fn("drops_total", lambda: state["drops"])
+    assert registry.snapshot()["metrics"][0]["samples"][0]["value"] == 0
+    state["drops"] = 7
+    assert registry.snapshot()["metrics"][0]["samples"][0]["value"] == 7
+
+
+def test_snapshot_shape_and_ordering():
+    registry = MetricsRegistry()
+    registry.counter("z_total", "last").inc()
+    registry.gauge("a_gauge", "first", merge=MERGE_MAX).set(3)
+    hist = registry.histogram("lat_ns", "latency")
+    hist.observe_many([1, 2, 1000])
+    snapshot = registry.snapshot()
+    assert snapshot["schema"] == SNAPSHOT_SCHEMA
+    names = [m["name"] for m in snapshot["metrics"]]
+    assert names == sorted(names)
+    by_name = {m["name"]: m for m in snapshot["metrics"]}
+    assert by_name["a_gauge"]["merge"] == "max"
+    histogram = by_name["lat_ns"]["samples"][0]["histogram"]
+    assert histogram["count"] == 3
+    assert LatencyHistogram.from_dict(histogram).count == 3
+
+
+def test_merge_snapshots_sums_counters_and_maxes_watermarks():
+    def worker_snapshot(drops, high_water):
+        registry = MetricsRegistry()
+        registry.counter("drops_total").inc(drops)
+        registry.gauge("pool_high_water", merge=MERGE_MAX).set(high_water)
+        return registry.snapshot()
+
+    merged = merge_snapshots([worker_snapshot(3, 10), worker_snapshot(4, 7)])
+    by_name = {m["name"]: m for m in merged["metrics"]}
+    assert by_name["drops_total"]["samples"][0]["value"] == 7
+    assert by_name["pool_high_water"]["samples"][0]["value"] == 10
+
+
+def test_merge_snapshots_keeps_distinct_labels_apart():
+    def labeled(worker, value):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels={"worker": worker}).inc(value)
+        return registry.snapshot()
+
+    merged = merge_snapshots([labeled("0", 1), labeled("1", 2)])
+    samples = merged["metrics"][0]["samples"]
+    assert [(s["labels"]["worker"], s["value"]) for s in samples] == [
+        ("0", 1),
+        ("1", 2),
+    ]
+
+
+def test_merge_snapshots_merges_histograms_exactly():
+    def with_samples(samples):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe_many(samples)
+        return registry.snapshot()
+
+    merged = merge_snapshots([with_samples([1, 2]), with_samples([1000])])
+    histogram = merged["metrics"][0]["samples"][0]["histogram"]
+    assert LatencyHistogram.from_dict(histogram) == LatencyHistogram.of(
+        [1, 2, 1000]
+    )
+
+
+def test_null_registry_is_inert():
+    registry = NullRegistry()
+    registry.counter("a").inc(100)
+    registry.gauge("b").set(5)
+    registry.histogram("c").observe(1)
+    registry.counter_fn("d", lambda: 1)
+    assert registry.snapshot()["metrics"] == []
