@@ -7,11 +7,16 @@ Usage::
 
 Both directories hold ``BENCH_*.json`` files as written by the sweep
 benchmarks (a list of per-point records). For every baseline file with
-a fresh counterpart, records are matched by ``(nf, flow_count)`` and
-the gate fails (exit 1) when any matched point:
+a fresh counterpart, records are matched by ``(nf, flow_count)`` — or
+by ``(nf, lag)`` for records carrying a ``lag`` field (the failover
+availability sweep) — and the gate fails (exit 1) when any matched
+point:
 
 - regresses more than ``tolerance`` (default 25%) in replay throughput
-  (``replay_pps_off`` or ``replay_pps_on``), or
+  (``replay_pps_off`` or ``replay_pps_on``),
+- regresses more than ``tolerance`` in a lower-is-better recovery
+  metric (``recovery_us``), or loses flows a synchronous baseline
+  kept (``flows_lost`` grew from zero), or
 - lost the differential byte-identity (``identical`` went false).
 
 Independently of the baseline, every fresh file must preserve the
@@ -36,10 +41,23 @@ ORDERED_NFS = ("noop", "unverified-nat", "verified-nat")
 
 THROUGHPUT_FIELDS = ("replay_pps_off", "replay_pps_on")
 
+#: Lower is better: a fresh value *above* baseline is the regression.
+#: (``flows_lost`` is gated separately — nonzero losses scale with the
+#: workload, so only its 0 -> >0 transition fails the gate.)
+RECOVERY_FIELDS = ("recovery_us",)
+
+
+def _key_of(record: Dict) -> Tuple[str, int]:
+    """Records with a ``lag`` field (failover sweep) key on it; the
+    throughput sweeps key on ``flow_count``."""
+    if "lag" in record:
+        return (record["nf"], record["lag"])
+    return (record["nf"], record["flow_count"])
+
 
 def _load(path: pathlib.Path) -> Dict[Tuple[str, int], Dict]:
     records = json.loads(path.read_text())
-    return {(r["nf"], r["flow_count"]): r for r in records}
+    return {_key_of(r): r for r in records}
 
 
 def compare_file(
@@ -81,6 +99,43 @@ def compare_file(
                 f"  {name}: {key[0]}@{key[1]} {field} "
                 f"{old_value:.0f} -> {new_value:.0f} ({change:+.1%}){marker}"
             )
+        for field in RECOVERY_FIELDS:
+            old_value = new_value = None
+            if field in base and field in new:
+                old_value, new_value = base[field], new[field]
+            if old_value is None or new_value is None:
+                continue
+            if old_value == 0:
+                # A synchronous baseline lost nothing; any fresh loss
+                # is a correctness regression, not a percentage.
+                if new_value > 0:
+                    failures.append(
+                        f"{name}: {key} {field} regressed from 0 "
+                        f"to {new_value}"
+                    )
+                continue
+            change = (new_value - old_value) / old_value
+            marker = ""
+            if change > tolerance:
+                failures.append(
+                    f"{name}: {key} {field} regressed "
+                    f"{change:.1%} (> {tolerance:.0%} tolerance): "
+                    f"{old_value:.0f} -> {new_value:.0f}"
+                )
+                marker = "  << REGRESSION"
+            print(
+                f"  {name}: {key[0]}@{key[1]} {field} "
+                f"{old_value:.0f} -> {new_value:.0f} ({change:+.1%}){marker}"
+            )
+        if "flows_lost" in base and "flows_lost" in new:
+            # Nonzero flow loss scales with the workload, so only the
+            # 0 -> >0 transition (a lossless point starting to lose
+            # flows) gates, not a percentage.
+            if base["flows_lost"] == 0 and new["flows_lost"] > 0:
+                failures.append(
+                    f"{name}: {key} flows_lost regressed from 0 "
+                    f"to {new['flows_lost']}"
+                )
 
     # NF ordering within the fresh results: modeled per-packet cost must
     # keep the paper's structure at every flow count the file covers.

@@ -117,6 +117,23 @@ def fastpath_packet_count() -> int:
     return 6_000
 
 
+def failover_lags() -> tuple:
+    """Replication lags for the availability sweep (0 = synchronous)."""
+    if scale() == "paper":
+        return (0, 2, 8, 32, 128)
+    if scale() == "smoke":
+        return (0, 8)
+    return (0, 8, 64)
+
+
+def failover_flow_count() -> int:
+    if scale() == "paper":
+        return 1_024
+    if scale() == "smoke":
+        return 96
+    return 192
+
+
 @pytest.fixture
 def publish():
     """Print a result table and persist it under benchmarks/results/."""

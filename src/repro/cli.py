@@ -7,14 +7,17 @@ Commands:
   discard NF, ``--model`` selects one of the three Fig. 4 ring models.
   ``--emit-tasks FILE`` writes the Fig. 10-style verification tasks.
 - ``demo`` — translate a conversation through the verified NAT.
-- ``experiments {fig12,fig13,fig14,burst,shard,fastpath,metrics,verification}``
+- ``experiments {fig12,fig13,fig14,burst,shard,fastpath,failover,metrics,verification}``
   — regenerate one of the paper's evaluation artifacts at quick scale
   (``burst`` is the burst-size sweep of the burst-mode data path,
   ``shard`` the worker-count scaling sweep of the sharded data path,
   ``fastpath`` the microflow-cache locality sweep with its on/off
   differential check — exit code 1 on any output divergence, with the
-  first diverging packet dumped; ``metrics`` a merged observability
-  snapshot from a sharded run).
+  first diverging packet dumped; ``failover`` the kill-and-promote
+  availability sweep across replication lags — exit code 1 when
+  recovery exceeds the loss budget, notably any established-flow loss
+  at lag 0; ``metrics`` a merged observability snapshot from a
+  sharded run).
 - ``metrics`` — the same merged snapshot with knobs: worker count,
   fastpath on/off, table/Prometheus/JSON rendering, file output.
 """
@@ -258,6 +261,24 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         points = fastpath_sweep(flow_counts=(64, 1_024), packet_count=4_000)
         print(render_fastpath_sweep(points))
         return 1 if any(not p.identical for p in points) else 0
+    if args.artifact == "failover":
+        from repro.eval.experiments import (
+            FailoverBudget,
+            failover_breaches,
+            failover_sweep,
+        )
+        from repro.eval.reporting import render_failover
+
+        points = failover_sweep(lags=(0, 8, 64), flow_count=128)
+        print(render_failover(points))
+        breaches = failover_breaches(points, FailoverBudget())
+        if breaches:
+            print("\nloss budget EXCEEDED:")
+            for breach in breaches:
+                print(f"  - {breach}")
+            return 1
+        print("\nloss budget respected (zero established-flow loss at lag 0)")
+        return 0
     if args.artifact == "metrics":
         from repro.eval.experiments import collect_sharded_metrics
         from repro.eval.reporting import render_metrics
@@ -347,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
             "burst",
             "shard",
             "fastpath",
+            "failover",
             "metrics",
             "verification",
         ],

@@ -572,6 +572,253 @@ def collect_sharded_metrics(
     return runtime.metrics_snapshot()
 
 
+@dataclass
+class FailoverPoint:
+    """One availability data point: one NF, one replication lag.
+
+    The scenario is fixed: establish ``flow_count`` flows across
+    ``workers`` workers, run steady reply traffic, kill one worker
+    mid-replay, let the controller promote its standby, keep the
+    traffic flowing, then probe every flow once after recovery. The
+    loss ledger separates the mechanisms: flows lost to in-flight
+    replication deltas, packets lost on the dead worker's queues, and
+    packets lost to the modeled promotion blackout.
+    """
+
+    nf: str
+    lag: int
+    workers: int
+    flow_count: int
+    kill_worker: int
+    #: From the controller's :class:`~repro.resil.failover.FailoverReport`.
+    flows_at_kill: int
+    flows_recovered: int
+    flows_lost: int
+    deltas_lost: int
+    recovery_us: int
+    packets_lost_queue: int
+    packets_lost_blackout: int
+    #: Steady-phase reply traffic spanning the kill window.
+    steady_offered: int
+    steady_delivered: int
+    #: Post-recovery probe: one reply per established flow.
+    probe_offered: int
+    probe_delivered: int
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def steady_lost(self) -> int:
+        return self.steady_offered - self.steady_delivered
+
+    @property
+    def availability(self) -> float:
+        if self.steady_offered == 0:
+            return 1.0
+        return self.steady_delivered / self.steady_offered
+
+    @property
+    def probe_lost(self) -> int:
+        return self.probe_offered - self.probe_delivered
+
+
+@dataclass
+class FailoverBudget:
+    """The loss budget ``experiments failover`` gates on."""
+
+    #: Established flows allowed to die at lag 0 (synchronous channel).
+    max_flows_lost_at_lag0: int = 0
+    #: Hard ceiling on the modeled promotion blackout.
+    max_recovery_us: int = 10_000
+    #: Post-recovery probes may lose only the flows replication lost.
+    allow_probe_loss_beyond_flows_lost: int = 0
+
+
+def failover_breaches(
+    points: Sequence[FailoverPoint], budget: Optional[FailoverBudget] = None
+) -> List[str]:
+    """Budget violations across a failover sweep (empty = within budget)."""
+    budget = budget if budget is not None else FailoverBudget()
+    breaches: List[str] = []
+    for p in points:
+        where = f"{p.nf} @ lag {p.lag}"
+        if p.lag == 0 and p.flows_lost > budget.max_flows_lost_at_lag0:
+            breaches.append(
+                f"{where}: {p.flows_lost} established flows lost on a "
+                f"synchronous channel (budget {budget.max_flows_lost_at_lag0})"
+            )
+        if p.recovery_us > budget.max_recovery_us:
+            breaches.append(
+                f"{where}: recovery took {p.recovery_us}us "
+                f"(budget {budget.max_recovery_us}us)"
+            )
+        allowed = p.flows_lost + budget.allow_probe_loss_beyond_flows_lost
+        if p.probe_lost > allowed:
+            breaches.append(
+                f"{where}: {p.probe_lost} probe replies lost after recovery "
+                f"but only {p.flows_lost} flows were lost to replication"
+            )
+    return breaches
+
+
+def replicable_nf_factories() -> Dict[str, NfFactory]:
+    """The NFs that emit flow deltas and so support a warm standby."""
+    return {
+        "unverified-nat": lambda cfg: UnverifiedNat(cfg),
+        "verified-nat": lambda cfg: VigNat(cfg),
+    }
+
+
+def failover_sweep(
+    factories: Optional[Dict[str, NfFactory]] = None,
+    lags: Sequence[int] = (0, 8, 64),
+    workers: int = 2,
+    flow_count: int = 192,
+    steady_rounds: int = 6,
+    kill_worker: int = 1,
+    fastpath: bool = False,
+    settings: Optional[EvalSettings] = None,
+) -> List[FailoverPoint]:
+    """The availability benchmark: kill-and-promote at each replication lag.
+
+    Per (NF, lag): a :class:`~repro.resil.failover.ReplicatedRuntime`
+    establishes ``flow_count`` flows, steady reply traffic runs for
+    ``steady_rounds`` rounds with ``kill_worker`` killed halfway
+    through, and after the promoted standby's blackout every flow is
+    probed once. At lag 0 the replication channel is synchronous, so
+    the controller must recover every established flow — the zero-loss
+    anchor the budget gate pins; growing lag trades replication traffic
+    for flows lost with the channel's in-flight window.
+    """
+    from repro.packets.builder import make_udp_packet
+    from repro.resil.failover import ReplicatedRuntime
+    from repro.resil.faults import FaultPlan
+
+    factories = factories if factories is not None else replicable_nf_factories()
+    settings = settings if settings is not None else EvalSettings(
+        expiration_seconds=60.0
+    )
+    cfg = settings.nat_config()
+    burst = 32
+    points: List[FailoverPoint] = []
+    for name, factory in factories.items():
+        for lag in lags:
+            plan = FaultPlan()
+            runtime = ReplicatedRuntime(
+                factory,
+                cfg,
+                workers,
+                lag=lag,
+                fastpath=fastpath,
+                fault_plan=plan,
+            )
+            ext_ip = runtime.runtime.config.external_ip
+
+            # Establish: one outbound packet per flow; the flow's
+            # dst_port doubles as its marker in the translated output.
+            now = 1_000
+            pending = 0
+            for i in range(flow_count):
+                packet = make_udp_packet(
+                    0x0A000001, "8.8.8.8", 1_024 + i, 20_000 + i, device=0
+                )
+                runtime.inject(0, packet, now)
+                now += 5
+                pending += 1
+                if pending >= burst:
+                    runtime.main_loop_burst(now, burst)
+                    pending = 0
+            runtime.main_loop_burst(now, burst)
+            ext_port_of: Dict[int, int] = {}
+            for _, _, out in runtime.collect():
+                if out.ipv4 is not None and out.ipv4.src_ip == ext_ip:
+                    ext_port_of[out.l4.dst_port - 20_000] = out.l4.src_port
+
+            # Steady phase: each round replays one reply per established
+            # flow, then opens `churn` brand-new flows — so creates keep
+            # flowing through the replication channel. The kill lands
+            # right after the kill round's churn is processed, when
+            # those creates are the newest deltas in flight: exactly
+            # the window a lagged channel loses.
+            churn = max(4, flow_count // 12)
+            kill_round = steady_rounds // 2
+            steady_offered = 0
+            next_marker = flow_count
+            for r in range(steady_rounds):
+                for i, ext_port in sorted(ext_port_of.items()):
+                    reply = make_udp_packet(
+                        "8.8.8.8", ext_ip, 20_000 + i, ext_port, device=1
+                    )
+                    runtime.inject(1, reply, now)
+                    steady_offered += 1
+                    now += 5
+                    pending += 1
+                    if pending >= burst:
+                        runtime.main_loop_burst(now, burst)
+                        pending = 0
+                for _ in range(churn):
+                    packet = make_udp_packet(
+                        0x0A000001,
+                        "8.8.8.8",
+                        1_024 + next_marker,
+                        20_000 + next_marker,
+                        device=0,
+                    )
+                    next_marker += 1
+                    runtime.inject(0, packet, now)
+                    steady_offered += 1
+                    now += 5
+                    pending += 1
+                now += 100
+                runtime.main_loop_burst(now, burst)
+                pending = 0
+                if r == kill_round:
+                    plan.kill_worker(kill_worker, at_us=now + 1)
+                    now += 2
+                    runtime.main_loop_burst(now, burst)
+            steady_delivered = len(runtime.collect())
+
+            # Post-recovery probe: every flow answers unless replication
+            # lost it.
+            report = runtime.reports[0] if runtime.reports else None
+            if report is not None:
+                now = max(now, report.ready_at_us) + 100
+            probe_offered = 0
+            for i, ext_port in sorted(ext_port_of.items()):
+                reply = make_udp_packet(
+                    "8.8.8.8", ext_ip, 20_000 + i, ext_port, device=1
+                )
+                runtime.inject(1, reply, now)
+                probe_offered += 1
+                now += 5
+            runtime.main_loop_burst(now, burst)
+            probe_delivered = len(runtime.collect())
+
+            points.append(
+                FailoverPoint(
+                    nf=name,
+                    lag=lag,
+                    workers=workers,
+                    flow_count=flow_count,
+                    kill_worker=kill_worker,
+                    flows_at_kill=report.flows_at_kill if report else 0,
+                    flows_recovered=report.flows_recovered if report else 0,
+                    flows_lost=report.flows_lost if report else 0,
+                    deltas_lost=report.deltas_lost if report else 0,
+                    recovery_us=report.recovery_us if report else 0,
+                    packets_lost_queue=report.packets_lost_queue if report else 0,
+                    packets_lost_blackout=(
+                        report.packets_lost_blackout if report else 0
+                    ),
+                    steady_offered=steady_offered,
+                    steady_delivered=steady_delivered,
+                    probe_offered=probe_offered,
+                    probe_delivered=probe_delivered,
+                    counters=runtime.op_counters(),
+                )
+            )
+    return points
+
+
 def throughput_sweep(
     factories: Optional[Dict[str, NfFactory]] = None,
     flow_counts: Sequence[int] = (1_000, 16_000, 32_000, 48_000, 64_000),

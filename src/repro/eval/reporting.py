@@ -7,6 +7,7 @@ from typing import Dict, List, Sequence
 from repro.eval.experiments import (
     BurstPoint,
     CcdfSeries,
+    FailoverPoint,
     FastpathPoint,
     LatencyPoint,
     ShardPoint,
@@ -208,6 +209,43 @@ def render_fastpath_sweep(points: Sequence[FastpathPoint]) -> str:
             lines.append("")
             lines.append(f"{point.nf} @ {point.flow_count} flows DIVERGED:")
             lines.append(point.divergence.render())
+    return "\n".join(lines)
+
+
+def render_failover(points: Sequence[FailoverPoint]) -> str:
+    """Failover sweep: loss vs. replication lag, one block per NF.
+
+    Lag 0 is the zero-loss anchor (synchronous channel: every
+    established flow must survive promotion); the flows-lost column
+    growing with lag is the asynchrony cost the sweep quantifies.
+    Availability covers the steady reply traffic spanning the kill.
+    """
+    by_nf: Dict[str, List[FailoverPoint]] = {}
+    for point in points:
+        by_nf.setdefault(point.nf, []).append(point)
+    first = points[0] if points else None
+    scenario = (
+        f"workers {first.workers}, {first.flow_count} flows, "
+        f"kill worker {first.kill_worker}"
+        if first
+        else ""
+    )
+    lines = [
+        f"Failover sweep — kill-and-promote at each replication lag ({scenario})",
+        "   lag   flows kill/rec/lost   deltas   recovery   steady lost   "
+        "probe lost   availability",
+    ]
+    for nf, nf_points in by_nf.items():
+        lines.append(f"{nf}:")
+        for p in sorted(nf_points, key=lambda p: p.lag):
+            lines.append(
+                f"  {p.lag:>4d}   "
+                f"{p.flows_at_kill:>5d}/{p.flows_recovered:<4d}/{p.flows_lost:<4d}"
+                f"   {p.deltas_lost:>6d}   {p.recovery_us:>6d}us"
+                f"   {p.steady_lost:>6d}/{p.steady_offered:<6d}"
+                f"   {p.probe_lost:>4d}/{p.probe_offered:<5d}"
+                f"   {p.availability:8.3%}"
+            )
     return "\n".join(lines)
 
 

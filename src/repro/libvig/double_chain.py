@@ -186,3 +186,82 @@ class DoubleChain:
             raise TimeRegression(
                 f"time {time} precedes newest chain timestamp {newest}"
             )
+
+    # -- checkpoint/restore -----------------------------------------------
+    def cells(self) -> Tuple[Tuple[int, int], ...]:
+        """Allocated (index, timestamp) pairs, oldest first.
+
+        This is exactly the chain's abstract state (the age-ordered
+        list the refinement contracts reason about) and the payload the
+        ``repro-ckpt/v1`` checkpoint stores.
+        """
+        return self._abstract_state().cells
+
+    def free_list(self) -> Tuple[int, ...]:
+        """Vacant indexes in allocation (pop) order.
+
+        Unlike :meth:`cells` this is *not* abstract state — any free
+        order satisfies the chain's contracts — but it is observable
+        through subsequent allocations, so checkpoints carry it to make
+        a restored chain replay byte-identically.
+        """
+        out = []
+        cursor = self._free_head
+        while cursor != self._NIL:
+            out.append(cursor)
+            cursor = self._next[cursor]
+        return tuple(out)
+
+    def restore_cells(self, cells, free_list=None) -> None:
+        """Rebuild this (empty) chain from an age-ordered cell list.
+
+        ``cells`` must be (index, timestamp) pairs oldest-first, as
+        produced by :meth:`cells`. The chain invariants are enforced up
+        front — indexes unique and in range, timestamps non-decreasing
+        along the list — so a corrupted checkpoint is rejected before
+        any state is mutated, never half-applied.
+
+        ``free_list`` optionally fixes the vacant indexes' allocation
+        order (as produced by :meth:`free_list`); it must cover exactly
+        the indexes absent from ``cells``. Without it the free list is
+        rebuilt ascending, like a fresh chain — allocation order then
+        diverges from the checkpointed chain's, which is fine for a
+        standby that never saw the original's free order but loses
+        byte-identical replay.
+        """
+        if self._size:
+            raise ValueError("restore_cells requires an empty chain")
+        seen = set()
+        previous_time = None
+        for index, time in cells:
+            self._check_index(index)
+            if index in seen:
+                raise ValueError(f"index {index} appears twice in the chain")
+            seen.add(index)
+            if previous_time is not None and time < previous_time:
+                raise TimeRegression(
+                    f"chain timestamps regress at index {index}: "
+                    f"{time} < {previous_time}"
+                )
+            previous_time = time
+        vacant = [i for i in range(self.index_range) if i not in seen]
+        if free_list is not None:
+            free_list = [int(i) for i in free_list]
+            if sorted(free_list) != vacant:
+                raise ValueError(
+                    "free list must cover exactly the vacant indexes"
+                )
+            vacant = free_list
+        for index, time in cells:
+            self._allocated[index] = True
+            self._append_allocated(index, time)
+            self._size += 1
+        self._free_head = self._NIL
+        tail = self._NIL
+        for index in vacant:
+            if tail == self._NIL:
+                self._free_head = index
+            else:
+                self._next[tail] = index
+            self._next[index] = self._NIL
+            tail = index

@@ -9,21 +9,34 @@ structures consistent.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from repro.libvig.double_chain import DoubleChain
 from repro.libvig.double_map import DoubleMap
 
 
-def expire_items(chain: DoubleChain, dmap: DoubleMap, min_time: int) -> int:
+def expire_items(
+    chain: DoubleChain,
+    dmap: DoubleMap,
+    min_time: int,
+    on_expire: Optional[Callable[[int], None]] = None,
+) -> int:
     """Expire every entry last touched strictly before ``min_time``.
 
     Returns the number of expired entries. The chain's age ordering makes
     this proportional to the number of *expired* entries only, never to
     the table size.
+
+    ``on_expire`` (when given) observes each expired index *before* the
+    map entry is erased — the replication delta log uses it to record
+    which flow died without re-deriving it from the table.
     """
     count = 0
     while True:
         index = chain.expire_one_index(min_time)
         if index is None:
             return count
+        if on_expire is not None:
+            on_expire(index)
         dmap.erase(index)
         count += 1

@@ -15,6 +15,18 @@ class PortExhaustion(LibVigError):
     """All ports in the configured range are allocated."""
 
 
+class PortRestoreError(LibVigError):
+    """A checkpointed port set is inconsistent with this allocator.
+
+    Raised when a restore would double-allocate a port or claim a port
+    outside the allocator's range (e.g. outside the shard this worker
+    owns under :meth:`NatConfig.partition`). Restoring such a set would
+    silently corrupt ownership — two flows answering for one external
+    port, or a worker squatting on a sibling shard's range — so the
+    restore refuses instead.
+    """
+
+
 class PortAllocator:
     """Allocates 16-bit ports out of ``[start, start + count)``."""
 
@@ -65,3 +77,34 @@ class PortAllocator:
             raise ValueError(
                 f"port {port} outside range [{self.start}, {self.start + self.count})"
             )
+
+    # -- checkpoint/restore -----------------------------------------------
+    def allocated_ports(self) -> tuple:
+        """The allocated ports, ascending — the checkpoint payload."""
+        return tuple(sorted(self._abstract_state()))
+
+    def restore_ports(self, ports) -> None:
+        """Mark a checkpointed port set allocated on this (fresh) allocator.
+
+        Validates the whole set before touching any state: every port
+        must lie inside ``[start, start + count)`` and appear at most
+        once, and none may already be allocated here. Violations raise
+        :class:`PortRestoreError`, never partially apply.
+        """
+        ports = list(ports)
+        seen = set()
+        for port in ports:
+            if not self.start <= port < self.start + self.count:
+                raise PortRestoreError(
+                    f"port {port} outside this allocator's range "
+                    f"[{self.start}, {self.start + self.count}) — "
+                    "checkpoint belongs to a different shard"
+                )
+            if port in seen:
+                raise PortRestoreError(f"port {port} double-allocated in checkpoint")
+            if self._allocated[port - self.start]:
+                raise PortRestoreError(f"port {port} already allocated")
+            seen.add(port)
+        for port in ports:
+            self._allocated[port - self.start] = True
+            self._free.remove(port)

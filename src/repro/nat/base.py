@@ -83,6 +83,40 @@ class NetworkFunction(abc.ABC):
         """
         return None
 
+    # -- checkpoint/restore (see :mod:`repro.resil.checkpoint`) -----------
+    def checkpoint_state(self) -> Dict:
+        """This NF's mutable flow state as a JSON-serializable dict.
+
+        The payload of a ``repro-ckpt/v1`` checkpoint. The base
+        implementation reports an empty dict — correct for stateless
+        NFs, whose whole behavior is determined by their configuration.
+        """
+        return {}
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt a :meth:`checkpoint_state` payload into this fresh NF.
+
+        Implementations must validate the payload against their own
+        invariants and raise ``ValueError`` (or a subclass) rather than
+        apply inconsistent state. The base implementation accepts only
+        the empty state a stateless NF produces.
+        """
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless; checkpoint carries "
+                f"unexpected state keys {sorted(state)}"
+            )
+
+    def delta_sink(self, sink) -> None:
+        """Attach (or detach, with None) a per-flow delta observer.
+
+        ``sink`` is called with ``(op, index, payload, t_us)`` tuples —
+        ``op`` one of ``"create"``/``"touch"``/``"free"`` — as flow
+        state changes; replication (:mod:`repro.resil.replication`)
+        feeds standbys from it. Stateless NFs have nothing to emit, so
+        the base implementation ignores the attachment.
+        """
+
     def register_metrics(self, registry, labels=None) -> None:
         """Expose this NF's counters as callback metrics (collect-on-demand).
 

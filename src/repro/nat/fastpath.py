@@ -312,6 +312,31 @@ class FastPathNat(NetworkFunction):
         inner_count = getattr(self.inner, "flow_count", None)
         return inner_count() if inner_count is not None else 0
 
+    # -- checkpoint/restore -------------------------------------------------
+    def checkpoint_state(self) -> Dict:
+        """The inner NF's state; the action cache is never serialized.
+
+        Cached actions are pure memoization — rebuilt on demand — and
+        their tokens are live references into the inner NF's structures,
+        meaningless across a restore.
+        """
+        return self.inner.checkpoint_state()
+
+    def restore_state(self, state: Dict) -> None:
+        """Restore the inner NF and drop every cached action.
+
+        The inner NF's restore also bumps its generation past the
+        checkpoint's, so even an action that somehow survived could
+        never replay; clearing is the belt to that suspender.
+        """
+        self.inner.restore_state(state)
+        if self._cache:
+            self._invalidations.inc(len(self._cache))
+            self._cache.clear()
+
+    def delta_sink(self, sink) -> None:
+        self.inner.delta_sink(sink)
+
     # -- the cache ----------------------------------------------------------
     def _lookup(self, key: Optional[FlowKey]) -> Optional[CachedAction]:
         """A valid cached action for ``key``, discarding stale entries."""

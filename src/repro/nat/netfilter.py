@@ -178,6 +178,81 @@ class NetfilterNat(NetworkFunction):
             protocol=original.protocol,
         )
 
+    # -- checkpoint/restore ---------------------------------------------------
+    def checkpoint_state(self) -> Dict:
+        """Conntrack entries in LRU order plus the port pool and counters."""
+        conns = []
+        for port, ct in self._lru.items():
+            fid = ct.original
+            conns.append(
+                [
+                    [fid.src_ip, fid.src_port, fid.dst_ip, fid.dst_port, fid.protocol],
+                    port,
+                    ct.state.value,
+                    ct.last_seen,
+                ]
+            )
+        return {
+            "conns": conns,
+            "next_port": self._next_port,
+            "free_ports": list(self._free_ports),
+            "counters": {
+                "hook_traversals": self._hook_traversals,
+                "checksum_bytes": self._checksum_bytes,
+                "dropped": self._dropped_total,
+                "forwarded": self._forwarded_total,
+                "expired": self._expired_total,
+                "expiry_scans_amortized": self._expiry_scans_amortized,
+                "bursts": self._bursts_total,
+                "burst_packets": self._burst_packets_total,
+            },
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Rebuild conntrack from a checkpoint, refusing inconsistent ports."""
+        if self._lru:
+            raise ValueError("restore_state requires a freshly constructed NF")
+        conns = state.get("conns", [])
+        next_port = int(state.get("next_port", self.config.start_port))
+        free_ports = [int(p) for p in state.get("free_ports", [])]
+        seen_ports = set()
+        for _fid_fields, port, state_name, _last_seen in conns:
+            if port in seen_ports:
+                raise ValueError(f"port {port} tracked twice in checkpoint")
+            if not self.config.start_port <= port < next_port:
+                raise ValueError(
+                    f"port {port} outside the handed-out range "
+                    f"[{self.config.start_port}, {next_port})"
+                )
+            ConntrackState(state_name)  # unknown state names raise here
+            seen_ports.add(port)
+        for port in free_ports:
+            if port in seen_ports:
+                raise ValueError(f"port {port} both tracked and on the free list")
+        for fid_fields, port, state_name, last_seen in conns:
+            original = FlowId(*fid_fields)
+            ct = _Conntrack(
+                original=original,
+                reply=self._reply_tuple(original, port),
+                external_port=port,
+                state=ConntrackState(state_name),
+                last_seen=int(last_seen),
+            )
+            self._table.put(original, ct)
+            self._table.put(ct.reply, ct)
+            self._lru[port] = ct
+        self._next_port = next_port
+        self._free_ports = free_ports
+        counters = state.get("counters", {})
+        self._hook_traversals = int(counters.get("hook_traversals", 0))
+        self._checksum_bytes = int(counters.get("checksum_bytes", 0))
+        self._dropped_total = int(counters.get("dropped", 0))
+        self._forwarded_total = int(counters.get("forwarded", 0))
+        self._expired_total = int(counters.get("expired", 0))
+        self._expiry_scans_amortized = int(counters.get("expiry_scans_amortized", 0))
+        self._bursts_total = int(counters.get("bursts", 0))
+        self._burst_packets_total = int(counters.get("burst_packets", 0))
+
     # -- packet path ---------------------------------------------------------
     def process(self, packet: Packet, now: int) -> List[Packet]:
         # Conntrack GC runs opportunistically from the packet path, like

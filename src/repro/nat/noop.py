@@ -79,3 +79,20 @@ class NoopForwarder(NetworkFunction):
 
     def fastpath_hooks(self) -> _NoopFastPathHooks:
         return _NoopFastPathHooks(self)
+
+    # -- checkpoint/restore ------------------------------------------------
+    def checkpoint_state(self) -> Dict:
+        """No flow state — only the counters, for seamless metrics."""
+        return {
+            "counters": {
+                "forwarded": self._forwarded_total,
+                "bursts": self._bursts_total,
+                "burst_packets": self._burst_packets_total,
+            }
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        counters = state.get("counters", {})
+        self._forwarded_total = int(counters.get("forwarded", 0))
+        self._bursts_total = int(counters.get("bursts", 0))
+        self._burst_packets_total = int(counters.get("burst_packets", 0))

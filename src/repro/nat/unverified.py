@@ -141,6 +141,8 @@ class UnverifiedNat(NetworkFunction):
         #: Bumped whenever an entry is created or removed; checked by
         #: the microflow cache before replaying an action.
         self._generation = 0
+        #: Optional per-flow delta observer (see base.delta_sink).
+        self._delta_sink = None
 
     # -- introspection ----------------------------------------------------
     def flow_count(self) -> int:
@@ -181,6 +183,8 @@ class UnverifiedNat(NetworkFunction):
         self._generation += 1
         if free_port:
             self._free_ports.append(port)
+        if self._delta_sink is not None:
+            self._delta_sink(("free", port, None, entry.last_seen))
 
     def _external_key(self, entry: _Entry) -> FlowId:
         return FlowId(
@@ -206,9 +210,99 @@ class UnverifiedNat(NetworkFunction):
     def _touch(self, port: int, entry: _Entry, now: int) -> None:
         entry.last_seen = now
         self._lru.move_to_end(port)
+        if self._delta_sink is not None:
+            self._delta_sink(("touch", port, None, now))
 
     def fastpath_hooks(self) -> _UnverifiedFastPathHooks:
         return _UnverifiedFastPathHooks(self)
+
+    # -- checkpoint/restore ------------------------------------------------
+    def delta_sink(self, sink) -> None:
+        self._delta_sink = sink
+
+    def checkpoint_state(self) -> Dict:
+        """Entries in LRU order plus the ad-hoc allocator's two halves."""
+        flows = []
+        for port, entry in self._lru.items():
+            fid = entry.internal_id
+            flows.append(
+                [
+                    entry.last_seen,
+                    [fid.src_ip, fid.src_port, fid.dst_ip, fid.dst_port, fid.protocol],
+                    port,
+                ]
+            )
+        return {
+            "flows": flows,
+            "next_port": self._next_port,
+            "free_ports": list(self._free_ports),
+            "generation": self._generation,
+            "counters": {
+                "dropped": self._dropped_total,
+                "forwarded": self._forwarded_total,
+                "evicted": self._evicted_total,
+                "expired": self._expired_total,
+                "expiry_scans_amortized": self._expiry_scans_amortized,
+                "bursts": self._bursts_total,
+                "burst_packets": self._burst_packets_total,
+            },
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Rebuild the chained tables, LRU order and port pool, validated.
+
+        The ad-hoc allocator has no contracts, but the restore still
+        refuses inconsistent checkpoints: a port bound to two live flows,
+        a free-listed port that is also live, or a port at or beyond
+        ``next_port`` that was never handed out would all corrupt the
+        pool silently.
+        """
+        if self._lru:
+            raise ValueError("restore_state requires a freshly constructed NF")
+        flows = state.get("flows", [])
+        next_port = int(state.get("next_port", self.config.start_port))
+        free_ports = [int(p) for p in state.get("free_ports", [])]
+        seen_ports = set()
+        seen_ids = set()
+        for _last_seen, fid_fields, port in flows:
+            if port in seen_ports:
+                raise ValueError(f"port {port} bound to two flows in checkpoint")
+            if not self.config.start_port <= port < next_port:
+                raise ValueError(
+                    f"port {port} outside the handed-out range "
+                    f"[{self.config.start_port}, {next_port})"
+                )
+            seen_ports.add(port)
+            internal_id = FlowId(*fid_fields)
+            if internal_id in seen_ids:
+                raise ValueError(
+                    f"internal 5-tuple {internal_id} appears twice in checkpoint"
+                )
+            seen_ids.add(internal_id)
+        for port in free_ports:
+            if port in seen_ports:
+                raise ValueError(f"port {port} both live and on the free list")
+        for _last_seen, fid_fields, port in flows:
+            entry = _Entry(
+                internal_id=FlowId(*fid_fields),
+                external_port=port,
+                last_seen=int(_last_seen),
+            )
+            self._by_internal.put(entry.internal_id, entry)
+            self._by_external.put(self._external_key(entry), entry)
+            self._lru[port] = entry
+        self._next_port = next_port
+        self._free_ports = free_ports
+        counters = state.get("counters", {})
+        self._dropped_total = int(counters.get("dropped", 0))
+        self._forwarded_total = int(counters.get("forwarded", 0))
+        self._evicted_total = int(counters.get("evicted", 0))
+        self._expired_total = int(counters.get("expired", 0))
+        self._expiry_scans_amortized = int(counters.get("expiry_scans_amortized", 0))
+        self._bursts_total = int(counters.get("bursts", 0))
+        self._burst_packets_total = int(counters.get("burst_packets", 0))
+        # Past the checkpoint's generation so no stale cached action fires.
+        self._generation = int(state.get("generation", 0)) + 1
 
     def register_metrics(self, registry, labels=None) -> None:
         """Operation counters plus flow-table occupancy/expiry/eviction."""
@@ -284,6 +378,8 @@ class UnverifiedNat(NetworkFunction):
             self._by_external.put(self._external_key(entry), entry)
             self._lru[port] = entry
             self._generation += 1
+            if self._delta_sink is not None:
+                self._delta_sink(("create", port, flow_id, now))
         self._touch(entry.external_port, entry, now)
         out = packet.clone()
         rewrite_source(out, self.config.external_ip, entry.external_port)

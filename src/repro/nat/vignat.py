@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.libvig.double_chain import DoubleChain
 from repro.libvig.double_map import DoubleMap
 from repro.libvig.expirator import expire_items
+from repro.libvig.port_allocator import PortAllocator
 from repro.nat.base import NetworkFunction
 from repro.nat.config import NatConfig
 from repro.nat.core_logic import nat_loop_iteration
@@ -101,7 +102,12 @@ class _ConcreteEnv:
             self._nat._expiry_scans_amortized += 1
             return
         self._expiry_done = True
-        expired = expire_items(self._nat._chain, self._nat._flow_table, min_time)
+        expired = expire_items(
+            self._nat._chain,
+            self._nat._flow_table,
+            min_time,
+            on_expire=self._nat._on_expire_delta(min_time),
+        )
         self._nat._expired_total += expired
         if expired:
             # Flow indices were freed: any microflow-cache entry learned
@@ -129,10 +135,16 @@ class _ConcreteEnv:
         )
         self._nat._flow_table.put(index, flow)
         self._nat._generation += 1
+        sink = self._nat._delta_sink
+        if sink is not None:
+            sink(("create", index, flow, now))
         return index
 
     def flow_table_rejuvenate(self, index: int, now: int) -> None:
         self._nat._chain.rejuvenate_index(index, now)
+        sink = self._nat._delta_sink
+        if sink is not None:
+            sink(("touch", index, None, now))
 
     def flow_external_port(self, index: int) -> int:
         return self._nat._flow_table.get_value(index).external_port
@@ -191,7 +203,12 @@ class _VigNatFastPathHooks:
             min_time = now - nat.config.expiration_time + 1
         else:
             min_time = 0
-        expired = expire_items(nat._chain, nat._flow_table, min_time)
+        expired = expire_items(
+            nat._chain,
+            nat._flow_table,
+            min_time,
+            on_expire=nat._on_expire_delta(min_time),
+        )
         nat._expired_total += expired
         if expired:
             nat._generation += 1
@@ -207,7 +224,11 @@ class _VigNatFastPathHooks:
         return None
 
     def rejuvenate(self, token: int, now: int) -> None:
-        self._nat._chain.rejuvenate_index(token, now)
+        nat = self._nat
+        nat._chain.rejuvenate_index(token, now)
+        sink = nat._delta_sink
+        if sink is not None:
+            sink(("touch", token, None, now))
 
     @staticmethod
     def apply(packet: Packet, action) -> Packet:
@@ -237,6 +258,9 @@ class VigNat(NetworkFunction):
         #: Bumped whenever the flow table changes shape (create/expire);
         #: the microflow cache checks it before replaying an action.
         self._generation = 0
+        #: Optional per-flow delta observer (see base.delta_sink); None
+        #: keeps the data path free of replication work.
+        self._delta_sink = None
 
     # -- introspection ----------------------------------------------------
     def flow_count(self) -> int:
@@ -285,6 +309,121 @@ class VigNat(NetworkFunction):
     def fastpath_hooks(self) -> _VigNatFastPathHooks:
         """Opt into the microflow fast path (:mod:`repro.nat.fastpath`)."""
         return _VigNatFastPathHooks(self)
+
+    # -- checkpoint/restore ------------------------------------------------
+    def delta_sink(self, sink) -> None:
+        self._delta_sink = sink
+
+    def _on_expire_delta(self, min_time: int):
+        """Per-index expiry observer for the delta log, or None when off."""
+        sink = self._delta_sink
+        if sink is None:
+            return None
+        return lambda index: sink(("free", index, None, min_time))
+
+    def checkpoint_state(self) -> Dict:
+        """Flow state in chain age order, plus the clock and counters.
+
+        The chain's cell list *is* the abstract state the refinement
+        contracts reason about; serializing in that order lets restore
+        rebuild an identical chain (same LRU order, same free list).
+        """
+        flows = []
+        for index, touched in self._chain.cells():
+            flow = self._flow_table.get_value(index)
+            fid = flow.internal_id
+            flows.append(
+                [
+                    index,
+                    touched,
+                    [fid.src_ip, fid.src_port, fid.dst_ip, fid.dst_port, fid.protocol],
+                    flow.external_port,
+                ]
+            )
+        return {
+            "flows": flows,
+            # Free-index order is observable through the ports future
+            # allocations pick; carrying it makes a restored NAT replay
+            # byte-identically. Standby-synthesized checkpoints omit it.
+            "free_list": list(self._chain.free_list()),
+            "last_now_us": self._last_now,
+            "generation": self._generation,
+            "counters": {
+                "expired": self._expired_total,
+                "dropped": self._dropped_total,
+                "forwarded": self._forwarded_total,
+                "expiry_scans_amortized": self._expiry_scans_amortized,
+                "clock_clamped": self._clock_clamped,
+                "bursts": self._bursts_total,
+                "burst_packets": self._burst_packets_total,
+            },
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Rebuild libVig state from a checkpoint payload, validated first.
+
+        All checks run before any structure is mutated:
+
+        - the VigNat invariant ``external_port == start_port + index``
+          must hold for every flow;
+        - the external ports must be distinct and inside this config's
+          shard range — cross-checked through a :class:`PortAllocator`
+          over ``config.port_range()``, which raises
+          :class:`~repro.libvig.port_allocator.PortRestoreError` on a
+          double allocation or an out-of-shard port;
+        - the internal 5-tuples must be distinct (the double map's key-A
+          uniqueness);
+        - the chain cells must be age-ordered with in-range indices
+          (enforced by :meth:`DoubleChain.restore_cells`).
+
+        The restored clock (`_last_now`) is the checkpoint's, floored at
+        the newest flow timestamp — so a restore at an earlier wall time
+        T' < T *clamps* forward instead of mass-expiring (thresholds are
+        computed from the clamped clock) or tripping TimeRegression.
+        The generation is bumped past the checkpoint's so any microflow
+        cache entry learned before the restore can never replay.
+        """
+        if self._flow_table.size() or self._chain.size():
+            raise ValueError("restore_state requires a freshly constructed NF")
+        flows = state.get("flows", [])
+        cells = []
+        entries = []
+        internal_ids = set()
+        for index, touched, fid_fields, external_port in flows:
+            if external_port != self.config.start_port + index:
+                raise ValueError(
+                    f"flow at index {index} claims external port "
+                    f"{external_port}; VigNat requires start_port + index "
+                    f"= {self.config.start_port + index}"
+                )
+            internal_id = FlowId(*fid_fields)
+            if internal_id in internal_ids:
+                raise ValueError(
+                    f"internal 5-tuple {internal_id} appears twice in checkpoint"
+                )
+            internal_ids.add(internal_id)
+            cells.append((index, touched))
+            entries.append(
+                (index, Flow(internal_id=internal_id, external_port=external_port))
+            )
+        # Ownership cross-check: every external port must be free,
+        # distinct and inside this shard's range.
+        ports = PortAllocator(self.config.start_port, self.config.max_flows)
+        ports.restore_ports([flow.external_port for _, flow in entries])
+        self._chain.restore_cells(cells, state.get("free_list"))
+        for index, flow in entries:
+            self._flow_table.put(index, flow)
+        newest = cells[-1][1] if cells else 0
+        self._last_now = max(int(state.get("last_now_us", 0)), newest)
+        counters = state.get("counters", {})
+        self._expired_total = int(counters.get("expired", 0))
+        self._dropped_total = int(counters.get("dropped", 0))
+        self._forwarded_total = int(counters.get("forwarded", 0))
+        self._expiry_scans_amortized = int(counters.get("expiry_scans_amortized", 0))
+        self._clock_clamped = int(counters.get("clock_clamped", 0))
+        self._bursts_total = int(counters.get("bursts", 0))
+        self._burst_packets_total = int(counters.get("burst_packets", 0))
+        self._generation = int(state.get("generation", 0)) + 1
 
     def register_metrics(self, registry, labels=None) -> None:
         """Operation counters plus the flow table's occupancy/expiry state."""

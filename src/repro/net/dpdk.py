@@ -214,6 +214,13 @@ class ShardedRuntime:
     simulated runs reproducible; on hardware the workers would spin on
     their own cores concurrently. The verified per-packet core is
     untouched: sharding lives entirely in this (modelled) I/O layer.
+
+    An optional ``fault_plan`` (:class:`repro.resil.faults.FaultPlan`)
+    injects faults at the runtime's choke points: link drop/corrupt/
+    delay and partitions at :meth:`inject` (the wire → NIC boundary),
+    worker kill/hang, clock skew and mbuf-pool seizure at
+    :meth:`main_loop_burst`. With no plan (the default) every code path
+    is exactly as before — fault injection costs nothing when off.
     """
 
     def __init__(
@@ -227,6 +234,7 @@ class ShardedRuntime:
         rx_capacity: int = 512,
         pool_size: int = 4096,
         fastpath: bool = False,
+        fault_plan=None,
     ) -> None:
         if workers <= 0:
             raise ValueError("need at least one worker")
@@ -246,6 +254,16 @@ class ShardedRuntime:
         for worker_id, runtime in enumerate(self.runtimes):
             runtime.worker_id = worker_id
         self.nic = RssNic(workers, steer=self.steering.worker_for)
+        #: Duck-typed FaultPlan (kept untyped to avoid a net → resil
+        #: import cycle); None means no fault machinery runs at all.
+        self.fault_plan = fault_plan
+        #: Packets the fault plan destroyed on the wire / corrupted.
+        self.fault_wire_dropped = 0
+        self.fault_wire_corrupted = 0
+        #: Queued packets lost when a killed worker's rings were flushed.
+        self.fault_kill_lost = 0
+        # Buffers currently held hostage per worker by pool-exhaust faults.
+        self._seized: List[List[Mbuf]] = [[] for _ in range(workers)]
 
     @property
     def workers(self) -> int:
@@ -262,7 +280,33 @@ class ShardedRuntime:
         return self.steering.worker_for(packet)
 
     def inject(self, port_id: int, packet: Packet, timestamp: int) -> bool:
-        """Deliver a packet from the wire: RSS-steer, then enqueue."""
+        """Deliver a packet from the wire: RSS-steer, then enqueue.
+
+        An active fault plan is consulted first, with the packet's
+        steering target as the fault scope: a drop/partition verdict
+        destroys the packet before the NIC ever sees it, corruption
+        damages it in flight, and link delay slips its arrival stamp.
+        """
+        plan = self.fault_plan
+        if plan is not None and not plan.empty:
+            target = self.steering.worker_for(packet)
+            verdict, delay_us = plan.link_verdict(timestamp, target)
+            if verdict == "drop":
+                self.fault_wire_dropped += 1
+                recorder = obs.recorder()
+                if recorder.active:
+                    recorder.trace(
+                        flight.DROP,
+                        t_us=timestamp,
+                        worker=target,
+                        reason=flight.REASON_LINK_FAULT,
+                    )
+                return False
+            if verdict == "corrupt":
+                packet = plan.corrupt_packet(packet)
+                self.fault_wire_corrupted += 1
+            if delay_us:
+                timestamp += delay_us
         worker = self.nic.select(packet)
         recorder = obs.recorder()
         if recorder.active:
@@ -291,11 +335,81 @@ class ShardedRuntime:
         """One main-loop turn on every worker, round-robin, worker 0 first.
 
         Returns the total number of packets processed across workers.
+        With a fault plan active, a killed worker's turn is skipped and
+        its queued packets flushed (they are lost with the worker), a
+        hung worker's turn is skipped with its queues intact, clock skew
+        biases the ``now`` that worker's NF observes (a negative skew
+        exercises the NATs' monotonic clamp), and pool-exhaust faults
+        hold buffers hostage for the window's duration.
         """
         processed = 0
-        for runtime, nf in zip(self.runtimes, self.nfs):
-            processed += runtime.main_loop_burst(nf, now_us, burst_size)
+        plan = self.fault_plan
+        faults_on = plan is not None and not plan.empty
+        for worker_id, (runtime, nf) in enumerate(zip(self.runtimes, self.nfs)):
+            worker_now = now_us
+            if faults_on:
+                if plan.worker_killed(now_us, worker_id):
+                    self.fault_kill_lost += self._flush_rx(runtime, now_us)
+                    continue
+                if plan.worker_hung(now_us, worker_id):
+                    continue
+                self._apply_pool_seizure(
+                    worker_id, runtime, plan.pool_seizure(now_us, worker_id)
+                )
+                skew = plan.clock_skew_us(now_us, worker_id)
+                if skew:
+                    worker_now = max(0, now_us + skew)
+            processed += runtime.main_loop_burst(nf, worker_now, burst_size)
         return processed
+
+    def flush_worker(self, worker_id: int, now_us: int) -> int:
+        """Tear down one worker's queued packets (they die with it).
+
+        The failover controller calls this at promotion time — the dead
+        worker's RX rings are gone, so whatever they held is attributed
+        to the kill. Returns the number of packets lost.
+        """
+        lost = self._flush_rx(self.runtimes[worker_id], now_us)
+        self.fault_kill_lost += lost
+        return lost
+
+    def _flush_rx(self, runtime: DpdkRuntime, now_us: int) -> int:
+        """Discard a dead worker's queued packets, returning the count."""
+        lost = 0
+        recorder = obs.recorder()
+        tracing = recorder.active
+        for port in runtime.ports.values():
+            while True:
+                item = port.rx_pop()
+                if item is None:
+                    break
+                lost += 1
+                if tracing:
+                    recorder.trace(
+                        flight.DROP,
+                        t_us=now_us,
+                        worker=runtime.worker_id,
+                        reason=flight.REASON_WORKER_KILL,
+                    )
+        return lost
+
+    def _apply_pool_seizure(
+        self, worker_id: int, runtime: DpdkRuntime, target: int
+    ) -> None:
+        """Hold exactly ``target`` of this worker's buffers hostage.
+
+        Seizure goes through the pool's public alloc/free so ownership
+        accounting (in_flight, high_water, alloc_failures) tells the
+        truth about the induced pressure.
+        """
+        held = self._seized[worker_id]
+        while len(held) < target:
+            mbuf = runtime.pool.alloc(None, port=0, timestamp=0)
+            if mbuf is None:
+                break  # pool already drier than the fault demands
+            held.append(mbuf)
+        while len(held) > target:
+            runtime.pool.free(held.pop())
 
     # -- introspection ----------------------------------------------------------
     def flow_count(self) -> int:
@@ -331,6 +445,12 @@ class ShardedRuntime:
                     aggregate[key] = max(aggregate.get(key, 0), value)
                 else:
                     aggregate[key] = aggregate.get(key, 0) + value
+        # Fault-attributed losses appear only when a plan is attached, so
+        # fault-free reports stay byte-identical to the pre-fault layer.
+        if self.fault_plan is not None:
+            aggregate["fault_wire_dropped"] = self.fault_wire_dropped
+            aggregate["fault_wire_corrupted"] = self.fault_wire_corrupted
+            aggregate["fault_kill_lost"] = self.fault_kill_lost
         return aggregate
 
     # -- observability -----------------------------------------------------------

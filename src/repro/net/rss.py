@@ -134,6 +134,11 @@ class NatSteering:
                 raise ValueError("shard port ranges must be disjoint and ordered")
         self.shards: Tuple[NatConfig, ...] = tuple(shards)
         self._ranges = ranges
+        # Shard → serving worker slot. Identity until a failover
+        # repartitions ownership (the promoted standby's slot takes
+        # over the dead worker's shard); the indirection is what lets
+        # the redirection table move without re-partitioning ports.
+        self._slot_of_shard: List[int] = list(range(len(shards)))
 
     @property
     def worker_count(self) -> int:
@@ -141,10 +146,30 @@ class NatSteering:
 
     def owner_of_port(self, port: int) -> Optional[int]:
         """The worker whose port slice contains ``port``, if any."""
+        shard = self.shard_of_port(port)
+        if shard is None:
+            return None
+        return self._slot_of_shard[shard]
+
+    def shard_of_port(self, port: int) -> Optional[int]:
+        """The *shard index* whose port slice contains ``port``, if any."""
         for index, (start, end) in enumerate(self._ranges):
             if start <= port <= end:
                 return index
         return None
+
+    def reassign(self, shard_index: int, worker_slot: int) -> None:
+        """Repartition: steer ``shard_index``'s traffic to ``worker_slot``.
+
+        The failover controller calls this when a standby is promoted —
+        the shard's port range is unchanged (state moved with it), only
+        the serving queue in the redirection table moves.
+        """
+        if not 0 <= shard_index < len(self.shards):
+            raise ValueError(f"no shard {shard_index}")
+        if not 0 <= worker_slot < len(self.shards):
+            raise ValueError(f"no worker slot {worker_slot}")
+        self._slot_of_shard[shard_index] = worker_slot
 
     def _external_port_of(self, packet: Packet) -> Optional[int]:
         """The translated external port an external-side packet names.

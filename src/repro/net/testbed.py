@@ -396,7 +396,7 @@ class Rfc2544Testbed:
                 result.offered += 1
             jitter_ns = 0
             if self.link is not None:
-                jitter_ns, wire_dropped = self.link.transit()
+                jitter_ns, wire_dropped = self.link.transit(event.time_ns // US)
                 if wire_dropped:
                     if event.time_ns >= self.measure_from_ns:
                         result.wire_dropped += 1
@@ -500,7 +500,7 @@ class Rfc2544Testbed:
             steered[target] += 1
             jitter_ns = 0
             if self.link is not None:
-                jitter_ns, wire_dropped = self.link.transit()
+                jitter_ns, wire_dropped = self.link.transit(event.time_ns // US)
                 if wire_dropped:
                     if measured:
                         results[target].wire_dropped += 1

@@ -27,8 +27,12 @@ SLOW_PATH = "slow-path"
 FASTPATH_HIT = "fastpath-hit"
 TX = "tx"
 DROP = "drop"
+#: A flow delta shipped (or lost) on the replication channel.
+REPLICATE = "replicate"
+#: A failover step: worker kill detected, standby promoted, ownership moved.
+FAILOVER = "failover"
 
-STAGES = (RX, STEER, SLOW_PATH, FASTPATH_HIT, TX, DROP)
+STAGES = (RX, STEER, SLOW_PATH, FASTPATH_HIT, TX, DROP, REPLICATE, FAILOVER)
 
 # -- drop/anomaly reason codes ----------------------------------------------
 REASON_NONE = ""
@@ -38,6 +42,9 @@ REASON_NO_MBUF = "rx-no-mbuf"
 REASON_DIVERGENCE = "divergence"
 REASON_DROP_SPIKE = "drop-spike"
 REASON_POOL_HIGH_WATER = "pool-high-water"
+REASON_LINK_FAULT = "link-fault"
+REASON_WORKER_KILL = "worker-kill"
+REASON_REPLICATION_LOSS = "replication-loss"
 
 
 @dataclass(frozen=True, slots=True)
@@ -261,7 +268,9 @@ def first_divergence(
 
 __all__ = [
     "DROP",
+    "FAILOVER",
     "FASTPATH_HIT",
+    "REPLICATE",
     "RX",
     "SLOW_PATH",
     "STAGES",
@@ -269,11 +278,14 @@ __all__ = [
     "TX",
     "REASON_DIVERGENCE",
     "REASON_DROP_SPIKE",
+    "REASON_LINK_FAULT",
     "REASON_NF_DROP",
     "REASON_NO_MBUF",
     "REASON_NONE",
     "REASON_POOL_HIGH_WATER",
+    "REASON_REPLICATION_LOSS",
     "REASON_RING_FULL",
+    "REASON_WORKER_KILL",
     "AnomalyMonitor",
     "FlightRecorder",
     "TraceDiff",

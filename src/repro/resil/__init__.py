@@ -1,0 +1,42 @@
+"""Resilience: checkpoint/restore, active/standby failover, fault injection.
+
+The paper proves a *single* NAT instance crash-free; this subsystem makes
+the reproduction survive the faults the proofs scope out — worker death,
+link loss, state loss — without touching the verified slow path:
+
+- :mod:`repro.resil.checkpoint` — the versioned ``repro-ckpt/v1``
+  serialization of NF flow state, with ``snapshot()``/``restore()``
+  entry points and hard rejection of corrupt or mismatched checkpoints;
+- :mod:`repro.resil.replication` — incremental per-flow deltas streamed
+  over a lagged channel into a standby replica;
+- :mod:`repro.resil.failover` — the active/standby pairing of sharded
+  workers, the promotion state machine and its loss accounting;
+- :mod:`repro.resil.faults` — the composable :class:`FaultPlan` driving
+  link, pool, worker and clock faults through the simulated data path.
+
+With no fault plan and no replication attached, every data-path run is
+byte-identical to one without this package imported.
+"""
+
+from repro.resil.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    restore,
+    snapshot,
+)
+from repro.resil.faults import FaultPlan
+from repro.resil.failover import FailoverReport, ReplicatedRuntime
+from repro.resil.replication import FlowDelta, ReplicationChannel, StandbyReplica
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "FailoverReport",
+    "FaultPlan",
+    "FlowDelta",
+    "ReplicatedRuntime",
+    "ReplicationChannel",
+    "StandbyReplica",
+    "restore",
+    "snapshot",
+]

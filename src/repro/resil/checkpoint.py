@@ -1,0 +1,151 @@
+"""The ``repro-ckpt/v1`` checkpoint format.
+
+A checkpoint is the full flow state of one NF — flow table, port
+bookkeeping, expiry clock, fastpath generation, counters — as produced
+by ``NetworkFunction.checkpoint_state()``, wrapped in a small framed
+container::
+
+    repro-ckpt/v1\\n            14-byte magic + version line
+    >I crc32                   CRC-32 of the body
+    >I length                  body length in bytes
+    body                       canonical JSON (sorted keys, no spaces)
+
+The body carries the NF's name, the configuration it ran under, the
+snapshot time and the NF-specific ``state`` payload. Everything is
+validated on the way *in*: bad magic, unknown version, truncation and
+CRC mismatch raise :class:`CheckpointError` from :meth:`Checkpoint.from_bytes`;
+name/config mismatches raise from :func:`restore`; state-level
+inconsistencies (double-allocated ports, out-of-shard ports, broken
+chain ordering) raise from the NF's own ``restore_state`` before any
+structure is mutated.
+
+Restore goes through the NF's monotonic-clock clamp: the restored
+``last_now`` floors the NF's notion of time, so a snapshot taken at T
+and restored on a host whose clock reads T' < T neither mass-expires
+(expiry thresholds derive from the clamped clock) nor immortalizes
+flows (once the clock passes T again, normal expiry resumes).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from repro.nat.base import NetworkFunction
+from repro.nat.config import NatConfig
+
+#: Magic + version line opening every checkpoint.
+MAGIC = b"repro-ckpt/v1\n"
+
+_FRAME = struct.Struct(">II")  # crc32, body length
+
+
+class CheckpointError(ValueError):
+    """The byte stream is not a usable ``repro-ckpt/v1`` checkpoint."""
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One NF's serialized flow state plus enough context to refuse misuse."""
+
+    nf: str
+    taken_at_us: int
+    config: Dict[str, int] = field(default_factory=dict)
+    state: Dict = field(default_factory=dict)
+
+    # -- wire format -------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        body = json.dumps(
+            {
+                "nf": self.nf,
+                "taken_at_us": self.taken_at_us,
+                "config": self.config,
+                "state": self.state,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        return MAGIC + _FRAME.pack(zlib.crc32(body), len(body)) + body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Checkpoint":
+        if not data.startswith(MAGIC):
+            head = bytes(data[: len(MAGIC)])
+            raise CheckpointError(f"bad magic {head!r}; expected {MAGIC!r}")
+        frame = data[len(MAGIC) :]
+        if len(frame) < _FRAME.size:
+            raise CheckpointError("truncated checkpoint: frame header incomplete")
+        crc, length = _FRAME.unpack_from(frame)
+        body = frame[_FRAME.size :]
+        if len(body) < length:
+            raise CheckpointError(
+                f"truncated checkpoint: body is {len(body)} of {length} bytes"
+            )
+        if len(body) > length:
+            raise CheckpointError(
+                f"oversized checkpoint: {len(body) - length} trailing bytes"
+            )
+        if zlib.crc32(body) != crc:
+            raise CheckpointError("checkpoint CRC mismatch: body corrupted")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"checkpoint body is not valid JSON: {exc}") from exc
+        for key in ("nf", "taken_at_us", "config", "state"):
+            if key not in payload:
+                raise CheckpointError(f"checkpoint body missing {key!r}")
+        return cls(
+            nf=payload["nf"],
+            taken_at_us=int(payload["taken_at_us"]),
+            config=payload["config"],
+            state=payload["state"],
+        )
+
+
+def _config_of(nf: NetworkFunction) -> Optional[NatConfig]:
+    config = getattr(nf, "config", None)
+    if config is None:
+        config = getattr(getattr(nf, "inner", None), "config", None)
+    return config
+
+
+def snapshot(nf: NetworkFunction, now_us: int = 0) -> Checkpoint:
+    """Capture ``nf``'s flow state as a :class:`Checkpoint`."""
+    config = _config_of(nf)
+    return Checkpoint(
+        nf=nf.name,
+        taken_at_us=now_us,
+        config=asdict(config) if config is not None else {},
+        state=nf.checkpoint_state(),
+    )
+
+
+def restore(nf: NetworkFunction, checkpoint: Checkpoint) -> None:
+    """Adopt a checkpoint into a freshly constructed ``nf``.
+
+    The checkpoint must come from the same NF kind running the same
+    configuration — restoring a shard's state into a different shard is
+    an ownership violation, caught here by config comparison and again
+    (defense in depth) by the port-range cross-check inside the NF's
+    ``restore_state``.
+    """
+    if checkpoint.nf != nf.name:
+        raise CheckpointError(
+            f"checkpoint is for NF {checkpoint.nf!r}, not {nf.name!r}"
+        )
+    config = _config_of(nf)
+    ours = asdict(config) if config is not None else {}
+    if checkpoint.config != ours:
+        diff = {
+            key: (checkpoint.config.get(key), ours.get(key))
+            for key in set(checkpoint.config) | set(ours)
+            if checkpoint.config.get(key) != ours.get(key)
+        }
+        raise CheckpointError(f"checkpoint config mismatch: {diff}")
+    nf.restore_state(checkpoint.state)
+
+
+__all__ = ["MAGIC", "Checkpoint", "CheckpointError", "restore", "snapshot"]

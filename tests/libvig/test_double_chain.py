@@ -122,6 +122,42 @@ class TestExpiration:
         assert chain.expire_one_index(50) is None
 
 
+class TestCheckpointRestore:
+    @staticmethod
+    def _churned_chain():
+        # Allocate 0..3, free 0 then 2: the free list is now LIFO-ordered
+        # [2, 0] — not the ascending order a fresh chain starts with.
+        chain = DoubleChain(4)
+        for t in range(4):
+            chain.allocate_new_index(t)
+        chain.free_index(0)
+        chain.free_index(2)
+        return chain
+
+    def test_free_list_reports_pop_order(self):
+        chain = self._churned_chain()
+        assert chain.free_list() == (2, 0)
+
+    def test_restore_with_free_list_replays_allocations(self):
+        original = self._churned_chain()
+        copy = DoubleChain(4)
+        copy.restore_cells(original.cells(), original.free_list())
+        # The copy now hands out indexes in exactly the original's order.
+        assert copy.allocate_new_index(10) == original.allocate_new_index(10)
+        assert copy.allocate_new_index(11) == original.allocate_new_index(11)
+
+    def test_restore_without_free_list_is_ascending(self):
+        copy = DoubleChain(4)
+        copy.restore_cells(self._churned_chain().cells())
+        assert copy.free_list() == (0, 2)  # ascending over the vacant set
+
+    def test_restore_rejects_inconsistent_free_list(self):
+        chain = DoubleChain(4)
+        with pytest.raises(ValueError, match="free list"):
+            chain.restore_cells([(1, 10)], [0, 2])  # 3 missing
+        assert chain.size() == 0  # nothing half-applied
+
+
 class TestContracts:
     def test_rejuvenate_contract(self, contracts):
         chain = DoubleChain(4)

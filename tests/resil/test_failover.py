@@ -1,0 +1,348 @@
+"""Replication and active/standby failover.
+
+Unit half: the lagged channel's in-flight window and the standby's
+mirroring rules (age order preserved, out-of-order deltas tolerated).
+Integration half: :class:`ReplicatedRuntime` kill-and-promote — zero
+established-flow loss at lag 0, loss bounded by the cut's in-flight
+window at lag > 0, transmitted packets surviving the kill, the modeled
+promotion blackout, and the steering repartition.
+"""
+
+import pytest
+
+from repro.nat.config import NatConfig
+from repro.nat.unverified import UnverifiedNat
+from repro.nat.vignat import VigNat
+from repro.net.rss import NatSteering
+from repro.packets.builder import make_udp_packet
+from repro.resil.checkpoint import restore
+from repro.resil.failover import ReplicatedRuntime
+from repro.resil.replication import FlowDelta, ReplicationChannel, StandbyReplica
+
+CFG = NatConfig(max_flows=64, expiration_time=60_000_000, start_port=1000)
+
+
+class TestReplicationChannel:
+    def test_lag_zero_is_synchronous(self):
+        channel = ReplicationChannel(lag=0)
+        delta = FlowDelta("create", 1, None, 10)
+        assert channel.publish(delta) == [delta]
+        assert channel.in_flight_count() == 0
+
+    def test_lag_keeps_newest_in_flight(self):
+        channel = ReplicationChannel(lag=2)
+        deltas = [FlowDelta("touch", i, None, i) for i in range(5)]
+        delivered = []
+        for delta in deltas:
+            delivered.extend(channel.publish(delta))
+        assert delivered == deltas[:3]
+        assert channel.in_flight_count() == 2
+        assert channel.lost_in_flight() == deltas[3:]
+        assert channel.lost_total == 2
+
+    def test_drain_is_a_sync_barrier(self):
+        channel = ReplicationChannel(lag=3)
+        deltas = [FlowDelta("touch", i, None, i) for i in range(3)]
+        for delta in deltas:
+            channel.publish(delta)
+        assert channel.drain() == deltas
+        assert channel.in_flight_count() == 0
+        assert channel.delivered_total == 3
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError, match="lag"):
+            ReplicationChannel(lag=-1)
+
+
+class TestStandbyReplica:
+    def test_only_replicable_nfs(self):
+        with pytest.raises(ValueError, match="not supported"):
+            StandbyReplica("noop", CFG)
+
+    def test_mirrors_create_touch_free(self):
+        replica = StandbyReplica("unverified-nat", CFG)
+        fid = type("Fid", (), dict(
+            src_ip=1, src_port=2, dst_ip=3, dst_port=4, protocol=17
+        ))()
+        replica.apply(FlowDelta("create", 1000, fid, 10))
+        assert replica.flow_count() == 1
+        replica.apply(FlowDelta("touch", 1000, None, 20))
+        replica.apply(FlowDelta("free", 1000, None, 30))
+        assert replica.flow_count() == 0
+        assert replica.out_of_order_total == 0
+
+    def test_out_of_order_deltas_tolerated(self):
+        replica = StandbyReplica("unverified-nat", CFG)
+        replica.apply(FlowDelta("touch", 1234, None, 10))  # never created here
+        replica.apply(FlowDelta("free", 1234, None, 20))
+        assert replica.flow_count() == 0
+        assert replica.out_of_order_total == 2
+
+    def test_mirror_restores_into_a_real_nf(self):
+        # The promotion path end to end, but driven by a live NF: every
+        # delta the active emits replays onto the standby, and the
+        # synthesized checkpoint restores into a fresh NF holding the
+        # same flows.
+        active = VigNat(CFG)
+        replica = StandbyReplica("verified-nat", CFG)
+        active.delta_sink(
+            lambda raw: replica.apply(FlowDelta(*raw))
+        )
+        for i in range(5):
+            active.process(
+                make_udp_packet("10.0.0.1", "8.8.8.8", 4_000 + i, 53, device=0),
+                1_000 + i,
+            )
+        assert replica.flow_count() == active.flow_count() == 5
+        fresh = VigNat(CFG)
+        restore(fresh, replica.to_checkpoint(2_000))
+        assert fresh.flow_count() == 5
+        # The restored NF translates a reply for a replicated flow.
+        ext_port = CFG.start_port  # VigNat: first flow got start_port + 0
+        outputs = fresh.process(
+            make_udp_packet("8.8.8.8", CFG.external_ip, 53, ext_port, device=1),
+            3_000,
+        )
+        assert outputs and outputs[0].device == CFG.internal_device
+
+
+class TestSteeringReassign:
+    def test_identity_by_default_and_reassign(self):
+        shards = CFG.partition(2)
+        steering = NatSteering(shards)
+        port0 = shards[0].start_port
+        port1 = shards[1].start_port
+        assert steering.owner_of_port(port0) == 0
+        assert steering.owner_of_port(port1) == 1
+        steering.reassign(1, 0)  # shard 1's flows now served by slot 0
+        assert steering.owner_of_port(port1) == 0
+        assert steering.shard_of_port(port1) == 1  # the shard is unchanged
+
+    @pytest.mark.parametrize("shard,slot", [(-1, 0), (2, 0), (0, -1), (0, 2)])
+    def test_reassign_validates_bounds(self, shard, slot):
+        steering = NatSteering(CFG.partition(2))
+        with pytest.raises(ValueError):
+            steering.reassign(shard, slot)
+
+
+def _establish(runtime, count, now=1_000):
+    """Open ``count`` outbound flows; returns ({marker: ext_port}, now).
+
+    The reply destination port 20_000+i marks each flow, surviving the
+    source rewrite.
+    """
+    for i in range(count):
+        runtime.inject(
+            0,
+            make_udp_packet("10.0.0.1", "8.8.8.8", 1_024 + i, 20_000 + i, device=0),
+            now,
+        )
+        now += 5
+    now += 5
+    runtime.main_loop_burst(now)
+    ext_of = {}
+    for _, _, out in runtime.collect():
+        if out.ipv4.src_ip == CFG.external_ip:
+            ext_of[out.l4.dst_port - 20_000] = out.l4.src_port
+    assert len(ext_of) == count
+    return ext_of, now
+
+
+def _reply(marker, ext_port):
+    return make_udp_packet(
+        "8.8.8.8", CFG.external_ip, 20_000 + marker, ext_port, device=1
+    )
+
+
+@pytest.mark.parametrize("nf_ctor", [VigNat, UnverifiedNat])
+class TestKillAndPromote:
+    def test_lag0_loses_no_flows(self, nf_ctor):
+        runtime = ReplicatedRuntime(nf_ctor, CFG, workers=2, lag=0)
+        ext_of, now = _establish(runtime, 24)
+        flows_before = runtime.flow_count()
+
+        runtime.kill_worker(1, at_us=now + 1)
+        now += 2
+        runtime.main_loop_burst(now)
+
+        (report,) = runtime.reports
+        assert report.worker == 1
+        assert report.flows_lost == 0
+        assert report.deltas_lost == 0
+        assert report.flows_recovered == report.flows_at_kill
+        assert runtime.flow_count() == flows_before
+
+        # Every flow — including those the dead worker held — still
+        # translates once the promoted standby's blackout ends.
+        now = report.ready_at_us + 10
+        for marker, ext_port in ext_of.items():
+            assert runtime.inject(1, _reply(marker, ext_port), now), marker
+        now += 5
+        runtime.main_loop_burst(now)
+        delivered = runtime.collect()
+        assert len(delivered) == len(ext_of)
+
+    def test_lag_bounds_the_loss(self, nf_ctor):
+        lag = 4
+        runtime = ReplicatedRuntime(nf_ctor, CFG, workers=2, lag=lag)
+        _, now = _establish(runtime, 24)
+
+        runtime.kill_worker(1, at_us=now + 1)
+        now += 2
+        runtime.main_loop_burst(now)
+
+        (report,) = runtime.reports
+        assert report.deltas_lost == lag  # exactly the in-flight window
+        assert 0 <= report.flows_lost <= lag
+        assert (
+            report.flows_recovered + report.flows_lost == report.flows_at_kill
+        )
+
+    def test_transmitted_packets_survive_the_kill(self, nf_ctor):
+        # Packets the dead worker had already handed to TX are on the
+        # wire; the promotion must not discard them with the runtime.
+        runtime = ReplicatedRuntime(nf_ctor, CFG, workers=2, lag=0)
+        now = 1_000
+        for i in range(16):
+            runtime.inject(
+                0,
+                make_udp_packet(
+                    "10.0.0.1", "8.8.8.8", 1_024 + i, 20_000 + i, device=0
+                ),
+                now + i,
+            )
+        now += 20
+        runtime.main_loop_burst(now)  # processed and transmitted...
+        # ...but NOT collected before the kill.
+        runtime.kill_worker(1, at_us=now + 1)
+        now += 2
+        runtime.main_loop_burst(now)
+        assert len(runtime.collect()) == 16
+        (report,) = runtime.reports
+        assert report.packets_lost_queue == 0
+
+    def test_queued_packets_die_with_the_worker(self, nf_ctor):
+        runtime = ReplicatedRuntime(nf_ctor, CFG, workers=2, lag=0)
+        _, now = _establish(runtime, 8)
+        # Refill the dead worker's RX queue, then kill before it serves.
+        for i in range(12):
+            runtime.inject(
+                0,
+                make_udp_packet(
+                    "10.0.0.2", "8.8.8.8", 3_000 + i, 30_000 + i, device=0
+                ),
+                now + i,
+            )
+        queued_on_1 = runtime.steered[1] - 0  # includes the establish share
+        runtime.kill_worker(1, at_us=now + 13)
+        runtime.main_loop_burst(now + 14)
+        (report,) = runtime.reports
+        assert report.packets_lost_queue > 0
+        assert report.packets_lost_queue <= queued_on_1
+        assert (
+            runtime.drop_causes()["fault_kill_lost"] == report.packets_lost_queue
+        )
+
+    def test_promotion_blackout_drops_at_the_wire(self, nf_ctor):
+        runtime = ReplicatedRuntime(nf_ctor, CFG, workers=2, lag=0)
+        ext_of, now = _establish(runtime, 24)
+        dead_flows = [
+            (marker, port)
+            for marker, port in ext_of.items()
+            if runtime.runtime.steering.owner_of_port(port) == 1
+        ]
+        assert dead_flows, "no flows landed on worker 1"
+        marker, port = dead_flows[0]
+
+        runtime.kill_worker(1, at_us=now + 1)
+        now += 2
+        runtime.main_loop_burst(now)
+        (report,) = runtime.reports
+        assert report.recovery_us > 0
+
+        # Inside the blackout window: steered at the promoted slot, lost.
+        assert not runtime.inject(1, _reply(marker, port), report.ready_at_us - 1)
+        assert runtime.blackout_dropped == 1
+        assert report.packets_lost_blackout == 1
+        assert runtime.drop_causes()["failover_blackout_dropped"] == 1
+        # At the deadline the slot serves again.
+        assert runtime.inject(1, _reply(marker, port), report.ready_at_us)
+        runtime.main_loop_burst(report.ready_at_us + 5)
+        assert len(runtime.collect()) == 1
+
+    def test_drain_replication_syncs_standbys(self, nf_ctor):
+        runtime = ReplicatedRuntime(nf_ctor, CFG, workers=2, lag=16)
+        _establish(runtime, 24)
+        assert runtime.standby_flow_count() < runtime.flow_count()
+        runtime.drain_replication()
+        assert runtime.standby_flow_count() == runtime.flow_count()
+
+    def test_promoted_worker_keeps_replicating(self, nf_ctor):
+        # A second kill of the same slot after new flows were opened on
+        # the promoted NF must again lose nothing at lag 0 — the fresh
+        # NF re-attached to the delta sink.
+        runtime = ReplicatedRuntime(nf_ctor, CFG, workers=2, lag=0)
+        _, now = _establish(runtime, 12)
+        runtime.kill_worker(1, at_us=now + 1)
+        now += 2
+        runtime.main_loop_burst(now)
+        now = runtime.reports[0].ready_at_us + 10
+
+        for i in range(12):
+            runtime.inject(
+                0,
+                make_udp_packet(
+                    "10.0.0.3", "8.8.8.8", 5_000 + i, 40_000 + i, device=0
+                ),
+                now + i,
+            )
+        now += 20
+        runtime.main_loop_burst(now)
+        runtime.collect()
+        flows_before = runtime.flow_count()
+
+        runtime.kill_worker(1, at_us=now + 1)
+        now += 2
+        runtime.main_loop_burst(now)
+        assert len(runtime.reports) == 2
+        assert runtime.reports[1].flows_lost == 0
+        assert runtime.flow_count() == flows_before
+
+
+class TestReplicatedRuntimeSurface:
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            ReplicatedRuntime(VigNat, CFG, workers=1, failover_fixed_us=-1)
+
+    def test_metrics_cover_replication_and_failover(self):
+        runtime = ReplicatedRuntime(VigNat, CFG, workers=2, lag=2)
+        _, now = _establish(runtime, 8)
+        runtime.kill_worker(1, at_us=now + 1)
+        runtime.main_loop_burst(now + 2)
+        snapshot = runtime.metrics_snapshot()
+        names = {metric["name"] for metric in snapshot["metrics"]}
+        assert {
+            "replication_published_total",
+            "replication_delivered_total",
+            "replication_lost_total",
+            "replication_in_flight",
+            "standby_flows",
+            "failover_total",
+            "failover_blackout_dropped_total",
+        } <= names
+
+    def test_fastpath_survives_promotion(self):
+        # The promoted NF is wrapped like its predecessor, and the
+        # restored generation invalidates any pre-kill cache entry.
+        runtime = ReplicatedRuntime(VigNat, CFG, workers=2, lag=0, fastpath=True)
+        ext_of, now = _establish(runtime, 16)
+        runtime.kill_worker(1, at_us=now + 1)
+        now += 2
+        runtime.main_loop_burst(now)
+        (report,) = runtime.reports
+        assert report.flows_lost == 0
+        now = report.ready_at_us + 10
+        for marker, ext_port in ext_of.items():
+            runtime.inject(1, _reply(marker, ext_port), now)
+        runtime.main_loop_burst(now + 5)
+        assert len(runtime.collect()) == len(ext_of)

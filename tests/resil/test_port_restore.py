@@ -1,0 +1,148 @@
+"""Port-ownership validation on restore.
+
+A checkpoint that claims ports it must not own — outside the shard's
+range, bound twice, or already allocated here — would silently corrupt
+NAT ownership if applied: two flows answering for one external port, or
+one worker squatting on a sibling shard's slice. The allocator and both
+NFs refuse such checkpoints atomically (no partial application).
+"""
+
+import pytest
+
+from repro.libvig.port_allocator import (
+    PortAllocator,
+    PortRestoreError,
+)
+from repro.nat.config import NatConfig
+from repro.nat.unverified import UnverifiedNat
+from repro.nat.vignat import VigNat
+from repro.packets.builder import make_udp_packet
+from repro.resil.checkpoint import snapshot, restore
+
+CFG = NatConfig(max_flows=8, expiration_time=2_000_000, start_port=1000)
+
+
+class TestPortAllocatorRestore:
+    def test_restores_a_valid_set(self):
+        alloc = PortAllocator(1000, 8)
+        alloc.restore_ports([1000, 1003, 1007])
+        assert alloc.allocated_ports() == (1000, 1003, 1007)
+        assert alloc.available() == 5
+        # Fresh allocations never collide with the restored set.
+        handed_out = {alloc.allocate() for _ in range(5)}
+        assert handed_out.isdisjoint({1000, 1003, 1007})
+
+    @pytest.mark.parametrize("bad", [999, 1008, 65_535])
+    def test_rejects_out_of_shard_port(self, bad):
+        alloc = PortAllocator(1000, 8)
+        with pytest.raises(PortRestoreError, match="different shard"):
+            alloc.restore_ports([1001, bad])
+
+    def test_rejects_double_allocated_port(self):
+        alloc = PortAllocator(1000, 8)
+        with pytest.raises(PortRestoreError, match="double-allocated"):
+            alloc.restore_ports([1001, 1002, 1001])
+
+    def test_rejects_port_already_allocated_here(self):
+        alloc = PortAllocator(1000, 8)
+        taken = alloc.allocate()
+        with pytest.raises(PortRestoreError, match="already allocated"):
+            alloc.restore_ports([taken])
+
+    def test_rejection_applies_nothing(self):
+        # Validation is all-or-nothing: a rejected set leaves the
+        # allocator exactly as it was.
+        alloc = PortAllocator(1000, 8)
+        with pytest.raises(PortRestoreError):
+            alloc.restore_ports([1000, 1001, 9999])
+        assert alloc.allocated_ports() == ()
+        assert alloc.available() == 8
+
+
+def _vignat_checkpoint(count=3):
+    nat = VigNat(CFG)
+    for i in range(count):
+        nat.process(
+            make_udp_packet("10.0.0.1", "8.8.8.8", 4_000 + i, 53, device=0),
+            1_000 + i,
+        )
+    return snapshot(nat, now_us=2_000)
+
+
+class TestVigNatRestoreValidation:
+    def test_rejects_port_index_mismatch(self):
+        # VigNat's allocation invariant: external port == start + index.
+        ckpt = _vignat_checkpoint()
+        ckpt.state["flows"][0][3] += 1
+        with pytest.raises(ValueError, match="start_port \\+ index"):
+            restore(VigNat(CFG), ckpt)
+
+    def test_rejects_duplicate_internal_tuple(self):
+        ckpt = _vignat_checkpoint()
+        ckpt.state["flows"][1][2] = list(ckpt.state["flows"][0][2])
+        with pytest.raises(ValueError, match="appears twice"):
+            restore(VigNat(CFG), ckpt)
+
+    def test_rejects_out_of_shard_index_via_allocator(self):
+        # An index past capacity maps to a port outside the shard's
+        # range — the PortAllocator cross-check refuses it.
+        ckpt = _vignat_checkpoint(1)
+        index = CFG.max_flows + 2
+        ckpt.state["flows"][0][0] = index
+        ckpt.state["flows"][0][3] = CFG.start_port + index
+        with pytest.raises((PortRestoreError, ValueError)):
+            restore(VigNat(CFG), ckpt)
+
+    def test_cross_shard_checkpoint_refused_by_config(self):
+        # Shard 0's checkpoint into shard 1's NF: caught at the config
+        # layer (disjoint port ranges) before state is even parsed.
+        shard0, shard1 = CFG.partition(2)
+        nat = VigNat(shard0)
+        nat.process(
+            make_udp_packet("10.0.0.1", "8.8.8.8", 4_000, 53, device=0), 1_000
+        )
+        from repro.resil.checkpoint import CheckpointError
+
+        with pytest.raises(CheckpointError, match="config mismatch"):
+            restore(VigNat(shard1), snapshot(nat, now_us=2_000))
+
+
+def _unverified_checkpoint(count=3):
+    nat = UnverifiedNat(CFG)
+    for i in range(count):
+        nat.process(
+            make_udp_packet("10.0.0.1", "8.8.8.8", 4_000 + i, 53, device=0),
+            1_000 + i,
+        )
+    return snapshot(nat, now_us=2_000)
+
+
+class TestUnverifiedRestoreValidation:
+    def test_rejects_port_bound_twice(self):
+        ckpt = _unverified_checkpoint()
+        ckpt.state["flows"][1][2] = ckpt.state["flows"][0][2]
+        # Make the 5-tuples distinct so the port check is what fires.
+        ckpt.state["flows"][1][1] = list(ckpt.state["flows"][1][1])
+        with pytest.raises(ValueError, match="two flows"):
+            restore(UnverifiedNat(CFG), ckpt)
+
+    def test_rejects_port_never_handed_out(self):
+        # A live port at/beyond next_port was never allocated by the
+        # bump allocator this checkpoint also carries.
+        ckpt = _unverified_checkpoint()
+        ckpt.state["flows"][0][2] = ckpt.state["next_port"] + 5
+        with pytest.raises(ValueError, match="handed-out range"):
+            restore(UnverifiedNat(CFG), ckpt)
+
+    def test_rejects_duplicate_internal_tuple(self):
+        ckpt = _unverified_checkpoint()
+        ckpt.state["flows"][1][1] = list(ckpt.state["flows"][0][1])
+        with pytest.raises(ValueError, match="appears twice"):
+            restore(UnverifiedNat(CFG), ckpt)
+
+    def test_rejects_live_port_on_free_list(self):
+        ckpt = _unverified_checkpoint()
+        live_port = ckpt.state["flows"][0][2]
+        ckpt.state["free_ports"] = [live_port]
+        with pytest.raises(ValueError, match="free list"):
+            restore(UnverifiedNat(CFG), ckpt)

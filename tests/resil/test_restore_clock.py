@@ -1,0 +1,105 @@
+"""Restoring a checkpoint onto a host whose clock reads *earlier*.
+
+A snapshot taken at T carries flow timestamps up to T. Restored on a
+machine whose monotonic clock reads T' < T (a rebooted standby, a VM
+migration), the naive failure modes are:
+
+- **mass expiry**: computing the expiry threshold from T' as if the
+  flows were ``T - T'`` microseconds stale kills every flow at once;
+- **time regression**: feeding T' into the double chain after restoring
+  cells touched at T trips :class:`TimeRegression` and crashes the NF;
+- **immortalization**: clamping so hard the clock never advances again,
+  so no flow ever expires.
+
+The restore path floors the NF clock at the checkpoint's, so the clamp
+absorbs T' (counted in ``clock_clamped``), every flow keeps translating,
+and once real time passes T again normal expiry resumes.
+"""
+
+import pytest
+
+from repro.nat.config import NatConfig
+from repro.nat.unverified import UnverifiedNat
+from repro.nat.vignat import VigNat
+from repro.packets.builder import make_udp_packet
+from repro.resil.checkpoint import snapshot, restore
+
+EXPIRY_US = 2_000_000
+CFG = NatConfig(max_flows=8, expiration_time=EXPIRY_US, start_port=1000)
+
+SNAPSHOT_AT = 10_000_000  # T
+EARLIER = 1_000  # T' << T
+FLOWS = 4
+
+
+def _restored_nat(nf_ctor):
+    nat = nf_ctor(CFG)
+    ext_ports = {}
+    for i in range(FLOWS):
+        outputs = nat.process(
+            make_udp_packet("10.0.0.1", "8.8.8.8", 4_000 + i, 53, device=0),
+            SNAPSHOT_AT - 100 + i,
+        )
+        ext_ports[i] = outputs[0].l4.src_port
+    fresh = nf_ctor(CFG)
+    restore(fresh, snapshot(nat, now_us=SNAPSHOT_AT))
+    return fresh, ext_ports
+
+
+def _reply(ext_port):
+    return make_udp_packet("8.8.8.8", CFG.external_ip, 53, ext_port, device=1)
+
+
+@pytest.mark.parametrize("nf_ctor", [VigNat, UnverifiedNat])
+class TestRestoreAtEarlierTime:
+    def test_no_mass_expiry_no_crash(self, nf_ctor):
+        nat, ext_ports = _restored_nat(nf_ctor)
+        # Traffic at T' must neither crash (TimeRegression) nor observe
+        # an empty table: every restored flow still translates.
+        for i in range(FLOWS):
+            outputs = nat.process(_reply(ext_ports[i]), EARLIER + i)
+            assert outputs, f"flow {i} mass-expired on restore at T' < T"
+        assert nat.flow_count() == FLOWS
+
+    def test_flows_are_not_immortal(self, nf_ctor):
+        nat, _ = _restored_nat(nf_ctor)
+        # Early traffic clamps; once the clock passes T + expiry the
+        # restored flows age out normally.
+        nat.process(
+            make_udp_packet("10.0.0.9", "8.8.8.8", 9_999, 53, device=0), EARLIER
+        )
+        assert nat.flow_count() == FLOWS + 1
+        nat.process(
+            make_udp_packet("10.0.0.9", "8.8.8.8", 9_998, 53, device=0),
+            SNAPSHOT_AT + EXPIRY_US + 1,
+        )
+        # Everything touched at/behind the clamp has expired; only the
+        # newest flow survives.
+        assert nat.flow_count() == 1
+
+
+class TestClampAccounting:
+    def test_vignat_counts_the_clamp(self):
+        nat, ext_ports = _restored_nat(VigNat)
+        before = nat.op_counters()["clock_clamped"]
+        nat.process(_reply(ext_ports[0]), EARLIER)
+        assert nat.op_counters()["clock_clamped"] == before + 1
+
+    def test_restored_clock_floors_at_newest_flow(self):
+        # Even a checkpoint whose recorded clock lags its newest flow
+        # touch (possible when the snapshot raced a touch) restores a
+        # clock that libVig's monotonicity contract accepts.
+        nat = VigNat(CFG)
+        nat.process(
+            make_udp_packet("10.0.0.1", "8.8.8.8", 4_000, 53, device=0),
+            SNAPSHOT_AT,
+        )
+        ckpt = snapshot(nat, now_us=SNAPSHOT_AT)
+        ckpt.state["last_now_us"] = 0  # adversarially stale clock field
+        fresh = VigNat(CFG)
+        restore(fresh, ckpt)
+        # Processing at any time must not trip TimeRegression.
+        fresh.process(
+            make_udp_packet("10.0.0.2", "8.8.8.8", 4_001, 53, device=0), EARLIER
+        )
+        assert fresh.flow_count() == 2
