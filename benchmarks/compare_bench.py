@@ -27,6 +27,18 @@ Points present only in the baseline (e.g. the CI smoke scale sweeps
 fewer flow counts) are reported but do not fail the gate; a fresh file
 sharing *no* point with its baseline does, since the gate would
 otherwise pass vacuously.
+
+Budget-gating sweeps are stricter. The failover availability sweep and
+the cgnat memory-flatness sweep exist to *bound* a number (recovery
+budget, state growth), so for their files a baseline-only point — or a
+missing baseline file altogether — is a hard error: silently dropping
+points (say, by deleting the committed baseline) must not green CI.
+
+``BENCH_cgnat.json`` additionally carries its own fresh-file invariant:
+the stateless ``det-nat`` must report zero state entries and a flat
+checkpoint size at every flow count, while the stateful NATs it is
+benchmarked against must show state growing with flow count — if they
+do not, the sweep is not measuring what it claims to.
 """
 
 from __future__ import annotations
@@ -45,6 +57,14 @@ THROUGHPUT_FIELDS = ("replay_pps_off", "replay_pps_on")
 #: (``flows_lost`` is gated separately — nonzero losses scale with the
 #: workload, so only its 0 -> >0 transition fails the gate.)
 RECOVERY_FIELDS = ("recovery_us",)
+
+#: Sweeps that gate a budget rather than track a trend: every baseline
+#: point must be matched, and the baseline file itself must exist.
+BUDGET_GATED = ("BENCH_failover.json", "BENCH_cgnat.json")
+
+#: Allowed relative spread of a "flat" series (det-nat checkpoint
+#: bytes): max may exceed min by at most this fraction.
+FLATNESS_SLACK = 0.10
 
 
 def _key_of(record: Dict) -> Tuple[str, int]:
@@ -75,7 +95,14 @@ def compare_file(
     if not common:
         return [f"{name}: no common (nf, flow_count) points with baseline"]
     for key in sorted(set(baseline) - set(fresh)):
-        print(f"  {name}: baseline-only point {key} (skipped)")
+        if name in BUDGET_GATED:
+            # A budget gate with a missing point is no gate at all.
+            failures.append(
+                f"{name}: baseline point {key} missing from fresh results "
+                f"(budget-gating sweep; every baseline point must be matched)"
+            )
+        else:
+            print(f"  {name}: baseline-only point {key} (skipped)")
 
     for key in common:
         base, new = baseline[key], fresh[key]
@@ -152,6 +179,51 @@ def compare_file(
                 f"{name}: NF cost ordering lost at {flow_count} flows: "
                 + ", ".join(f"{nf}={busy_by_nf[nf]:.0f}ns" for nf in present)
             )
+    if name == "BENCH_cgnat.json":
+        failures.extend(_cgnat_invariants(name, fresh))
+    return failures
+
+
+def _cgnat_invariants(name: str, fresh: Dict[Tuple[str, int], Dict]) -> List[str]:
+    """Memory-flatness invariant of the cgnat sweep's fresh results.
+
+    The stateless NAT's whole claim is that its footprint does not move
+    with flow count; the stateful NATs are in the sweep precisely to
+    show theirs does. Checked here (not only in the benchmark) so a
+    sweep whose numbers stop meaning anything fails the gate even if
+    every point matched its baseline.
+    """
+    failures: List[str] = []
+    by_nf: Dict[str, List[Tuple[int, Dict]]] = {}
+    for (nf, flow_count), record in fresh.items():
+        by_nf.setdefault(nf, []).append((flow_count, record))
+    for nf, points in sorted(by_nf.items()):
+        points.sort()
+        entries = [r.get("state_entries") for _, r in points]
+        ckpt = [r.get("checkpoint_bytes") for _, r in points]
+        if any(v is None for v in entries) or any(v is None for v in ckpt):
+            failures.append(
+                f"{name}: {nf} records missing state_entries/checkpoint_bytes"
+            )
+            continue
+        if nf == "det-nat":
+            if any(entries):
+                failures.append(
+                    f"{name}: det-nat reports state entries {entries}; "
+                    f"the stateless NAT must hold zero flow state"
+                )
+            low, high = min(ckpt), max(ckpt)
+            if high > max(low, 1) * (1 + FLATNESS_SLACK):
+                failures.append(
+                    f"{name}: det-nat checkpoint size not flat across flow "
+                    f"counts: {ckpt} bytes (>{FLATNESS_SLACK:.0%} spread)"
+                )
+        elif len(points) > 1:
+            if not all(a < b for a, b in zip(entries, entries[1:])):
+                failures.append(
+                    f"{name}: {nf} state entries {entries} do not grow with "
+                    f"flow count; the stateful contrast is not being measured"
+                )
     return failures
 
 
@@ -163,6 +235,15 @@ def compare_dirs(
     if not baselines:
         return [f"no BENCH_*.json baselines found in {baseline_dir}"]
     failures: List[str] = []
+    present = {path.name for path in baselines}
+    for required in BUDGET_GATED:
+        # A deleted baseline must read as a gate failure, not as "one
+        # fewer file to compare".
+        if required not in present:
+            failures.append(
+                f"{required}: budget-gating baseline missing from "
+                f"{baseline_dir}; restore the committed baseline"
+            )
     for baseline_path in baselines:
         fresh_path = fresh_dir / baseline_path.name
         if not fresh_path.exists():

@@ -134,6 +134,19 @@ def failover_flow_count() -> int:
     return 192
 
 
+def cgnat_flow_counts() -> tuple:
+    """1x/10x/100x flow regimes for the stateless-CGNAT scaling sweep.
+
+    Deliberately the same grid at every scale: the sweep's entire claim
+    is the 100x point (the stateless NAT's footprint not moving while
+    the stateful NATs' grows), the committed baseline covers all three
+    points, and the budget gate requires every baseline point matched —
+    so smoke may not shrink the grid. The sweep replays one packet per
+    flow, which keeps even the 100x point seconds-scale.
+    """
+    return (512, 5_120, 51_200)
+
+
 @pytest.fixture
 def publish():
     """Print a result table and persist it under benchmarks/results/."""

@@ -1,0 +1,103 @@
+"""Stateless-CGNAT scaling sweep: memory flatness at 10x/100x flows.
+
+Not a figure of the paper — the paper's NAT is stateful by design — but
+the deterministic CGNAT's value proposition is a scaling claim, and a
+scaling claim needs a sweep that can falsify it:
+
+(a) **memory flatness**: at 1x/10x/100x flow counts the stateless
+    ``det-nat`` holds zero flow-table entries and a byte-identical
+    checkpoint — its footprint is the config, not the traffic;
+(b) **the stateful contrast**: ``unverified-nat`` and ``verified-nat``
+    driven by the same workload grow state entries exactly with the
+    flow count, so the comparison measures what it claims to;
+(c) **return-path correctness**: replies to sampled translated ports
+    reach the internal endpoints that originated them — statelessness
+    must not cost the reverse mapping.
+
+The measured numbers are published to
+``benchmarks/results/BENCH_cgnat.json`` alongside the rendered table;
+the CI regression gate (``benchmarks/compare_bench.py``) re-checks the
+flatness invariant on every fresh file and treats a missing baseline
+point as a hard error.
+"""
+
+import json
+
+from benchmarks.conftest import RESULTS_DIR, cgnat_flow_counts
+from repro.eval.experiments import cgnat_flatness_breaches, cgnat_sweep
+from repro.eval.reporting import render_cgnat_sweep
+from repro.obs import merge_snapshots, snapshot_of_counters
+
+CGNAT_NFS = ("det-nat", "unverified-nat", "verified-nat")
+
+
+def _point_snapshot(point):
+    """One sweep point's op counters in the shared snapshot schema."""
+    return snapshot_of_counters(
+        {k: v for k, v in point.counters.items() if isinstance(v, int)},
+        labels={"nf": point.nf, "flow_count": str(point.flow_count)},
+        help_text="cgnat-sweep op counters",
+    )
+
+
+def _bench_record(point):
+    return {
+        "nf": point.nf,
+        "flow_count": point.flow_count,
+        # Named replay_pps_off so the regression gate's throughput
+        # tolerance applies (compare_bench THROUGHPUT_FIELDS); the
+        # return-path differential rides its byte-identity check.
+        "replay_pps_off": point.replay_pps,
+        "state_entries": point.state_entries,
+        "checkpoint_bytes": point.checkpoint_bytes,
+        "identical": point.return_path_ok,
+    }
+
+
+def test_cgnat_sweep(benchmark, publish, publish_snapshot):
+    flow_counts = cgnat_flow_counts()
+    points = benchmark.pedantic(
+        lambda: cgnat_sweep(flow_counts=flow_counts),
+        rounds=1,
+        iterations=1,
+    )
+    publish("cgnat_sweep", render_cgnat_sweep(points))
+    publish_snapshot(
+        "cgnat_sweep", merge_snapshots([_point_snapshot(p) for p in points])
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_cgnat.json").write_text(
+        json.dumps([_bench_record(p) for p in points], indent=2) + "\n"
+    )
+
+    by_nf = {}
+    for point in points:
+        by_nf.setdefault(point.nf, []).append(point)
+    assert set(by_nf) == set(CGNAT_NFS)
+    for nf in CGNAT_NFS:
+        assert sorted(p.flow_count for p in by_nf[nf]) == sorted(flow_counts)
+
+    for point in points:
+        # (c) Replies routed back to their originating internal endpoints.
+        assert point.return_path_ok, (point.nf, point.flow_count)
+        assert point.replay_pps > 0
+
+    # (a) Memory flatness: zero state, byte-identical checkpoint across
+    # a 100x flow-count spread.
+    det = by_nf["det-nat"]
+    assert all(p.state_entries == 0 for p in det)
+    assert len({p.checkpoint_bytes for p in det}) == 1, [
+        (p.flow_count, p.checkpoint_bytes) for p in det
+    ]
+
+    # (b) The stateful contrast: entries track the flow count exactly.
+    for nf in ("unverified-nat", "verified-nat"):
+        for point in by_nf[nf]:
+            assert point.state_entries == point.flow_count, (
+                nf,
+                point.flow_count,
+                point.state_entries,
+            )
+
+    # The invariant the CLI artifact and CI gate enforce holds here too.
+    assert cgnat_flatness_breaches(points) == []

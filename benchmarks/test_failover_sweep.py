@@ -127,3 +127,17 @@ def test_failover_sweep(benchmark, publish, publish_snapshot):
 
     # (c) The loss budget the CLI gate enforces holds here too.
     assert failover_breaches(points, FailoverBudget()) == []
+
+    # A promoted standby with the microflow cache enabled must not
+    # serve its first packets cold: promotion rebuilds both directions
+    # of every recovered flow into the cache.
+    warm_points = failover_sweep(
+        lags=(0,), flow_count=min(64, failover_flow_count()), fastpath=True
+    )
+    for point in warm_points:
+        assert point.flows_recovered > 0, point.nf
+        assert point.fastpath_warmed == 2 * point.flows_recovered, (
+            point.nf,
+            point.fastpath_warmed,
+            point.flows_recovered,
+        )

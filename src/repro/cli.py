@@ -2,12 +2,14 @@
 
 Commands:
 
-- ``verify {nat,firewall,discard}`` — run the Vigor pipeline and print
-  the Fig. 7 proof report (exit code 1 when not verified). For the
+- ``verify {nat,cgnat,firewall,bridge,limiter,discard}`` — run the
+  Vigor pipeline and print the Fig. 7 proof report (exit code 1 when
+  not verified). ``cgnat`` proves the stateless NAT's port bijection
+  by concolic execution instead of the stateful refinement. For the
   discard NF, ``--model`` selects one of the three Fig. 4 ring models.
   ``--emit-tasks FILE`` writes the Fig. 10-style verification tasks.
 - ``demo`` — translate a conversation through the verified NAT.
-- ``experiments {fig12,fig13,fig14,burst,shard,fastpath,failover,metrics,verification}``
+- ``experiments {fig12,fig13,fig14,burst,shard,fastpath,failover,cgnat,metrics,verification}``
   — regenerate one of the paper's evaluation artifacts at quick scale
   (``burst`` is the burst-size sweep of the burst-mode data path,
   ``shard`` the worker-count scaling sweep of the sharded data path,
@@ -16,8 +18,10 @@ Commands:
   first diverging packet dumped; ``failover`` the kill-and-promote
   availability sweep across replication lags — exit code 1 when
   recovery exceeds the loss budget, notably any established-flow loss
-  at lag 0; ``metrics`` a merged observability snapshot from a
-  sharded run).
+  at lag 0; ``cgnat`` the stateless-CGNAT scaling sweep — exit code 1
+  when the deterministic NAT's memory footprint is not flat across
+  10x/100x flow counts; ``metrics`` a merged observability snapshot
+  from a sharded run).
 - ``metrics`` — the same merged snapshot with knobs: worker count,
   fastpath on/off, table/Prometheus/JSON rendering, file output.
 """
@@ -87,6 +91,19 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verif.engine import ExhaustiveSymbolicEngine
     from repro.verif.report import ProofReport
     from repro.verif.validator import Validator
+
+    if args.nf == "cgnat":
+        # The stateless CGNAT's proof is a bijectivity argument over
+        # arithmetic, not a refinement against RFC semantics, so it has
+        # its own report shape and skips the Validator/cache machinery.
+        from repro.verif.nf_env_cgnat import verify_cgnat
+
+        report = verify_cgnat()
+        print(report.render())
+        if args.coverage and report.result is not None:
+            print()
+            print(report.result.render_coverage())
+        return 0 if report.verified else 1
 
     cache_file = None
     if args.cache:
@@ -279,6 +296,22 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             return 1
         print("\nloss budget respected (zero established-flow loss at lag 0)")
         return 0
+    if args.artifact == "cgnat":
+        from repro.eval.experiments import cgnat_flatness_breaches, cgnat_sweep
+        from repro.eval.reporting import render_cgnat_sweep
+
+        # 1x / 10x / 100x of the base regime: the point is watching the
+        # stateless NAT's footprint stay put while the stateful ones grow.
+        points = cgnat_sweep(flow_counts=(512, 5_120, 51_200))
+        print(render_cgnat_sweep(points))
+        breaches = cgnat_flatness_breaches(points)
+        if breaches:
+            print("\nmemory-flatness invariant VIOLATED:")
+            for breach in breaches:
+                print(f"  - {breach}")
+            return 1
+        print("\nmemory flat: det-nat state independent of flow count")
+        return 0
     if args.artifact == "metrics":
         from repro.eval.experiments import collect_sharded_metrics
         from repro.eval.reporting import render_metrics
@@ -327,7 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify = sub.add_parser("verify", help="run the Vigor proof pipeline")
     verify.add_argument(
-        "nf", choices=["nat", "firewall", "bridge", "limiter", "discard"]
+        "nf", choices=["nat", "cgnat", "firewall", "bridge", "limiter", "discard"]
     )
     verify.add_argument(
         "--model",
@@ -369,6 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
             "shard",
             "fastpath",
             "failover",
+            "cgnat",
             "metrics",
             "verification",
         ],

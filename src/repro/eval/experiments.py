@@ -24,6 +24,7 @@ from repro.net.costmodel import CostModel
 from repro.net.moongen import (
     BackgroundFlows,
     ConstantRateFlows,
+    PacketEvent,
     ProbeFlows,
     merge_sources,
 )
@@ -604,6 +605,9 @@ class FailoverPoint:
     #: Post-recovery probe: one reply per established flow.
     probe_offered: int
     probe_delivered: int
+    #: Microflow-cache actions rebuilt from restored flow state at
+    #: promotion (0 in cache-off runs).
+    fastpath_warmed: int = 0
     counters: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -813,10 +817,229 @@ def failover_sweep(
                     steady_delivered=steady_delivered,
                     probe_offered=probe_offered,
                     probe_delivered=probe_delivered,
+                    fastpath_warmed=report.fastpath_warmed if report else 0,
                     counters=runtime.op_counters(),
                 )
             )
     return points
+
+
+@dataclass
+class CgnatPoint:
+    """One stateless-CGNAT scaling point: one NF at one flow count.
+
+    The sweep's claim is about *state*, not speed: as flow count grows
+    10x and 100x, the deterministic NAT's ``state_entries`` stays 0 and
+    its checkpoint (the serialized footprint a standby must absorb)
+    stays constant, while the stateful NATs grow both linearly.
+    ``return_path_ok`` is the correctness differential riding along:
+    replies to every sampled translated port must reach the internal
+    endpoint that originated the flow.
+    """
+
+    nf: str
+    flow_count: int
+    #: Warmed burst-replay throughput of the forward path.
+    replay_pps: float
+    #: Live flow-table entries after the whole workload (0 = stateless).
+    state_entries: int
+    #: Serialized checkpoint payload size — the memory/transfer proxy.
+    checkpoint_bytes: int
+    #: Every sampled reply routed back to its originating endpoint.
+    return_path_ok: bool
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+def cgnat_config(
+    flow_count: int,
+    subscriber_count: int = 64,
+    start_port: int = 1_024,
+) -> "CgnatConfig":
+    """A CGNAT domain sized to hold exactly ``flow_count`` translations.
+
+    The same config drives every NF in the sweep: for :class:`DetNat`
+    it is the bijection's domain, for the stateful NATs a plain
+    :class:`NatConfig` with ``max_flows == flow_count`` — so all NFs
+    face an identical port budget and an identical workload.
+    """
+    from repro.nat.cgnat import CgnatConfig
+
+    return CgnatConfig(
+        start_port=start_port,
+        max_flows=flow_count,
+        expiration_time=60 * 1_000_000,
+        subscriber_count=subscriber_count,
+        internal_port_base=1_024,
+    )
+
+
+def cgnat_nf_factories() -> Dict[str, NfFactory]:
+    """The scaling-comparison lineup: stateless vs. the stateful NATs."""
+    from repro.nat.cgnat import DetNat
+
+    return {
+        "det-nat": lambda cfg: DetNat(cfg),
+        "unverified-nat": lambda cfg: UnverifiedNat(cfg),
+        "verified-nat": lambda cfg: VigNat(cfg),
+    }
+
+
+def _cgnat_events(config: "CgnatConfig", flow_count: int) -> List[PacketEvent]:
+    """One outbound packet per flow, walking the whole subscriber/port
+    domain — every packet translatable by DetNat and allocatable by the
+    stateful NATs alike."""
+    from repro.packets.builder import make_udp_packet
+
+    ppn = config.ports_per_subscriber
+    events = []
+    for k in range(flow_count):
+        subscriber, offset = divmod(k, ppn)
+        packet = make_udp_packet(
+            config.internal_base + subscriber,
+            "8.8.8.8",
+            config.internal_port_base + offset,
+            53,
+            device=config.internal_device,
+        )
+        events.append(PacketEvent(time_ns=1_000_000_000 + k, packet=packet))
+    return events
+
+
+def _cgnat_return_path_ok(
+    nf: NetworkFunction,
+    config: "CgnatConfig",
+    events: Sequence[PacketEvent],
+    sample: int = 64,
+) -> bool:
+    """Replies to translated ports must reach their originating flows.
+
+    For each sampled flow: push the outbound packet, read the external
+    port off the translated output, inject the reply, and require the
+    NF to deliver it to the flow's own internal (addr, port) on the
+    internal device. For DetNat this exercises the arithmetic inverse;
+    for the stateful NATs the flow-table reverse lookup — same
+    differential, no NF-specific knowledge.
+    """
+    from repro.packets.builder import make_udp_packet
+
+    step = max(1, len(events) // sample)
+    now_us = 2_000_000
+    for event in events[::step]:
+        packet = event.packet
+        outs = nf.process(packet, now_us)
+        if len(outs) != 1:
+            return False
+        translated = outs[0]
+        reply = make_udp_packet(
+            packet.ipv4.dst_ip,
+            translated.ipv4.src_ip,
+            translated.l4.dst_port,
+            translated.l4.src_port,
+            device=config.external_device,
+        )
+        backs = nf.process(reply, now_us)
+        if len(backs) != 1:
+            return False
+        back = backs[0]
+        if back.device != config.internal_device:
+            return False
+        if (back.ipv4.dst_ip, back.l4.dst_port) != (
+            packet.ipv4.src_ip,
+            packet.l4.src_port,
+        ):
+            return False
+        now_us += 1
+    return True
+
+
+def cgnat_sweep(
+    factories: Optional[Dict[str, NfFactory]] = None,
+    flow_counts: Sequence[int] = (512, 5_120, 51_200),
+    burst_size: int = 32,
+    subscriber_count: int = 64,
+) -> List[CgnatPoint]:
+    """Memory flatness of the stateless CGNAT at 10x and 100x flows.
+
+    Per (NF, flow count): replay one packet per flow through the
+    forward path (warmed, timed), then record the NF's live state-entry
+    count and serialized checkpoint size, and run the return-path
+    differential. The default flow counts are 1x/10x/100x of the
+    fastpath sweep's largest regime; ``flow_count`` must be divisible
+    by ``subscriber_count`` (the bijection tiles the domain evenly).
+    """
+    import json as _json
+
+    factories = factories if factories is not None else cgnat_nf_factories()
+    points: List[CgnatPoint] = []
+    for flow_count in flow_counts:
+        config = cgnat_config(flow_count, subscriber_count=subscriber_count)
+        events = _cgnat_events(config, flow_count)
+        for name, factory in factories.items():
+            nf = factory(config)
+            wall = _timed_burst_replay(nf, events, burst_size)
+            pps = len(events) / wall if wall and wall > 0 else 0.0
+            state = nf.checkpoint_state()
+            flow_counter = getattr(nf, "flow_count", None)
+            points.append(
+                CgnatPoint(
+                    nf=name,
+                    flow_count=flow_count,
+                    replay_pps=pps,
+                    state_entries=flow_counter() if flow_counter else 0,
+                    checkpoint_bytes=len(_json.dumps(state).encode()),
+                    return_path_ok=_cgnat_return_path_ok(
+                        factory(config), config, events
+                    ),
+                    counters=nf.op_counters(),
+                )
+            )
+    return points
+
+
+#: Allowed relative spread of the stateless NAT's checkpoint size
+#: across flow counts before the sweep calls it non-flat.
+CGNAT_FLATNESS_SLACK = 0.10
+
+
+def cgnat_flatness_breaches(points: Sequence[CgnatPoint]) -> List[str]:
+    """Violations of the sweep's claims (empty = all hold).
+
+    Gated: the stateless NAT holds zero state and a flat checkpoint at
+    every flow count; the stateful NATs' state grows with flow count
+    (otherwise the contrast is vacuous); and every NF routes the
+    sampled return path correctly.
+    """
+    breaches: List[str] = []
+    by_nf: Dict[str, List[CgnatPoint]] = {}
+    for point in points:
+        by_nf.setdefault(point.nf, []).append(point)
+        if not point.return_path_ok:
+            breaches.append(
+                f"{point.nf} @ {point.flow_count} flows: return-path "
+                f"differential failed (reply did not reach its originator)"
+            )
+    for nf, nf_points in sorted(by_nf.items()):
+        nf_points.sort(key=lambda p: p.flow_count)
+        entries = [p.state_entries for p in nf_points]
+        if nf == "det-nat":
+            if any(entries):
+                breaches.append(
+                    f"det-nat holds flow state ({entries} entries); the "
+                    f"stateless mapping must hold none"
+                )
+            sizes = [p.checkpoint_bytes for p in nf_points]
+            if max(sizes) > max(min(sizes), 1) * (1 + CGNAT_FLATNESS_SLACK):
+                breaches.append(
+                    f"det-nat checkpoint not flat across flow counts: "
+                    f"{sizes} bytes"
+                )
+        elif len(nf_points) > 1:
+            if not all(a < b for a, b in zip(entries, entries[1:])):
+                breaches.append(
+                    f"{nf} state entries {entries} do not grow with flow "
+                    f"count; the stateful contrast is not being measured"
+                )
+    return breaches
 
 
 def throughput_sweep(

@@ -4,6 +4,8 @@
   configuration every NAT accepts (and ``NatConfig.partition`` for the
   sharded data path),
 - :mod:`repro.nat.vignat` — the verified NAT (the paper's contribution),
+- :mod:`repro.nat.cgnat` — the stateless deterministic CGNAT
+  (``DetNat``, a closed-form RFC 7422-style port bijection),
 - :mod:`repro.nat.unverified` — the unverified DPDK NAT baseline,
 - :mod:`repro.nat.netfilter` — the Linux NetFilter/conntrack-style NAT,
 - :mod:`repro.nat.fastpath` — the microflow action cache over any of
@@ -18,6 +20,7 @@ outside the repository should import from ``repro.nat`` directly.
 
 from repro.nat.base import NetworkFunction
 from repro.nat.bridge import BridgeConfig, VigBridge
+from repro.nat.cgnat import CgnatConfig, DetNat
 from repro.nat.config import NatConfig
 from repro.nat.discard import DiscardNF
 from repro.nat.fastpath import CachedAction, FastPathNat
@@ -33,6 +36,8 @@ from repro.nat.vignat import VigNat
 __all__ = [
     "BridgeConfig",
     "CachedAction",
+    "CgnatConfig",
+    "DetNat",
     "DiscardNF",
     "FastPathNat",
     "Flow",

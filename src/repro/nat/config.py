@@ -108,6 +108,21 @@ class NatConfig:
             raise ValueError(
                 f"cannot partition {self.max_flows} flows across {n} workers"
             )
+        # The split below hands out *ports* in lockstep with flow
+        # capacity, so it is only disjoint-and-exhaustive when the whole
+        # port range actually exists. ``__post_init__`` makes that true
+        # for any config built through a constructor, but a config can
+        # reach here holding a range that escapes the 16-bit port space
+        # (deserialization bypassing validation, a mutated frozen
+        # instance) — and then the tail shards would own ports that no
+        # packet can carry, silently shrinking capacity. Validate the
+        # range itself up front rather than emit broken shards.
+        if not 0 < self.start_port <= self.end_port <= 0xFFFF:
+            raise ValueError(
+                f"cannot partition: external port range [{self.start_port}, "
+                f"{self.end_port}] does not fit the valid port space "
+                f"[1, 65535]; refusing to emit truncated shards"
+            )
         base, extra = divmod(self.max_flows, n)
         shards = []
         port = self.start_port

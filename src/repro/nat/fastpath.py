@@ -106,7 +106,11 @@ def apply_endpoint_action(packet: Packet, action: CachedAction) -> Packet:
     return out
 
 
-def _raw_ops_for(packet: Packet, action: CachedAction) -> Tuple[tuple, ...]:
+def _raw_ops_from(
+    old_src: Tuple[int, int],
+    old_dst: Tuple[int, int],
+    action: CachedAction,
+) -> Tuple[tuple, ...]:
     """Compile a cached action into byte-level replay ops.
 
     The op sequence mirrors the slow path's rewrite call structure
@@ -114,12 +118,16 @@ def _raw_ops_for(packet: Packet, action: CachedAction) -> Tuple[tuple, ...]:
     each with its own UDP-zero check, deltas applied in the same word
     order — so the patched checksum is bit-identical to the slow path's
     for any starting checksum, not merely equivalent.
+
+    The pre-rewrite endpoint values come from the caller: the
+    triggering packet on a learn, the flow key on a cache warm — both
+    name the same (ip, port) pairs, since the key *is* the packet's
+    endpoints.
     """
-    assert packet.ipv4 is not None and packet.l4 is not None
     ops: List[tuple] = []
     if action.src is not None:
         new_ip, new_port = action.src
-        old_ip, old_port = packet.ipv4.src_ip, packet.l4.src_port
+        old_ip, old_port = old_src
         ops.append(("w32", OFF_SRC_IP, new_ip))
         ops.append(("w16", OFF_SRC_PORT, new_port))
         ops.append(("ip", checksum_delta_u32(old_ip, new_ip)))
@@ -127,13 +135,23 @@ def _raw_ops_for(packet: Packet, action: CachedAction) -> Tuple[tuple, ...]:
         ops.append(("l4", (checksum_delta_u16(old_port, new_port),)))
     if action.dst is not None:
         new_ip, new_port = action.dst
-        old_ip, old_port = packet.ipv4.dst_ip, packet.l4.dst_port
+        old_ip, old_port = old_dst
         ops.append(("w32", OFF_DST_IP, new_ip))
         ops.append(("w16", OFF_DST_PORT, new_port))
         ops.append(("ip", checksum_delta_u32(old_ip, new_ip)))
         ops.append(("l4", checksum_delta_u32(old_ip, new_ip)))
         ops.append(("l4", (checksum_delta_u16(old_port, new_port),)))
     return tuple(ops)
+
+
+def _raw_ops_for(packet: Packet, action: CachedAction) -> Tuple[tuple, ...]:
+    """Compile replay ops with the old values read off the packet."""
+    assert packet.ipv4 is not None and packet.l4 is not None
+    return _raw_ops_from(
+        (packet.ipv4.src_ip, packet.l4.src_port),
+        (packet.ipv4.dst_ip, packet.l4.dst_port),
+        action,
+    )
 
 
 def _apply_raw(view: LazyPacket, ops: Tuple[tuple, ...]) -> None:
@@ -234,6 +252,11 @@ class FastPathNat(NetworkFunction):
             "candidate actions whose replay diverged from the slow path",
             cache_labels,
         )
+        self._warmed = metrics.counter(
+            "fastpath_warmed_total",
+            "actions pre-installed from restored flow state",
+            cache_labels,
+        )
         metrics.gauge_fn(
             "fastpath_cache_entries",
             lambda: len(self._cache),
@@ -257,6 +280,7 @@ class FastPathNat(NetworkFunction):
             fastpath_evictions=self._evictions.value,
             fastpath_learns=self._learns.value,
             fastpath_learn_rejected=self._learn_rejected.value,
+            fastpath_warmed=self._warmed.value,
         )
         return counters
 
@@ -294,6 +318,11 @@ class FastPathNat(NetworkFunction):
                 self._learn_rejected,
                 "fastpath_learn_rejected_total",
                 "candidate actions whose replay diverged from the slow path",
+            ),
+            (
+                self._warmed,
+                "fastpath_warmed_total",
+                "actions pre-installed from restored flow state",
             ),
         ):
             registry.counter_fn(
@@ -333,6 +362,44 @@ class FastPathNat(NetworkFunction):
         if self._cache:
             self._invalidations.inc(len(self._cache))
             self._cache.clear()
+
+    def warm(self) -> int:
+        """Pre-install cached actions for the inner NF's live flows.
+
+        A freshly restored standby knows every live flow, yet a plain
+        restore leaves this cache empty — so the first post-failover
+        packet of *every* flow pays the slow path and the hit rate
+        falls off a cliff exactly when the data path is busiest. NFs
+        that can derive the per-direction actions from their flow table
+        expose ``warm_entries()`` on their hooks (yielding
+        ``(flow key, CachedAction)`` pairs); this installs them at the
+        current generation, so the normal invalidation discipline
+        covers warmed entries unchanged.
+
+        The learn-time replay verification is deliberately skipped:
+        warmed actions are computed from flow state that
+        ``restore_state`` has already validated against the NF's
+        invariants, not inferred from a single packet. Returns the
+        number of entries installed (0 when the hooks cannot warm).
+        """
+        warm_entries = getattr(self._hooks, "warm_entries", None)
+        if warm_entries is None:
+            return 0
+        generation = self._hooks.generation()
+        installed = 0
+        for key, action in warm_entries():
+            if len(self._cache) >= self.max_entries:
+                break
+            action.generation = generation
+            if self._hooks.supports_raw:
+                action.raw_ops = _raw_ops_from(
+                    (key[2], key[3]), (key[4], key[5]), action
+                )
+            self._cache[key] = action
+            installed += 1
+        if installed:
+            self._warmed.inc(installed)
+        return installed
 
     def delta_sink(self, sink) -> None:
         self.inner.delta_sink(sink)

@@ -118,6 +118,57 @@ class _UnverifiedFastPathHooks:
         out.device = action.out_device
         return out
 
+    def warm_entries(self):
+        """(key, action) pairs for both directions of every live flow.
+
+        Consumed by :meth:`FastPathNat.warm` after a standby restores a
+        checkpoint, so the promoted NF's first packets hit the cache
+        instead of all missing at once. Flows are walked newest-first;
+        if the cache's capacity cap truncates warming, the sacrificed
+        entries belong to the flows closest to expiry.
+        """
+        from repro.nat.fastpath import CachedAction
+
+        nat = self._nat
+        config = nat.config
+        for entry in reversed(list(nat._lru.values())):
+            fid = entry.internal_id
+            yield (
+                (
+                    config.internal_device,
+                    fid.protocol,
+                    fid.src_ip,
+                    fid.src_port,
+                    fid.dst_ip,
+                    fid.dst_port,
+                ),
+                CachedAction(
+                    src=(config.external_ip, entry.external_port),
+                    dst=None,
+                    out_device=config.external_device,
+                    token=entry,
+                    generation=0,
+                ),
+            )
+            eid = nat._external_key(entry)
+            yield (
+                (
+                    config.external_device,
+                    eid.protocol,
+                    eid.src_ip,
+                    eid.src_port,
+                    eid.dst_ip,
+                    eid.dst_port,
+                ),
+                CachedAction(
+                    src=None,
+                    dst=(fid.src_ip, fid.src_port),
+                    out_device=config.internal_device,
+                    token=entry,
+                    generation=0,
+                ),
+            )
+
 
 class UnverifiedNat(NetworkFunction):
     """RFC 3022 NAT over a chaining hash table, no contracts, no proofs."""

@@ -21,7 +21,7 @@ from repro.libvig.port_allocator import PortAllocator
 from repro.nat.base import NetworkFunction
 from repro.nat.config import NatConfig
 from repro.nat.core_logic import nat_loop_iteration
-from repro.nat.fastpath import apply_endpoint_action
+from repro.nat.fastpath import CachedAction, FlowKey, apply_endpoint_action
 from repro.nat.flow import Flow, FlowId, flow_id_of_packet
 from repro.nat.rewrite import rewrite_destination, rewrite_source
 from repro.packets.headers import Packet
@@ -233,6 +233,63 @@ class _VigNatFastPathHooks:
     @staticmethod
     def apply(packet: Packet, action) -> Packet:
         return apply_endpoint_action(packet, action)
+
+    def warm_entries(self):
+        """(flow key, action) pairs for every live flow, both directions.
+
+        Feeds :meth:`~repro.nat.fastpath.FastPathNat.warm` at standby
+        promotion. The actions are exactly what a learn on the flow's
+        next packet would cache: outbound rewrites the source to the
+        NAT's external endpoint; the reply rewrites the destination back
+        to the internal endpoint. The token is the live flow index, so
+        warmed hits rejuvenate just like learned ones. Flows are walked
+        newest-first, so if the cache's capacity cap truncates warming,
+        the entries sacrificed belong to the flows closest to expiry.
+        """
+        nat = self._nat
+        config = nat.config
+        ext_ip = config.external_ip
+        cells = list(nat._chain.cells())
+        for index, _touched in reversed(cells):
+            flow = nat._flow_table.get_value(index)
+            fid = flow.internal_id
+            forward_key: FlowKey = (
+                config.internal_device,
+                fid.protocol,
+                fid.src_ip,
+                fid.src_port,
+                fid.dst_ip,
+                fid.dst_port,
+            )
+            yield (
+                forward_key,
+                CachedAction(
+                    src=(ext_ip, flow.external_port),
+                    dst=None,
+                    out_device=config.external_device,
+                    token=index,
+                    generation=0,
+                ),
+            )
+            eid = flow.external_id(ext_ip)
+            reply_key: FlowKey = (
+                config.external_device,
+                eid.protocol,
+                eid.src_ip,
+                eid.src_port,
+                eid.dst_ip,
+                eid.dst_port,
+            )
+            yield (
+                reply_key,
+                CachedAction(
+                    src=None,
+                    dst=(fid.src_ip, fid.src_port),
+                    out_device=config.internal_device,
+                    token=index,
+                    generation=0,
+                ),
+            )
 
 
 class VigNat(NetworkFunction):

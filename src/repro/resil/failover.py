@@ -79,6 +79,9 @@ class FailoverReport:
     packets_lost_queue: int
     #: Packets steered at the slot during the modeled blackout.
     packets_lost_blackout: int = 0
+    #: Microflow-cache actions pre-installed from the restored flow
+    #: state at promotion (0 when the runtime runs without a fast path).
+    fastpath_warmed: int = 0
 
     @property
     def packets_lost(self) -> int:
@@ -98,6 +101,7 @@ class FailoverReport:
             "packets_lost_queue": self.packets_lost_queue,
             "packets_lost_blackout": self.packets_lost_blackout,
             "packets_lost": self.packets_lost,
+            "fastpath_warmed": self.fastpath_warmed,
         }
 
 
@@ -320,6 +324,10 @@ class ReplicatedRuntime:
             fresh = FastPathNat(fresh)
         restore(fresh, checkpoint)
         fresh.delta_sink(self._sink_for(worker_id))
+        # The restored NF knows every recovered flow; rebuild the
+        # microflow cache from that state so the promoted standby does
+        # not serve its first packets at a 0% hit rate.
+        fastpath_warmed = fresh.warm() if isinstance(fresh, FastPathNat) else 0
         runtime = DpdkRuntime(self._port_count, self._rx_capacity, self._pool_size)
         runtime.worker_id = worker_id
         # Packets the dead worker had already transmitted are on the
@@ -356,6 +364,7 @@ class ReplicatedRuntime:
             flows_lost=len(active_keys - recovered_keys),
             deltas_lost=len(lost_deltas),
             packets_lost_queue=packets_lost_queue,
+            fastpath_warmed=fastpath_warmed,
         )
         self.reports.append(report)
         if recovery_us > 0:

@@ -38,10 +38,61 @@ BASE_RECORDS = [
     },
 ]
 
+# Minimal healthy budget-gated files: the gate requires these baselines
+# to exist and every one of their points to be matched.
+FAILOVER_RECORDS = [
+    {"nf": "verified-nat", "lag": 0, "flows_lost": 0, "recovery_us": 700},
+    {"nf": "verified-nat", "lag": 8, "flows_lost": 3, "recovery_us": 730},
+]
 
-def _write(directory: pathlib.Path, records) -> None:
+CGNAT_RECORDS = [
+    {
+        "nf": "det-nat",
+        "flow_count": 64,
+        "replay_pps_off": 200_000.0,
+        "state_entries": 0,
+        "checkpoint_bytes": 2,
+        "identical": True,
+    },
+    {
+        "nf": "det-nat",
+        "flow_count": 640,
+        "replay_pps_off": 195_000.0,
+        "state_entries": 0,
+        "checkpoint_bytes": 2,
+        "identical": True,
+    },
+    {
+        "nf": "verified-nat",
+        "flow_count": 64,
+        "replay_pps_off": 90_000.0,
+        "state_entries": 64,
+        "checkpoint_bytes": 4_000,
+        "identical": True,
+    },
+    {
+        "nf": "verified-nat",
+        "flow_count": 640,
+        "replay_pps_off": 80_000.0,
+        "state_entries": 640,
+        "checkpoint_bytes": 40_000,
+        "identical": True,
+    },
+]
+
+
+def _write(
+    directory: pathlib.Path,
+    records,
+    failover=FAILOVER_RECORDS,
+    cgnat=CGNAT_RECORDS,
+) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     (directory / "BENCH_fastpath.json").write_text(json.dumps(records))
+    if failover is not None:
+        (directory / "BENCH_failover.json").write_text(json.dumps(failover))
+    if cgnat is not None:
+        (directory / "BENCH_cgnat.json").write_text(json.dumps(cgnat))
 
 
 @pytest.fixture
@@ -120,7 +171,8 @@ def test_no_common_points_fails(dirs):
 
 
 def test_baseline_only_points_do_not_fail(dirs):
-    """Smoke scale sweeps fewer points; losing coverage only warns."""
+    """Smoke scale sweeps fewer points; losing coverage only warns —
+    for trend-tracking files, not budget-gating ones."""
     baseline, fresh = dirs
     subset = copy.deepcopy(BASE_RECORDS[:2])
     _write(fresh, subset)
@@ -132,3 +184,89 @@ def test_main_passes_on_identical(dirs, capsys):
     _write(fresh, BASE_RECORDS)
     assert main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
     assert "gate passed" in capsys.readouterr().out
+
+
+class TestBudgetGatedStrictness:
+    """Failover and cgnat bound a budget: dropped points and deleted
+    baselines are hard errors, never warnings."""
+
+    def test_baseline_only_point_is_a_hard_error(self, dirs):
+        baseline, fresh = dirs
+        _write(fresh, BASE_RECORDS, failover=FAILOVER_RECORDS[:1])
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any(
+            "BENCH_failover.json" in f and "must be matched" in f
+            for f in failures
+        )
+
+    def test_dropped_cgnat_point_is_a_hard_error(self, dirs):
+        baseline, fresh = dirs
+        # Losing the 10x det-nat point would let a regrowing footprint
+        # slip past the flatness check.
+        _write(fresh, BASE_RECORDS, cgnat=CGNAT_RECORDS[:1] + CGNAT_RECORDS[2:])
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any(
+            "BENCH_cgnat.json" in f and "must be matched" in f for f in failures
+        )
+
+    def test_deleted_budget_baseline_is_a_hard_error(self, tmp_path):
+        baseline = tmp_path / "baseline"
+        fresh = tmp_path / "fresh"
+        _write(baseline, BASE_RECORDS, cgnat=None)
+        _write(fresh, BASE_RECORDS)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any(
+            "BENCH_cgnat.json" in f and "baseline missing" in f
+            for f in failures
+        )
+
+    def test_recovery_regression_still_gates(self, dirs):
+        baseline, fresh = dirs
+        slower = copy.deepcopy(FAILOVER_RECORDS)
+        slower[0]["recovery_us"] = 2_000
+        _write(fresh, BASE_RECORDS, failover=slower)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any("recovery_us" in f for f in failures)
+
+
+class TestCgnatInvariants:
+    """The fresh-file flatness invariant: the sweep must keep measuring
+    what it claims to, even when every point matches its baseline."""
+
+    def test_healthy_records_pass(self, dirs):
+        baseline, fresh = dirs
+        _write(fresh, BASE_RECORDS)
+        assert compare_dirs(baseline, fresh, tolerance=0.25) == []
+
+    def test_det_nat_with_state_fails(self, dirs):
+        baseline, fresh = dirs
+        stateful = copy.deepcopy(CGNAT_RECORDS)
+        stateful[1]["state_entries"] = 640
+        _write(fresh, BASE_RECORDS, cgnat=stateful)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any("zero flow state" in f for f in failures)
+
+    def test_det_nat_growing_checkpoint_fails(self, dirs):
+        baseline, fresh = dirs
+        growing = copy.deepcopy(CGNAT_RECORDS)
+        growing[1]["checkpoint_bytes"] = 4_000
+        _write(fresh, BASE_RECORDS, cgnat=growing)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any("not flat" in f for f in failures)
+
+    def test_stateful_contrast_must_grow(self, dirs):
+        baseline, fresh = dirs
+        flat = copy.deepcopy(CGNAT_RECORDS)
+        flat[3]["state_entries"] = 64  # verified-nat stopped growing
+        _write(fresh, BASE_RECORDS, cgnat=flat)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any("stateful contrast" in f for f in failures)
+
+    def test_missing_state_fields_fail(self, dirs):
+        baseline, fresh = dirs
+        stripped = copy.deepcopy(CGNAT_RECORDS)
+        for record in stripped:
+            record.pop("checkpoint_bytes")
+        _write(fresh, BASE_RECORDS, cgnat=stripped)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any("missing state_entries/checkpoint_bytes" in f for f in failures)

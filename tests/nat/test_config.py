@@ -107,6 +107,24 @@ class TestPartition:
         with pytest.raises(ValueError):
             cfg.partition(5)  # more workers than ports
 
+    def test_rejects_port_range_escaping_16_bits(self):
+        # ``__post_init__`` validates constructor input, but a config
+        # can reach partition() holding a corrupt range (deserialized
+        # or mutated around the frozen dataclass). The old code split
+        # such a range into shards whose tail ports no packet can
+        # carry; it must refuse instead.
+        cfg = NatConfig(max_flows=100, start_port=1000)
+        object.__setattr__(cfg, "max_flows", 70_000)
+        assert cfg.end_port > 0xFFFF
+        with pytest.raises(ValueError, match="does not fit the valid port space"):
+            cfg.partition(4)
+
+    def test_rejects_nonpositive_start_port(self):
+        cfg = NatConfig(max_flows=100, start_port=1000)
+        object.__setattr__(cfg, "start_port", 0)
+        with pytest.raises(ValueError, match="does not fit the valid port space"):
+            cfg.partition(2)
+
 
 class TestLegacyShim:
     """The pre-redesign call forms keep working, with a warning."""

@@ -240,6 +240,96 @@ class TestRawBurstPath:
             fast.process_raw_burst([], 1_000)
 
 
+class TestWarmFromRestoredState:
+    """warm() rebuilds the action cache from restored flow state.
+
+    The promoted-standby scenario: a fresh NF restores a checkpoint and
+    would otherwise serve its first packet per flow from the slow path
+    (a 100% miss storm exactly when latency matters most).
+    """
+
+    def _restored(self, nf_class=VigNat, flows=8, max_entries=65_536):
+        cfg = NatConfig(max_flows=64)
+        primary = nf_class(cfg)
+        ext_of = {}
+        for i in range(flows):
+            (out,) = primary.process(outbound(4_000 + i), 1_000)
+            ext_of[4_000 + i] = out.l4.src_port
+        standby = nf_class(cfg)
+        standby.restore_state(primary.checkpoint_state())
+        return FastPathNat(standby, max_entries=max_entries), primary, ext_of
+
+    def test_warm_installs_both_directions(self):
+        fast, _, _ = self._restored(flows=8)
+        assert fast.warm() == 16
+        assert fast.cache_size == 16
+        assert fast.op_counters()["fastpath_warmed"] == 16
+
+    def test_warmed_forward_hit_matches_slow_path(self):
+        fast, primary, _ = self._restored(flows=4)
+        fast.warm()
+        packet = outbound(4_001)
+        assert render(fast.process(packet.clone(), 2_000)) == render(
+            primary.process(packet.clone(), 2_000)
+        )
+        counters = fast.op_counters()
+        assert counters["fastpath_hits"] == 1
+        assert counters["fastpath_misses"] == 0
+        assert counters["fastpath_learns"] == 0
+
+    def test_warmed_reply_hit_matches_slow_path(self):
+        fast, primary, ext_of = self._restored(flows=4)
+        fast.warm()
+        reply = inbound(ext_of[4_002])
+        assert render(fast.process(reply.clone(), 2_000)) == render(
+            primary.process(reply.clone(), 2_000)
+        )
+        assert fast.op_counters()["fastpath_hits"] == 1
+        assert fast.op_counters()["fastpath_misses"] == 0
+
+    def test_warmed_raw_path_matches_object_path(self):
+        fast, _, ext_of = self._restored(flows=4)
+        slow, _, _ = self._restored(flows=4)
+        fast.warm()
+        packets = [outbound(4_000), inbound(ext_of[4_003])]
+        raw_out = fast.process_raw_burst(
+            [(bytearray(p.wire_bytes()), p.device) for p in packets], 2_000
+        )
+        object_out = slow.process_burst([p.clone() for p in packets], 2_000)
+        want = [[(p.wire_bytes(), p.device) for p in outs] for outs in object_out]
+        assert [list(outs) for outs in raw_out] == want
+        assert fast.op_counters()["fastpath_hits"] == 2
+
+    def test_unverified_nat_warms_too(self):
+        fast, primary, ext_of = self._restored(nf_class=UnverifiedNat, flows=4)
+        assert fast.warm() == 8
+        for packet in (outbound(4_000), inbound(ext_of[4_001])):
+            assert render(fast.process(packet.clone(), 2_000)) == render(
+                primary.process(packet.clone(), 2_000)
+            )
+        assert fast.op_counters()["fastpath_hits"] == 2
+
+    def test_churn_invalidates_warmed_entries(self):
+        fast, _, _ = self._restored(flows=4)
+        fast.warm()
+        # A brand-new flow bumps the inner generation; the warmed
+        # actions must be discarded, not replayed stale.
+        fast.process(outbound(4_500), 2_000)
+        fast.process(outbound(4_001), 2_001)
+        counters = fast.op_counters()
+        assert counters["fastpath_invalidations"] >= 1
+
+    def test_capacity_cap_truncates_warming(self):
+        fast, _, _ = self._restored(flows=8, max_entries=6)
+        assert fast.warm() == 6
+        assert fast.cache_size == 6
+
+    def test_nf_without_warm_hook_warms_nothing(self):
+        fast = FastPathNat(NoopForwarder(0, 1))
+        assert fast.warm() == 0
+        assert fast.op_counters()["fastpath_warmed"] == 0
+
+
 class TestNoopFastPath:
     def test_noop_hits_and_forwards(self):
         fast = FastPathNat(NoopForwarder(0, 1))

@@ -346,3 +346,25 @@ class TestReplicatedRuntimeSurface:
             runtime.inject(1, _reply(marker, ext_port), now)
         runtime.main_loop_burst(now + 5)
         assert len(runtime.collect()) == len(ext_of)
+
+    def test_promotion_warms_the_microflow_cache(self):
+        # A promoted standby must not serve its first packets cold:
+        # both directions of every recovered flow are pre-installed in
+        # the action cache at promotion.
+        runtime = ReplicatedRuntime(VigNat, CFG, workers=2, lag=0, fastpath=True)
+        _, now = _establish(runtime, 16)
+        runtime.kill_worker(1, at_us=now + 1)
+        runtime.main_loop_burst(now + 2)
+        (report,) = runtime.reports
+        assert report.flows_recovered > 0
+        assert report.fastpath_warmed == 2 * report.flows_recovered
+        assert report.to_dict()["fastpath_warmed"] == report.fastpath_warmed
+
+    def test_no_cache_means_nothing_to_warm(self):
+        runtime = ReplicatedRuntime(VigNat, CFG, workers=2, lag=0, fastpath=False)
+        _, now = _establish(runtime, 16)
+        runtime.kill_worker(1, at_us=now + 1)
+        runtime.main_loop_burst(now + 2)
+        (report,) = runtime.reports
+        assert report.flows_recovered > 0
+        assert report.fastpath_warmed == 0
