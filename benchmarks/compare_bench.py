@@ -9,11 +9,14 @@ Both directories hold ``BENCH_*.json`` files as written by the sweep
 benchmarks (a list of per-point records). For every baseline file with
 a fresh counterpart, records are matched by ``(nf, flow_count)`` — or
 by ``(nf, lag)`` for records carrying a ``lag`` field (the failover
-availability sweep) — and the gate fails (exit 1) when any matched
-point:
+availability sweep), or by ``(nf, workers)`` for records carrying a
+``workers`` field without a ``flow_count`` (the process-runtime
+scaling sweep) — and the gate fails (exit 1) when any matched point:
 
 - regresses more than ``tolerance`` (default 25%) in replay throughput
-  (``replay_pps_off`` or ``replay_pps_on``),
+  (``replay_pps_off``, ``replay_pps_on`` or ``replay_pps``) — skipped
+  when the two runs report different ``cores`` counts, since absolute
+  rates are not comparable across machine shapes,
 - regresses more than ``tolerance`` in a lower-is-better recovery
   metric (``recovery_us``), or loses flows a synchronous baseline
   kept (``flows_lost`` grew from zero), or
@@ -34,6 +37,13 @@ budget, state growth), so for their files a baseline-only point — or a
 missing baseline file altogether — is a hard error: silently dropping
 points (say, by deleting the committed baseline) must not green CI.
 
+``BENCH_procs.json`` carries its own fresh-file invariants, both
+machine-shape-aware: every point must keep oracle byte-identity, and
+each multi-worker point must reach ``PROCS_MIN_EFFICIENCY`` of the
+core-aware ideal — ``min(workers, cores)`` times the 1-worker rate —
+so the "4 workers ≥ 2x" claim gates exactly on boxes with ≥4 cores
+while a 1-core runner only enforces the overhead floor.
+
 ``BENCH_cgnat.json`` additionally carries its own fresh-file invariant:
 the stateless ``det-nat`` must report zero state entries and a flat
 checkpoint size at every flow count, while the stateful NATs it is
@@ -51,7 +61,7 @@ from typing import Dict, List, Tuple
 
 ORDERED_NFS = ("noop", "unverified-nat", "verified-nat")
 
-THROUGHPUT_FIELDS = ("replay_pps_off", "replay_pps_on")
+THROUGHPUT_FIELDS = ("replay_pps_off", "replay_pps_on", "replay_pps")
 
 #: Lower is better: a fresh value *above* baseline is the regression.
 #: (``flows_lost`` is gated separately — nonzero losses scale with the
@@ -60,7 +70,17 @@ RECOVERY_FIELDS = ("recovery_us",)
 
 #: Sweeps that gate a budget rather than track a trend: every baseline
 #: point must be matched, and the baseline file itself must exist.
-BUDGET_GATED = ("BENCH_failover.json", "BENCH_cgnat.json")
+BUDGET_GATED = (
+    "BENCH_failover.json",
+    "BENCH_cgnat.json",
+    "BENCH_procs.json",
+)
+
+#: Fraction of the core-aware ideal (min(workers, cores) x the
+#: 1-worker rate) every multi-worker procs point must reach; on a
+#: single core the ideal is 1x and only the overhead floor applies.
+PROCS_MIN_EFFICIENCY = 0.5
+PROCS_SINGLE_CORE_FLOOR = 0.35
 
 #: Allowed relative spread of a "flat" series (det-nat checkpoint
 #: bytes): max may exceed min by at most this fraction.
@@ -68,10 +88,13 @@ FLATNESS_SLACK = 0.10
 
 
 def _key_of(record: Dict) -> Tuple[str, int]:
-    """Records with a ``lag`` field (failover sweep) key on it; the
-    throughput sweeps key on ``flow_count``."""
+    """Records with a ``lag`` field (failover sweep) key on it; records
+    with ``workers`` but no ``flow_count`` (procs sweep) key on the
+    worker count; the throughput sweeps key on ``flow_count``."""
     if "lag" in record:
         return (record["nf"], record["lag"])
+    if "workers" in record and "flow_count" not in record:
+        return (record["nf"], record["workers"])
     return (record["nf"], record["flow_count"])
 
 
@@ -108,10 +131,26 @@ def compare_file(
         base, new = baseline[key], fresh[key]
         if base.get("identical", True) and not new.get("identical", True):
             failures.append(f"{name}: {key} lost differential byte-identity")
+        base_cores, new_cores = base.get("cores"), new.get("cores")
+        cores_differ = (
+            base_cores is not None
+            and new_cores is not None
+            and base_cores != new_cores
+        )
         for field in THROUGHPUT_FIELDS:
             old_value = base.get(field)
             new_value = new.get(field)
             if not old_value or new_value is None:
+                continue
+            if cores_differ:
+                # Absolute rates measured on different machine shapes
+                # say nothing about regressions; the per-file scaling
+                # invariants still gate the fresh results.
+                print(
+                    f"  {name}: {key[0]}@{key[1]} {field} skipped "
+                    f"(baseline on {base_cores} core(s), "
+                    f"fresh on {new_cores})"
+                )
                 continue
             change = (new_value - old_value) / old_value
             marker = ""
@@ -181,6 +220,8 @@ def compare_file(
             )
     if name == "BENCH_cgnat.json":
         failures.extend(_cgnat_invariants(name, fresh))
+    if name == "BENCH_procs.json":
+        failures.extend(_procs_invariants(name, fresh))
     return failures
 
 
@@ -223,6 +264,60 @@ def _cgnat_invariants(name: str, fresh: Dict[Tuple[str, int], Dict]) -> List[str
                 failures.append(
                     f"{name}: {nf} state entries {entries} do not grow with "
                     f"flow count; the stateful contrast is not being measured"
+                )
+    return failures
+
+
+def _procs_invariants(name: str, fresh: Dict[Tuple[str, int], Dict]) -> List[str]:
+    """Byte-identity and core-aware scaling of the procs sweep.
+
+    Checked against the fresh file alone (the committed baseline may
+    come from a differently-shaped machine): every point must match the
+    deterministic oracle byte for byte, and each multi-worker point
+    must reach ``PROCS_MIN_EFFICIENCY`` of ``min(workers, cores)``
+    times its NF's 1-worker rate — on a >=4-core runner that is the
+    "4 workers >= 2x" acceptance claim; a single core only enforces
+    ``PROCS_SINGLE_CORE_FLOOR`` (pipe overhead must not eat the rate).
+    """
+    failures: List[str] = []
+    by_nf: Dict[str, List[Tuple[int, Dict]]] = {}
+    for (nf, workers), record in fresh.items():
+        by_nf.setdefault(nf, []).append((workers, record))
+    for nf, points in sorted(by_nf.items()):
+        points.sort(key=lambda item: item[0])
+        for workers, record in points:
+            if not record.get("identical", False):
+                failures.append(
+                    f"{name}: {nf}@{workers} workers lost byte-identity "
+                    f"with the deterministic oracle"
+                )
+        anchor = dict(points).get(1)
+        if anchor is None or not anchor.get("replay_pps"):
+            failures.append(
+                f"{name}: {nf} is missing its 1-worker anchor point; "
+                f"the scaling gate has nothing to scale from"
+            )
+            continue
+        base_pps = anchor["replay_pps"]
+        for workers, record in points:
+            if workers == 1:
+                continue
+            pps = record.get("replay_pps") or 0.0
+            cores = record.get("cores") or 1
+            ideal = min(workers, cores)
+            if ideal > 1:
+                required = PROCS_MIN_EFFICIENCY * ideal * base_pps
+                shape = (
+                    f"{PROCS_MIN_EFFICIENCY:.2f} x {ideal}x ideal "
+                    f"on {cores} core(s)"
+                )
+            else:
+                required = PROCS_SINGLE_CORE_FLOOR * base_pps
+                shape = f"single-core floor {PROCS_SINGLE_CORE_FLOOR:.2f}"
+            if pps < required:
+                failures.append(
+                    f"{name}: {nf}@{workers} workers replay_pps "
+                    f"{pps:.0f} below required {required:.0f} ({shape})"
                 )
     return failures
 

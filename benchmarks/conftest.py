@@ -134,6 +134,25 @@ def failover_flow_count() -> int:
     return 192
 
 
+def procs_worker_counts() -> tuple:
+    """Worker-process counts for the process-runtime scaling sweep.
+
+    The smoke grid keeps the 4-worker point: the CI gate's scaling
+    claim ("4 workers ≥ 2x of 1 on a ≥4-core box") lives there.
+    """
+    if scale() == "paper":
+        return (1, 2, 4, 8)
+    return (1, 2, 4)
+
+
+def procs_packet_count() -> int:
+    if scale() == "paper":
+        return 12_000
+    if scale() == "smoke":
+        return 2_000
+    return 4_000
+
+
 def cgnat_flow_counts() -> tuple:
     """1x/10x/100x flow regimes for the stateless-CGNAT scaling sweep.
 

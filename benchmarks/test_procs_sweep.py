@@ -1,0 +1,100 @@
+"""Process-runtime scaling sweep: real cores behind the same semantics.
+
+Not a figure of the paper — the paper's NAT runs one core per NIC queue
+natively — but the reproduction's claim is the same one DPDK deployments
+make: scaling out must not change what the NF computes. Two contracts:
+
+(a) **byte-identity**: on the identical schedule, every worker process
+    emits the exact TX stream (and counters) the deterministic oracle's
+    same-numbered worker emits, at every width;
+(b) **core-aware scaling**: the warmed replay rate grows with worker
+    processes up to ``min(workers, cores)`` at ≥0.5 efficiency — on the
+    ≥4-core CI box, 4 workers must clear 2x the 1-worker rate; on a
+    1-core box only the single-core overhead floor applies.
+
+The measured rates (with the core count that contextualizes them) are
+published to ``benchmarks/results/BENCH_procs.json`` and budget-gated
+by ``compare_bench.py``.
+"""
+
+import json
+
+from benchmarks.conftest import (
+    RESULTS_DIR,
+    procs_packet_count,
+    procs_worker_counts,
+)
+from repro.eval.experiments import (
+    ProcsBudget,
+    procs_nf_factories,
+    procs_scaling_breaches,
+    procs_sweep,
+)
+from repro.eval.reporting import render_procs_sweep
+from repro.obs import merge_snapshots, snapshot_of_counters
+
+PROCS_NFS = tuple(procs_nf_factories())
+
+
+def _point_snapshot(point):
+    """One sweep point in the shared snapshot schema."""
+    return snapshot_of_counters(
+        {
+            "procs_replay_pps": int(point.replay_pps),
+            "procs_packets": point.packets,
+            "procs_identical": int(point.identical),
+        },
+        labels={"nf": point.nf, "workers": str(point.workers)},
+        help_text="process-runtime scaling sweep",
+    )
+
+
+def _bench_record(point):
+    return {
+        "nf": point.nf,
+        "workers": point.workers,
+        "burst_size": point.burst_size,
+        "packets": point.packets,
+        "cores": point.cores,
+        "replay_pps": round(point.replay_pps, 1),
+        "speedup_vs_1": round(point.speedup_vs_1, 3),
+        "identical": point.identical,
+        "metrics": _point_snapshot(point),
+    }
+
+
+def test_procs_sweep(benchmark, publish, publish_snapshot):
+    widths = procs_worker_counts()
+    points = benchmark.pedantic(
+        lambda: procs_sweep(
+            worker_counts=widths, packet_count=procs_packet_count()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("procs_sweep", render_procs_sweep(points))
+    publish_snapshot(
+        "procs_sweep", merge_snapshots([_point_snapshot(p) for p in points])
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_procs.json").write_text(
+        json.dumps([_bench_record(p) for p in points], indent=2) + "\n"
+    )
+
+    by_key = {(p.nf, p.workers): p for p in points}
+    assert set(by_key) == {(nf, w) for nf in PROCS_NFS for w in widths}
+
+    for point in points:
+        # (a) The whole point: process mode changes the wall clock,
+        # never the bytes.
+        assert point.identical, (
+            f"{point.nf} @ {point.workers} workers: process TX stream "
+            "diverged from the deterministic oracle"
+        )
+        assert point.replay_pps > 0, (point.nf, point.workers)
+        # The NF actually processed the schedule in every worker.
+        assert sum(point.counters.values()) > 0, (point.nf, point.workers)
+
+    # (b) Core-aware scaling within budget — the same gate
+    # compare_bench applies to the committed baseline.
+    assert procs_scaling_breaches(points, ProcsBudget()) == []

@@ -312,6 +312,23 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             return 1
         print("\nmemory flat: det-nat state independent of flow count")
         return 0
+    if args.artifact == "procs":
+        from repro.eval.experiments import procs_scaling_breaches, procs_sweep
+        from repro.eval.reporting import render_procs_sweep
+
+        points = procs_sweep(worker_counts=(1, 2, 4), packet_count=2_000)
+        print(render_procs_sweep(points))
+        breaches = procs_scaling_breaches(points)
+        if breaches:
+            print("\nprocess-runtime invariants VIOLATED:")
+            for breach in breaches:
+                print(f"  - {breach}")
+            return 1
+        print(
+            "\nprocess runtime byte-identical to the oracle; "
+            "scaling within budget"
+        )
+        return 0
     if args.artifact == "metrics":
         from repro.eval.experiments import collect_sharded_metrics
         from repro.eval.reporting import render_metrics
@@ -336,7 +353,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs.expo import render_json, render_prometheus, write_snapshot_files
 
     snapshot = collect_sharded_metrics(
-        workers=args.workers, fastpath=not args.no_fastpath
+        workers=args.workers,
+        fastpath=not args.no_fastpath,
+        execution=args.execution,
     )
     if args.format == "prom":
         print(render_prometheus(snapshot))
@@ -403,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fastpath",
             "failover",
             "cgnat",
+            "procs",
             "metrics",
             "verification",
         ],
@@ -420,6 +440,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fastpath",
         action="store_true",
         help="run without the microflow cache",
+    )
+    metrics.add_argument(
+        "--execution",
+        choices=["threaded-deterministic", "process"],
+        default="threaded-deterministic",
+        help="runtime to collect from: the deterministic oracle or the "
+        "process-per-shard runtime (default: threaded-deterministic)",
     )
     metrics.add_argument(
         "--format",

@@ -8,6 +8,7 @@ population, and throughput is the highest rate with <0.1% loss.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -28,6 +29,7 @@ from repro.net.moongen import (
     ProbeFlows,
     merge_sources,
 )
+from repro.net.app import PROCESS, THREADED_DETERMINISTIC, RuntimeSpec, launch
 from repro.net.rss import NatSteering
 from repro.net.testbed import Rfc2544Testbed, ThroughputResult
 
@@ -332,9 +334,6 @@ def shard_sweep(
                     )
                 )
                 continue
-            shards = cfg.partition(workers)
-            steering = NatSteering(shards)
-            nfs = [factory(shard) for shard in shards]
             testbed = Rfc2544Testbed(
                 cost_model=CostModel(), burst_size=burst_size, workers=workers
             )
@@ -344,11 +343,14 @@ def shard_sweep(
                 packet_count * workers,
                 burst=burst_size,
             )
-            sharded = testbed.run_sharded(nfs, steering.worker_for, workload.events())
-            counters: Dict[str, int] = {}
-            for nf in nfs:
-                for key, value in nf.op_counters().items():
-                    counters[key] = counters.get(key, 0) + value
+            spec = RuntimeSpec(
+                nf_factory=factory,
+                config=cfg,
+                workers=workers,
+                burst_size=burst_size,
+            )
+            sharded = testbed.run_spec(spec, workload.events())
+            counters: Dict[str, int] = sharded.op_counters()
             points.append(
                 ShardPoint(
                     nf=name,
@@ -538,6 +540,7 @@ def collect_sharded_metrics(
     packet_count: int = 2_048,
     burst_size: int = 32,
     offered_pps: float = 1_000_000.0,
+    execution: str = THREADED_DETERMINISTIC,
     settings: Optional[EvalSettings] = None,
 ) -> Dict:
     """Drive a sharded run and return its merged metrics snapshot.
@@ -546,31 +549,40 @@ def collect_sharded_metrics(
     per-worker mbuf pools and ports, the burst main loop, the microflow
     cache over the verified NAT — then collects one snapshot covering
     pool, NIC, runtime, fastpath and flow-table metrics, each worker's
-    samples labeled ``worker=<i>``.
+    samples labeled ``worker=<i>``. With ``execution="process"`` the
+    same schedule runs on real worker processes and the snapshot is the
+    cross-process merge.
     """
-    from repro.net.dpdk import ShardedRuntime
-
     settings = settings if settings is not None else EvalSettings(
         expiration_seconds=60.0
     )
     cfg = settings.nat_config()
-    runtime = ShardedRuntime(
-        lambda shard: VigNat(shard), cfg, workers=workers, fastpath=fastpath
+    spec = RuntimeSpec(
+        nf_factory=lambda shard: VigNat(shard),
+        config=cfg,
+        workers=workers,
+        execution=execution,
+        fastpath=fastpath,
+        burst_size=burst_size,
     )
-    workload = ConstantRateFlows(
-        flow_count, offered_pps, packet_count, burst=burst_size
-    )
-    pending = 0
-    now_us = 0
-    for event in workload.events():
-        now_us = event.time_ns // 1_000
-        runtime.inject(cfg.internal_device, event.packet, now_us)
-        pending += 1
-        if pending >= burst_size * workers:
-            runtime.main_loop_burst(now_us, burst_size)
-            pending = 0
-    runtime.main_loop_burst(now_us, burst_size)
-    return runtime.metrics_snapshot()
+    runtime = launch(spec)
+    try:
+        workload = ConstantRateFlows(
+            flow_count, offered_pps, packet_count, burst=burst_size
+        )
+        pending = 0
+        now_us = 0
+        for event in workload.events():
+            now_us = event.time_ns // 1_000
+            runtime.inject(cfg.internal_device, event.packet, now_us)
+            pending += 1
+            if pending >= burst_size * workers:
+                runtime.main_loop_burst(now_us, burst_size)
+                pending = 0
+        runtime.main_loop_burst(now_us, burst_size)
+        return runtime.snapshot_metrics()
+    finally:
+        runtime.stop()
 
 
 @dataclass
@@ -694,7 +706,6 @@ def failover_sweep(
     for flows lost with the channel's in-flight window.
     """
     from repro.packets.builder import make_udp_packet
-    from repro.resil.failover import ReplicatedRuntime
     from repro.resil.faults import FaultPlan
 
     factories = factories if factories is not None else replicable_nf_factories()
@@ -707,13 +718,15 @@ def failover_sweep(
     for name, factory in factories.items():
         for lag in lags:
             plan = FaultPlan()
-            runtime = ReplicatedRuntime(
-                factory,
-                cfg,
-                workers,
-                lag=lag,
-                fastpath=fastpath,
-                fault_plan=plan,
+            runtime = launch(
+                RuntimeSpec(
+                    nf_factory=factory,
+                    config=cfg,
+                    workers=workers,
+                    fastpath=fastpath,
+                    fault_plan=plan,
+                    replication_lag=lag,
+                )
             )
             ext_ip = runtime.runtime.config.external_ip
 
@@ -1074,3 +1087,216 @@ def throughput_sweep(
             )
         outcome[name] = results
     return outcome
+
+
+@dataclass
+class ProcsPoint:
+    """One process-runtime scaling point: one NF at one worker count.
+
+    Two claims ride together. Correctness: the process runtime's
+    per-worker TX streams (and merged NF counters) are byte-identical
+    to the deterministic oracle's on the same schedule — ``identical``.
+    Performance: the warmed replay rate scales with workers *up to the
+    cores actually available*, which is why ``cores`` is recorded in
+    the artifact: the budget gate scales its expectation by
+    ``min(workers, cores)`` instead of assuming the CI machine's shape.
+    """
+
+    nf: str
+    workers: int
+    burst_size: int
+    #: Packets in one replay pass (the pps numerator).
+    packets: int
+    #: CPU cores available to this run (``os.sched_getaffinity``).
+    cores: int
+    #: Warmed fastest-of-N replay rate through the worker processes.
+    replay_pps: float
+    #: ``replay_pps`` relative to the same NF's 1-worker point.
+    speedup_vs_1: float
+    #: Process TX streams and counters matched the oracle exactly.
+    identical: bool
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+def procs_nf_factories() -> Dict[str, NfFactory]:
+    """The NFs the process-runtime differential + scaling sweep covers."""
+    return {
+        "unverified-nat": lambda cfg: UnverifiedNat(cfg),
+        "verified-nat": lambda cfg: VigNat(cfg),
+    }
+
+
+def _drive_differential(runtime, events, burst_size: int) -> None:
+    """The shared drive loop: inject per event, turn every burst."""
+    pending = 0
+    now_us = 0
+    for event in events:
+        now_us = event.time_ns // 1_000
+        runtime.inject(event.packet.device, event.packet, now_us)
+        pending += 1
+        if pending >= burst_size:
+            runtime.main_loop_burst(now_us, burst_size)
+            pending = 0
+    runtime.main_loop_burst(now_us + 1, burst_size)
+    runtime.main_loop_burst(now_us + 2, burst_size)
+
+
+def procs_sweep(
+    factories: Optional[Dict[str, NfFactory]] = None,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    flow_count: int = 256,
+    packet_count: int = 4_000,
+    burst_size: int = 32,
+    fastpath: bool = False,
+    repeats: int = 3,
+    settings: Optional[EvalSettings] = None,
+) -> List[ProcsPoint]:
+    """Process-per-shard scaling with the oracle differential riding along.
+
+    Per (NF, worker count): the identical schedule is driven through
+    the deterministic :class:`~repro.net.dpdk.ShardedRuntime` (the
+    oracle) and a :class:`~repro.net.procrun.ProcessShardedRuntime`,
+    and their per-worker TX streams plus merged counters must match
+    byte for byte — the differential drive doubles as the warm-up pass.
+    Then the throughput phase pre-steers and serializes the schedule
+    once (:meth:`~repro.net.procrun.ProcessShardedRuntime.prepare_schedule`)
+    and times the fastest of ``repeats`` scatter/gather pumps, so the
+    measured rate is the workers' concurrent data path, not the
+    parent's per-packet steering.
+    """
+    factories = factories if factories is not None else procs_nf_factories()
+    settings = settings if settings is not None else EvalSettings(
+        expiration_seconds=60.0
+    )
+    cfg = settings.nat_config()
+    cores = len(os.sched_getaffinity(0))
+    points: List[ProcsPoint] = []
+    for name, factory in factories.items():
+        base_pps: Optional[float] = None
+        for workers in worker_counts:
+            workload = ConstantRateFlows(
+                flow_count, 1_000_000.0, packet_count, burst=burst_size
+            )
+            events = list(workload.events())
+
+            oracle = launch(
+                RuntimeSpec(
+                    nf_factory=factory,
+                    config=cfg,
+                    workers=workers,
+                    execution=THREADED_DETERMINISTIC,
+                    fastpath=fastpath,
+                    burst_size=burst_size,
+                )
+            )
+            proc = launch(
+                RuntimeSpec(
+                    nf_factory=factory,
+                    config=cfg,
+                    workers=workers,
+                    execution=PROCESS,
+                    fastpath=fastpath,
+                    burst_size=burst_size,
+                )
+            )
+            try:
+                _drive_differential(oracle, events, burst_size)
+                _drive_differential(proc, events, burst_size)
+                oracle_tx = [
+                    [
+                        (port, packet.device, ts, packet.wire_bytes())
+                        for port, ts, packet in worker_records
+                    ]
+                    for worker_records in oracle.collect_by_worker()
+                ]
+                proc_tx = proc.collect_raw_by_worker()
+                counters = proc.op_counters()
+                identical = (
+                    oracle_tx == proc_tx and counters == oracle.op_counters()
+                )
+
+                schedule = proc.prepare_schedule(events, burst_size)
+                best: Optional[float] = None
+                for _ in range(max(1, repeats)):
+                    started = time.perf_counter()
+                    proc.pump(schedule, burst_size)
+                    elapsed = time.perf_counter() - started
+                    if best is None or elapsed < best:
+                        best = elapsed
+                replay_pps = len(events) / best if best and best > 0 else 0.0
+            finally:
+                oracle.stop()
+                proc.stop()
+
+            if workers == 1 or base_pps is None:
+                base_pps = replay_pps if workers == 1 else base_pps
+            speedup = (
+                replay_pps / base_pps if base_pps and base_pps > 0 else 0.0
+            )
+            points.append(
+                ProcsPoint(
+                    nf=name,
+                    workers=workers,
+                    burst_size=burst_size,
+                    packets=len(events),
+                    cores=cores,
+                    replay_pps=replay_pps,
+                    speedup_vs_1=speedup,
+                    identical=identical,
+                    counters=counters,
+                )
+            )
+    return points
+
+
+@dataclass
+class ProcsBudget:
+    """The scaling/identity budget ``experiments procs`` gates on."""
+
+    #: Fraction of the core-aware ideal (``min(workers, cores)`` x the
+    #: 1-worker rate) a multi-worker point must reach. 0.5 means a
+    #: 4-worker run on a >=4-core box must hit 2x the 1-worker rate.
+    min_efficiency: float = 0.5
+    #: When only one core is available, ideal scaling is 1x and the
+    #: pipe traffic is pure overhead; multi-worker points need only
+    #: stay above this fraction of the 1-worker rate.
+    single_core_floor: float = 0.35
+
+
+def procs_scaling_breaches(
+    points: Sequence[ProcsPoint], budget: Optional[ProcsBudget] = None
+) -> List[str]:
+    """Budget violations across a procs sweep (empty = within budget)."""
+    budget = budget if budget is not None else ProcsBudget()
+    breaches: List[str] = []
+    base: Dict[str, ProcsPoint] = {
+        p.nf: p for p in points if p.workers == 1
+    }
+    for p in points:
+        where = f"{p.nf} @ {p.workers} workers"
+        if not p.identical:
+            breaches.append(
+                f"{where}: process TX stream or counters diverged from "
+                f"the deterministic oracle"
+            )
+        if p.workers == 1:
+            continue
+        anchor = base.get(p.nf)
+        if anchor is None or anchor.replay_pps <= 0:
+            continue
+        ideal = min(p.workers, p.cores)
+        if ideal > 1:
+            required = budget.min_efficiency * ideal * anchor.replay_pps
+            shape = (
+                f"{budget.min_efficiency:.2f} x {ideal}x ideal "
+                f"on {p.cores} core(s)"
+            )
+        else:
+            required = budget.single_core_floor * anchor.replay_pps
+            shape = f"single-core floor {budget.single_core_floor:.2f}"
+        if p.replay_pps < required:
+            breaches.append(
+                f"{where}: {p.replay_pps:,.0f} pps < required "
+                f"{required:,.0f} ({shape})"
+            )
+    return breaches

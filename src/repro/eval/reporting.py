@@ -11,6 +11,7 @@ from repro.eval.experiments import (
     FailoverPoint,
     FastpathPoint,
     LatencyPoint,
+    ProcsPoint,
     ShardPoint,
 )
 from repro.eval.verification_stats import VerificationStats
@@ -293,6 +294,54 @@ def render_cgnat_sweep(points: Sequence[CgnatPoint]) -> str:
             f"state entries {low.state_entries} -> {high.state_entries} "
             f"(flat by construction: the mapping is arithmetic)"
         )
+    return "\n".join(lines)
+
+
+def render_procs_sweep(points: Sequence[ProcsPoint]) -> str:
+    """Procs sweep: wall-clock replay rate per worker-process count.
+
+    One row per NF, one column per width, with the speedup over the
+    1-worker point and the oracle byte-identity verdict. ``cores``
+    matters for reading the speedups: a 4-worker run on a 1-core box
+    is expected near 1x, not 4x — the budget gate scales accordingly.
+    """
+    by_nf: Dict[str, List[ProcsPoint]] = {}
+    for point in points:
+        by_nf.setdefault(point.nf, []).append(point)
+    widths = sorted({p.workers for p in points})
+    first = points[0] if points else None
+    scenario = (
+        f"{first.packets} packets, burst {first.burst_size}, "
+        f"{first.cores} core(s)"
+        if first
+        else ""
+    )
+    header = "workers:             " + "  ".join(f"{w:>9d}" for w in widths)
+    lines = [
+        f"Process-runtime sweep — warmed replay rate (pps) ({scenario})",
+        header,
+    ]
+    for nf, nf_points in by_nf.items():
+        cells = {p.workers: p for p in nf_points}
+        row = "  ".join(
+            f"{cells[w].replay_pps:9,.0f}" if w in cells else "        -"
+            for w in widths
+        )
+        lines.append(f"{nf:>20s}: {row}")
+    lines.append("")
+    lines.append("speedup vs 1 worker / oracle byte-identity")
+    for nf, nf_points in by_nf.items():
+        cells = {p.workers: p for p in nf_points}
+        row = "  ".join(
+            (
+                f"{cells[w].speedup_vs_1:5.2f}x "
+                + ("ok " if cells[w].identical else "DIV")
+                if w in cells
+                else "         -"
+            )
+            for w in widths
+        )
+        lines.append(f"{nf:>20s}: {row}")
     return "\n".join(lines)
 
 

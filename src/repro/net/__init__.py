@@ -12,7 +12,14 @@ setup closely enough to reproduce the evaluation's *relative* results:
   ownership — see ``docs/SCALING.md``),
 - :mod:`repro.net.dpdk` — a DPDK-like burst API over the ports
   (:class:`DpdkRuntime`), sharded across N workers by
-  :class:`ShardedRuntime`,
+  :class:`ShardedRuntime` (the deterministic verification oracle),
+- :mod:`repro.net.procrun` — the same sharded shape with one OS
+  process per shard (:class:`ProcessShardedRuntime`): real wall-clock
+  scale-out, byte-identical to the oracle,
+- :mod:`repro.net.app` — the deployment facade: describe a deployment
+  as a frozen :class:`RuntimeSpec` and :func:`launch` it into a
+  :class:`Runtime` (the one construction path; the raw constructors
+  are deprecated),
 - :mod:`repro.net.costmodel` — per-packet latency/service costs derived
   from the NF's *actual* abstract work (probe counts, hook traversals,
   checksum bytes) plus calibrated constants,
@@ -24,9 +31,18 @@ The names exported here are the package's stable public surface; code
 outside the repository should import from ``repro.net`` directly.
 """
 
+from repro.net.app import (
+    EXECUTION_MODES,
+    InlineRuntime,
+    NfApp,
+    Runtime,
+    RuntimeSpec,
+    launch,
+)
 from repro.net.costmodel import CostModel
 from repro.net.dpdk import DpdkRuntime, ShardedRuntime
 from repro.net.mbuf import MbufPool
+from repro.net.procrun import ProcessShardedRuntime, WorkerCrashed
 from repro.net.moongen import (
     BackgroundFlows,
     ConstantRateFlows,
@@ -48,17 +64,25 @@ __all__ = [
     "ConstantRateFlows",
     "CostModel",
     "DpdkRuntime",
+    "EXECUTION_MODES",
+    "InlineRuntime",
     "LatencyStats",
     "MbufPool",
     "NatSteering",
+    "NfApp",
     "PacketSource",
     "Port",
     "ProbeFlows",
+    "ProcessShardedRuntime",
     "Rfc2544Testbed",
     "RssNic",
+    "Runtime",
+    "RuntimeSpec",
     "ShardedRunResult",
     "ShardedRuntime",
     "ThroughputResult",
+    "WorkerCrashed",
+    "launch",
     "merge_sources",
     "rss_hash_packet",
     "rss_queue",

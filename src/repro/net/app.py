@@ -1,22 +1,289 @@
-"""The NF application shell: a DPDK-style main loop around any NF.
+"""The NF application layer: one spec, one launcher, one runtime protocol.
 
-``NfApp`` is what the paper's ``main()`` is to VigNAT: receive a burst,
-run the NF per packet, transmit or free each buffer — with the
-no-leak discipline Vigor's ownership tracking enforces (§5.2.4). It
-drives any :class:`~repro.nat.base.NetworkFunction` over a
-:class:`~repro.net.dpdk.DpdkRuntime`, and can replay pcap files end to
-end.
+Two things live here:
+
+- :class:`NfApp` — the paper's ``main()``: receive a burst, run the NF
+  per packet, transmit or free each buffer — with the no-leak
+  discipline Vigor's ownership tracking enforces (§5.2.4).
+- The **deployment facade**: a frozen :class:`RuntimeSpec` describing a
+  whole deployment (NF factory, config, workers, execution mode,
+  fastpath, faults, replication) and :func:`launch`, which turns the
+  spec into a running :class:`Runtime`. This replaces the scattered
+  constructor zoo (`DpdkRuntime(...)`, ``ShardedRuntime(workers=,
+  fastpath=)``, ``ReplicatedRuntime(...)``, ad-hoc testbed kwargs);
+  the legacy constructors keep working behind deprecation shims, like
+  the PR 2 ``NatConfig`` migration.
+
+Execution modes and what they are for:
+
+- ``inline`` — one NF, one :class:`~repro.net.dpdk.DpdkRuntime`, no
+  steering stage. The minimal single-core deployment.
+- ``threaded-deterministic`` — :class:`~repro.net.dpdk.ShardedRuntime`:
+  N shards round-robined in one thread. Fully deterministic; this is
+  the *verification oracle* the process mode is differentially tested
+  against, and the only mode that supports replication/failover.
+- ``process`` — :class:`~repro.net.procrun.ProcessShardedRuntime`: one
+  OS process per shard, real wall-clock scale-out, byte-identical to
+  the oracle on the same schedule. See ``docs/SCALING.md``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.libvig.batcher import Batcher
 from repro.nat.base import NetworkFunction
-from repro.net.dpdk import DpdkRuntime
+from repro.nat.config import NatConfig
+from repro.nat.fastpath import FastPathNat
+from repro.net.dpdk import DpdkRuntime, ShardedRuntime
+from repro.obs.registry import MetricsRegistry
 from repro.packets.headers import Packet
 from repro.packets.pcap import PcapRecord, read_pcap_file, write_pcap_file
+
+#: The three ways a spec can execute (see the module docstring).
+INLINE = "inline"
+THREADED_DETERMINISTIC = "threaded-deterministic"
+PROCESS = "process"
+EXECUTION_MODES = (INLINE, THREADED_DETERMINISTIC, PROCESS)
+
+
+@dataclass(frozen=True)
+class RuntimeSpec:
+    """Everything needed to stand up a NAT deployment, in one value.
+
+    Frozen like :class:`~repro.nat.config.NatConfig`: a spec can be
+    hashed, compared, logged in a benchmark record, and varied with
+    :meth:`with_` — and two runs launched from equal specs are
+    comparable runs. ``nf_factory`` is called once per shard with that
+    shard's partitioned config.
+    """
+
+    nf_factory: Callable[[NatConfig], NetworkFunction]
+    config: Optional[NatConfig] = None
+    workers: int = 1
+    execution: str = THREADED_DETERMINISTIC
+    fastpath: bool = False
+    burst_size: int = 32
+    port_count: int = 2
+    rx_capacity: int = 512
+    pool_size: int = 4096
+    fault_plan: Optional[object] = None
+    #: Replication lag for active/standby failover; ``None`` disables
+    #: replication entirely. Only the deterministic mode supports it.
+    replication_lag: Optional[int] = None
+    #: Process mode only: how long the parent waits on a worker reply
+    #: before declaring it crashed.
+    turn_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {self.execution!r}; "
+                f"choose one of {EXECUTION_MODES}"
+            )
+        if self.workers <= 0:
+            raise ValueError("need at least one worker")
+        if self.execution == INLINE and self.workers != 1:
+            raise ValueError(
+                "inline execution is single-worker; use "
+                "threaded-deterministic or process to shard"
+            )
+        if self.replication_lag is not None:
+            if self.replication_lag < 0:
+                raise ValueError("replication lag cannot be negative")
+            if self.execution != THREADED_DETERMINISTIC:
+                raise ValueError(
+                    "replication/failover requires the deterministic "
+                    "execution mode (the failover controller replays "
+                    "worker turns; a real dead process has no turn to replay)"
+                )
+        if self.burst_size <= 0:
+            raise ValueError("burst size must be positive")
+        if self.turn_timeout_s <= 0:
+            raise ValueError("turn timeout must be positive")
+
+    def resolved_config(self) -> NatConfig:
+        return self.config if self.config is not None else NatConfig()
+
+    def with_(self, **overrides) -> "RuntimeSpec":
+        """A varied copy — ``spec.with_(workers=4, execution=PROCESS)``."""
+        return replace(self, **overrides)
+
+
+@runtime_checkable
+class Runtime(Protocol):
+    """What every launched runtime can do, regardless of execution mode.
+
+    The wire side (:meth:`inject`/:meth:`collect`), the main loop, the
+    merged observability surface, the coordinated checkpoint, and a
+    shutdown hook (a no-op everywhere but process mode, where workers
+    are real OS processes).
+    """
+
+    @property
+    def workers(self) -> int: ...
+
+    def inject(self, port_id: int, packet: Packet, timestamp: int) -> bool: ...
+
+    def collect(self) -> List[Tuple[int, int, Packet]]: ...
+
+    def main_loop_burst(self, now_us: int, burst_size: int = 32) -> int: ...
+
+    def op_counters(self) -> Dict[str, int]: ...
+
+    def drop_causes(self) -> Dict[str, int]: ...
+
+    def flow_count(self) -> int: ...
+
+    def snapshot_metrics(self) -> Dict: ...
+
+    def checkpoint(self, now_us: int = 0): ...
+
+    def stop(self) -> None: ...
+
+
+class InlineRuntime:
+    """The single-worker deployment: one NF over one ``DpdkRuntime``.
+
+    No steering stage, no partitioning — the spec's config is the NF's
+    whole config. Satisfies the :class:`Runtime` protocol so sweeps can
+    treat it interchangeably with the sharded modes.
+    """
+
+    def __init__(self, spec: RuntimeSpec) -> None:
+        self.spec = spec
+        self.config = spec.resolved_config()
+        nf = spec.nf_factory(self.config)
+        self.nf: NetworkFunction = FastPathNat(nf) if spec.fastpath else nf
+        self.runtime = DpdkRuntime(
+            spec.port_count, spec.rx_capacity, spec.pool_size
+        )
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    # -- wire side -----------------------------------------------------------
+    def inject(self, port_id: int, packet: Packet, timestamp: int) -> bool:
+        return self.runtime.inject(port_id, packet, timestamp)
+
+    def collect(self) -> List[Tuple[int, int, Packet]]:
+        return self.runtime.collect()
+
+    def collect_by_worker(self) -> List[List[Tuple[int, int, Packet]]]:
+        return [self.runtime.collect()]
+
+    def main_loop_burst(self, now_us: int, burst_size: int = 32) -> int:
+        return self.runtime.main_loop_burst(self.nf, now_us, burst_size)
+
+    # -- introspection -------------------------------------------------------
+    def op_counters(self) -> Dict[str, int]:
+        return dict(self.nf.op_counters())
+
+    def per_worker_counters(self) -> List[Dict[str, int]]:
+        return [self.op_counters()]
+
+    def drop_causes(self) -> Dict[str, int]:
+        return self.runtime.drop_causes()
+
+    def flow_count(self) -> int:
+        return self.nf.flow_count() if hasattr(self.nf, "flow_count") else 0
+
+    # -- observability -------------------------------------------------------
+    def register_metrics(self, registry) -> None:
+        labels = {"worker": "0"}
+        self.runtime.register_metrics(registry, labels)
+        self.nf.register_metrics(registry, labels)
+
+    def snapshot_metrics(self) -> Dict:
+        registry = MetricsRegistry()
+        self.register_metrics(registry)
+        return registry.snapshot()
+
+    def metrics_snapshot(self) -> Dict:
+        return self.snapshot_metrics()
+
+    # -- control plane -------------------------------------------------------
+    def checkpoint(self, now_us: int = 0):
+        from repro.resil.checkpoint import snapshot_all
+
+        return snapshot_all([self.nf], now_us)
+
+    def restore(self, checkpoint_set) -> None:
+        from repro.resil.checkpoint import restore_all
+
+        restore_all([self.nf], checkpoint_set)
+
+    def stop(self) -> None:
+        """Nothing to tear down — inline state dies with the object."""
+
+
+def launch(spec: RuntimeSpec) -> Runtime:
+    """Stand up the deployment a spec describes and return its runtime.
+
+    The one construction path: picks the backend from
+    ``spec.execution`` (plus :class:`~repro.resil.failover.ReplicatedRuntime`
+    when ``replication_lag`` is set), forwards the spec's knobs, and
+    tags the result with ``.spec`` so drivers can read back the burst
+    size and mode they should drive with. Callers owning a ``process``
+    runtime must :meth:`~Runtime.stop` it; calling ``stop()`` on the
+    other modes is a harmless no-op, so generic drivers can always use
+    ``try/finally: runtime.stop()``.
+    """
+    if spec.replication_lag is not None:
+        from repro.resil.failover import ReplicatedRuntime
+
+        runtime: Runtime = ReplicatedRuntime(
+            spec.nf_factory,
+            spec.config,
+            spec.workers,
+            lag=spec.replication_lag,
+            fastpath=spec.fastpath,
+            fault_plan=spec.fault_plan,
+            port_count=spec.port_count,
+            rx_capacity=spec.rx_capacity,
+            pool_size=spec.pool_size,
+        )
+    elif spec.execution == INLINE:
+        runtime = InlineRuntime(spec)
+    elif spec.execution == PROCESS:
+        from repro.net.procrun import ProcessShardedRuntime
+
+        runtime = ProcessShardedRuntime(
+            spec.nf_factory,
+            spec.config,
+            spec.workers,
+            port_count=spec.port_count,
+            rx_capacity=spec.rx_capacity,
+            pool_size=spec.pool_size,
+            fastpath=spec.fastpath,
+            fault_plan=spec.fault_plan,
+            turn_timeout_s=spec.turn_timeout_s,
+        )
+    else:
+        runtime = ShardedRuntime(
+            spec.nf_factory,
+            spec.config,
+            spec.workers,
+            port_count=spec.port_count,
+            rx_capacity=spec.rx_capacity,
+            pool_size=spec.pool_size,
+            fastpath=spec.fastpath,
+            fault_plan=spec.fault_plan,
+            _from_spec=True,
+        )
+    runtime.spec = spec  # type: ignore[attr-defined]
+    return runtime
 
 
 class NfApp:

@@ -16,6 +16,7 @@ of :mod:`repro.net.rss`. See ``docs/SCALING.md``.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs
@@ -235,7 +236,16 @@ class ShardedRuntime:
         pool_size: int = 4096,
         fastpath: bool = False,
         fault_plan=None,
+        _from_spec: bool = False,
     ) -> None:
+        if not _from_spec:
+            warnings.warn(
+                "constructing ShardedRuntime directly is deprecated; "
+                "describe the deployment as a repro.net.RuntimeSpec("
+                "execution='threaded-deterministic') and launch() it",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if workers <= 0:
             raise ValueError("need at least one worker")
         config = config if config is not None else NatConfig()
@@ -473,3 +483,28 @@ class ShardedRuntime:
         registry = MetricsRegistry()
         self.register_metrics(registry)
         return registry.snapshot()
+
+    def snapshot_metrics(self) -> Dict:
+        """Protocol alias (see :class:`repro.net.app.Runtime`)."""
+        return self.metrics_snapshot()
+
+    # -- control plane -----------------------------------------------------------
+    def checkpoint(self, now_us: int = 0):
+        """A coordinated checkpoint of every shard, as one manifest.
+
+        Single-threaded execution makes the fence trivial: between
+        main-loop turns nothing is in flight and every RX ring has been
+        drained, so the shard frames always form a consistent cut.
+        """
+        from repro.resil.checkpoint import snapshot_all
+
+        return snapshot_all(self.nfs, now_us)
+
+    def restore(self, checkpoint_set) -> None:
+        """Adopt a coordinated checkpoint, one frame per worker, in order."""
+        from repro.resil.checkpoint import restore_all
+
+        restore_all(self.nfs, checkpoint_set)
+
+    def stop(self) -> None:
+        """Nothing to tear down — workers are plain objects in-thread."""

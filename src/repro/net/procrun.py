@@ -1,0 +1,798 @@
+"""Process-per-shard runtime: real multi-core scale-out for the NAT.
+
+:class:`~repro.net.dpdk.ShardedRuntime` round-robins its workers inside
+one Python thread — deterministic, but "4 workers" never buys wall-clock
+time. :class:`ProcessShardedRuntime` keeps the exact same shape (one
+shard of a partitioned :class:`~repro.nat.config.NatConfig`, one NF, one
+:class:`~repro.net.dpdk.DpdkRuntime`, one private fastpath cache and
+:class:`~repro.obs.registry.MetricsRegistry` per worker) but runs every
+worker in its own OS process, so shards execute concurrently on real
+cores. Nothing is shared: the parent owns the RSS steering stage
+(:class:`~repro.net.rss.NatSteering` behind an
+:class:`~repro.net.nic.RssNic`) and talks to each worker over one
+``multiprocessing`` pipe carrying length-prefixed raw wire bytes,
+batched per burst.
+
+The deterministic runtime stays the *verification oracle*: because a
+worker process runs the identical per-shard data path on the identical
+steered sub-schedule, its TX stream is byte-for-byte what the oracle's
+same-numbered worker produces — the differential suite in
+``tests/integration/test_proc_differential.py`` proves it on every
+NF × fastpath × worker-count cell. See ``docs/SCALING.md``.
+
+Protocol (one request/reply pipe per worker, commands applied in FIFO
+order, which is what makes the checkpoint fence trivial):
+
+========  ======================================  =======================
+opcode    parent → worker                         worker → parent
+========  ======================================  =======================
+``I``     burst of framed packets to enqueue      (no reply)
+``T``     run one main-loop turn                  ``a`` seq, processed, TX frames
+``S``     collect a worker-labeled snapshot       ``s`` JSON snapshot
+``N``     collect NF/runtime counters             ``n`` JSON counters
+``K``     take a ``repro-ckpt/v1`` checkpoint     ``k`` checkpoint frame
+``R``     restore a checkpoint frame              ``r`` ack
+``X``     stop and exit                           ``x`` goodbye
+========  ======================================  =======================
+
+Any worker-side exception comes back as an ``e`` reply and is re-raised
+in the parent; a worker that dies instead of replying surfaces as
+:class:`WorkerCrashed` with the shard id and the last *acknowledged*
+burst sequence number — never as a hung pipe read.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.nat.base import NetworkFunction
+from repro.nat.config import NatConfig
+from repro.nat.fastpath import FastPathNat
+from repro.net.dpdk import DpdkRuntime
+from repro.net.nic import RssNic
+from repro.net.rss import NatSteering
+from repro.obs import flight
+from repro.obs.registry import MetricsRegistry, merge_snapshots
+from repro.packets.headers import Packet
+
+# -- wire framing -------------------------------------------------------------
+
+#: One framed packet record: port, device, timestamp_us, wire length.
+_REC = struct.Struct(">HHqI")
+#: Turn command payload: seq, now_us, burst_size, pool seizure target.
+_TURN = struct.Struct(">QqiI")
+#: Turn acknowledgement payload: seq, packets processed.
+_ACK = struct.Struct(">QI")
+_CKPT = struct.Struct(">q")  # taken_at_us
+
+OP_INJECT = b"I"
+OP_TURN = b"T"
+OP_SNAPSHOT = b"S"
+OP_COUNTERS = b"N"
+OP_CHECKPOINT = b"K"
+OP_RESTORE = b"R"
+OP_STOP = b"X"
+
+RE_ACK = b"a"
+RE_SNAPSHOT = b"s"
+RE_COUNTERS = b"n"
+RE_CHECKPOINT = b"k"
+RE_RESTORED = b"r"
+RE_BYE = b"x"
+RE_ERROR = b"e"
+
+
+def pack_record(port_id: int, device: int, timestamp: int, wire: bytes) -> bytes:
+    """Frame one packet for the pipe: header + raw wire bytes.
+
+    ``device`` rides the frame because :meth:`Packet.wire_bytes` does
+    not carry it — it is runtime routing state, not an on-wire field.
+    """
+    return _REC.pack(port_id, device, timestamp, len(wire)) + wire
+
+
+def unpack_records(blob: bytes, offset: int = 0) -> List[Tuple[int, int, int, bytes]]:
+    """Parse a concatenation of framed records: (port, device, ts, wire)."""
+    records: List[Tuple[int, int, int, bytes]] = []
+    end = len(blob)
+    while offset < end:
+        port_id, device, timestamp, length = _REC.unpack_from(blob, offset)
+        offset += _REC.size
+        records.append((port_id, device, timestamp, bytes(blob[offset : offset + length])))
+        offset += length
+    return records
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died (or stopped answering) mid-schedule.
+
+    Carries enough to resume or fail over: which shard is gone and the
+    sequence number of the last burst that worker *acknowledged* — every
+    burst after it must be considered lost with the worker.
+    """
+
+    def __init__(self, shard: int, last_acked_seq: int, reason: str = "") -> None:
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"worker {shard} crashed after acking burst {last_acked_seq}{detail}"
+        )
+        self.shard = shard
+        self.last_acked_seq = last_acked_seq
+        self.reason = reason
+
+
+# -- the worker process -------------------------------------------------------
+
+
+def _worker_main(
+    conn,
+    worker_id: int,
+    nf_factory: Callable[[NatConfig], NetworkFunction],
+    shard: NatConfig,
+    fastpath: bool,
+    port_count: int,
+    rx_capacity: int,
+    pool_size: int,
+) -> None:
+    """One shard's whole world: NF + runtime + cache + registry, private.
+
+    Runs until an ``X`` command or pipe EOF. Every command handler is
+    wrapped: an exception becomes an ``e`` reply (type + message) so the
+    parent re-raises instead of deadlocking on a missing reply.
+    """
+    from repro.resil.checkpoint import Checkpoint
+    from repro.resil.checkpoint import restore as restore_checkpoint
+    from repro.resil.checkpoint import snapshot as snapshot_checkpoint
+
+    nf = nf_factory(shard)
+    if fastpath:
+        nf = FastPathNat(nf)
+    runtime = DpdkRuntime(port_count, rx_capacity, pool_size)
+    runtime.worker_id = worker_id
+    seized: List = []
+
+    def apply_pool_seizure(target: int) -> None:
+        while len(seized) < target:
+            mbuf = runtime.pool.alloc(None, port=0, timestamp=0)
+            if mbuf is None:
+                break
+            seized.append(mbuf)
+        while len(seized) > target:
+            runtime.pool.free(seized.pop())
+
+    while True:
+        try:
+            message = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        op = message[:1]
+        try:
+            if op == OP_INJECT:
+                for port_id, device, timestamp, wire in unpack_records(message, 1):
+                    packet = Packet.from_bytes(wire, device=device)
+                    runtime.inject(port_id, packet, timestamp)
+            elif op == OP_TURN:
+                seq, now_us, burst_size, seizure = _TURN.unpack_from(message, 1)
+                apply_pool_seizure(seizure)
+                processed = runtime.main_loop_burst(nf, now_us, burst_size)
+                frames = [
+                    pack_record(port_id, packet.device, timestamp, packet.wire_bytes())
+                    for port_id, timestamp, packet in runtime.collect()
+                ]
+                conn.send_bytes(
+                    RE_ACK + _ACK.pack(seq, processed) + b"".join(frames)
+                )
+            elif op == OP_SNAPSHOT:
+                registry = MetricsRegistry()
+                labels = {"worker": str(worker_id)}
+                runtime.register_metrics(registry, labels)
+                nf.register_metrics(registry, labels)
+                conn.send_bytes(
+                    RE_SNAPSHOT + json.dumps(registry.snapshot()).encode("utf-8")
+                )
+            elif op == OP_COUNTERS:
+                payload = {
+                    "op_counters": dict(nf.op_counters()),
+                    "drop_causes": runtime.drop_causes(),
+                    "flow_count": nf.flow_count() if hasattr(nf, "flow_count") else 0,
+                }
+                conn.send_bytes(RE_COUNTERS + json.dumps(payload).encode("utf-8"))
+            elif op == OP_CHECKPOINT:
+                (taken_at_us,) = _CKPT.unpack_from(message, 1)
+                frame = snapshot_checkpoint(nf, taken_at_us).to_bytes()
+                conn.send_bytes(RE_CHECKPOINT + frame)
+            elif op == OP_RESTORE:
+                restore_checkpoint(nf, Checkpoint.from_bytes(message[1:]))
+                conn.send_bytes(RE_RESTORED)
+            elif op == OP_STOP:
+                conn.send_bytes(RE_BYE)
+                break
+            else:
+                raise ValueError(f"unknown opcode {op!r}")
+        except Exception as exc:  # noqa: BLE001 — everything must reach the parent
+            conn.send_bytes(
+                RE_ERROR
+                + json.dumps(
+                    {"type": type(exc).__name__, "message": str(exc)}
+                ).encode("utf-8")
+            )
+    conn.close()
+
+
+# -- the parent-side runtime --------------------------------------------------
+
+
+class ProcessShardedRuntime:
+    """N shard processes behind one RSS-steered NIC, driven by the parent.
+
+    The public surface mirrors :class:`~repro.net.dpdk.ShardedRuntime`
+    (it satisfies the same :class:`~repro.net.app.Runtime` protocol), so
+    a schedule driven against both produces byte-identical per-worker TX
+    streams and merged counters. Differences by design:
+
+    - :meth:`inject` batches: packets are framed and buffered per
+      worker, and shipped as one pipe message per worker per turn.
+    - A fault-plan worker kill terminates the real OS process; the
+      parent then raises :class:`WorkerCrashed` rather than silently
+      serving on, because process mode has no failover controller (use
+      the deterministic mode with replication for that).
+    - :meth:`checkpoint` is coordinated: the pipe's FIFO ordering fences
+      each worker (a checkpoint reply proves every prior burst landed),
+      and the shard frames are bound into one
+      :class:`~repro.resil.checkpoint.CheckpointSet` manifest.
+
+    Always :meth:`stop` a runtime when done (or use it as a context
+    manager) — worker processes are real and must be joined.
+    """
+
+    def __init__(
+        self,
+        nf_factory: Callable[[NatConfig], NetworkFunction],
+        config: Optional[NatConfig] = None,
+        workers: int = 1,
+        *,
+        steering: Optional[NatSteering] = None,
+        port_count: int = 2,
+        rx_capacity: int = 512,
+        pool_size: int = 4096,
+        fastpath: bool = False,
+        fault_plan=None,
+        turn_timeout_s: float = 30.0,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("need at least one worker")
+        if turn_timeout_s <= 0:
+            raise ValueError("turn timeout must be positive")
+        config = config if config is not None else NatConfig()
+        self.config = config
+        self.shards: Tuple[NatConfig, ...] = config.partition(workers)
+        self.steering = steering if steering is not None else NatSteering(self.shards)
+        self.nic = RssNic(workers, steer=self.steering.worker_for)
+        self.fault_plan = fault_plan
+        self.fault_wire_dropped = 0
+        self.fault_wire_corrupted = 0
+        self.fault_kill_lost = 0
+        self.turn_timeout_s = turn_timeout_s
+
+        context = multiprocessing.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for worker_id, shard in enumerate(self.shards):
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    worker_id,
+                    nf_factory,
+                    shard,
+                    fastpath,
+                    port_count,
+                    rx_capacity,
+                    pool_size,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+        #: Framed-but-unsent packets per worker, flushed once per turn.
+        self._pending: List[List[bytes]] = [[] for _ in range(workers)]
+        self._seq = 0
+        self._last_acked: List[int] = [0] * workers
+        self._alive: List[bool] = [True] * workers
+        self._death_reason: List[str] = [""] * workers
+        #: Accumulated TX records per worker, in the frame field order
+        #: of :func:`unpack_records`: (port, device, timestamp, wire).
+        self._tx: List[List[Tuple[int, int, int, bytes]]] = [
+            [] for _ in range(workers)
+        ]
+        self._stopped = False
+
+    # -- context management --------------------------------------------------
+    def __enter__(self) -> "ProcessShardedRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return len(self.shards)
+
+    @property
+    def steered(self) -> List[int]:
+        """Packets steered to each worker so far."""
+        return list(self.nic.queue_packets)
+
+    def worker_for(self, packet: Packet) -> int:
+        """The worker the steering stage would select (without counting)."""
+        return self.steering.worker_for(packet)
+
+    # -- wire side -----------------------------------------------------------
+    def inject(self, port_id: int, packet: Packet, timestamp: int) -> bool:
+        """Steer a packet and buffer its frame for the next turn's batch.
+
+        Mirrors the oracle's fault consultation exactly (same verdict
+        order, same RNG draws) so fault-plan runs stay comparable. The
+        return value reports wire-level acceptance; ring-full drops
+        happen (and are counted) inside the owning worker, exactly where
+        the oracle's per-worker ports count them.
+        """
+        plan = self.fault_plan
+        if plan is not None and not plan.empty:
+            target = self.steering.worker_for(packet)
+            verdict, delay_us = plan.link_verdict(timestamp, target)
+            if verdict == "drop":
+                self.fault_wire_dropped += 1
+                recorder = obs.recorder()
+                if recorder.active:
+                    recorder.trace(
+                        flight.DROP,
+                        t_us=timestamp,
+                        worker=target,
+                        reason=flight.REASON_LINK_FAULT,
+                    )
+                return False
+            if verdict == "corrupt":
+                packet = plan.corrupt_packet(packet)
+                self.fault_wire_corrupted += 1
+            if delay_us:
+                timestamp += delay_us
+        worker = self.nic.select(packet)
+        recorder = obs.recorder()
+        if recorder.active:
+            recorder.trace(
+                flight.STEER,
+                t_us=timestamp,
+                worker=worker,
+                detail=f"port {port_id}",
+            )
+        self._pending[worker].append(
+            pack_record(port_id, packet.device, timestamp, packet.wire_bytes())
+        )
+        return True
+
+    def collect(self) -> List[Tuple[int, int, Packet]]:
+        """All workers' transmissions, merged: (port, timestamp, packet)."""
+        merged: List[Tuple[int, int, Packet]] = []
+        for records in self._tx:
+            for port_id, device, timestamp, wire in records:
+                merged.append(
+                    (port_id, timestamp, Packet.from_bytes(wire, device=device))
+                )
+            records.clear()
+        merged.sort(key=lambda item: item[1])  # stable: worker order on ties
+        return merged
+
+    def collect_by_worker(self) -> List[List[Tuple[int, int, Packet]]]:
+        """Per-worker transmissions since the last collect."""
+        out: List[List[Tuple[int, int, Packet]]] = []
+        for records in self._tx:
+            out.append(
+                [
+                    (port_id, timestamp, Packet.from_bytes(wire, device=device))
+                    for port_id, device, timestamp, wire in records
+                ]
+            )
+            records.clear()
+        return out
+
+    def collect_raw_by_worker(self) -> List[List[Tuple[int, int, int, bytes]]]:
+        """Per-worker TX records as raw frames: (port, device, ts, wire).
+
+        The differential suite compares these against the oracle's
+        re-serialized output — no parent-side parse/re-pack in between.
+        """
+        out = [list(records) for records in self._tx]
+        for records in self._tx:
+            records.clear()
+        return out
+
+    # -- the scatter/gather main loop ---------------------------------------
+    def main_loop_burst(self, now_us: int, burst_size: int = 32) -> int:
+        """One concurrent turn: scatter batches, workers run, gather ACKs.
+
+        Semantically the oracle's round-robin turn, minus the serial
+        execution: every live worker gets its buffered inject batch and
+        a turn command, then all turn acknowledgements (with their TX
+        frames) are gathered. A fault-plan kill terminates the worker's
+        OS process and surfaces as :class:`WorkerCrashed`; a hang skips
+        the worker's turn with its batches still delivered (queues
+        intact, like the oracle); clock skew biases the ``now`` that
+        worker observes; pool seizures ride the turn command.
+        """
+        if burst_size <= 0:
+            raise ValueError("burst size must be positive")
+        self._ensure_running()
+        plan = self.fault_plan
+        faults_on = plan is not None and not plan.empty
+        crashed: Optional[int] = None
+        turned: List[Tuple[int, int]] = []  # (worker_id, seq)
+        for worker_id, conn in enumerate(self._conns):
+            if not self._alive[worker_id]:
+                if self._pending[worker_id]:
+                    self.fault_kill_lost += len(self._pending[worker_id])
+                    self._pending[worker_id].clear()
+                if crashed is None:
+                    crashed = worker_id
+                continue
+            worker_now = now_us
+            seizure = 0
+            if faults_on:
+                if plan.worker_killed(now_us, worker_id):
+                    self._kill_worker(worker_id)
+                    if crashed is None:
+                        crashed = worker_id
+                    continue
+                if plan.worker_hung(now_us, worker_id):
+                    self._flush_pending(worker_id)
+                    continue
+                seizure = plan.pool_seizure(now_us, worker_id)
+                skew = plan.clock_skew_us(now_us, worker_id)
+                if skew:
+                    worker_now = max(0, now_us + skew)
+            self._flush_pending(worker_id)
+            self._seq += 1
+            seq = self._seq
+            try:
+                conn.send_bytes(
+                    OP_TURN + _TURN.pack(seq, worker_now, burst_size, seizure)
+                )
+            except (BrokenPipeError, OSError):
+                self._mark_dead(worker_id)
+                if crashed is None:
+                    crashed = worker_id
+                continue
+            turned.append((worker_id, seq))
+
+        processed = 0
+        for worker_id, seq in turned:
+            reply = self._recv(worker_id)
+            if reply is None:
+                if crashed is None:
+                    crashed = worker_id
+                continue
+            acked_seq, count = _ACK.unpack_from(reply, 1)
+            assert acked_seq == seq, f"out-of-order ack: {acked_seq} != {seq}"
+            self._last_acked[worker_id] = acked_seq
+            processed += count
+            if len(reply) > 1 + _ACK.size:
+                self._tx[worker_id].extend(
+                    unpack_records(reply, 1 + _ACK.size)
+                )
+        if crashed is not None:
+            raise WorkerCrashed(
+                crashed,
+                self._last_acked[crashed],
+                reason=self._death_reason[crashed],
+            )
+        return processed
+
+    # -- timed replay (the procs benchmark's inner loop) ---------------------
+    def prepare_schedule(
+        self, events, burst_size: int = 32
+    ) -> List[Tuple[List[bytes], int]]:
+        """Pre-steer and serialize a burst schedule for :meth:`pump`.
+
+        All parent-side per-packet work (RSS steering, framing) happens
+        here, untimed, so a timed :meth:`pump` measures only the
+        scatter/gather pipe traffic and the workers' concurrent data
+        path — the part that actually scales with cores. Each entry is
+        ``(per-worker inject blobs, now_us)`` for one turn; the packet's
+        ``device`` doubles as the ingress port id, matching how the
+        testbeds drive :meth:`inject`.
+        """
+        if burst_size <= 0:
+            raise ValueError("burst size must be positive")
+        bursts: List[Tuple[List[bytes], int]] = []
+        pending: List[List[bytes]] = [[] for _ in range(self.workers)]
+        count = 0
+        now_us = 0
+        for event in events:
+            packet = event.packet
+            now_us = event.time_ns // 1_000
+            worker = self.steering.worker_for(packet)
+            pending[worker].append(
+                pack_record(
+                    packet.device, packet.device, now_us, packet.wire_bytes()
+                )
+            )
+            count += 1
+            if count >= burst_size:
+                bursts.append(
+                    ([b"".join(blobs) for blobs in pending], now_us)
+                )
+                pending = [[] for _ in range(self.workers)]
+                count = 0
+        if count:
+            bursts.append(([b"".join(blobs) for blobs in pending], now_us))
+        # Two empty drain turns so residual ring occupancy is flushed.
+        bursts.append(([b""] * self.workers, now_us + 1))
+        bursts.append(([b""] * self.workers, now_us + 2))
+        return bursts
+
+    def pump(
+        self, schedule: List[Tuple[List[bytes], int]], burst_size: int = 32
+    ) -> int:
+        """Drive one prepared schedule through the workers; count packets.
+
+        The hot loop of the scaling benchmark: scatter each turn's
+        pre-built inject blob plus a turn command to every worker, then
+        gather the acknowledgements. TX frames riding the ACKs are
+        discarded (the benchmark only needs the processed count); use
+        :meth:`main_loop_burst` when outputs matter. Replaying the same
+        schedule repeatedly is idempotent NAT-wise — flows already
+        exist, so passes after the first measure the warmed steady
+        state, mirroring ``_timed_burst_replay``.
+        """
+        self._ensure_running()
+        processed = 0
+        for sends, now_us in schedule:
+            turned: List[Tuple[int, int]] = []
+            for worker_id, blob in enumerate(sends):
+                conn = self._conns[worker_id]
+                self._seq += 1
+                seq = self._seq
+                try:
+                    if blob:
+                        conn.send_bytes(OP_INJECT + blob)
+                    conn.send_bytes(
+                        OP_TURN + _TURN.pack(seq, now_us, burst_size, 0)
+                    )
+                except (BrokenPipeError, OSError):
+                    self._mark_dead(worker_id)
+                    raise WorkerCrashed(
+                        worker_id,
+                        self._last_acked[worker_id],
+                        reason=self._death_reason[worker_id],
+                    ) from None
+                turned.append((worker_id, seq))
+            for worker_id, seq in turned:
+                reply = self._recv(worker_id)
+                if reply is None:
+                    raise WorkerCrashed(
+                        worker_id,
+                        self._last_acked[worker_id],
+                        reason=self._death_reason[worker_id],
+                    )
+                acked_seq, count = _ACK.unpack_from(reply, 1)
+                self._last_acked[worker_id] = acked_seq
+                processed += count
+        return processed
+
+    def _flush_pending(self, worker_id: int) -> None:
+        pending = self._pending[worker_id]
+        if not pending:
+            return
+        blob = OP_INJECT + b"".join(pending)
+        pending.clear()
+        try:
+            self._conns[worker_id].send_bytes(blob)
+        except (BrokenPipeError, OSError):
+            self._mark_dead(worker_id)
+
+    def _recv(self, worker_id: int) -> Optional[bytes]:
+        """One reply from a worker, or ``None`` after marking it dead.
+
+        A worker-side exception reply re-raises here; a dead pipe, a
+        dead process or a timeout degrade to ``None`` so the caller can
+        raise :class:`WorkerCrashed` with full context.
+        """
+        conn = self._conns[worker_id]
+        try:
+            if not conn.poll(self.turn_timeout_s):
+                self._mark_dead(worker_id)
+                return None
+            reply = conn.recv_bytes()
+        except (EOFError, OSError):
+            self._mark_dead(worker_id)
+            return None
+        if reply[:1] == RE_ERROR:
+            detail = json.loads(reply[1:].decode("utf-8"))
+            from repro.resil.checkpoint import CheckpointError
+
+            kind = detail.get("type", "RuntimeError")
+            message = f"worker {worker_id}: {detail.get('message', '')}"
+            if kind == "CheckpointError":
+                raise CheckpointError(message)
+            raise RuntimeError(f"[{kind}] {message}")
+        return reply
+
+    def _kill_worker(self, worker_id: int) -> None:
+        """A fault-plan kill is a real kill: SIGKILL the shard process."""
+        proc = self._procs[worker_id]
+        if proc.is_alive() and proc.pid is not None:
+            os.kill(proc.pid, signal.SIGKILL)
+        proc.join(timeout=self.turn_timeout_s)
+        self.fault_kill_lost += len(self._pending[worker_id])
+        self._pending[worker_id].clear()
+        self._mark_dead(worker_id, "killed by fault plan")
+
+    def _mark_dead(self, worker_id: int, reason: str = "worker process died") -> None:
+        self._alive[worker_id] = False
+        if not self._death_reason[worker_id]:
+            self._death_reason[worker_id] = reason
+
+    def _ensure_running(self) -> None:
+        if self._stopped:
+            raise RuntimeError("runtime is stopped")
+
+    def _request(self, worker_id: int, message: bytes, expect: bytes) -> bytes:
+        if not self._alive[worker_id]:
+            raise WorkerCrashed(worker_id, self._last_acked[worker_id])
+        try:
+            self._conns[worker_id].send_bytes(message)
+        except (BrokenPipeError, OSError):
+            self._mark_dead(worker_id)
+            raise WorkerCrashed(worker_id, self._last_acked[worker_id]) from None
+        reply = self._recv(worker_id)
+        if reply is None:
+            raise WorkerCrashed(worker_id, self._last_acked[worker_id])
+        assert reply[:1] == expect, f"unexpected reply {reply[:1]!r}"
+        return reply
+
+    # -- counters ------------------------------------------------------------
+    def _counters(self, worker_id: int) -> Dict:
+        reply = self._request(worker_id, OP_COUNTERS, RE_COUNTERS)
+        return json.loads(reply[1:].decode("utf-8"))
+
+    def per_worker_counters(self) -> List[Dict[str, int]]:
+        """Each worker's NF operation counters, in worker order."""
+        return [self._counters(w)["op_counters"] for w in range(self.workers)]
+
+    def op_counters(self) -> Dict[str, int]:
+        """NF operation counters aggregated (summed) across workers."""
+        aggregate: Dict[str, int] = {}
+        for counters in self.per_worker_counters():
+            for key, value in counters.items():
+                aggregate[key] = aggregate.get(key, 0) + value
+        return aggregate
+
+    def drop_causes(self) -> Dict[str, int]:
+        """Drop/near-drop causes aggregated across workers, oracle-style."""
+        aggregate: Dict[str, int] = {}
+        for worker_id in range(self.workers):
+            for key, value in self._counters(worker_id)["drop_causes"].items():
+                if key == "pool_high_water":
+                    aggregate[key] = max(aggregate.get(key, 0), value)
+                else:
+                    aggregate[key] = aggregate.get(key, 0) + value
+        if self.fault_plan is not None:
+            aggregate["fault_wire_dropped"] = self.fault_wire_dropped
+            aggregate["fault_wire_corrupted"] = self.fault_wire_corrupted
+            aggregate["fault_kill_lost"] = self.fault_kill_lost
+        return aggregate
+
+    def flow_count(self) -> int:
+        """Live translation entries across all workers."""
+        return sum(
+            self._counters(w)["flow_count"] for w in range(self.workers)
+        )
+
+    # -- observability -------------------------------------------------------
+    def snapshot_metrics(self) -> Dict:
+        """One merged snapshot: NIC steering + every worker's world.
+
+        Each worker collects its own registry with a ``worker`` label
+        stamped *at the source* (see :func:`repro.obs.registry.with_labels`
+        for why), so :func:`~repro.obs.registry.merge_snapshots` keeps
+        distinct workers' gauges apart instead of summing them.
+        """
+        parent = MetricsRegistry()
+        self.nic.register_metrics(parent)
+        snapshots = [parent.snapshot()]
+        for worker_id in range(self.workers):
+            reply = self._request(worker_id, OP_SNAPSHOT, RE_SNAPSHOT)
+            snapshots.append(json.loads(reply[1:].decode("utf-8")))
+        return merge_snapshots(snapshots)
+
+    def metrics_snapshot(self) -> Dict:
+        """Alias matching :class:`~repro.net.dpdk.ShardedRuntime`."""
+        return self.snapshot_metrics()
+
+    # -- coordinated checkpoint ----------------------------------------------
+    def checkpoint(self, now_us: int = 0):
+        """Fence every worker and bind their frames into one manifest.
+
+        The pipe is FIFO, so a worker's checkpoint reply proves every
+        burst the parent sent before the fence has fully executed —
+        that reply *is* the fence. After a completed turn RX rings are
+        drained, making any inter-turn point a consistent cut.
+        """
+        from repro.resil.checkpoint import Checkpoint, CheckpointSet
+
+        frames = []
+        for worker_id in range(self.workers):
+            reply = self._request(
+                worker_id, OP_CHECKPOINT + _CKPT.pack(now_us), RE_CHECKPOINT
+            )
+            frames.append(Checkpoint.from_bytes(reply[1:]))
+        return CheckpointSet(taken_at_us=now_us, checkpoints=tuple(frames))
+
+    def restore(self, checkpoint_set) -> None:
+        """Adopt a coordinated checkpoint, one frame per worker, in order."""
+        from repro.resil.checkpoint import CheckpointError
+
+        if checkpoint_set.workers != self.workers:
+            raise CheckpointError(
+                f"checkpoint set holds {checkpoint_set.workers} shard(s), "
+                f"runtime has {self.workers}"
+            )
+        for worker_id, ckpt in enumerate(checkpoint_set.checkpoints):
+            self._request(worker_id, OP_RESTORE + ckpt.to_bytes(), RE_RESTORED)
+
+    # -- shutdown ------------------------------------------------------------
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Clean shutdown: stop command, join with timeout, then the axe.
+
+        Idempotent; safe after a crash (dead workers are skipped). Any
+        worker that does not exit within ``timeout_s`` is terminated.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        for worker_id, conn in enumerate(self._conns):
+            if not self._alive[worker_id]:
+                continue
+            try:
+                conn.send_bytes(OP_STOP)
+            except (BrokenPipeError, OSError):
+                continue
+        for worker_id, (conn, proc) in enumerate(zip(self._conns, self._procs)):
+            if self._alive[worker_id]:
+                try:
+                    if conn.poll(timeout_s):
+                        conn.recv_bytes()  # the goodbye
+                except (EOFError, OSError):
+                    pass
+            proc.join(timeout=timeout_s)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=timeout_s)
+            conn.close()
+            self._alive[worker_id] = False
+
+
+__all__ = [
+    "OP_CHECKPOINT",
+    "OP_COUNTERS",
+    "OP_INJECT",
+    "OP_RESTORE",
+    "OP_SNAPSHOT",
+    "OP_STOP",
+    "OP_TURN",
+    "ProcessShardedRuntime",
+    "WorkerCrashed",
+    "pack_record",
+    "unpack_records",
+]

@@ -18,6 +18,7 @@ paper's use of NIC timestamping [49].
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
@@ -195,10 +196,22 @@ class ShardedRunResult:
     per_worker: List[RunResult] = field(default_factory=list)
     #: All packets steered to each worker (warm-up included).
     steered: List[int] = field(default_factory=list)
+    #: The shard NFs the run drove, in worker order — populated by
+    #: :meth:`Rfc2544Testbed.run_spec` (which owns their construction)
+    #: so callers can read counters without rebuilding the shards.
+    nfs: Optional[List[NetworkFunction]] = None
 
     @property
     def workers(self) -> int:
         return len(self.per_worker)
+
+    def op_counters(self) -> dict:
+        """NF operation counters summed across shards (run_spec runs)."""
+        aggregate: dict = {}
+        for nf in self.nfs or []:
+            for key, value in nf.op_counters().items():
+                aggregate[key] = aggregate.get(key, 0) + value
+        return aggregate
 
     @property
     def offered(self) -> int:
@@ -420,6 +433,62 @@ class Rfc2544Testbed:
 
     # -- sharded replay: N parallel worker cores ---------------------------------
     def run_sharded(
+        self,
+        nfs: Sequence[NetworkFunction],
+        steer: Callable[..., int],
+        events: Iterable[PacketEvent],
+    ) -> ShardedRunResult:
+        """Deprecated: build a :class:`~repro.net.app.RuntimeSpec` and
+        call :meth:`run_spec` instead — it owns shard construction and
+        steering, so callers can no longer pair mismatched NFs/steering.
+        """
+        warnings.warn(
+            "Rfc2544Testbed.run_sharded(nfs, steer, events) is deprecated; "
+            "describe the deployment as a repro.net.RuntimeSpec and call "
+            "run_spec(spec, events)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_sharded(nfs, steer, events)
+
+    def run_spec(
+        self, spec, events: Iterable[PacketEvent]
+    ) -> ShardedRunResult:
+        """Replay a workload through the deployment a spec describes.
+
+        The analytic counterpart of :func:`repro.net.app.launch`: builds
+        the spec's shard NFs (partitioned config, optional fastpath
+        wrappers) and NAT-aware steering, then runs the discrete-event
+        model. ``spec.execution`` does not change the outcome here — the
+        model always assumes one real core per worker, which is exactly
+        what the ``process`` mode provides and the deterministic mode
+        simulates. Replication specs are refused: the analytic model has
+        no failover controller.
+        """
+        if spec.replication_lag is not None:
+            raise ValueError(
+                "run_spec models plain data paths; failover runs need "
+                "launch() with a replicated deterministic runtime"
+            )
+        if spec.workers != self.workers:
+            raise ValueError(
+                f"testbed configured for {self.workers} worker(s), "
+                f"spec wants {spec.workers}"
+            )
+        from repro.nat.fastpath import FastPathNat
+        from repro.net.rss import NatSteering
+
+        config = spec.resolved_config()
+        shards = config.partition(spec.workers)
+        nfs: List[NetworkFunction] = [spec.nf_factory(cfg) for cfg in shards]
+        if spec.fastpath:
+            nfs = [FastPathNat(nf) for nf in nfs]
+        steering = NatSteering(shards)
+        outcome = self._run_sharded(nfs, steering.worker_for, events)
+        outcome.nfs = nfs
+        return outcome
+
+    def _run_sharded(
         self,
         nfs: Sequence[NetworkFunction],
         steer: Callable[..., int],

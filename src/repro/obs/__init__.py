@@ -59,6 +59,7 @@ from repro.obs.registry import (
     NullRegistry,
     NULL_REGISTRY,
     merge_snapshots,
+    with_labels,
 )
 
 
@@ -166,6 +167,7 @@ __all__ = [
     "enable_observability",
     "first_divergence",
     "merge_snapshots",
+    "with_labels",
     "observability_enabled",
     "recorder",
     "render_json",

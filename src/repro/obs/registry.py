@@ -342,6 +342,42 @@ class NullRegistry:
 NULL_REGISTRY = NullRegistry()
 
 
+def with_labels(snapshot: Dict, extra: Dict[str, str]) -> Dict:
+    """A copy of ``snapshot`` with ``extra`` labels stamped on every sample.
+
+    This is the cross-process merge guard: :func:`merge_snapshots`
+    combines same-name same-label samples, so two workers that each
+    collected an *unlabeled* snapshot of their private runtime would
+    silently sum (or max) into one sample on merge. Stamping a
+    ``worker`` label at the source keeps their samples distinct forever
+    after. A sample that already carries one of ``extra``'s keys with a
+    *different* value raises — relabeling would silently rewrite
+    someone else's identity.
+    """
+    for key, value in extra.items():
+        if not isinstance(value, str):
+            raise ValueError(f"label {key!r} must be a string, got {value!r}")
+    metrics: List[Dict] = []
+    for metric in snapshot.get("metrics", []):
+        copied = dict(metric)
+        samples: List[Dict] = []
+        for sample in metric.get("samples", []):
+            labels = dict(sample.get("labels", {}))
+            for key, value in extra.items():
+                if key in labels and labels[key] != value:
+                    raise ValueError(
+                        f"sample of {metric['name']!r} already has "
+                        f"{key}={labels[key]!r}; refusing to relabel to {value!r}"
+                    )
+                labels[key] = value
+            restamped = dict(sample)
+            restamped["labels"] = labels
+            samples.append(restamped)
+        copied["samples"] = samples
+        metrics.append(copied)
+    return {"schema": snapshot.get("schema", SNAPSHOT_SCHEMA), "metrics": metrics}
+
+
 def merge_snapshots(snapshots: Sequence[Dict]) -> Dict:
     """Merge snapshots into one: same-name same-label samples combine.
 
@@ -412,4 +448,5 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "merge_snapshots",
+    "with_labels",
 ]

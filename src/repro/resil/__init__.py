@@ -21,8 +21,11 @@ byte-identical to one without this package imported.
 from repro.resil.checkpoint import (
     Checkpoint,
     CheckpointError,
+    CheckpointSet,
     restore,
+    restore_all,
     snapshot,
+    snapshot_all,
 )
 from repro.resil.faults import FaultPlan
 from repro.resil.failover import FailoverReport, ReplicatedRuntime
@@ -31,6 +34,7 @@ from repro.resil.replication import FlowDelta, ReplicationChannel, StandbyReplic
 __all__ = [
     "Checkpoint",
     "CheckpointError",
+    "CheckpointSet",
     "FailoverReport",
     "FaultPlan",
     "FlowDelta",
@@ -38,5 +42,7 @@ __all__ = [
     "ReplicationChannel",
     "StandbyReplica",
     "restore",
+    "restore_all",
     "snapshot",
+    "snapshot_all",
 ]

@@ -32,7 +32,7 @@ import json
 import struct
 import zlib
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.nat.base import NetworkFunction
 from repro.nat.config import NatConfig
@@ -148,4 +148,153 @@ def restore(nf: NetworkFunction, checkpoint: Checkpoint) -> None:
     nf.restore_state(checkpoint.state)
 
 
-__all__ = ["MAGIC", "Checkpoint", "CheckpointError", "restore", "snapshot"]
+#: Magic + version line opening a coordinated multi-shard checkpoint set.
+SET_MAGIC = b"repro-ckpt-set/v1\n"
+
+_SET_FRAME = struct.Struct(">II")  # crc32, manifest length
+
+
+@dataclass(frozen=True)
+class CheckpointSet:
+    """A coordinated checkpoint: one consistent cut across all shards.
+
+    The sharded runtimes produce one :class:`Checkpoint` per worker at a
+    fenced moment (no burst in flight on any worker), and this manifest
+    binds them together so a restore is all-or-nothing::
+
+        repro-ckpt-set/v1\\n       18-byte magic + version line
+        >I crc32                   CRC-32 of the manifest
+        >I length                  manifest length in bytes
+        manifest                   canonical JSON: taken_at_us, workers,
+                                   nfs, frame_lengths
+        frames                     the per-shard ``repro-ckpt/v1`` frames,
+                                   concatenated in worker order
+
+    Each inner frame keeps its own magic and CRC, so corruption is
+    caught at whichever layer it strikes. Shard order in the manifest
+    *is* worker order: frame ``i`` restores into worker ``i``'s NF and
+    nowhere else (the per-frame config cross-check enforces that even if
+    a manifest is hand-edited).
+    """
+
+    taken_at_us: int
+    checkpoints: Tuple[Checkpoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.checkpoints:
+            raise CheckpointError("a checkpoint set needs at least one shard")
+
+    @property
+    def workers(self) -> int:
+        return len(self.checkpoints)
+
+    def to_bytes(self) -> bytes:
+        frames = [ckpt.to_bytes() for ckpt in self.checkpoints]
+        manifest = json.dumps(
+            {
+                "taken_at_us": self.taken_at_us,
+                "workers": len(frames),
+                "nfs": [ckpt.nf for ckpt in self.checkpoints],
+                "frame_lengths": [len(frame) for frame in frames],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        return (
+            SET_MAGIC
+            + _SET_FRAME.pack(zlib.crc32(manifest), len(manifest))
+            + manifest
+            + b"".join(frames)
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CheckpointSet":
+        if not data.startswith(SET_MAGIC):
+            head = bytes(data[: len(SET_MAGIC)])
+            raise CheckpointError(f"bad magic {head!r}; expected {SET_MAGIC!r}")
+        rest = data[len(SET_MAGIC) :]
+        if len(rest) < _SET_FRAME.size:
+            raise CheckpointError("truncated checkpoint set: header incomplete")
+        crc, length = _SET_FRAME.unpack_from(rest)
+        manifest_bytes = rest[_SET_FRAME.size : _SET_FRAME.size + length]
+        if len(manifest_bytes) < length:
+            raise CheckpointError("truncated checkpoint set: manifest incomplete")
+        if zlib.crc32(manifest_bytes) != crc:
+            raise CheckpointError("checkpoint set CRC mismatch: manifest corrupted")
+        try:
+            manifest = json.loads(manifest_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"manifest is not valid JSON: {exc}") from exc
+        for key in ("taken_at_us", "workers", "nfs", "frame_lengths"):
+            if key not in manifest:
+                raise CheckpointError(f"checkpoint set manifest missing {key!r}")
+        lengths = manifest["frame_lengths"]
+        if manifest["workers"] != len(lengths):
+            raise CheckpointError(
+                f"manifest claims {manifest['workers']} workers "
+                f"but lists {len(lengths)} frames"
+            )
+        body = rest[_SET_FRAME.size + length :]
+        if len(body) != sum(lengths):
+            raise CheckpointError(
+                f"checkpoint set frames are {len(body)} bytes, "
+                f"manifest promises {sum(lengths)}"
+            )
+        checkpoints = []
+        offset = 0
+        for frame_length in lengths:
+            checkpoints.append(
+                Checkpoint.from_bytes(body[offset : offset + frame_length])
+            )
+            offset += frame_length
+        for index, (name, ckpt) in enumerate(zip(manifest["nfs"], checkpoints)):
+            if ckpt.nf != name:
+                raise CheckpointError(
+                    f"shard {index} frame is for NF {ckpt.nf!r}, "
+                    f"manifest says {name!r}"
+                )
+        return cls(
+            taken_at_us=int(manifest["taken_at_us"]),
+            checkpoints=tuple(checkpoints),
+        )
+
+
+def snapshot_all(
+    nfs: Sequence[NetworkFunction], now_us: int = 0
+) -> CheckpointSet:
+    """Capture every shard's flow state as one coordinated set.
+
+    The caller is responsible for the fence: call only when no burst is
+    in flight on any worker (after a completed main-loop turn, every RX
+    ring is drained, so any quiescent point between turns qualifies).
+    """
+    return CheckpointSet(
+        taken_at_us=now_us,
+        checkpoints=tuple(snapshot(nf, now_us) for nf in nfs),
+    )
+
+
+def restore_all(
+    nfs: Sequence[NetworkFunction], checkpoint_set: CheckpointSet
+) -> None:
+    """Adopt a coordinated set into freshly built shard NFs, in order."""
+    if len(nfs) != checkpoint_set.workers:
+        raise CheckpointError(
+            f"checkpoint set holds {checkpoint_set.workers} shard(s), "
+            f"runtime has {len(nfs)}"
+        )
+    for nf, ckpt in zip(nfs, checkpoint_set.checkpoints):
+        restore(nf, ckpt)
+
+
+__all__ = [
+    "MAGIC",
+    "SET_MAGIC",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointSet",
+    "restore",
+    "restore_all",
+    "snapshot",
+    "snapshot_all",
+]

@@ -168,6 +168,7 @@ class ReplicatedRuntime:
             pool_size=pool_size,
             fastpath=fastpath,
             fault_plan=self.fault_plan,
+            _from_spec=True,
         )
         self.channels: List[ReplicationChannel] = [
             ReplicationChannel(lag) for _ in range(workers)
@@ -463,6 +464,18 @@ class ReplicatedRuntime:
         registry = MetricsRegistry()
         self.register_metrics(registry)
         return registry.snapshot()
+
+    def snapshot_metrics(self) -> Dict:
+        """Protocol alias (see :class:`repro.net.app.Runtime`)."""
+        return self.metrics_snapshot()
+
+    # -- control plane -------------------------------------------------------
+    def checkpoint(self, now_us: int = 0):
+        """A coordinated checkpoint of the *active* NFs (standbys lag)."""
+        return self.runtime.checkpoint(now_us)
+
+    def stop(self) -> None:
+        """Nothing to tear down — replicas are plain objects in-thread."""
 
 
 __all__ = [

@@ -81,11 +81,30 @@ CGNAT_RECORDS = [
 ]
 
 
+PROCS_RECORDS = [
+    {
+        "nf": "verified-nat",
+        "workers": 1,
+        "cores": 4,
+        "replay_pps": 100_000.0,
+        "identical": True,
+    },
+    {
+        "nf": "verified-nat",
+        "workers": 4,
+        "cores": 4,
+        "replay_pps": 250_000.0,
+        "identical": True,
+    },
+]
+
+
 def _write(
     directory: pathlib.Path,
     records,
     failover=FAILOVER_RECORDS,
     cgnat=CGNAT_RECORDS,
+    procs=PROCS_RECORDS,
 ) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     (directory / "BENCH_fastpath.json").write_text(json.dumps(records))
@@ -93,6 +112,8 @@ def _write(
         (directory / "BENCH_failover.json").write_text(json.dumps(failover))
     if cgnat is not None:
         (directory / "BENCH_cgnat.json").write_text(json.dumps(cgnat))
+    if procs is not None:
+        (directory / "BENCH_procs.json").write_text(json.dumps(procs))
 
 
 @pytest.fixture
@@ -270,3 +291,77 @@ class TestCgnatInvariants:
         _write(fresh, BASE_RECORDS, cgnat=stripped)
         failures = compare_dirs(baseline, fresh, tolerance=0.25)
         assert any("missing state_entries/checkpoint_bytes" in f for f in failures)
+
+
+class TestProcsInvariants:
+    """The process-runtime gate: byte-identity always, scaling judged
+    against the machine shape the fresh run actually had."""
+
+    def test_healthy_records_pass(self, dirs):
+        baseline, fresh = dirs
+        _write(fresh, BASE_RECORDS)
+        assert compare_dirs(baseline, fresh, tolerance=0.25) == []
+
+    def test_lost_oracle_identity_fails(self, dirs):
+        baseline, fresh = dirs
+        diverged = copy.deepcopy(PROCS_RECORDS)
+        diverged[1]["identical"] = False
+        _write(fresh, BASE_RECORDS, procs=diverged)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any(
+            "BENCH_procs.json" in f and "byte-identity" in f for f in failures
+        )
+
+    def test_sub_2x_scaling_on_four_cores_fails(self, dirs):
+        """The acceptance claim: 4 workers on >=4 cores must clear 2x."""
+        baseline, fresh = dirs
+        slow = copy.deepcopy(PROCS_RECORDS)
+        slow[1]["replay_pps"] = 150_000.0  # 1.5x < the required 2x
+        _write(fresh, BASE_RECORDS, procs=slow)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any(
+            "BENCH_procs.json" in f and "below required" in f
+            for f in failures
+        )
+
+    def test_single_core_run_only_enforces_the_floor(self, dirs):
+        """On a 1-core box, 4 workers at 0.6x is overhead, not a
+        regression — but 0.2x means the pipes ate the runtime."""
+        baseline, fresh = dirs
+        one_core = copy.deepcopy(PROCS_RECORDS)
+        for record in one_core:
+            record["cores"] = 1
+        one_core[1]["replay_pps"] = 60_000.0
+        _write(fresh, BASE_RECORDS, procs=one_core)
+        assert compare_dirs(baseline, fresh, tolerance=0.25) == []
+        one_core[1]["replay_pps"] = 20_000.0
+        _write(fresh, BASE_RECORDS, procs=one_core)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any("single-core floor" in f for f in failures)
+
+    def test_missing_anchor_fails(self, dirs):
+        baseline, fresh = dirs
+        _write(fresh, BASE_RECORDS, procs=PROCS_RECORDS[1:])
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any("1-worker anchor" in f for f in failures)
+
+    def test_cross_shape_pps_comparison_is_skipped(self, dirs):
+        """A 4-core baseline vs a 1-core fresh run: absolute rates are
+        incomparable, so a big drop must not read as a regression."""
+        baseline, fresh = dirs
+        one_core = copy.deepcopy(PROCS_RECORDS)
+        for record in one_core:
+            record["cores"] = 1
+            record["replay_pps"] *= 0.4
+        one_core[1]["replay_pps"] = one_core[0]["replay_pps"] * 0.6
+        _write(fresh, BASE_RECORDS, procs=one_core)
+        assert compare_dirs(baseline, fresh, tolerance=0.25) == []
+
+    def test_dropped_procs_point_is_a_hard_error(self, dirs):
+        baseline, fresh = dirs
+        _write(fresh, BASE_RECORDS, procs=PROCS_RECORDS[:1])
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any(
+            "BENCH_procs.json" in f and "must be matched" in f
+            for f in failures
+        )

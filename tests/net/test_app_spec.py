@@ -1,0 +1,185 @@
+"""The RuntimeSpec/launch facade and the legacy-constructor shims.
+
+One description, one construction path: a frozen
+:class:`~repro.net.app.RuntimeSpec` names the deployment and
+:func:`~repro.net.app.launch` builds it; every runtime it can produce
+satisfies the same :class:`~repro.net.app.Runtime` protocol. The old
+entry points (constructing :class:`ShardedRuntime` directly, the
+testbed's ``run_sharded``) keep working but warn — and launching
+through a spec must never leak those warnings.
+"""
+
+import warnings
+
+import pytest
+
+from repro.nat.config import NatConfig
+from repro.nat.vignat import VigNat
+from repro.net.app import (
+    EXECUTION_MODES,
+    INLINE,
+    PROCESS,
+    THREADED_DETERMINISTIC,
+    InlineRuntime,
+    Runtime,
+    RuntimeSpec,
+    launch,
+)
+from repro.net.dpdk import ShardedRuntime
+from repro.net.moongen import ConstantRateFlows
+from repro.net.procrun import ProcessShardedRuntime
+from repro.net.testbed import Rfc2544Testbed
+from repro.packets.builder import make_udp_packet
+from repro.resil.failover import ReplicatedRuntime
+
+
+def config():
+    return NatConfig(
+        max_flows=64, expiration_time=60_000_000, start_port=1000
+    )
+
+
+def spec(**overrides):
+    base = RuntimeSpec(nf_factory=VigNat, config=config())
+    return base.with_(**overrides) if overrides else base
+
+
+class TestSpecValidation:
+    def test_mode_must_be_known(self):
+        with pytest.raises(ValueError, match="execution mode"):
+            spec(execution="green-threads")
+        assert set(EXECUTION_MODES) == {
+            INLINE,
+            THREADED_DETERMINISTIC,
+            PROCESS,
+        }
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            spec(workers=0)
+
+    def test_inline_is_single_worker(self):
+        with pytest.raises(ValueError, match="single-worker"):
+            spec(execution=INLINE, workers=2)
+
+    def test_replication_requires_deterministic_mode(self):
+        with pytest.raises(ValueError, match="deterministic"):
+            spec(execution=PROCESS, workers=2, replication_lag=0)
+        with pytest.raises(ValueError):
+            spec(replication_lag=-1)
+
+    def test_with_varies_without_mutating(self):
+        base = spec()
+        wide = base.with_(workers=4, execution=PROCESS)
+        assert base.workers == 1 and base.execution == THREADED_DETERMINISTIC
+        assert wide.workers == 4 and wide.execution == PROCESS
+
+    def test_spec_is_frozen_and_comparable(self):
+        a, b = spec(workers=2), spec(workers=2)
+        assert a == b
+        with pytest.raises(Exception):
+            a.workers = 3
+
+
+class TestLaunch:
+    def _exercise(self, runtime):
+        """Every launched runtime speaks the one protocol."""
+        assert isinstance(runtime, Runtime)
+        now = 1_000
+        for i in range(6):
+            packet = make_udp_packet(
+                0x0A000001 + i, "8.8.8.8", 1_024 + i, 53, device=0
+            )
+            runtime.inject(0, packet, now)
+            now += 5
+        runtime.main_loop_burst(now, 8)
+        assert len(runtime.collect()) == 6
+        assert runtime.flow_count() == 6
+        assert runtime.op_counters()
+        assert runtime.snapshot_metrics()["schema"] == "repro-obs/v1"
+        checkpoint = runtime.checkpoint(now_us=now)
+        assert checkpoint is not None
+        runtime.stop()
+
+    def test_inline(self):
+        runtime = launch(spec(execution=INLINE))
+        assert isinstance(runtime, InlineRuntime)
+        assert runtime.spec.execution == INLINE
+        self._exercise(runtime)
+
+    def test_threaded_deterministic(self):
+        runtime = launch(spec(workers=2))
+        assert isinstance(runtime, ShardedRuntime)
+        self._exercise(runtime)
+
+    def test_process(self):
+        runtime = launch(spec(workers=2, execution=PROCESS))
+        assert isinstance(runtime, ProcessShardedRuntime)
+        self._exercise(runtime)
+
+    def test_replicated(self):
+        runtime = launch(spec(workers=2, replication_lag=4))
+        assert isinstance(runtime, ReplicatedRuntime)
+        self._exercise(runtime)
+
+    def test_launch_never_warns(self):
+        """The blessed path must not trip its own deprecation shims."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for s in (
+                spec(execution=INLINE),
+                spec(workers=2),
+                spec(workers=2, execution=PROCESS),
+                spec(workers=2, replication_lag=0),
+            ):
+                launch(s).stop()
+
+    def test_launch_tags_the_spec(self):
+        s = spec(workers=2)
+        runtime = launch(s)
+        assert runtime.spec is s
+        runtime.stop()
+
+
+class TestDeprecationShims:
+    def test_direct_sharded_runtime_warns(self):
+        with pytest.deprecated_call(match="RuntimeSpec"):
+            ShardedRuntime(VigNat, config(), workers=2)
+
+    def test_run_sharded_warns_and_still_works(self):
+        from repro.net.rss import NatSteering
+
+        testbed = Rfc2544Testbed(workers=2)
+        workload = ConstantRateFlows(16, 1_000_000.0, 64, burst=8)
+        shards = config().partition(2)
+        nfs = [VigNat(shard) for shard in shards]
+        steering = NatSteering(shards)
+        with pytest.deprecated_call(match="run_spec"):
+            result = testbed.run_sharded(
+                nfs, steering.worker_for, workload.events()
+            )
+        assert sum(result.steered) > 0
+
+    def test_run_spec_replaces_run_sharded(self):
+        testbed = Rfc2544Testbed(workers=2)
+        workload = ConstantRateFlows(16, 1_000_000.0, 64, burst=8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = testbed.run_spec(
+                spec(workers=2), workload.events()
+            )
+        assert sum(result.steered) > 0
+        assert result.nfs is not None
+        assert result.op_counters()
+
+    def test_run_spec_rejects_width_mismatch(self):
+        testbed = Rfc2544Testbed(workers=2)
+        with pytest.raises(ValueError):
+            testbed.run_spec(spec(workers=4), iter(()))
+
+    def test_run_spec_refuses_replication(self):
+        testbed = Rfc2544Testbed(workers=2)
+        with pytest.raises(ValueError):
+            testbed.run_spec(
+                spec(workers=2, replication_lag=0), iter(())
+            )

@@ -1,0 +1,321 @@
+"""The process-per-shard runtime's own contracts (repro.net.procrun).
+
+Byte-identity with the oracle is proven by the differential suite
+(``tests/integration/test_proc_differential.py``); this file covers the
+machinery around it: wire framing, the crash surface (a dead worker
+must raise a typed :class:`WorkerCrashed`, never hang a pipe read),
+worker-side errors crossing the pipe as exceptions, clean shutdown, and
+the coordinated checkpoint fence.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.nat.config import NatConfig
+from repro.nat.vignat import VigNat
+from repro.net.procrun import (
+    ProcessShardedRuntime,
+    WorkerCrashed,
+    pack_record,
+    unpack_records,
+)
+from repro.packets.builder import make_udp_packet
+from repro.resil.faults import FaultPlan
+
+
+def config(max_flows=64):
+    return NatConfig(
+        max_flows=max_flows, expiration_time=60_000_000, start_port=1000
+    )
+
+
+def outbound(i, device=0):
+    return make_udp_packet(
+        0x0A000001 + (i % 200), "8.8.8.8", 1_024 + i, 53, device=device
+    )
+
+
+def drive(runtime, count, now=1_000, burst=8):
+    """Inject ``count`` outbound packets, turning every ``burst``."""
+    pending = 0
+    for i in range(count):
+        runtime.inject(0, outbound(i), now)
+        now += 5
+        pending += 1
+        if pending >= burst:
+            runtime.main_loop_burst(now, burst)
+            pending = 0
+    runtime.main_loop_burst(now + 1, burst)
+    return now
+
+
+class TestFraming:
+    def test_record_roundtrip(self):
+        wire = outbound(3).wire_bytes()
+        blob = pack_record(1, 0, 123_456, wire)
+        assert unpack_records(blob) == [(1, 0, 123_456, wire)]
+
+    def test_concatenated_records_keep_order(self):
+        wires = [outbound(i).wire_bytes() for i in range(5)]
+        blob = b"".join(
+            pack_record(i % 2, 1, 10 + i, w) for i, w in enumerate(wires)
+        )
+        records = unpack_records(blob)
+        assert [w for _, _, _, w in records] == wires
+        assert [p for p, _, _, _ in records] == [0, 1, 0, 1, 0]
+
+    def test_empty_blob(self):
+        assert unpack_records(b"") == []
+
+
+class TestDataPath:
+    def test_translates_and_collects(self):
+        with ProcessShardedRuntime(VigNat, config(), workers=2) as runtime:
+            drive(runtime, 12)
+            out = runtime.collect()
+            assert len(out) == 12
+            ext_ip = runtime.config.external_ip
+            for _, _, packet in out:
+                assert packet.ipv4.src_ip == ext_ip
+            assert runtime.op_counters()
+            assert runtime.flow_count() == 12
+
+    def test_steering_spreads_flows(self):
+        with ProcessShardedRuntime(VigNat, config(), workers=4) as runtime:
+            drive(runtime, 32)
+            assert sum(runtime.steered) == 32
+            assert sum(1 for q in runtime.steered if q > 0) >= 2
+
+    def test_snapshot_carries_worker_labels(self):
+        with ProcessShardedRuntime(VigNat, config(), workers=2) as runtime:
+            drive(runtime, 8)
+            snapshot = runtime.snapshot_metrics()
+            occupancy = next(
+                m
+                for m in snapshot["metrics"]
+                if m["name"] == "flow_table_occupancy"
+            )
+            workers = {
+                s["labels"].get("worker") for s in occupancy["samples"]
+            }
+            assert workers == {"0", "1"}
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ProcessShardedRuntime(VigNat, config(), workers=0)
+        with pytest.raises(ValueError):
+            ProcessShardedRuntime(
+                VigNat, config(), workers=1, turn_timeout_s=0
+            )
+        with ProcessShardedRuntime(VigNat, config(), workers=1) as runtime:
+            with pytest.raises(ValueError):
+                runtime.main_loop_burst(1_000, 0)
+
+
+class TestCrashSurface:
+    def test_fault_plan_kill_raises_typed_error(self):
+        """The kill fault terminates the real OS process, and the turn
+        reports it as WorkerCrashed with the shard id — never a hang."""
+        plan = FaultPlan().kill_worker(1, at_us=2_000)
+        runtime = ProcessShardedRuntime(
+            VigNat, config(), workers=2, fault_plan=plan
+        )
+        try:
+            drive(runtime, 8, now=1_000, burst=8)  # before the window
+            for i in range(8, 16):
+                runtime.inject(0, outbound(i), 2_000)
+            with pytest.raises(WorkerCrashed) as exc_info:
+                runtime.main_loop_burst(2_500, 8)
+            crash = exc_info.value
+            assert crash.shard == 1
+            assert crash.reason == "killed by fault plan"
+            assert crash.last_acked_seq > 0
+            assert not runtime._procs[1].is_alive()
+            # The survivor is still serving.
+            assert runtime._procs[0].is_alive()
+        finally:
+            runtime.stop()
+
+    def test_killed_process_surfaces_not_hangs(self):
+        """A worker dying outside any fault plan (OOM kill, crash) is
+        detected on the next turn within the timeout."""
+        runtime = ProcessShardedRuntime(
+            VigNat, config(), workers=2, turn_timeout_s=5.0
+        )
+        try:
+            drive(runtime, 8)
+            os.kill(runtime._procs[0].pid, signal.SIGKILL)
+            runtime._procs[0].join(timeout=5.0)
+            with pytest.raises(WorkerCrashed) as exc_info:
+                for i in range(8, 24):
+                    runtime.inject(0, outbound(i), 3_000)
+                runtime.main_loop_burst(3_100, 8)
+                runtime.main_loop_burst(3_200, 8)
+            assert exc_info.value.shard == 0
+            assert "worker 0" in str(exc_info.value)
+        finally:
+            runtime.stop()
+
+    def test_requests_to_dead_worker_raise(self):
+        plan = FaultPlan().kill_worker(0, at_us=1_500)
+        runtime = ProcessShardedRuntime(
+            VigNat, config(), workers=2, fault_plan=plan
+        )
+        try:
+            runtime.inject(0, outbound(0), 1_600)
+            with pytest.raises(WorkerCrashed):
+                runtime.main_loop_burst(1_600, 8)
+            with pytest.raises(WorkerCrashed):
+                runtime.op_counters()
+            with pytest.raises(WorkerCrashed):
+                runtime.snapshot_metrics()
+        finally:
+            runtime.stop()
+
+    def test_kill_counts_lost_batch(self):
+        """Packets buffered for a worker killed before its turn are
+        accounted as fault_kill_lost, like the oracle's ledger."""
+        plan = FaultPlan().kill_worker(1, at_us=1_000)
+        runtime = ProcessShardedRuntime(
+            VigNat, config(), workers=2, fault_plan=plan
+        )
+        try:
+            pending_for_1 = 0
+            for i in range(16):
+                packet = outbound(i)
+                if runtime.worker_for(packet) == 1:
+                    pending_for_1 += 1
+                runtime.inject(0, packet, 1_000)
+            assert pending_for_1 > 0
+            with pytest.raises(WorkerCrashed):
+                runtime.main_loop_burst(1_100, 16)
+            # drop_causes() would query the dead worker (and raise the
+            # typed crash); the parent-side ledger has the count.
+            assert runtime.fault_kill_lost == pending_for_1
+        finally:
+            runtime.stop()
+
+
+class TestWorkerErrors:
+    def test_worker_exception_reraises_in_parent(self):
+        """A worker-side failure crosses the pipe as an exception, so
+        the parent sees the real error instead of a protocol stall."""
+        from repro.resil.checkpoint import CheckpointError
+
+        with ProcessShardedRuntime(VigNat, config(), workers=1) as runtime:
+            drive(runtime, 4)
+            checkpoint_set = runtime.checkpoint(now_us=5_000)
+            frame = checkpoint_set.checkpoints[0]
+            corrupted = bytearray(frame.to_bytes())
+            corrupted[-1] ^= 0xFF
+            from repro.net import procrun
+
+            with pytest.raises(CheckpointError):
+                runtime._request(
+                    0,
+                    procrun.OP_RESTORE + bytes(corrupted),
+                    procrun.RE_RESTORED,
+                )
+            # The worker survives its own exception and keeps serving.
+            drive(runtime, 4)
+            assert runtime.flow_count() == 4
+
+
+class TestShutdown:
+    def test_stop_is_idempotent_and_joins(self):
+        runtime = ProcessShardedRuntime(VigNat, config(), workers=2)
+        drive(runtime, 4)
+        procs = list(runtime._procs)
+        runtime.stop()
+        runtime.stop()
+        assert all(not p.is_alive() for p in procs)
+        with pytest.raises(RuntimeError):
+            runtime.main_loop_burst(1_000, 8)
+
+    def test_stop_after_crash_is_safe(self):
+        plan = FaultPlan().kill_worker(0, at_us=1_000)
+        runtime = ProcessShardedRuntime(
+            VigNat, config(), workers=2, fault_plan=plan
+        )
+        runtime.inject(0, outbound(0), 1_000)
+        with pytest.raises(WorkerCrashed):
+            runtime.main_loop_burst(1_000, 8)
+        runtime.stop()
+        assert all(not p.is_alive() for p in runtime._procs)
+
+
+class TestCoordinatedCheckpoint:
+    def test_checkpoint_set_shape(self):
+        with ProcessShardedRuntime(VigNat, config(), workers=2) as runtime:
+            drive(runtime, 10)
+            checkpoint_set = runtime.checkpoint(now_us=9_000)
+            assert checkpoint_set.workers == 2
+            assert checkpoint_set.taken_at_us == 9_000
+            payload = checkpoint_set.to_bytes()
+            from repro.resil.checkpoint import CheckpointSet
+
+            assert CheckpointSet.from_bytes(payload).workers == 2
+
+    def test_restore_into_fresh_runtime(self):
+        """The fence: state checkpointed from one runtime restores into
+        a brand-new process fleet, which then serves the return path."""
+        with ProcessShardedRuntime(VigNat, config(), workers=2) as first:
+            drive(first, 10)
+            flows_before = first.flow_count()
+            replies = []
+            ext_ip = first.config.external_ip
+            for _, _, packet in first.collect():
+                replies.append(
+                    make_udp_packet(
+                        "8.8.8.8",
+                        ext_ip,
+                        packet.l4.dst_port,
+                        packet.l4.src_port,
+                        device=1,
+                    )
+                )
+            checkpoint_set = first.checkpoint(now_us=9_000)
+
+        with ProcessShardedRuntime(VigNat, config(), workers=2) as second:
+            second.restore(checkpoint_set)
+            assert second.flow_count() == flows_before
+            now = 10_000
+            for reply in replies:
+                second.inject(1, reply, now)
+                now += 5
+            second.main_loop_burst(now, 32)
+            delivered = second.collect()
+            assert len(delivered) == len(replies)
+            for _, _, packet in delivered:
+                assert packet.device == 0  # back on the internal side
+
+    def test_restore_rejects_width_mismatch(self):
+        from repro.resil.checkpoint import CheckpointError
+
+        with ProcessShardedRuntime(VigNat, config(), workers=2) as runtime:
+            drive(runtime, 4)
+            checkpoint_set = runtime.checkpoint(now_us=1_000)
+        with ProcessShardedRuntime(VigNat, config(), workers=3) as other:
+            with pytest.raises(CheckpointError):
+                other.restore(checkpoint_set)
+
+
+class TestTimedPump:
+    def test_pump_matches_driven_schedule(self):
+        """prepare_schedule + pump processes exactly the packets the
+        plain drive loop would, so the benchmark's pps numerator is
+        the schedule length."""
+        from repro.net.moongen import ConstantRateFlows
+
+        events = list(
+            ConstantRateFlows(32, 1_000_000.0, 200, burst=16).events()
+        )
+        with ProcessShardedRuntime(VigNat, config(), workers=2) as runtime:
+            schedule = runtime.prepare_schedule(events, burst_size=16)
+            processed = runtime.pump(schedule, burst_size=16)
+            assert processed == len(events)
+            # Replaying the warmed schedule is idempotent in count.
+            assert runtime.pump(schedule, burst_size=16) == len(events)
+            assert runtime.flow_count() == 32

@@ -125,3 +125,80 @@ def test_null_registry_is_inert():
     registry.histogram("c").observe(1)
     registry.counter_fn("d", lambda: 1)
     assert registry.snapshot()["metrics"] == []
+
+
+class TestWithLabels:
+    """Stamping identity labels at the source (repro.net.procrun's
+    per-worker snapshots) so merges cannot silently sum gauges."""
+
+    def _unlabeled(self, occupancy):
+        registry = MetricsRegistry()
+        registry.gauge("flow_table_occupancy", "live flows").set(occupancy)
+        registry.counter("packets_total", "served").inc(10)
+        return registry.snapshot()
+
+    def test_stamps_every_sample(self):
+        from repro.obs.registry import with_labels
+
+        stamped = with_labels(self._unlabeled(5), {"worker": "2"})
+        for metric in stamped["metrics"]:
+            for sample in metric["samples"]:
+                assert sample["labels"]["worker"] == "2"
+
+    def test_original_snapshot_untouched(self):
+        from repro.obs.registry import with_labels
+
+        original = self._unlabeled(5)
+        with_labels(original, {"worker": "2"})
+        for metric in original["metrics"]:
+            for sample in metric["samples"]:
+                assert "worker" not in sample["labels"]
+
+    def test_colliding_unlabeled_gauges_would_sum(self):
+        """The failure mode the stamp exists for: two workers' identical
+        unlabeled snapshots merge into one summed gauge sample —
+        5 flows + 7 flows reads as a 12-flow table that exists nowhere."""
+        merged = merge_snapshots([self._unlabeled(5), self._unlabeled(7)])
+        by_name = {m["name"]: m for m in merged["metrics"]}
+        samples = by_name["flow_table_occupancy"]["samples"]
+        assert len(samples) == 1
+        assert samples[0]["value"] == 12  # the lie
+
+    def test_stamped_gauges_stay_apart(self):
+        from repro.obs.registry import with_labels
+
+        merged = merge_snapshots(
+            [
+                with_labels(self._unlabeled(5), {"worker": "0"}),
+                with_labels(self._unlabeled(7), {"worker": "1"}),
+            ]
+        )
+        by_name = {m["name"]: m for m in merged["metrics"]}
+        samples = by_name["flow_table_occupancy"]["samples"]
+        values = {
+            s["labels"]["worker"]: s["value"] for s in samples
+        }
+        assert values == {"0": 5, "1": 7}
+        # Counters also stay attributable per worker.
+        packet_samples = by_name["packets_total"]["samples"]
+        assert len(packet_samples) == 2
+
+    def test_conflicting_existing_label_raises(self):
+        from repro.obs.registry import with_labels
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "packets_total", "served", labels={"worker": "3"}
+        ).inc(1)
+        snapshot = registry.snapshot()
+        with pytest.raises(ValueError, match="worker"):
+            with_labels(snapshot, {"worker": "4"})
+        # Stamping the same value is a no-op, not a conflict.
+        again = with_labels(snapshot, {"worker": "3"})
+        assert again["metrics"][0]["samples"][0]["labels"]["worker"] == "3"
+
+    def test_non_string_label_values_raise(self):
+        from repro.obs.registry import with_labels
+
+        with pytest.raises(ValueError):
+            with_labels(self._unlabeled(1), {"worker": 2})
