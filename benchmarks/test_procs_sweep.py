@@ -6,15 +6,25 @@ make: scaling out must not change what the NF computes. Two contracts:
 
 (a) **byte-identity**: on the identical schedule, every worker process
     emits the exact TX stream (and counters) the deterministic oracle's
-    same-numbered worker emits, at every width;
+    same-numbered worker emits, at every width — on *both* transports
+    (``pipe`` and ``shm``);
 (b) **core-aware scaling**: the warmed replay rate grows with worker
     processes up to ``min(workers, cores)`` at ≥0.5 efficiency — on the
     ≥4-core CI box, 4 workers must clear 2x the 1-worker rate; on a
     1-core box only the single-core overhead floor applies.
 
-The measured rates (with the core count that contextualizes them) are
-published to ``benchmarks/results/BENCH_procs.json`` and budget-gated
-by ``compare_bench.py``.
+The transport ablation rides the same sweep: every point embeds the
+per-burst ``encode_ns``/``copy_ns``/``ring_wait_ns`` totals, and on a
+single core — where throughput can't separate the transports — the
+shm transport must spend strictly fewer encode+copy nanoseconds per
+packet than the pipe transport at every matching (nf, workers) cell.
+On multi-core runners ``compare_bench.py`` instead gates the 4-worker
+shm rate at ≥1.5x the 4-worker pipe rate.
+
+The measured rates (with the core count and transport that
+contextualize them) are published to
+``benchmarks/results/BENCH_procs.json`` and budget-gated by
+``compare_bench.py``.
 """
 
 import json
@@ -31,6 +41,7 @@ from repro.eval.experiments import (
     procs_sweep,
 )
 from repro.eval.reporting import render_procs_sweep
+from repro.net.procrun import TRANSPORTS
 from repro.obs import merge_snapshots, snapshot_of_counters
 
 PROCS_NFS = tuple(procs_nf_factories())
@@ -43,8 +54,15 @@ def _point_snapshot(point):
             "procs_replay_pps": int(point.replay_pps),
             "procs_packets": point.packets,
             "procs_identical": int(point.identical),
+            "proc_encode_ns": point.transport_ns.get("encode_ns", 0),
+            "proc_copy_ns": point.transport_ns.get("copy_ns", 0),
+            "proc_ring_wait_ns": point.transport_ns.get("ring_wait_ns", 0),
         },
-        labels={"nf": point.nf, "workers": str(point.workers)},
+        labels={
+            "nf": point.nf,
+            "workers": str(point.workers),
+            "transport": point.transport,
+        },
         help_text="process-runtime scaling sweep",
     )
 
@@ -53,12 +71,14 @@ def _bench_record(point):
     return {
         "nf": point.nf,
         "workers": point.workers,
+        "transport": point.transport,
         "burst_size": point.burst_size,
         "packets": point.packets,
         "cores": point.cores,
         "replay_pps": round(point.replay_pps, 1),
         "speedup_vs_1": round(point.speedup_vs_1, 3),
         "identical": point.identical,
+        "transport_ns": dict(point.transport_ns),
         "metrics": _point_snapshot(point),
     }
 
@@ -81,20 +101,50 @@ def test_procs_sweep(benchmark, publish, publish_snapshot):
         json.dumps([_bench_record(p) for p in points], indent=2) + "\n"
     )
 
-    by_key = {(p.nf, p.workers): p for p in points}
-    assert set(by_key) == {(nf, w) for nf in PROCS_NFS for w in widths}
+    by_key = {(p.nf, p.workers, p.transport): p for p in points}
+    assert set(by_key) == {
+        (nf, w, t) for nf in PROCS_NFS for w in widths for t in TRANSPORTS
+    }
 
     for point in points:
         # (a) The whole point: process mode changes the wall clock,
-        # never the bytes.
+        # never the bytes — on either transport.
         assert point.identical, (
-            f"{point.nf} @ {point.workers} workers: process TX stream "
-            "diverged from the deterministic oracle"
+            f"{point.nf} @ {point.workers} workers / {point.transport}: "
+            "process TX stream diverged from the deterministic oracle"
         )
-        assert point.replay_pps > 0, (point.nf, point.workers)
+        assert point.replay_pps > 0, (point.nf, point.workers, point.transport)
         # The NF actually processed the schedule in every worker.
         assert sum(point.counters.values()) > 0, (point.nf, point.workers)
+        # The ablation counters were actually collected.
+        assert point.transport_ns.get("copy_ns", 0) > 0, (
+            point.nf,
+            point.workers,
+            point.transport,
+        )
 
     # (b) Core-aware scaling within budget — the same gate
     # compare_bench applies to the committed baseline.
     assert procs_scaling_breaches(points, ProcsBudget()) == []
+
+    # (c) Transport ablation on a single core: throughput can't tell
+    # the transports apart when everything shares one CPU, but the
+    # byte-movement cost can — shm must spend strictly fewer
+    # encode+copy ns than pipe at every matching cell. (Multi-core
+    # runners gate on throughput instead, in compare_bench.)
+    if points and points[0].cores == 1:
+        for point in points:
+            if point.transport != "shm":
+                continue
+            pipe = by_key[(point.nf, point.workers, "pipe")]
+            shm_cost = point.transport_ns.get(
+                "encode_ns", 0
+            ) + point.transport_ns.get("copy_ns", 0)
+            pipe_cost = pipe.transport_ns.get(
+                "encode_ns", 0
+            ) + pipe.transport_ns.get("copy_ns", 0)
+            assert shm_cost < pipe_cost, (
+                f"{point.nf} @ {point.workers} workers: shm spent "
+                f"{shm_cost} encode+copy ns vs pipe's {pipe_cost}; "
+                "the zero-copy transport must move bytes cheaper"
+            )

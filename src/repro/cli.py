@@ -316,6 +316,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         from repro.eval.experiments import procs_scaling_breaches, procs_sweep
         from repro.eval.reporting import render_procs_sweep
 
+        # Both transports by default: pipe and shm must each be
+        # byte-identical to the oracle and inside the scaling budget.
         points = procs_sweep(worker_counts=(1, 2, 4), packet_count=2_000)
         print(render_procs_sweep(points))
         breaches = procs_scaling_breaches(points)
@@ -325,8 +327,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
                 print(f"  - {breach}")
             return 1
         print(
-            "\nprocess runtime byte-identical to the oracle; "
-            "scaling within budget"
+            "\nprocess runtime byte-identical to the oracle on every "
+            "transport; scaling within budget"
         )
         return 0
     if args.artifact == "metrics":

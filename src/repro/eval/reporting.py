@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.eval.experiments import (
     BurstPoint,
@@ -300,14 +300,16 @@ def render_cgnat_sweep(points: Sequence[CgnatPoint]) -> str:
 def render_procs_sweep(points: Sequence[ProcsPoint]) -> str:
     """Procs sweep: wall-clock replay rate per worker-process count.
 
-    One row per NF, one column per width, with the speedup over the
-    1-worker point and the oracle byte-identity verdict. ``cores``
-    matters for reading the speedups: a 4-worker run on a 1-core box
-    is expected near 1x, not 4x — the budget gate scales accordingly.
+    One row per (NF, transport), one column per width, with the
+    speedup over the matching 1-worker point and the oracle
+    byte-identity verdict. ``cores`` matters for reading the speedups:
+    a 4-worker run on a 1-core box is expected near 1x, not 4x — the
+    budget gate scales accordingly. The pipe/shm rows share a scenario,
+    so the per-transport deltas read straight down a column.
     """
-    by_nf: Dict[str, List[ProcsPoint]] = {}
+    by_row: Dict[Tuple[str, str], List[ProcsPoint]] = {}
     for point in points:
-        by_nf.setdefault(point.nf, []).append(point)
+        by_row.setdefault((point.nf, point.transport), []).append(point)
     widths = sorted({p.workers for p in points})
     first = points[0] if points else None
     scenario = (
@@ -316,22 +318,24 @@ def render_procs_sweep(points: Sequence[ProcsPoint]) -> str:
         if first
         else ""
     )
-    header = "workers:             " + "  ".join(f"{w:>9d}" for w in widths)
+    header = "workers:                   " + "  ".join(
+        f"{w:>9d}" for w in widths
+    )
     lines = [
         f"Process-runtime sweep — warmed replay rate (pps) ({scenario})",
         header,
     ]
-    for nf, nf_points in by_nf.items():
-        cells = {p.workers: p for p in nf_points}
+    for (nf, transport), row_points in by_row.items():
+        cells = {p.workers: p for p in row_points}
         row = "  ".join(
             f"{cells[w].replay_pps:9,.0f}" if w in cells else "        -"
             for w in widths
         )
-        lines.append(f"{nf:>20s}: {row}")
+        lines.append(f"{nf:>20s}/{transport:<5s}: {row}")
     lines.append("")
     lines.append("speedup vs 1 worker / oracle byte-identity")
-    for nf, nf_points in by_nf.items():
-        cells = {p.workers: p for p in nf_points}
+    for (nf, transport), row_points in by_row.items():
+        cells = {p.workers: p for p in row_points}
         row = "  ".join(
             (
                 f"{cells[w].speedup_vs_1:5.2f}x "
@@ -341,7 +345,7 @@ def render_procs_sweep(points: Sequence[ProcsPoint]) -> str:
             )
             for w in widths
         )
-        lines.append(f"{nf:>20s}: {row}")
+        lines.append(f"{nf:>20s}/{transport:<5s}: {row}")
     return "\n".join(lines)
 
 

@@ -42,7 +42,14 @@ from repro.net.app import (
 from repro.net.costmodel import CostModel
 from repro.net.dpdk import DpdkRuntime, ShardedRuntime
 from repro.net.mbuf import MbufPool
-from repro.net.procrun import ProcessShardedRuntime, WorkerCrashed
+from repro.net.procrun import (
+    TRANSPORT_PIPE,
+    TRANSPORT_SHM,
+    TRANSPORTS,
+    ProcessShardedRuntime,
+    WorkerCrashed,
+)
+from repro.net.shmring import RingClosed, ShmRing
 from repro.net.moongen import (
     BackgroundFlows,
     ConstantRateFlows,
@@ -75,11 +82,16 @@ __all__ = [
     "ProbeFlows",
     "ProcessShardedRuntime",
     "Rfc2544Testbed",
+    "RingClosed",
     "RssNic",
     "Runtime",
     "RuntimeSpec",
     "ShardedRunResult",
     "ShardedRuntime",
+    "ShmRing",
+    "TRANSPORTS",
+    "TRANSPORT_PIPE",
+    "TRANSPORT_SHM",
     "ThroughputResult",
     "WorkerCrashed",
     "launch",

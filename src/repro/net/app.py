@@ -82,8 +82,22 @@ class RuntimeSpec:
     #: replication entirely. Only the deterministic mode supports it.
     replication_lag: Optional[int] = None
     #: Process mode only: how long the parent waits on a worker reply
-    #: before declaring it crashed.
+    #: before declaring it crashed. Also bounds every shm ring-full
+    #: backpressure wait.
     turn_timeout_s: float = 30.0
+    #: Process mode only: how packets cross the parent/worker boundary.
+    #: ``"shm"`` (default) moves bursts through per-worker shared-memory
+    #: rings with the pipe as control plane; ``"pipe"`` serializes them
+    #: over the pipe itself. Both are differentially proven
+    #: byte-identical to the deterministic oracle.
+    transport: str = "shm"
+    #: Process mode only: respawn crashed shards and restore the last
+    #: coordinated checkpoint instead of raising ``WorkerCrashed``.
+    supervise: bool = False
+    #: Process mode, shm transport only: ring geometry per direction
+    #: per worker (slots × slot_bytes of payload capacity).
+    ring_slots: int = 4096
+    ring_slot_bytes: int = 256
 
     def __post_init__(self) -> None:
         if self.execution not in EXECUTION_MODES:
@@ -111,6 +125,20 @@ class RuntimeSpec:
             raise ValueError("burst size must be positive")
         if self.turn_timeout_s <= 0:
             raise ValueError("turn timeout must be positive")
+        from repro.net.procrun import TRANSPORTS
+
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; "
+                f"choose one of {TRANSPORTS}"
+            )
+        if self.supervise and self.execution != PROCESS:
+            raise ValueError(
+                "supervise=True only applies to process execution — the "
+                "other modes have no worker process to respawn"
+            )
+        if self.ring_slots <= 0 or self.ring_slot_bytes <= 0:
+            raise ValueError("ring geometry must be positive")
 
     def resolved_config(self) -> NatConfig:
         return self.config if self.config is not None else NatConfig()
@@ -269,6 +297,10 @@ def launch(spec: RuntimeSpec) -> Runtime:
             fastpath=spec.fastpath,
             fault_plan=spec.fault_plan,
             turn_timeout_s=spec.turn_timeout_s,
+            transport=spec.transport,
+            supervise=spec.supervise,
+            ring_slots=spec.ring_slots,
+            ring_slot_bytes=spec.ring_slot_bytes,
         )
     else:
         runtime = ShardedRuntime(

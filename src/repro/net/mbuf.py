@@ -9,10 +9,43 @@ exhausted, and ``in_flight`` exposes outstanding buffers.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.packets.headers import Packet
+
+#: The on-wire record layout mirroring :class:`Mbuf`'s fields — port,
+#: device, receive timestamp (us), wire length — followed by the raw
+#: wire bytes. Both process-runtime transports (pipe frames and
+#: shared-memory ring slots, :mod:`repro.net.shmring`) carry exactly
+#: this shape, so a record round-trips between them byte-identically.
+SLOT_HEADER = struct.Struct(">HHqI")
+
+
+def pack_slot_record(
+    port: int, device: int, timestamp: int, wire: bytes
+) -> bytes:
+    """Frame one packet as a slot record: header + raw wire bytes.
+
+    ``device`` rides the record because :meth:`Packet.wire_bytes` does
+    not carry it — it is runtime routing state, not an on-wire field.
+    """
+    return SLOT_HEADER.pack(port, device, timestamp, len(wire)) + wire
+
+
+def unpack_slot_records(
+    blob: bytes, offset: int = 0
+) -> List[Tuple[int, int, int, bytes]]:
+    """Parse concatenated slot records: (port, device, timestamp, wire)."""
+    records: List[Tuple[int, int, int, bytes]] = []
+    end = len(blob)
+    while offset < end:
+        port, device, timestamp, length = SLOT_HEADER.unpack_from(blob, offset)
+        offset += SLOT_HEADER.size
+        records.append((port, device, timestamp, bytes(blob[offset : offset + length])))
+        offset += length
+    return records
 
 
 class MbufPoolExhausted(RuntimeError):

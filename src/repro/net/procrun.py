@@ -9,16 +9,35 @@ shard of a partitioned :class:`~repro.nat.config.NatConfig`, one NF, one
 worker in its own OS process, so shards execute concurrently on real
 cores. Nothing is shared: the parent owns the RSS steering stage
 (:class:`~repro.net.rss.NatSteering` behind an
-:class:`~repro.net.nic.RssNic`) and talks to each worker over one
-``multiprocessing`` pipe carrying length-prefixed raw wire bytes,
-batched per burst.
+:class:`~repro.net.nic.RssNic`).
+
+Two interchangeable payload transports move packets across the
+parent/worker boundary (``RuntimeSpec(transport=...)``):
+
+- ``pipe`` — length-prefixed mbuf-shaped frames over the control pipe
+  itself, batched per burst. Simple, but every packet is serialized
+  through two kernel copies per direction.
+- ``shm`` (the default) — per-worker single-producer/single-consumer
+  ring buffers over ``multiprocessing.shared_memory``
+  (:class:`~repro.net.shmring.ShmRing`): one inject ring parent→worker,
+  one TX ring worker→parent. A whole burst lands in the ring with one
+  slice assignment; the pipe carries *control only*. Ring-full is
+  explicit backpressure — the producer waits, with ``turn_timeout_s``
+  bounding every wait.
+
+In both transports the pipe stays the control plane (turn barriers,
+snapshots, checkpoints, crash detection), so the FIFO checkpoint fence
+and the typed :class:`WorkerCrashed` semantics are transport-invariant:
+a pipe write is a full memory barrier, so by the time a worker sees a
+``T`` command every inject span written before it is visible, and by
+the time the parent sees the ``a`` reply every TX span is too.
 
 The deterministic runtime stays the *verification oracle*: because a
 worker process runs the identical per-shard data path on the identical
 steered sub-schedule, its TX stream is byte-for-byte what the oracle's
 same-numbered worker produces — the differential suite in
 ``tests/integration/test_proc_differential.py`` proves it on every
-NF × fastpath × worker-count cell. See ``docs/SCALING.md``.
+NF × fastpath × worker-count × transport cell. See ``docs/SCALING.md``.
 
 Protocol (one request/reply pipe per worker, commands applied in FIFO
 order, which is what makes the checkpoint fence trivial):
@@ -26,8 +45,9 @@ order, which is what makes the checkpoint fence trivial):
 ========  ======================================  =======================
 opcode    parent → worker                         worker → parent
 ========  ======================================  =======================
-``I``     burst of framed packets to enqueue      (no reply)
-``T``     run one main-loop turn                  ``a`` seq, processed, TX frames
+``I``     burst of framed packets (pipe only)     (no reply)
+``T``     run one main-loop turn                  ``a`` seq, processed
+                                                  [+ TX frames, pipe only]
 ``S``     collect a worker-labeled snapshot       ``s`` JSON snapshot
 ``N``     collect NF/runtime counters             ``n`` JSON counters
 ``K``     take a ``repro-ckpt/v1`` checkpoint     ``k`` checkpoint frame
@@ -38,16 +58,22 @@ opcode    parent → worker                         worker → parent
 Any worker-side exception comes back as an ``e`` reply and is re-raised
 in the parent; a worker that dies instead of replying surfaces as
 :class:`WorkerCrashed` with the shard id and the last *acknowledged*
-burst sequence number — never as a hung pipe read.
+burst sequence number — never as a hung pipe read. With
+``supervise=True`` the runtime instead respawns the dead shard and
+restores the last coordinated :class:`~repro.resil.checkpoint.CheckpointSet`
+(see :meth:`ProcessShardedRuntime.main_loop_burst`).
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import multiprocessing
 import os
 import signal
 import struct
+import time
+import weakref
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs
@@ -55,16 +81,34 @@ from repro.nat.base import NetworkFunction
 from repro.nat.config import NatConfig
 from repro.nat.fastpath import FastPathNat
 from repro.net.dpdk import DpdkRuntime
+from repro.net.mbuf import SLOT_HEADER, pack_slot_record, unpack_slot_records
 from repro.net.nic import RssNic
 from repro.net.rss import NatSteering
+from repro.net.shmring import (
+    DEFAULT_SLOT_BYTES,
+    DEFAULT_SLOTS,
+    ShmRing,
+    unlink_rings,
+)
 from repro.obs import flight
 from repro.obs.registry import MetricsRegistry, merge_snapshots
 from repro.packets.headers import Packet
 
+# -- transports ---------------------------------------------------------------
+
+TRANSPORT_PIPE = "pipe"
+TRANSPORT_SHM = "shm"
+#: Payload transports a process runtime can use. Both are proven
+#: byte-identical to the deterministic oracle by the differential grid.
+TRANSPORTS = (TRANSPORT_PIPE, TRANSPORT_SHM)
+
 # -- wire framing -------------------------------------------------------------
 
 #: One framed packet record: port, device, timestamp_us, wire length.
-_REC = struct.Struct(">HHqI")
+#: This is exactly the shm slot-record layout — both transports carry
+#: the same bytes, which is what makes the transport axis a pure
+#: mechanism swap in the differential proofs.
+_REC = SLOT_HEADER
 #: Turn command payload: seq, now_us, burst_size, pool seizure target.
 _TURN = struct.Struct(">QqiI")
 #: Turn acknowledgement payload: seq, packets processed.
@@ -87,26 +131,158 @@ RE_RESTORED = b"r"
 RE_BYE = b"x"
 RE_ERROR = b"e"
 
+#: How long a producer sleeps between ring-full retries, and how often
+#: an idle worker wakes to drain its inject ring. Short enough that a
+#: full ring drains within a handful of wakeups, long enough not to
+#: burn a core while idle.
+_RING_RETRY_S = 0.0002
+_WORKER_POLL_S = 0.002
 
-def pack_record(port_id: int, device: int, timestamp: int, wire: bytes) -> bytes:
-    """Frame one packet for the pipe: header + raw wire bytes.
+pack_record = pack_slot_record
+unpack_records = unpack_slot_records
 
-    ``device`` rides the frame because :meth:`Packet.wire_bytes` does
-    not carry it — it is runtime routing state, not an on-wire field.
+
+class TransportStats:
+    """Per-burst transport tax, split where the ablation needs it split.
+
+    - ``encode_ns`` — record framing and parsing (the pack/unpack
+      loops), common to both transports.
+    - ``copy_ns`` — moving the bytes: pipe join/send/recv vs shm slice
+      writes and reads. This is the term the shm transport exists to
+      shrink.
+    - ``ring_wait_ns`` — time blocked on ring-full backpressure (shm
+      only; the pipe transport blocks in the kernel instead, where it
+      shows up as copy time).
+
+    Both sides keep one: the parent's half lives on the runtime, each
+    worker's half rides the ``N`` counters reply as ``transport_ns``.
     """
-    return _REC.pack(port_id, device, timestamp, len(wire)) + wire
+
+    __slots__ = ("encode_ns", "copy_ns", "ring_wait_ns")
+
+    def __init__(self) -> None:
+        self.encode_ns = 0
+        self.copy_ns = 0
+        self.ring_wait_ns = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "encode_ns": self.encode_ns,
+            "copy_ns": self.copy_ns,
+            "ring_wait_ns": self.ring_wait_ns,
+        }
+
+    def register_metrics(self, registry, labels=None) -> None:
+        registry.counter_fn(
+            "proc_encode_ns_total",
+            lambda: self.encode_ns,
+            "transport record framing/parsing time",
+            labels,
+        )
+        registry.counter_fn(
+            "proc_copy_ns_total",
+            lambda: self.copy_ns,
+            "transport byte-movement time",
+            labels,
+        )
+        registry.counter_fn(
+            "proc_ring_wait_ns_total",
+            lambda: self.ring_wait_ns,
+            "time blocked on ring-full backpressure",
+            labels,
+        )
 
 
-def unpack_records(blob: bytes, offset: int = 0) -> List[Tuple[int, int, int, bytes]]:
-    """Parse a concatenation of framed records: (port, device, ts, wire)."""
-    records: List[Tuple[int, int, int, bytes]] = []
+_RING_SEQ = itertools.count()
+
+
+def _create_ring(tag: str, slots: int, slot_bytes: int) -> ShmRing:
+    """One explicitly-named segment: ``repro-ring-<pid>-<seq>-<tag>``.
+
+    Explicit names make leaks greppable (``ls /dev/shm | grep
+    repro-ring``) — the leak test relies on that. A name collision
+    (a previous run's leak) just bumps the sequence number.
+    """
+    while True:
+        name = f"repro-ring-{os.getpid()}-{next(_RING_SEQ)}-{tag}"
+        try:
+            return ShmRing(name=name, slots=slots, slot_bytes=slot_bytes)
+        except FileExistsError:
+            continue
+
+
+def _push_with_backpressure(
+    ring: ShmRing,
+    blob: bytes,
+    stats: TransportStats,
+    timeout_s: float,
+    on_wait: Optional[Callable[[], None]] = None,
+) -> None:
+    """Push one span, waiting out ring-full; every wait is bounded.
+
+    ``on_wait`` runs between retries — the parent drains TX rings there
+    so a worker blocked pushing TX can always make progress (and vice
+    versa: the worker's idle loop drains its inject ring, so a parent
+    blocked here always unblocks). Raises after ``timeout_s`` of no
+    progress so a dead peer surfaces instead of a hang.
+    """
+    deadline = None
+    while True:
+        t0 = time.perf_counter_ns()
+        pushed = ring.try_push_burst(blob)
+        t1 = time.perf_counter_ns()
+        if pushed:
+            stats.copy_ns += t1 - t0
+            return
+        stats.ring_wait_ns += t1 - t0
+        now = time.monotonic()
+        if deadline is None:
+            deadline = now + timeout_s
+        elif now > deadline:
+            raise TimeoutError(
+                f"ring {ring.name} full for {timeout_s:.1f}s — consumer "
+                f"is not draining"
+            )
+        if on_wait is not None:
+            on_wait()
+        time.sleep(_RING_RETRY_S)
+        stats.ring_wait_ns += time.perf_counter_ns() - t1
+
+
+def _chunk_frames(frames: List[bytes], max_bytes: int) -> List[bytes]:
+    """Join frames into span-sized blobs, never splitting a record."""
+    chunks: List[bytes] = []
+    batch: List[bytes] = []
+    size = 0
+    for frame in frames:
+        if batch and size + len(frame) > max_bytes:
+            chunks.append(b"".join(batch))
+            batch = []
+            size = 0
+        batch.append(frame)
+        size += len(frame)
+    if batch:
+        chunks.append(b"".join(batch))
+    return chunks
+
+
+def _split_blob(blob: bytes, max_bytes: int) -> List[bytes]:
+    """Split a pre-joined record blob at record boundaries."""
+    if len(blob) <= max_bytes:
+        return [blob]
+    parts: List[bytes] = []
+    start = 0
+    offset = 0
     end = len(blob)
     while offset < end:
-        port_id, device, timestamp, length = _REC.unpack_from(blob, offset)
-        offset += _REC.size
-        records.append((port_id, device, timestamp, bytes(blob[offset : offset + length])))
-        offset += length
-    return records
+        length = _REC.unpack_from(blob, offset)[3]
+        nxt = offset + _REC.size + length
+        if nxt - start > max_bytes and offset > start:
+            parts.append(blob[start:offset])
+            start = offset
+        offset = nxt
+    parts.append(blob[start:end])
+    return parts
 
 
 class WorkerCrashed(RuntimeError):
@@ -139,12 +315,22 @@ def _worker_main(
     port_count: int,
     rx_capacity: int,
     pool_size: int,
+    inject_ring: Optional[ShmRing] = None,
+    out_ring: Optional[ShmRing] = None,
+    turn_timeout_s: float = 30.0,
 ) -> None:
     """One shard's whole world: NF + runtime + cache + registry, private.
 
     Runs until an ``X`` command or pipe EOF. Every command handler is
     wrapped: an exception becomes an ``e`` reply (type + message) so the
     parent re-raises instead of deadlocking on a missing reply.
+
+    With rings (shm transport) the loop is: while the pipe is idle,
+    eagerly drain the inject ring into the runtime's RX queues — that is
+    what resolves the parent's ring-full backpressure without waiting
+    for a turn. On ``T``, drain whatever remains (the pipe write fenced
+    it), run the turn, push the TX burst into the out ring *before* the
+    ACK, so the parent's ACK read doubles as the TX-visibility fence.
     """
     from repro.resil.checkpoint import Checkpoint
     from repro.resil.checkpoint import restore as restore_checkpoint
@@ -156,6 +342,11 @@ def _worker_main(
     runtime = DpdkRuntime(port_count, rx_capacity, pool_size)
     runtime.worker_id = worker_id
     seized: List = []
+    stats = TransportStats()
+    transport = TRANSPORT_SHM if inject_ring is not None else TRANSPORT_PIPE
+    max_span = None
+    if out_ring is not None:
+        max_span = max(out_ring.slot_bytes, out_ring.capacity_bytes // 4)
 
     def apply_pool_seizure(target: int) -> None:
         while len(seized) < target:
@@ -166,33 +357,72 @@ def _worker_main(
         while len(seized) > target:
             runtime.pool.free(seized.pop())
 
+    def drain_inject() -> int:
+        """Pop every visible burst into the runtime's RX queues."""
+        drained = 0
+        while True:
+            t0 = time.perf_counter_ns()
+            blob = inject_ring.pop_burst_bytes()
+            t1 = time.perf_counter_ns()
+            if blob is None:
+                return drained
+            stats.copy_ns += t1 - t0
+            records = unpack_slot_records(blob)
+            stats.encode_ns += time.perf_counter_ns() - t1
+            for port_id, device, timestamp, wire in records:
+                packet = Packet.from_bytes(wire, device=device)
+                runtime.inject(port_id, packet, timestamp)
+            drained += len(records)
+
     while True:
         try:
+            if inject_ring is not None:
+                # Idle loop doubles as the backpressure valve: a parent
+                # blocked on inject-ring-full unblocks within one poll.
+                while not conn.poll(_WORKER_POLL_S):
+                    drain_inject()
             message = conn.recv_bytes()
         except (EOFError, OSError):
             break
         op = message[:1]
         try:
             if op == OP_INJECT:
-                for port_id, device, timestamp, wire in unpack_records(message, 1):
+                t0 = time.perf_counter_ns()
+                records = unpack_slot_records(message, 1)
+                stats.encode_ns += time.perf_counter_ns() - t0
+                for port_id, device, timestamp, wire in records:
                     packet = Packet.from_bytes(wire, device=device)
                     runtime.inject(port_id, packet, timestamp)
             elif op == OP_TURN:
                 seq, now_us, burst_size, seizure = _TURN.unpack_from(message, 1)
+                if inject_ring is not None:
+                    drain_inject()  # the T write fenced these spans
                 apply_pool_seizure(seizure)
                 processed = runtime.main_loop_burst(nf, now_us, burst_size)
+                t0 = time.perf_counter_ns()
                 frames = [
                     pack_record(port_id, packet.device, timestamp, packet.wire_bytes())
                     for port_id, timestamp, packet in runtime.collect()
                 ]
-                conn.send_bytes(
-                    RE_ACK + _ACK.pack(seq, processed) + b"".join(frames)
-                )
+                stats.encode_ns += time.perf_counter_ns() - t0
+                if out_ring is not None:
+                    if frames:
+                        for chunk in _chunk_frames(frames, max_span):
+                            _push_with_backpressure(
+                                out_ring, chunk, stats, turn_timeout_s
+                            )
+                    conn.send_bytes(RE_ACK + _ACK.pack(seq, processed))
+                else:
+                    t0 = time.perf_counter_ns()
+                    payload = RE_ACK + _ACK.pack(seq, processed) + b"".join(frames)
+                    conn.send_bytes(payload)
+                    stats.copy_ns += time.perf_counter_ns() - t0
             elif op == OP_SNAPSHOT:
                 registry = MetricsRegistry()
-                labels = {"worker": str(worker_id)}
+                labels = {"worker": str(worker_id), "transport": transport}
                 runtime.register_metrics(registry, labels)
                 nf.register_metrics(registry, labels)
+                stats.register_metrics(registry, labels)
                 conn.send_bytes(
                     RE_SNAPSHOT + json.dumps(registry.snapshot()).encode("utf-8")
                 )
@@ -201,6 +431,7 @@ def _worker_main(
                     "op_counters": dict(nf.op_counters()),
                     "drop_causes": runtime.drop_causes(),
                     "flow_count": nf.flow_count() if hasattr(nf, "flow_count") else 0,
+                    "transport_ns": stats.as_dict(),
                 }
                 conn.send_bytes(RE_COUNTERS + json.dumps(payload).encode("utf-8"))
             elif op == OP_CHECKPOINT:
@@ -208,7 +439,17 @@ def _worker_main(
                 frame = snapshot_checkpoint(nf, taken_at_us).to_bytes()
                 conn.send_bytes(RE_CHECKPOINT + frame)
             elif op == OP_RESTORE:
-                restore_checkpoint(nf, Checkpoint.from_bytes(message[1:]))
+                # restore_state demands a freshly constructed NF, so the
+                # worker rebuilds its shard from the factory first —
+                # this is what lets the supervisor restore *surviving*
+                # workers in place after respawning only the dead ones
+                # (the fastpath cache starts cold, as after any restore:
+                # the generation bump would invalidate it anyway).
+                fresh = nf_factory(shard)
+                if fastpath:
+                    fresh = FastPathNat(fresh)
+                restore_checkpoint(fresh, Checkpoint.from_bytes(message[1:]))
+                nf = fresh
                 conn.send_bytes(RE_RESTORED)
             elif op == OP_STOP:
                 conn.send_bytes(RE_BYE)
@@ -222,6 +463,10 @@ def _worker_main(
                     {"type": type(exc).__name__, "message": str(exc)}
                 ).encode("utf-8")
             )
+    # Detach this process's ring mappings; the parent owns unlinking.
+    for ring in (inject_ring, out_ring):
+        if ring is not None:
+            ring.close()
     conn.close()
 
 
@@ -236,19 +481,27 @@ class ProcessShardedRuntime:
     a schedule driven against both produces byte-identical per-worker TX
     streams and merged counters. Differences by design:
 
-    - :meth:`inject` batches: packets are framed and buffered per
-      worker, and shipped as one pipe message per worker per turn.
+    - :meth:`inject` batches: packets are steered and buffered per
+      worker, and shipped once per worker per turn — as one pipe
+      message (``transport="pipe"``) or as spans in that worker's
+      inject ring (``transport="shm"``).
     - A fault-plan worker kill terminates the real OS process; the
       parent then raises :class:`WorkerCrashed` rather than silently
-      serving on, because process mode has no failover controller (use
-      the deterministic mode with replication for that).
+      serving on — unless ``supervise=True``, in which case the dead
+      shard is respawned and the whole fleet restored to the last
+      coordinated checkpoint.
     - :meth:`checkpoint` is coordinated: the pipe's FIFO ordering fences
-      each worker (a checkpoint reply proves every prior burst landed),
+      each worker (a checkpoint reply proves every prior burst landed —
+      including its ring spans, since workers drain before acking),
       and the shard frames are bound into one
       :class:`~repro.resil.checkpoint.CheckpointSet` manifest.
 
     Always :meth:`stop` a runtime when done (or use it as a context
-    manager) — worker processes are real and must be joined.
+    manager) — worker processes are real and must be joined, and the
+    shm transport's segments are unlinked there. A ``weakref.finalize``
+    hook unlinks them even when ``stop`` never runs (parent exception,
+    GC, interpreter exit), so no ``/dev/shm`` entries outlive the
+    parent.
     """
 
     def __init__(
@@ -264,11 +517,19 @@ class ProcessShardedRuntime:
         fastpath: bool = False,
         fault_plan=None,
         turn_timeout_s: float = 30.0,
+        transport: str = TRANSPORT_SHM,
+        supervise: bool = False,
+        ring_slots: int = DEFAULT_SLOTS,
+        ring_slot_bytes: int = DEFAULT_SLOT_BYTES,
     ) -> None:
         if workers <= 0:
             raise ValueError("need at least one worker")
         if turn_timeout_s <= 0:
             raise ValueError("turn timeout must be positive")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose one of {TRANSPORTS}"
+            )
         config = config if config is not None else NatConfig()
         self.config = config
         self.shards: Tuple[NatConfig, ...] = config.partition(workers)
@@ -279,33 +540,45 @@ class ProcessShardedRuntime:
         self.fault_wire_corrupted = 0
         self.fault_kill_lost = 0
         self.turn_timeout_s = turn_timeout_s
+        self.transport = transport
+        self.supervise = supervise
+        self.supervisor_restarts = 0
+        self._ring_slots = ring_slots
+        self._ring_slot_bytes = ring_slot_bytes
+        self._nf_factory = nf_factory
+        self._fastpath = fastpath
+        self._port_count = port_count
+        self._rx_capacity = rx_capacity
+        self._pool_size = pool_size
+        self._stats = TransportStats()
 
-        context = multiprocessing.get_context("fork")
-        self._conns = []
-        self._procs = []
-        for worker_id, shard in enumerate(self.shards):
-            parent_conn, child_conn = context.Pipe()
-            proc = context.Process(
-                target=_worker_main,
-                args=(
-                    child_conn,
-                    worker_id,
-                    nf_factory,
-                    shard,
-                    fastpath,
-                    port_count,
-                    rx_capacity,
-                    pool_size,
-                ),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+        self._context = multiprocessing.get_context("fork")
+        self._conns: List = [None] * workers
+        self._procs: List = [None] * workers
+        self._inject_rings: List[Optional[ShmRing]] = [None] * workers
+        self._out_rings: List[Optional[ShmRing]] = [None] * workers
+        #: Every ring ever created, mutated in place so the finalizer
+        #: below (registered once) always sees the current set — this
+        #: is the "no leaked /dev/shm segments on any exit path"
+        #: guarantee: stop(), crash handling, parent exception, GC and
+        #: interpreter exit all funnel into unlink_rings exactly once.
+        self._all_rings: List[ShmRing] = []
+        self._ring_finalizer = weakref.finalize(
+            self, unlink_rings, self._all_rings
+        )
+        try:
+            for worker_id in range(workers):
+                self._spawn_worker(worker_id)
+        except BaseException:
+            self._ring_finalizer()
+            raise
 
-        #: Framed-but-unsent packets per worker, flushed once per turn.
-        self._pending: List[List[bytes]] = [[] for _ in range(workers)]
+        #: Steered-but-unsent packets per worker as (port, device, ts,
+        #: wire) tuples, framed at flush time (so the ablation counters
+        #: see encode and copy separately) and flushed once per turn.
+        self._pending: List[List[Tuple[int, int, int, bytes]]] = [
+            [] for _ in range(workers)
+        ]
         self._seq = 0
         self._last_acked: List[int] = [0] * workers
         self._alive: List[bool] = [True] * workers
@@ -316,6 +589,52 @@ class ProcessShardedRuntime:
             [] for _ in range(workers)
         ]
         self._stopped = False
+        self._last_checkpoint_set = None
+        if supervise:
+            # The recovery baseline must exist before the first crash:
+            # a fresh fleet's coordinated empty-state checkpoint.
+            self._last_checkpoint_set = self.checkpoint(0)
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        """Stand up one shard process (construction and respawn path)."""
+        inject_ring = out_ring = None
+        if self.transport == TRANSPORT_SHM:
+            inject_ring = _create_ring(
+                f"{worker_id}i", self._ring_slots, self._ring_slot_bytes
+            )
+            self._all_rings.append(inject_ring)
+            out_ring = _create_ring(
+                f"{worker_id}o", self._ring_slots, self._ring_slot_bytes
+            )
+            self._all_rings.append(out_ring)
+        parent_conn, child_conn = self._context.Pipe()
+        proc = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                worker_id,
+                self._nf_factory,
+                self.shards[worker_id],
+                self._fastpath,
+                self._port_count,
+                self._rx_capacity,
+                self._pool_size,
+                inject_ring,
+                out_ring,
+                self.turn_timeout_s,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[worker_id] = parent_conn
+        self._procs[worker_id] = proc
+        self._inject_rings[worker_id] = inject_ring
+        self._out_rings[worker_id] = out_ring
+
+    @property
+    def _max_span_bytes(self) -> int:
+        return max(self._ring_slot_bytes, self._ring_slots * self._ring_slot_bytes // 4)
 
     # -- context management --------------------------------------------------
     def __enter__(self) -> "ProcessShardedRuntime":
@@ -340,7 +659,7 @@ class ProcessShardedRuntime:
 
     # -- wire side -----------------------------------------------------------
     def inject(self, port_id: int, packet: Packet, timestamp: int) -> bool:
-        """Steer a packet and buffer its frame for the next turn's batch.
+        """Steer a packet and buffer it for the next turn's batch.
 
         Mirrors the oracle's fault consultation exactly (same verdict
         order, same RNG draws) so fault-plan runs stay comparable. The
@@ -378,7 +697,7 @@ class ProcessShardedRuntime:
                 detail=f"port {port_id}",
             )
         self._pending[worker].append(
-            pack_record(port_id, packet.device, timestamp, packet.wire_bytes())
+            (port_id, packet.device, timestamp, packet.wire_bytes())
         )
         return True
 
@@ -424,18 +743,36 @@ class ProcessShardedRuntime:
 
         Semantically the oracle's round-robin turn, minus the serial
         execution: every live worker gets its buffered inject batch and
-        a turn command, then all turn acknowledgements (with their TX
-        frames) are gathered. A fault-plan kill terminates the worker's
-        OS process and surfaces as :class:`WorkerCrashed`; a hang skips
+        a turn command, then all turn acknowledgements are gathered
+        (with their TX frames — via the reply in pipe mode, via the out
+        ring in shm mode). A fault-plan kill terminates the worker's OS
+        process and surfaces as :class:`WorkerCrashed`; a hang skips
         the worker's turn with its batches still delivered (queues
         intact, like the oracle); clock skew biases the ``now`` that
         worker observes; pool seizures ride the turn command.
+
+        Under ``supervise=True`` a crash is handled instead of raised:
+        dead shards are respawned (fresh processes, fresh rings), the
+        whole fleet restores the last coordinated checkpoint, and the
+        turn reports 0 processed — traffic between the checkpoint and
+        the crash is rolled back, exactly the replay window the
+        checkpoint contract promises.
         """
+        try:
+            return self._main_loop_burst(now_us, burst_size)
+        except WorkerCrashed:
+            if not self.supervise or self._last_checkpoint_set is None:
+                raise
+            self._supervisor_recover()
+            return 0
+
+    def _main_loop_burst(self, now_us: int, burst_size: int) -> int:
         if burst_size <= 0:
             raise ValueError("burst size must be positive")
         self._ensure_running()
         plan = self.fault_plan
         faults_on = plan is not None and not plan.empty
+        shm = self.transport == TRANSPORT_SHM
         crashed: Optional[int] = None
         turned: List[Tuple[int, int]] = []  # (worker_id, seq)
         for worker_id, conn in enumerate(self._conns):
@@ -462,6 +799,10 @@ class ProcessShardedRuntime:
                 if skew:
                     worker_now = max(0, now_us + skew)
             self._flush_pending(worker_id)
+            if not self._alive[worker_id]:
+                if crashed is None:
+                    crashed = worker_id
+                continue
             self._seq += 1
             seq = self._seq
             try:
@@ -477,7 +818,7 @@ class ProcessShardedRuntime:
 
         processed = 0
         for worker_id, seq in turned:
-            reply = self._recv(worker_id)
+            reply = self._recv(worker_id, drain_tx=shm)
             if reply is None:
                 if crashed is None:
                     crashed = worker_id
@@ -486,10 +827,14 @@ class ProcessShardedRuntime:
             assert acked_seq == seq, f"out-of-order ack: {acked_seq} != {seq}"
             self._last_acked[worker_id] = acked_seq
             processed += count
-            if len(reply) > 1 + _ACK.size:
-                self._tx[worker_id].extend(
-                    unpack_records(reply, 1 + _ACK.size)
-                )
+            if shm:
+                # The ACK is the fence: every TX span is visible now.
+                self._drain_tx_ring(worker_id)
+            elif len(reply) > 1 + _ACK.size:
+                t0 = time.perf_counter_ns()
+                records = unpack_records(reply, 1 + _ACK.size)
+                self._stats.encode_ns += time.perf_counter_ns() - t0
+                self._tx[worker_id].extend(records)
         if crashed is not None:
             raise WorkerCrashed(
                 crashed,
@@ -506,11 +851,11 @@ class ProcessShardedRuntime:
 
         All parent-side per-packet work (RSS steering, framing) happens
         here, untimed, so a timed :meth:`pump` measures only the
-        scatter/gather pipe traffic and the workers' concurrent data
-        path — the part that actually scales with cores. Each entry is
-        ``(per-worker inject blobs, now_us)`` for one turn; the packet's
-        ``device`` doubles as the ingress port id, matching how the
-        testbeds drive :meth:`inject`.
+        scatter/gather transport traffic and the workers' concurrent
+        data path — the part that actually scales with cores. Each
+        entry is ``(per-worker inject blobs, now_us)`` for one turn;
+        the packet's ``device`` doubles as the ingress port id,
+        matching how the testbeds drive :meth:`inject`.
         """
         if burst_size <= 0:
             raise ValueError("burst size must be positive")
@@ -548,14 +893,17 @@ class ProcessShardedRuntime:
 
         The hot loop of the scaling benchmark: scatter each turn's
         pre-built inject blob plus a turn command to every worker, then
-        gather the acknowledgements. TX frames riding the ACKs are
-        discarded (the benchmark only needs the processed count); use
-        :meth:`main_loop_burst` when outputs matter. Replaying the same
-        schedule repeatedly is idempotent NAT-wise — flows already
-        exist, so passes after the first measure the warmed steady
-        state, mirroring ``_timed_burst_replay``.
+        gather the acknowledgements. TX output is discarded — read off
+        the ACK reply unparsed (pipe) or drained from the out rings
+        unparsed (shm); use :meth:`main_loop_burst` when outputs
+        matter. Replaying the same schedule repeatedly is idempotent
+        NAT-wise — flows already exist, so passes after the first
+        measure the warmed steady state, mirroring
+        ``_timed_burst_replay``.
         """
         self._ensure_running()
+        shm = self.transport == TRANSPORT_SHM
+        max_span = self._max_span_bytes
         processed = 0
         for sends, now_us in schedule:
             turned: List[Tuple[int, int]] = []
@@ -565,11 +913,26 @@ class ProcessShardedRuntime:
                 seq = self._seq
                 try:
                     if blob:
-                        conn.send_bytes(OP_INJECT + blob)
+                        if shm:
+                            ring = self._inject_rings[worker_id]
+                            for part in _split_blob(blob, max_span):
+                                _push_with_backpressure(
+                                    ring,
+                                    part,
+                                    self._stats,
+                                    self.turn_timeout_s,
+                                    on_wait=lambda: self._drain_tx_rings(
+                                        discard=True
+                                    ),
+                                )
+                        else:
+                            t0 = time.perf_counter_ns()
+                            conn.send_bytes(OP_INJECT + blob)
+                            self._stats.copy_ns += time.perf_counter_ns() - t0
                     conn.send_bytes(
                         OP_TURN + _TURN.pack(seq, now_us, burst_size, 0)
                     )
-                except (BrokenPipeError, OSError):
+                except (BrokenPipeError, OSError, TimeoutError):
                     self._mark_dead(worker_id)
                     raise WorkerCrashed(
                         worker_id,
@@ -578,7 +941,7 @@ class ProcessShardedRuntime:
                     ) from None
                 turned.append((worker_id, seq))
             for worker_id, seq in turned:
-                reply = self._recv(worker_id)
+                reply = self._recv(worker_id, drain_tx=shm, discard_tx=True)
                 if reply is None:
                     raise WorkerCrashed(
                         worker_id,
@@ -588,32 +951,94 @@ class ProcessShardedRuntime:
                 acked_seq, count = _ACK.unpack_from(reply, 1)
                 self._last_acked[worker_id] = acked_seq
                 processed += count
+                if shm:
+                    self._drain_tx_ring(worker_id, discard=True)
         return processed
 
     def _flush_pending(self, worker_id: int) -> None:
         pending = self._pending[worker_id]
         if not pending:
             return
-        blob = OP_INJECT + b"".join(pending)
+        t0 = time.perf_counter_ns()
+        frames = [pack_record(*record) for record in pending]
+        self._stats.encode_ns += time.perf_counter_ns() - t0
         pending.clear()
-        try:
-            self._conns[worker_id].send_bytes(blob)
-        except (BrokenPipeError, OSError):
-            self._mark_dead(worker_id)
+        if self.transport == TRANSPORT_SHM:
+            ring = self._inject_rings[worker_id]
+            try:
+                for chunk in _chunk_frames(frames, self._max_span_bytes):
+                    _push_with_backpressure(
+                        ring,
+                        chunk,
+                        self._stats,
+                        self.turn_timeout_s,
+                        on_wait=self._drain_tx_rings,
+                    )
+            except TimeoutError:
+                self._mark_dead(worker_id, "inject ring full; worker not draining")
+        else:
+            t0 = time.perf_counter_ns()
+            blob = OP_INJECT + b"".join(frames)
+            try:
+                self._conns[worker_id].send_bytes(blob)
+            except (BrokenPipeError, OSError):
+                self._mark_dead(worker_id)
+            self._stats.copy_ns += time.perf_counter_ns() - t0
 
-    def _recv(self, worker_id: int) -> Optional[bytes]:
+    def _drain_tx_ring(self, worker_id: int, discard: bool = False) -> None:
+        """Pop every visible TX span from one worker's out ring."""
+        ring = self._out_rings[worker_id]
+        if ring is None:
+            return
+        while True:
+            t0 = time.perf_counter_ns()
+            blob = ring.pop_burst_bytes()
+            t1 = time.perf_counter_ns()
+            if blob is None:
+                return
+            self._stats.copy_ns += t1 - t0
+            if discard:
+                continue
+            records = unpack_records(blob)
+            self._stats.encode_ns += time.perf_counter_ns() - t1
+            self._tx[worker_id].extend(records)
+
+    def _drain_tx_rings(self, discard: bool = False) -> None:
+        """Drain every live worker's out ring (the anti-deadlock sweep:
+        run whenever the parent blocks, so a worker stuck pushing TX
+        always gets slots back)."""
+        for worker_id in range(self.workers):
+            if self._alive[worker_id]:
+                self._drain_tx_ring(worker_id, discard=discard)
+
+    def _recv(
+        self, worker_id: int, *, drain_tx: bool = False, discard_tx: bool = False
+    ) -> Optional[bytes]:
         """One reply from a worker, or ``None`` after marking it dead.
 
         A worker-side exception reply re-raises here; a dead pipe, a
         dead process or a timeout degrade to ``None`` so the caller can
-        raise :class:`WorkerCrashed` with full context.
+        raise :class:`WorkerCrashed` with full context. With
+        ``drain_tx`` the wait loop drains TX rings between polls — the
+        other half of the backpressure contract (a worker blocked on a
+        full out ring can only finish its turn if the parent keeps
+        consuming while it waits for the ACK).
         """
         conn = self._conns[worker_id]
         try:
-            if not conn.poll(self.turn_timeout_s):
+            if drain_tx:
+                deadline = time.monotonic() + self.turn_timeout_s
+                while not conn.poll(_WORKER_POLL_S):
+                    self._drain_tx_rings(discard=discard_tx)
+                    if time.monotonic() > deadline:
+                        self._mark_dead(worker_id)
+                        return None
+            elif not conn.poll(self.turn_timeout_s):
                 self._mark_dead(worker_id)
                 return None
+            t0 = time.perf_counter_ns()
             reply = conn.recv_bytes()
+            self._stats.copy_ns += time.perf_counter_ns() - t0
         except (EOFError, OSError):
             self._mark_dead(worker_id)
             return None
@@ -646,6 +1071,50 @@ class ProcessShardedRuntime:
     def _ensure_running(self) -> None:
         if self._stopped:
             raise RuntimeError("runtime is stopped")
+
+    # -- supervision ---------------------------------------------------------
+    def _supervisor_recover(self) -> None:
+        """Respawn every dead shard and roll the fleet back to the last
+        coordinated checkpoint.
+
+        Fresh process, fresh rings (a SIGKILLed worker can leave a ring
+        in any state — mid-span writes are invisible thanks to the
+        head/tail protocol, but reusing the segment would complicate
+        the proof for nothing); the replaced segments are unlinked
+        immediately. The surviving workers restore too: the fleet
+        converges on one consistent cut, the same contract
+        ``restore_all`` gives the deterministic mode.
+        """
+        for worker_id in range(self.workers):
+            if self._alive[worker_id]:
+                continue
+            proc = self._procs[worker_id]
+            if proc is not None:
+                if proc.is_alive() and proc.pid is not None:
+                    os.kill(proc.pid, signal.SIGKILL)
+                proc.join(timeout=self.turn_timeout_s)
+            conn = self._conns[worker_id]
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            for ring in (self._inject_rings[worker_id], self._out_rings[worker_id]):
+                if ring is not None:
+                    ring.unlink()
+                    self._all_rings.remove(ring)
+            self._pending[worker_id].clear()
+            self._tx[worker_id].clear()
+            self._spawn_worker(worker_id)
+            self._alive[worker_id] = True
+            self._death_reason[worker_id] = ""
+            if self.fault_plan is not None:
+                # Same move the failover controller makes at promotion:
+                # the slot is running a fresh process now, so an
+                # open-ended kill window must not re-fire on it.
+                self.fault_plan.clear(kind="worker-kill", worker=worker_id)
+        self.restore(self._last_checkpoint_set)
+        self.supervisor_restarts += 1
 
     def _request(self, worker_id: int, message: bytes, expect: bytes) -> bytes:
         if not self._alive[worker_id]:
@@ -699,6 +1168,28 @@ class ProcessShardedRuntime:
             self._counters(w)["flow_count"] for w in range(self.workers)
         )
 
+    def transport_counters(self) -> Dict[str, Dict[str, int]]:
+        """The ablation instruments, both halves: parent, per-worker, sum.
+
+        ``total`` is what the sweeps embed: end-to-end nanoseconds the
+        transport spent framing (``encode_ns``), moving bytes
+        (``copy_ns``) and blocked on backpressure (``ring_wait_ns``)
+        across the parent and every worker.
+        """
+        per_worker = [
+            dict(self._counters(w).get("transport_ns", {}))
+            for w in range(self.workers)
+        ]
+        total = dict(self._stats.as_dict())
+        for stats in per_worker:
+            for key, value in stats.items():
+                total[key] = total.get(key, 0) + value
+        return {
+            "parent": self._stats.as_dict(),
+            "workers": per_worker,
+            "total": total,
+        }
+
     # -- observability -------------------------------------------------------
     def snapshot_metrics(self) -> Dict:
         """One merged snapshot: NIC steering + every worker's world.
@@ -706,10 +1197,20 @@ class ProcessShardedRuntime:
         Each worker collects its own registry with a ``worker`` label
         stamped *at the source* (see :func:`repro.obs.registry.with_labels`
         for why), so :func:`~repro.obs.registry.merge_snapshots` keeps
-        distinct workers' gauges apart instead of summing them.
+        distinct workers' gauges apart instead of summing them. The
+        parent's transport half and the supervisor restart count ride
+        under ``worker="parent"``.
         """
         parent = MetricsRegistry()
         self.nic.register_metrics(parent)
+        labels = {"worker": "parent", "transport": self.transport}
+        self._stats.register_metrics(parent, labels)
+        parent.counter_fn(
+            "proc_supervisor_restarts_total",
+            lambda: self.supervisor_restarts,
+            "worker fleets respawned and restored by the supervisor",
+            labels,
+        )
         snapshots = [parent.snapshot()]
         for worker_id in range(self.workers):
             reply = self._request(worker_id, OP_SNAPSHOT, RE_SNAPSHOT)
@@ -726,8 +1227,11 @@ class ProcessShardedRuntime:
 
         The pipe is FIFO, so a worker's checkpoint reply proves every
         burst the parent sent before the fence has fully executed —
-        that reply *is* the fence. After a completed turn RX rings are
-        drained, making any inter-turn point a consistent cut.
+        that reply *is* the fence, and it covers the shm rings too:
+        a worker drains its inject ring before acking each prior turn,
+        and the parent drained the out ring at each ACK. After a
+        completed turn RX rings are drained, making any inter-turn
+        point a consistent cut.
         """
         from repro.resil.checkpoint import Checkpoint, CheckpointSet
 
@@ -737,7 +1241,12 @@ class ProcessShardedRuntime:
                 worker_id, OP_CHECKPOINT + _CKPT.pack(now_us), RE_CHECKPOINT
             )
             frames.append(Checkpoint.from_bytes(reply[1:]))
-        return CheckpointSet(taken_at_us=now_us, checkpoints=tuple(frames))
+        checkpoint_set = CheckpointSet(
+            taken_at_us=now_us, checkpoints=tuple(frames)
+        )
+        if self.supervise:
+            self._last_checkpoint_set = checkpoint_set
+        return checkpoint_set
 
     def restore(self, checkpoint_set) -> None:
         """Adopt a coordinated checkpoint, one frame per worker, in order."""
@@ -750,6 +1259,8 @@ class ProcessShardedRuntime:
             )
         for worker_id, ckpt in enumerate(checkpoint_set.checkpoints):
             self._request(worker_id, OP_RESTORE + ckpt.to_bytes(), RE_RESTORED)
+        if self.supervise:
+            self._last_checkpoint_set = checkpoint_set
 
     # -- shutdown ------------------------------------------------------------
     def stop(self, timeout_s: float = 5.0) -> None:
@@ -757,6 +1268,8 @@ class ProcessShardedRuntime:
 
         Idempotent; safe after a crash (dead workers are skipped). Any
         worker that does not exit within ``timeout_s`` is terminated.
+        Ring segments are unlinked last (after every mapping holder is
+        gone), via the same finalizer that covers the unclean paths.
         """
         if self._stopped:
             return
@@ -781,6 +1294,7 @@ class ProcessShardedRuntime:
                 proc.join(timeout=timeout_s)
             conn.close()
             self._alive[worker_id] = False
+        self._ring_finalizer()
 
 
 __all__ = [
@@ -792,6 +1306,10 @@ __all__ = [
     "OP_STOP",
     "OP_TURN",
     "ProcessShardedRuntime",
+    "TRANSPORT_PIPE",
+    "TRANSPORT_SHM",
+    "TRANSPORTS",
+    "TransportStats",
     "WorkerCrashed",
     "pack_record",
     "unpack_records",

@@ -9,13 +9,22 @@ real cores. If that claim holds, every worker process must emit exactly
 the TX records (port, device, timestamp, wire bytes) the oracle's
 same-numbered worker emits, and the merged counters must match — on
 every NF × fastpath × worker-count cell, for forward traffic and for
-the steered return path.
+the steered return path — over *both* payload transports, because the
+shared-memory rings claim to be a pure mechanism swap.
 
 The Hypothesis property extends the claim across restarts: a
 coordinated checkpoint taken mid-schedule, restored into a *fresh*
 process fleet, must replay the remaining schedule byte-identically to
-the fleet that never restarted.
+the fleet that never restarted — on either transport.
+
+The ring-mechanics tests force the shm corners the grid's geometry
+never reaches: spans wrapping the ring edge, ring-full backpressure
+(tiny rings), and a worker SIGKILLed mid-schedule.
 """
+
+import glob
+import os
+import signal
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -25,6 +34,7 @@ from repro.nat.config import NatConfig
 from repro.nat.unverified import UnverifiedNat
 from repro.nat.vignat import VigNat
 from repro.net.app import PROCESS, THREADED_DETERMINISTIC, RuntimeSpec, launch
+from repro.net.procrun import TRANSPORTS, WorkerCrashed
 from repro.packets.builder import make_udp_packet
 
 WORKER_COUNTS = (1, 2, 4)
@@ -37,11 +47,12 @@ NFS = (
 )
 
 GRID = [
-    pytest.param(name, factory, cfg_kind, fastpath, workers,
-                 id=f"{name}-fp{int(fastpath)}-w{workers}")
+    pytest.param(name, factory, cfg_kind, fastpath, workers, transport,
+                 id=f"{name}-fp{int(fastpath)}-w{workers}-{transport}")
     for name, factory, cfg_kind, supports_fp in NFS
     for fastpath in ((False, True) if supports_fp else (False,))
     for workers in WORKER_COUNTS
+    for transport in TRANSPORTS
 ]
 
 
@@ -112,7 +123,7 @@ def tx_of_oracle(runtime):
     ]
 
 
-def launch_pair(factory, cfg_kind, fastpath, workers):
+def launch_pair(factory, cfg_kind, fastpath, workers, transport="shm"):
     def build(execution):
         return launch(
             RuntimeSpec(
@@ -121,16 +132,17 @@ def launch_pair(factory, cfg_kind, fastpath, workers):
                 workers=workers,
                 execution=execution,
                 fastpath=fastpath,
+                transport=transport,
             )
         )
 
     return build(THREADED_DETERMINISTIC), build(PROCESS)
 
 
-@pytest.mark.parametrize("name,factory,cfg_kind,fastpath,workers", GRID)
-def test_byte_identity_on_grid(name, factory, cfg_kind, fastpath, workers):
+@pytest.mark.parametrize("name,factory,cfg_kind,fastpath,workers,transport", GRID)
+def test_byte_identity_on_grid(name, factory, cfg_kind, fastpath, workers, transport):
     """Forward + return traffic, every cell: same bytes, same counters."""
-    oracle, proc = launch_pair(factory, cfg_kind, fastpath, workers)
+    oracle, proc = launch_pair(factory, cfg_kind, fastpath, workers, transport)
     try:
         events, now = outbound_events(96, make_config(cfg_kind))
         drive(oracle, events)
@@ -195,15 +207,19 @@ flows = st.lists(
 
 @settings(max_examples=12, deadline=None)
 @given(flows=flows, split=st.integers(min_value=1, max_value=23),
-       workers=st.sampled_from((1, 2)))
+       workers=st.sampled_from((1, 2)),
+       transport=st.sampled_from(TRANSPORTS))
 def test_checkpoint_restores_into_byte_identical_replay(
-    flows, split, workers
+    flows, split, workers, transport
 ):
     """Coordinated checkpoint = a cut you can restart from, losslessly.
 
     Drive a prefix, checkpoint, drive the suffix and record its TX;
     then restore the checkpoint into a fresh process fleet and drive
     the same suffix: the restarted fleet must emit the same bytes.
+    Transport is part of the search space: the checkpoint fence claims
+    to cover the shm rings (workers drain before acking) exactly as it
+    covers the pipe.
     """
     split = min(split, len(flows) - 1)
     events = []
@@ -229,6 +245,7 @@ def test_checkpoint_restores_into_byte_identical_replay(
                 ),
                 workers=workers,
                 execution=PROCESS,
+                transport=transport,
             )
         )
 
@@ -251,3 +268,128 @@ def test_checkpoint_restores_into_byte_identical_replay(
         assert second.flow_count() == flows_after
     finally:
         second.stop()
+
+
+# -- shm ring mechanics the grid's geometry never reaches ---------------------
+
+
+def tiny_ring_pair(workers=2, ring_slots=8, ring_slot_bytes=64):
+    """An oracle + a process fleet whose rings hold only a few records.
+
+    8 × 64-byte slots is ~256 bytes of payload per direction — a single
+    8-packet burst wraps the ring edge repeatedly and overflows it
+    outright, so wraparound and backpressure run on every turn instead
+    of never.
+    """
+    def build(execution):
+        return launch(
+            RuntimeSpec(
+                nf_factory=VigNat,
+                config=make_config(None),
+                workers=workers,
+                execution=execution,
+                transport="shm",
+                ring_slots=ring_slots,
+                ring_slot_bytes=ring_slot_bytes,
+            )
+        )
+
+    return build(THREADED_DETERMINISTIC), build(PROCESS)
+
+
+def test_ring_wraparound_is_byte_identical():
+    """Spans crossing the ring edge reassemble exactly.
+
+    192 packets through ~256-byte rings means the head wraps dozens of
+    times, spans split across the edge in both directions, and every
+    byte still matches the oracle.
+    """
+    oracle, proc = tiny_ring_pair()
+    try:
+        events, _ = outbound_events(192, make_config(None))
+        drive(oracle, events)
+        drive(proc, events)
+        assert proc.collect_raw_by_worker() == tx_of_oracle(oracle)
+        assert proc.op_counters() == oracle.op_counters()
+        # The inject ring's head must have lapped the ring — otherwise
+        # this test is not exercising wraparound at all.
+        ring = proc._inject_rings[0]
+        assert ring.head > ring.slots
+    finally:
+        oracle.stop()
+        proc.stop()
+
+
+def test_ring_full_backpressure_blocks_then_completes():
+    """A burst bigger than the whole ring still goes through.
+
+    The parent must split it into spans, block on ring-full, and rely
+    on the worker's idle drain to free slots — the explicit
+    backpressure path, visible in ``proc_ring_wait_ns``. The result is
+    still byte-identical: backpressure may never drop or reorder.
+    """
+    oracle, proc = tiny_ring_pair(workers=1, ring_slots=4, ring_slot_bytes=64)
+    try:
+        events, _ = outbound_events(64, make_config(None))
+        drive(oracle, events, burst=32)
+        drive(proc, events, burst=32)
+        assert proc.collect_raw_by_worker() == tx_of_oracle(oracle)
+        waited = proc.transport_counters()["total"]["ring_wait_ns"]
+        assert waited > 0, "tiny ring never filled — not a backpressure test"
+    finally:
+        oracle.stop()
+        proc.stop()
+
+
+def test_oversized_ring_burst_has_actionable_error():
+    from repro.net.shmring import ShmRing
+
+    ring = ShmRing(slots=2, slot_bytes=64)
+    try:
+        with pytest.raises(ValueError, match="ring_slots"):
+            ring.try_push_burst(b"x" * 1024)
+    finally:
+        ring.unlink()
+
+
+def test_crash_mid_burst_surfaces_and_cleans_rings():
+    """SIGKILL mid-schedule: typed WorkerCrashed, no leaked segments.
+
+    The dying worker can leave a half-written span; the head/tail
+    protocol keeps it invisible, the parent reports the crash with the
+    last acked sequence number, and stop() still unlinks every
+    /dev/shm segment the fleet ever created.
+    """
+    proc = launch(
+        RuntimeSpec(
+            nf_factory=VigNat,
+            config=make_config(None),
+            workers=2,
+            execution=PROCESS,
+            transport="shm",
+            turn_timeout_s=5.0,
+        )
+    )
+    ring_names = [ring.name for ring in proc._all_rings]
+    assert len(ring_names) == 4  # two rings per worker
+    try:
+        events, now = outbound_events(32, make_config(None))
+        drive(proc, events)
+        proc.collect_raw_by_worker()
+        os.kill(proc._procs[1].pid, signal.SIGKILL)
+        proc._procs[1].join()
+        with pytest.raises(WorkerCrashed) as exc_info:
+            for i in range(4):  # the kill may land between turns
+                for packet, t in outbound_events(16, make_config(None))[0]:
+                    proc.inject(packet.device, packet, now + i * 100)
+                proc.main_loop_burst(now + i * 100 + 50, 8)
+        assert exc_info.value.shard == 1
+        assert exc_info.value.last_acked_seq > 0
+    finally:
+        proc.stop()
+    leaked = [
+        path
+        for name in ring_names
+        for path in glob.glob(f"/dev/shm/{name}")
+    ]
+    assert not leaked, f"leaked shm segments: {leaked}"

@@ -1,0 +1,158 @@
+"""The process-mode supervisor: respawn + coordinated restore, opt-in.
+
+Without ``supervise=True`` a dead worker surfaces as ``WorkerCrashed``
+and recovery is the caller's problem (PR 7's contract). With it, the
+runtime respawns the dead shard (fresh process, fresh rings), restores
+the whole fleet to the last coordinated ``CheckpointSet`` — rolling
+back exactly the traffic the checkpoint contract says is replayable —
+and keeps serving. Restarts are counted in the merged metrics.
+"""
+
+import glob
+import os
+import signal
+
+import pytest
+
+from repro.nat.config import NatConfig
+from repro.nat.vignat import VigNat
+from repro.net.app import PROCESS, RuntimeSpec, launch
+from repro.net.procrun import TRANSPORTS, WorkerCrashed
+from repro.resil.faults import FaultPlan
+from repro.packets.builder import make_udp_packet
+
+CFG = NatConfig(max_flows=256, expiration_time=60_000_000, start_port=1000)
+
+
+def spec(transport, **overrides):
+    base = dict(
+        nf_factory=VigNat,
+        config=CFG,
+        workers=2,
+        execution=PROCESS,
+        transport=transport,
+        supervise=True,
+        turn_timeout_s=5.0,
+    )
+    base.update(overrides)
+    return RuntimeSpec(**base)
+
+
+def feed(runtime, count, base_port, now):
+    for i in range(count):
+        runtime.inject(
+            0,
+            make_udp_packet(
+                f"10.0.0.{(i % 200) + 1}", "8.8.8.8",
+                base_port + i, 53, device=0,
+            ),
+            now + i,
+        )
+    return runtime.main_loop_burst(now + count, 32)
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+class TestSupervisor:
+    def test_respawn_restores_last_checkpoint(self, transport):
+        rt = launch(spec(transport))
+        try:
+            feed(rt, 8, 1_024, 100)
+            rt.collect()
+            rt.checkpoint(500)
+            flows_at_fence = rt.flow_count()
+            feed(rt, 8, 2_048, 600)  # past the fence: will roll back
+            rt.collect()
+
+            os.kill(rt._procs[0].pid, signal.SIGKILL)
+            rt._procs[0].join()
+            assert rt.main_loop_burst(1_000, 32) == 0  # the recovery turn
+            assert rt.supervisor_restarts == 1
+            assert rt.flow_count() == flows_at_fence
+
+            # The fleet serves on: new flows NAT normally after recovery.
+            assert feed(rt, 8, 4_096, 2_000) == 8
+            assert rt.flow_count() == flows_at_fence + 8
+        finally:
+            rt.stop()
+
+    def test_construction_checkpoint_is_the_initial_baseline(self, transport):
+        """A crash before any explicit checkpoint rolls back to empty."""
+        rt = launch(spec(transport))
+        try:
+            feed(rt, 8, 1_024, 100)
+            rt.collect()
+            os.kill(rt._procs[1].pid, signal.SIGKILL)
+            rt._procs[1].join()
+            assert rt.main_loop_burst(500, 32) == 0
+            assert rt.flow_count() == 0
+            assert rt.supervisor_restarts == 1
+        finally:
+            rt.stop()
+
+    def test_fault_plan_kill_is_recovered_not_raised(self, transport):
+        plan = FaultPlan(seed=7).kill_worker(worker=1, at_us=600)
+        rt = launch(spec(transport, fault_plan=plan))
+        try:
+            feed(rt, 8, 1_024, 100)
+            rt.collect()
+            rt.checkpoint(500)
+            assert rt.main_loop_burst(700, 32) == 0  # kill fires + recovery
+            assert rt.supervisor_restarts == 1
+            # The kill window was cleared, so the respawned slot serves.
+            assert feed(rt, 8, 2_048, 1_000) == 8
+        finally:
+            rt.stop()
+
+    def test_restarts_ride_the_merged_metrics(self, transport):
+        rt = launch(spec(transport))
+        try:
+            os.kill(rt._procs[0].pid, signal.SIGKILL)
+            rt._procs[0].join()
+            rt.main_loop_burst(100, 32)
+            snapshot = rt.snapshot_metrics()
+            (metric,) = (
+                m
+                for m in snapshot["metrics"]
+                if m["name"] == "proc_supervisor_restarts_total"
+            )
+            (sample,) = metric["samples"]
+            assert sample["value"] == 1
+            assert sample["labels"]["worker"] == "parent"
+            assert sample["labels"]["transport"] == transport
+        finally:
+            rt.stop()
+
+    def test_unsupervised_crash_still_raises(self, transport):
+        rt = launch(spec(transport, supervise=False))
+        try:
+            os.kill(rt._procs[0].pid, signal.SIGKILL)
+            rt._procs[0].join()
+            with pytest.raises(WorkerCrashed):
+                rt.main_loop_burst(100, 32)
+        finally:
+            rt.stop()
+
+
+def test_supervise_requires_process_execution():
+    with pytest.raises(ValueError, match="supervise"):
+        RuntimeSpec(nf_factory=VigNat, supervise=True)
+
+
+def test_respawn_replaces_rings_without_leaks():
+    """Recovery swaps in fresh segments and unlinks the dead worker's."""
+    rt = launch(spec("shm"))
+    old_names = [r.name for r in rt._all_rings]
+    try:
+        os.kill(rt._procs[0].pid, signal.SIGKILL)
+        rt._procs[0].join()
+        rt.main_loop_burst(100, 32)
+        new_names = [r.name for r in rt._all_rings]
+        assert len(new_names) == len(old_names)
+        replaced = set(old_names) - set(new_names)
+        assert len(replaced) == 2  # worker 0's inject + out rings
+        for name in replaced:
+            assert not glob.glob(f"/dev/shm/{name}")
+    finally:
+        rt.stop()
+    for name in set(old_names) | set(new_names):
+        assert not glob.glob(f"/dev/shm/{name}")
