@@ -3,7 +3,14 @@
 Usage::
 
     python benchmarks/compare_bench.py --baseline DIR --fresh DIR \
-        [--tolerance 0.25]
+        [--tolerance 0.25] [--select BENCH_foo.json,BENCH_bar.json]
+
+``--select`` restricts the gate to the named ``BENCH_*.json`` files —
+the CI benchmark matrix runs one sweep per job, so each job gates only
+the file(s) its sweep produced. The budget-gated "baseline must exist"
+rule then applies only to selected files; an unselected baseline is
+someone else's job. Without ``--select`` every baseline is gated (the
+local / full-run behavior).
 
 Both directories hold ``BENCH_*.json`` files as written by the sweep
 benchmarks (a list of per-point records). For every baseline file with
@@ -57,6 +64,14 @@ the stateless ``det-nat`` must report zero state entries and a flat
 checkpoint size at every flow count, while the stateful NATs it is
 benchmarked against must show state growing with flow count — if they
 do not, the sweep is not measuring what it claims to.
+
+``BENCH_fastpath.json`` carries the compiled-closure acceptance
+invariants on its fresh results (machine-independent ratios, so they
+gate on any runner shape): every raw-capable point keeps raw/compiled
+byte-identity; the verified NAT's compiled closures reach
+``COMPILED_MIN_SPEEDUP`` (1.3x) over the replay cache at some 90%+
+hit-rate point; and the no-op forwarder's compiled path never loses to
+running with no fast path at all.
 """
 
 from __future__ import annotations
@@ -69,7 +84,14 @@ from typing import Dict, List, Tuple
 
 ORDERED_NFS = ("noop", "unverified-nat", "verified-nat")
 
-THROUGHPUT_FIELDS = ("replay_pps_off", "replay_pps_on", "replay_pps")
+THROUGHPUT_FIELDS = (
+    "replay_pps_off",
+    "replay_pps_on",
+    "replay_pps",
+    "raw_pps_off",
+    "raw_pps_cache",
+    "raw_pps_compiled",
+)
 
 #: Lower is better: a fresh value *above* baseline is the regression.
 #: (``flows_lost`` is gated separately — nonzero losses scale with the
@@ -102,6 +124,12 @@ PROCS_SHM_SPEEDUP = 1.5
 #: Allowed relative spread of a "flat" series (det-nat checkpoint
 #: bytes): max may exceed min by at most this fraction.
 FLATNESS_SLACK = 0.10
+
+#: Compiled closures must beat the replay cache by this factor on the
+#: verified NAT's hottest raw-path point — the compiled fast path's
+#: acceptance claim. A wall-clock ratio on one machine, so it gates on
+#: every runner shape.
+COMPILED_MIN_SPEEDUP = 1.3
 
 
 def _key_of(record: Dict) -> Tuple:
@@ -246,6 +274,70 @@ def compare_file(
         failures.extend(_cgnat_invariants(name, fresh))
     if name == "BENCH_procs.json":
         failures.extend(_procs_invariants(name, fresh))
+    if name == "BENCH_fastpath.json":
+        failures.extend(_fastpath_invariants(name, fresh))
+    return failures
+
+
+def _fastpath_invariants(
+    name: str, fresh: Dict[Tuple, Dict]
+) -> List[str]:
+    """Compiled-closure acceptance on the fresh fastpath results.
+
+    Ratios, not absolute rates, so they are checked regardless of the
+    baseline's machine shape. Records from before the compiled axis
+    (no ``supports_raw`` field) are exempt — the gate cannot invent
+    measurements a sweep never took.
+    """
+    failures: List[str] = []
+    raw_points = [r for r in fresh.values() if r.get("supports_raw")]
+    if not any("supports_raw" in r for r in fresh.values()):
+        return failures
+    if not raw_points:
+        return [
+            f"{name}: no record exercised the raw byte path; the "
+            f"compiled-closure axis is not being measured"
+        ]
+    for record in raw_points:
+        if not record.get("raw_identical", True):
+            failures.append(
+                f"{name}: ({record['nf']}, {record['flow_count']}) lost "
+                f"raw/compiled byte-identity"
+            )
+    hot = [
+        r
+        for r in raw_points
+        if r["nf"] == "verified-nat" and r.get("hit_rate", 0.0) >= 0.9
+    ]
+    if not hot:
+        failures.append(
+            f"{name}: no raw-capable verified-nat point at a 90%+ hit "
+            f"rate; the compiled speedup claim has nowhere to gate"
+        )
+    elif (
+        max(r.get("compiled_speedup_over_cache", 0.0) for r in hot)
+        < COMPILED_MIN_SPEEDUP
+    ):
+        failures.append(
+            f"{name}: verified-nat compiled closures below "
+            f"{COMPILED_MIN_SPEEDUP}x the replay cache at every hot "
+            f"point: "
+            + ", ".join(
+                f"{r['flow_count']} flows -> "
+                f"{r.get('compiled_speedup_over_cache', 0.0):.2f}x"
+                for r in sorted(hot, key=lambda r: r["flow_count"])
+            )
+        )
+    for record in raw_points:
+        if record["nf"] != "noop":
+            continue
+        ratio = record.get("compiled_speedup_over_off", 0.0)
+        if ratio < 1.0:
+            failures.append(
+                f"{name}: noop compiled path {ratio:.2f}x the "
+                f"no-fast-path baseline at {record['flow_count']} flows; "
+                f"the compiled fast path may not cost more than it saves"
+            )
     return failures
 
 
@@ -388,15 +480,35 @@ def _procs_transport_ablation(
 
 
 def compare_dirs(
-    baseline_dir: pathlib.Path, fresh_dir: pathlib.Path, tolerance: float
+    baseline_dir: pathlib.Path,
+    fresh_dir: pathlib.Path,
+    tolerance: float,
+    select: List[str] | None = None,
 ) -> List[str]:
-    """Compare every baseline BENCH_*.json with its fresh counterpart."""
+    """Compare every baseline BENCH_*.json with its fresh counterpart.
+
+    With ``select``, only the named files are gated (each CI matrix job
+    runs one sweep, so its gate must not demand the others' fresh
+    results — nor their baselines, for the budget-gated rule).
+    """
     baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if select is not None:
+        known = {path.name for path in baselines}
+        baselines = [path for path in baselines if path.name in select]
+        for name in sorted(set(select) - known):
+            # Selecting a file is claiming responsibility for gating
+            # it; a missing committed baseline must not pass silently.
+            return [
+                f"{name}: selected but no committed baseline in "
+                f"{baseline_dir}"
+            ]
     if not baselines:
         return [f"no BENCH_*.json baselines found in {baseline_dir}"]
     failures: List[str] = []
     present = {path.name for path in baselines}
     for required in BUDGET_GATED:
+        if select is not None and required not in select:
+            continue
         # A deleted baseline must read as a gate failure, not as "one
         # fewer file to compare".
         if required not in present:
@@ -428,10 +540,21 @@ def main(argv=None) -> int:
         default=0.25,
         help="allowed fractional throughput regression (default 0.25)",
     )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated BENCH_*.json names to gate (default: all)",
+    )
     args = parser.parse_args(argv)
 
+    select = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",") if name.strip()]
     failures = compare_dirs(
-        pathlib.Path(args.baseline), pathlib.Path(args.fresh), args.tolerance
+        pathlib.Path(args.baseline),
+        pathlib.Path(args.fresh),
+        args.tolerance,
+        select=select,
     )
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)

@@ -11,11 +11,20 @@ buying real throughput:
     structure survives at every hit rate — the cache accelerates every
     NF, it never reorders them;
 (c) **payoff**: at a 90%+ hit-rate regime the verified NAT's bare
-    data-path replay speeds up ≥ 1.5× in wall-clock terms.
+    data-path replay speeds up ≥ 1.5× in wall-clock terms;
+(d) **compiled payoff**: on the raw byte path the batch-applied
+    compiled closures (``fastpath="compiled"``) beat the replay cache
+    ≥ 1.3× on the verified NAT at a 90%+ hit rate, and never lose to
+    the no-fast-path baseline on the no-op forwarder (the regime where
+    a too-heavy cache historically did) — while every raw mode stays
+    byte-identical to the object-path replay.
 
-The measured numbers (replay pkts/sec, hit rates, cache counters) are
-published to ``benchmarks/results/BENCH_fastpath.json`` alongside the
-rendered table.
+The measured numbers (replay pkts/sec, hit rates, cache + compile
+counters) are published to ``benchmarks/results/BENCH_fastpath.json``
+alongside the rendered table; when any differential check trips, the
+first divergent packet's wire bytes land in
+``benchmarks/results/fastpath_divergence.txt`` for the CI failure
+artifact.
 """
 
 import json
@@ -31,6 +40,11 @@ from repro.obs import merge_snapshots, snapshot_of_counters
 
 ORDERED_NFS = ("noop", "unverified-nat", "verified-nat")
 
+#: Raw-path acceptance: compiled closures over the replay cache on the
+#: verified NAT in the hot regime (mirrored by compare_bench.py's
+#: fresh-file invariant so the committed baseline gates it too).
+COMPILED_MIN_SPEEDUP = 1.3
+
 
 def _point_snapshot(point):
     """One sweep point's cache counters in the shared snapshot schema."""
@@ -41,10 +55,15 @@ def _point_snapshot(point):
     )
 
 
-def _bench_record(point):
+def _bench_record(point, packet_count):
     packets = point.counters.get("fastpath_hits", 0) + point.counters.get(
         "fastpath_misses", 0
     )
+
+    def raw_pps(seconds):
+        # One raw timed pass replays the whole event trace once.
+        return round(packet_count / seconds, 1) if seconds > 0 else 0.0
+
     return {
         "nf": point.nf,
         "flow_count": point.flow_count,
@@ -64,13 +83,48 @@ def _bench_record(point):
         "modeled_busy_ns_on": round(point.per_packet_busy_ns_on, 1),
         "modeled_mpps_off": round(point.implied_mpps_off, 3),
         "modeled_mpps_on": round(point.implied_mpps_on, 3),
+        "supports_raw": point.supports_raw,
+        "raw_identical": point.raw_identical,
+        "raw_pps_off": raw_pps(point.raw_wall_seconds_off),
+        "raw_pps_cache": raw_pps(point.raw_wall_seconds_cache),
+        "raw_pps_compiled": raw_pps(point.raw_wall_seconds_compiled),
+        "compiled_speedup_over_cache": round(
+            point.compiled_speedup_over_cache, 3
+        ),
+        "compiled_speedup_over_off": round(point.compiled_speedup_over_off, 3),
         "counters": {
             key: value
             for key, value in point.counters.items()
             if key.startswith("fastpath_")
         },
+        "compiled_counters": dict(point.compiled_counters),
         "metrics": _point_snapshot(point),
     }
+
+
+def _write_divergence_artifact(points) -> None:
+    """Persist first-divergence wire bytes for the CI failure artifact.
+
+    Written before any assertion runs so a tripped gate still leaves
+    the evidence on disk; an all-identical sweep leaves a one-line
+    marker instead (the CI step can upload unconditionally).
+    """
+    sections = []
+    for point in points:
+        for axis, diff in (
+            ("object-path cache", point.divergence),
+            ("raw/compiled", point.raw_divergence),
+        ):
+            if diff is not None:
+                sections.append(
+                    f"== {point.nf} @ {point.flow_count} flows ({axis}) ==\n"
+                    + diff.render()
+                )
+    text = "\n\n".join(sections) if sections else (
+        "no divergence: every replay mode byte-identical at every point"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fastpath_divergence.txt").write_text(text + "\n")
 
 
 def test_fastpath_sweep(benchmark, publish, publish_snapshot):
@@ -88,12 +142,21 @@ def test_fastpath_sweep(benchmark, publish, publish_snapshot):
     )
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_fastpath.json").write_text(
-        json.dumps([_bench_record(p) for p in points], indent=2) + "\n"
+        json.dumps(
+            [_bench_record(p, fastpath_packet_count()) for p in points],
+            indent=2,
+        )
+        + "\n"
     )
+    # Evidence before judgment: the table, JSON and divergence bytes
+    # are all on disk before the first assert can end the test.
+    _write_divergence_artifact(points)
 
-    # (a) Invisibility: byte-identity at every point, no exceptions.
+    # (a) Invisibility: byte-identity at every point, no exceptions —
+    # on the object path and across every raw-frame mode.
     for point in points:
         assert point.identical, (point.nf, point.flow_count)
+        assert point.raw_identical, (point.nf, point.flow_count)
 
     # (b) The paper's cost ordering survives with the cache on and off,
     # at every locality regime.
@@ -135,6 +198,45 @@ def test_fastpath_sweep(benchmark, publish, publish_snapshot):
     assert max(p.wall_speedup for p in hot) >= 1.5, [
         (p.flow_count, p.hit_rate, p.wall_speedup) for p in hot
     ]
+
+    # (d) The compiled payoff, on the raw byte path. The verified NAT
+    # must clear COMPILED_MIN_SPEEDUP over the replay cache somewhere
+    # in the hot regime, and the no-op forwarder — where a fast path
+    # that costs more than it saves shows first — must not lose to
+    # running with no fast path at all.
+    raw_points = [p for p in points if p.supports_raw]
+    assert raw_points, "no NF exposed the raw byte path"
+    hot_raw = [
+        p
+        for p in raw_points
+        if p.nf == "verified-nat" and p.hit_rate >= 0.9
+    ]
+    assert hot_raw, "no raw-capable verified-nat point reached a 90% hit rate"
+    assert max(
+        p.compiled_speedup_over_cache for p in hot_raw
+    ) >= COMPILED_MIN_SPEEDUP, [
+        (p.flow_count, p.hit_rate, round(p.compiled_speedup_over_cache, 3))
+        for p in hot_raw
+    ]
+    for point in raw_points:
+        if point.nf == "noop":
+            assert point.compiled_speedup_over_off >= 1.0, (
+                point.flow_count,
+                round(point.compiled_speedup_over_off, 3),
+            )
+
+    # The compiler's accounting surfaces: every raw-capable point
+    # compiled at least one closure, batch-applied it, and rejected
+    # nothing (a rejection means the compiler and slow path disagreed).
+    for point in raw_points:
+        compiled = point.compiled_counters
+        assert compiled.get("fastpath_compiles", 0) >= 1, point.nf
+        assert compiled.get("fastpath_compiled_hits", 0) > 0, point.nf
+        assert compiled.get("fastpath_compiled_batches", 0) > 0, point.nf
+        assert compiled.get("fastpath_compile_rejected", 0) == 0, (
+            point.nf,
+            compiled,
+        )
 
     # The cache's accounting surfaces: hits + misses covers the replayed
     # traffic, and the hot regime is dominated by hits.

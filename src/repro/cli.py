@@ -277,7 +277,11 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
         points = fastpath_sweep(flow_counts=(64, 1_024), packet_count=4_000)
         print(render_fastpath_sweep(points))
-        return 1 if any(not p.identical for p in points) else 0
+        return (
+            1
+            if any(not (p.identical and p.raw_identical) for p in points)
+            else 0
+        )
     if args.artifact == "failover":
         from repro.eval.experiments import (
             FailoverBudget,

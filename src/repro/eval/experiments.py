@@ -32,6 +32,7 @@ from repro.net.moongen import (
 from repro.net.app import PROCESS, THREADED_DETERMINISTIC, RuntimeSpec, launch
 from repro.net.rss import NatSteering
 from repro.net.testbed import Rfc2544Testbed, ThroughputResult
+from repro.packets.headers import Packet, ParseError
 
 S = 1_000_000_000
 
@@ -393,6 +394,23 @@ class FastpathPoint:
     counters: Dict[str, int] = field(default_factory=dict)
     #: When not identical: where the two replays first disagreed.
     divergence: Optional[TraceDiff] = None
+    #: True when the NF exposes the raw byte-level burst path (the
+    #: compiled axis only exists there).
+    supports_raw: bool = False
+    #: Wall-clock seconds for the raw-frame replay of the same events:
+    #: no fast path at all (parse / slow path / serialize), the replay
+    #: action cache, and the batch-applied compiled closures. All 0.0
+    #: for NFs without raw-path support.
+    raw_wall_seconds_off: float = 0.0
+    raw_wall_seconds_cache: float = 0.0
+    raw_wall_seconds_compiled: float = 0.0
+    #: True when all three raw modes emitted byte-identical frames to
+    #: the object-path replay (vacuously True without raw support).
+    raw_identical: bool = True
+    #: Counters from the compiled-mode replay (compiles, batches, ...).
+    compiled_counters: Dict[str, int] = field(default_factory=dict)
+    #: When the raw modes diverged: the first disagreement.
+    raw_divergence: Optional[TraceDiff] = None
 
     @property
     def implied_mpps_off(self) -> float:
@@ -409,6 +427,20 @@ class FastpathPoint:
         if self.wall_seconds_on <= 0:
             return 0.0
         return self.wall_seconds_off / self.wall_seconds_on
+
+    @property
+    def compiled_speedup_over_cache(self) -> float:
+        """Raw-path wall speedup of compiled closures over the replay cache."""
+        if self.raw_wall_seconds_compiled <= 0:
+            return 0.0
+        return self.raw_wall_seconds_cache / self.raw_wall_seconds_compiled
+
+    @property
+    def compiled_speedup_over_off(self) -> float:
+        """Raw-path wall speedup of compiled closures over no fast path."""
+        if self.raw_wall_seconds_compiled <= 0:
+            return 0.0
+        return self.raw_wall_seconds_off / self.raw_wall_seconds_compiled
 
 
 def _burst_replay_outputs(
@@ -454,6 +486,79 @@ def _timed_burst_replay(
     return best
 
 
+class _RawSlowPath:
+    """The raw burst path with no fast path at all.
+
+    The fastpath-off baseline for the raw axis: parse every frame, run
+    the slow path, serialize with stored checksums — what a byte-level
+    data path costs when every packet is treated as cold.
+    """
+
+    def __init__(self, nf: NetworkFunction) -> None:
+        self.nf = nf
+
+    def process_raw_burst(self, frames, now: int):
+        results = []
+        process = self.nf.process
+        for buf, device in frames:
+            try:
+                packet = Packet.from_bytes(bytes(buf), device)
+            except ParseError:
+                results.append([])
+                continue
+            results.append(
+                [(out.wire_bytes(), out.device) for out in process(packet, now)]
+            )
+        return results
+
+
+def _raw_frames(events: Sequence) -> List[Tuple[bytes, int]]:
+    """Serialize events once; replays copy per pass (hits mutate buffers)."""
+    return [(e.packet.wire_bytes(), e.packet.device) for e in events]
+
+
+def _raw_replay_outputs(nf, events: Sequence, burst_size: int) -> List[List[tuple]]:
+    """One raw replay pass, collecting (wire bytes, device) per packet."""
+    frames = _raw_frames(events)
+    outputs: List[List[tuple]] = []
+    for i in range(0, len(frames), burst_size):
+        chunk = frames[i : i + burst_size]
+        now_us = events[i].time_ns // 1_000
+        results = nf.process_raw_burst(
+            [(bytearray(buf), device) for buf, device in chunk], now_us
+        )
+        outputs.extend(list(outs) for outs in results)
+    return outputs
+
+
+def _timed_raw_burst_replay(
+    nf, events: Sequence, burst_size: int, repeats: int = 3
+) -> float:
+    """Wall-clock seconds for one warmed raw-frame replay of ``events``.
+
+    Mirrors :func:`_timed_burst_replay`: an untimed warm pass (flow
+    table, caches, compiled closures), then the fastest of ``repeats``
+    timed passes. Frames are serialized once up front; the per-burst
+    ``bytearray`` copies stay inside the timed region for every mode
+    equally (in-place hits mutate the buffers, so each pass needs its
+    own).
+    """
+    frames = _raw_frames(events)
+    best = None
+    for timed_pass in range(1 + repeats):
+        started = time.perf_counter()
+        for i in range(0, len(frames), burst_size):
+            chunk = frames[i : i + burst_size]
+            nf.process_raw_burst(
+                [(bytearray(buf), device) for buf, device in chunk],
+                events[i].time_ns // 1_000,
+            )
+        elapsed = time.perf_counter() - started
+        if timed_pass > 0 and (best is None or elapsed < best):
+            best = elapsed
+    return best
+
+
 def fastpath_sweep(
     factories: Optional[Dict[str, NfFactory]] = None,
     flow_counts: Sequence[int] = (64, 1_024, 4_096),
@@ -471,9 +576,13 @@ def fastpath_sweep(
     off and on; (3) warmed wall-clock replays of the bare data path with
     the cache off and on — the real Python-level cost of the slow path
     versus the cached replay, free of the testbed's simulation overhead.
-    The paper's no-op < unverified < verified cost ordering must survive
-    at every hit rate (the cache accelerates every NF, it does not
-    reorder them).
+    NFs that support the raw byte path get a fourth axis: the same
+    events replayed as raw frames through no fast path, the replay
+    cache, and the batch-applied compiled closures
+    (``fastpath="compiled"``), each byte-compared against the
+    object-path replay. The paper's no-op < unverified < verified cost
+    ordering must survive at every hit rate (the cache accelerates
+    every NF, it does not reorder them).
 
     The default lineup excludes the NetFilter NAT: it models a kernel
     path and exposes no fast-path hooks.
@@ -514,6 +623,55 @@ def fastpath_sweep(
             wall_off = _timed_burst_replay(factory(cfg), events, burst_size)
             fast = FastPathNat(factory(cfg))
             wall_on = _timed_burst_replay(fast, events, burst_size)
+
+            # The raw axis: the same events over raw frame bytes, with
+            # no fast path, the replay cache, and compiled closures.
+            # Every mode's output must byte-match the object-path
+            # replay — the compiled axis of the differential check.
+            hooks = factory(cfg).fastpath_hooks()
+            supports_raw = bool(hooks is not None and hooks.supports_raw)
+            raw_off_s = raw_cache_s = raw_compiled_s = 0.0
+            raw_identical = True
+            raw_divergence = None
+            compiled_counters: Dict[str, int] = {}
+            if supports_raw:
+                raw_off_outputs = _raw_replay_outputs(
+                    _RawSlowPath(factory(cfg)), events, burst_size
+                )
+                raw_cache_outputs = _raw_replay_outputs(
+                    FastPathNat(factory(cfg), mode="cache"), events, burst_size
+                )
+                raw_compiled_outputs = _raw_replay_outputs(
+                    FastPathNat(factory(cfg), mode="compiled"),
+                    events,
+                    burst_size,
+                )
+                raw_identical = (
+                    off_outputs
+                    == raw_off_outputs
+                    == raw_cache_outputs
+                    == raw_compiled_outputs
+                )
+                if not raw_identical:
+                    raw_divergence = first_divergence(
+                        raw_cache_outputs, raw_compiled_outputs
+                    ) or first_divergence(off_outputs, raw_compiled_outputs)
+                raw_off_s = _timed_raw_burst_replay(
+                    _RawSlowPath(factory(cfg)), events, burst_size
+                )
+                raw_cache_s = _timed_raw_burst_replay(
+                    FastPathNat(factory(cfg), mode="cache"), events, burst_size
+                )
+                compiled_nf = FastPathNat(factory(cfg), mode="compiled")
+                raw_compiled_s = _timed_raw_burst_replay(
+                    compiled_nf, events, burst_size
+                )
+                compiled_counters = {
+                    key: value
+                    for key, value in compiled_nf.op_counters().items()
+                    if key.startswith("fastpath_")
+                }
+
             points.append(
                 FastpathPoint(
                     nf=name,
@@ -527,6 +685,13 @@ def fastpath_sweep(
                     identical=identical,
                     counters=fast.op_counters(),
                     divergence=divergence,
+                    supports_raw=supports_raw,
+                    raw_wall_seconds_off=raw_off_s,
+                    raw_wall_seconds_cache=raw_cache_s,
+                    raw_wall_seconds_compiled=raw_compiled_s,
+                    raw_identical=raw_identical,
+                    compiled_counters=compiled_counters,
+                    raw_divergence=raw_divergence,
                 )
             )
     return points

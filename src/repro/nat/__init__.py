@@ -10,6 +10,8 @@
 - :mod:`repro.nat.netfilter` — the Linux NetFilter/conntrack-style NAT,
 - :mod:`repro.nat.fastpath` — the microflow action cache over any of
   the above (`FastPathNat`),
+- :mod:`repro.nat.compiled` — learned rewrites compiled into
+  batch-applied closures (`CompiledAction`, the ``"compiled"`` mode),
 - :mod:`repro.nat.noop` — DPDK no-op forwarding,
 - :mod:`repro.nat.firewall` — a second verified NF (stateful firewall),
 - :mod:`repro.nat.discard` — the §3 discard-protocol worked example.
@@ -22,8 +24,14 @@ from repro.nat.base import NetworkFunction
 from repro.nat.bridge import BridgeConfig, VigBridge
 from repro.nat.cgnat import CgnatConfig, DetNat
 from repro.nat.config import NatConfig
+from repro.nat.compiled import CompiledAction, compile_action, raw_flow_key
 from repro.nat.discard import DiscardNF
-from repro.nat.fastpath import CachedAction, FastPathNat
+from repro.nat.fastpath import (
+    FASTPATH_MODES,
+    CachedAction,
+    FastPathNat,
+    normalize_fastpath,
+)
 from repro.nat.firewall import VigFirewall
 from repro.nat.flow import Flow, FlowId, flow_id_of_packet
 from repro.nat.icmp_ext import IcmpAwareNat
@@ -34,12 +42,17 @@ from repro.nat.unverified import UnverifiedNat
 from repro.nat.vignat import VigNat
 
 __all__ = [
+    "FASTPATH_MODES",
     "BridgeConfig",
     "CachedAction",
     "CgnatConfig",
+    "CompiledAction",
     "DetNat",
     "DiscardNF",
     "FastPathNat",
+    "compile_action",
+    "normalize_fastpath",
+    "raw_flow_key",
     "Flow",
     "FlowId",
     "IcmpAwareNat",

@@ -1,0 +1,281 @@
+"""Compiled per-flow actions: the fast path as a specialized closure.
+
+The replay cache (:mod:`repro.nat.fastpath`) already skips the slow
+path, but a hit still pays generic per-packet Python: a
+:class:`~repro.packets.lazy.LazyPacket` view, an op-list interpreter,
+one method call per field write and per checksum patch. This module
+goes one step further, the way OVS compiles a megaflow into an action
+list the datapath executes without consulting the classifier: at learn
+time each flow's rewrite is *compiled* into a :class:`CompiledAction`
+whose work per packet is three struct reads, one or two folded RFC 1624
+delta applications, and a single ``bytes`` splice.
+
+What makes the compilation sound:
+
+- **The flow key pins the rewritten region.** Frame bytes 26..38
+  (src ip, dst ip, src port, dst port) are part of the microflow key,
+  so for every packet of the flow they are *constants* — the compiled
+  action carries their post-rewrite value as a precomputed 12-byte
+  string (``mid12``) and never reads them again.
+- **Checksum deltas fold.** ``checksum_apply_delta`` adds a
+  non-negative delta and folds; folding is congruence mod 0xFFFF on
+  positive sums, so applying deltas ``d1`` then ``d2`` is bit-identical
+  to applying ``d1 + d2`` once. All unconditional patch calls therefore
+  collapse into one constant per checksum field.
+- **RFC 768 bounds the folding.** A UDP checksum of 0 means "no
+  checksum", and the slow path re-checks for 0 before *each* of its L4
+  patch calls — an intermediate patch may land on 0, disabling the
+  rest. So for UDP the L4 deltas are folded only *within* each
+  slow-path patch call (one stage per call, zero-checked between
+  stages); for TCP, which has no such sentinel, every stage folds into
+  a single constant.
+- **Learn-time verification backstops the compiler.** The caller
+  (``FastPathNat``) byte-compares the compiled output against the slow
+  path's actual output before installing a closure, exactly as it
+  already does for replayed actions. A miscompiled closure is never
+  installed.
+
+Batch application is struct-of-arrays over the raw burst: the caller
+extracts every frame's key in one pass, partitions the burst into
+maximal same-flow runs, and hands each run's buffers to
+:meth:`CompiledAction.apply_batch` — one dict lookup, one generation
+check and one rejuvenation per run instead of per packet.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.packets.checksum import checksum_delta_u16, checksum_delta_u32
+from repro.packets.headers import ETHERTYPE_IPV4, PROTO_TCP, PROTO_UDP, Ipv4Header
+from repro.packets.lazy import (
+    OFF_ETHERTYPE,
+    OFF_FLAGS_FRAG,
+    OFF_IP_CSUM,
+    OFF_PROTO,
+    OFF_SRC_IP,
+    OFF_TCP_CSUM,
+    OFF_UDP_CSUM,
+    OFF_VERSION_IHL,
+)
+
+_U16 = struct.Struct(">H")
+#: src_ip, dst_ip, src_port, dst_port — wire order at offset 26.
+_MID = struct.Struct(">IIHH")
+_MID_END = OFF_SRC_IP + _MID.size  # 38: first byte after dst_port
+
+_ETH_HI = ETHERTYPE_IPV4 >> 8
+_ETH_LO = ETHERTYPE_IPV4 & 0xFF
+_MIN_LEN_UDP = OFF_UDP_CSUM + 2
+_MIN_LEN_TCP = OFF_TCP_CSUM + 4
+
+#: A microflow key: (device, proto, src_ip, src_port, dst_ip, dst_port).
+FlowKey = Tuple[int, int, int, int, int, int]
+
+
+def raw_flow_key(buf, device: int) -> Optional[FlowKey]:
+    """The microflow key straight off the frame bytes, or None.
+
+    Byte-for-byte the same eligibility rules and key as
+    :meth:`~repro.packets.lazy.LazyPacket.flow_key`, but without
+    constructing a view object: index checks plus one
+    ``struct.unpack_from`` for the whole 5-tuple region.
+    """
+    if len(buf) < _MIN_LEN_UDP:
+        return None
+    if buf[OFF_ETHERTYPE] != _ETH_HI or buf[OFF_ETHERTYPE + 1] != _ETH_LO:
+        return None
+    if buf[OFF_VERSION_IHL] != Ipv4Header.VERSION_IHL:
+        return None
+    # flags/frag-offset word: MF or a nonzero offset → not cacheable.
+    if buf[OFF_FLAGS_FRAG] & 0x3F or buf[OFF_FLAGS_FRAG + 1]:
+        return None
+    proto = buf[OFF_PROTO]
+    if proto == PROTO_TCP:
+        if len(buf) < _MIN_LEN_TCP:
+            return None
+    elif proto != PROTO_UDP:
+        return None
+    src_ip, dst_ip, src_port, dst_port = _MID.unpack_from(buf, OFF_SRC_IP)
+    return (device, proto, src_ip, src_port, dst_ip, dst_port)
+
+
+def _build_closure(
+    mid12: bytes,
+    ip_delta: int,
+    l4_stages: Tuple[int, ...],
+    l4_offset: int,
+    udp: bool,
+    identity: bool,
+):
+    """Generate the per-frame rewrite closure for one flow's constants.
+
+    Three shapes, selected at compile time so the per-packet code has
+    no branches on the flow's properties: identity (no rewrite — the
+    frame passes through as-is), TCP (every checksum stage folded into
+    one constant, no sentinel checks), UDP (staged deltas with the
+    RFC 768 zero-check between stages). The RFC 1624 fold is inlined —
+    ``apply_delta(c, d) = ~fold(~c + d)`` — so a packet costs two
+    struct reads, the folds, and a single ``bytes`` splice.
+    """
+    unpack_from = _U16.unpack_from
+    pack = _U16.pack
+    ip_off = OFF_IP_CSUM
+    mid_end = _MID_END
+    l4_end = l4_offset + 2
+
+    if identity:
+        def apply_one(buf) -> bytes:
+            return bytes(buf)
+
+        return apply_one
+
+    if not udp:
+        stage = l4_stages[0]
+
+        def apply_one(buf) -> bytes:
+            x = (~unpack_from(buf, ip_off)[0] & 0xFFFF) + ip_delta
+            while x > 0xFFFF:
+                x = (x & 0xFFFF) + (x >> 16)
+            y = (~unpack_from(buf, l4_offset)[0] & 0xFFFF) + stage
+            while y > 0xFFFF:
+                y = (y & 0xFFFF) + (y >> 16)
+            return b"".join(
+                (
+                    buf[:ip_off],
+                    pack(~x & 0xFFFF),
+                    mid12,
+                    buf[mid_end:l4_offset],
+                    pack(~y & 0xFFFF),
+                    buf[l4_end:],
+                )
+            )
+
+        return apply_one
+
+    def apply_one(buf) -> bytes:
+        x = (~unpack_from(buf, ip_off)[0] & 0xFFFF) + ip_delta
+        while x > 0xFFFF:
+            x = (x & 0xFFFF) + (x >> 16)
+        l4 = unpack_from(buf, l4_offset)[0]
+        for delta in l4_stages:
+            if l4 == 0:  # RFC 768: "no checksum" stays disabled
+                break
+            y = (~l4 & 0xFFFF) + delta
+            while y > 0xFFFF:
+                y = (y & 0xFFFF) + (y >> 16)
+            l4 = ~y & 0xFFFF
+        return b"".join(
+            (
+                buf[:ip_off],
+                pack(~x & 0xFFFF),
+                mid12,
+                buf[mid_end:l4_offset],
+                pack(l4),
+                buf[l4_end:],
+            )
+        )
+
+    return apply_one
+
+
+@dataclass(slots=True)
+class CompiledAction:
+    """One flow's rewrite, specialized down to constants.
+
+    ``mid12`` is the post-rewrite value of frame bytes
+    [26, 38) — both IPs and both ports — which the flow key proves
+    constant across the flow's packets. ``ip_delta`` is the folded
+    RFC 1624 delta for the IPv4 header checksum. ``l4_stages`` holds
+    one folded delta per slow-path L4 patch call (a single element for
+    TCP, where every call folds together; up to four for UDP, whose
+    zero-checksum sentinel is re-checked between calls). ``apply_one``
+    is the generated closure over those constants — the thing the data
+    path actually runs.
+    """
+
+    mid12: bytes
+    ip_delta: int
+    l4_stages: Tuple[int, ...]
+    l4_offset: int
+    udp: bool
+    identity: bool
+    out_device: int
+    token: Any
+    generation: int
+    apply_one: Any = None
+
+    def __post_init__(self) -> None:
+        if self.apply_one is None:
+            self.apply_one = _build_closure(
+                self.mid12,
+                self.ip_delta,
+                self.l4_stages,
+                self.l4_offset,
+                self.udp,
+                self.identity,
+            )
+
+    def apply(self, buf) -> bytes:
+        """The compiled rewrite of one frame: reads, folds, one splice."""
+        return self.apply_one(buf)
+
+    def apply_batch(self, bufs: Sequence) -> List[bytes]:
+        """Apply the closure across one same-flow run of frame buffers."""
+        apply_one = self.apply_one
+        return [apply_one(buf) for buf in bufs]
+
+
+def compile_action(key: FlowKey, action) -> CompiledAction:
+    """Compile a verified :class:`CachedAction` for flow ``key``.
+
+    The pre-rewrite endpoint values are read off the key (the key *is*
+    the packet's endpoints); the post-rewrite values come from the
+    action. Delta terms are emitted per slow-path patch call in call
+    order — IP-header, L4-for-src-ip, L4-for-src-port, then the same
+    for dst — and folded exactly as far as the slow path's own
+    zero-checks allow (see module docstring).
+    """
+    _, proto, src_ip, src_port, dst_ip, dst_port = key
+    new_src = action.src if action.src is not None else (src_ip, src_port)
+    new_dst = action.dst if action.dst is not None else (dst_ip, dst_port)
+    ip_delta = 0
+    stages: List[int] = []
+    for old_pair, new_pair, rewritten in (
+        ((src_ip, src_port), new_src, action.src is not None),
+        ((dst_ip, dst_port), new_dst, action.dst is not None),
+    ):
+        if not rewritten:
+            continue
+        ip_words = checksum_delta_u32(old_pair[0], new_pair[0])
+        ip_delta += ip_words[0] + ip_words[1]
+        # One stage per slow-path L4 patch call: _patch_l4_for_ip
+        # (both address words fold — no zero-check between them), then
+        # _patch_l4_for_port.
+        stages.append(ip_words[0] + ip_words[1])
+        stages.append(checksum_delta_u16(old_pair[1], new_pair[1]))
+    udp = proto == PROTO_UDP
+    if not udp and stages:
+        # TCP never zero-checks: every stage folds into one constant.
+        stages = [sum(stages)]
+    return CompiledAction(
+        mid12=_MID.pack(new_src[0], new_dst[0], new_src[1], new_dst[1]),
+        ip_delta=ip_delta,
+        l4_stages=tuple(stages),
+        l4_offset=OFF_UDP_CSUM if udp else OFF_TCP_CSUM,
+        udp=udp,
+        identity=not stages,
+        out_device=action.out_device,
+        token=action.token,
+        generation=action.generation,
+    )
+
+
+__all__ = [
+    "CompiledAction",
+    "FlowKey",
+    "compile_action",
+    "raw_flow_key",
+]

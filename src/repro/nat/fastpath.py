@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.nat.base import NetworkFunction
+from repro.nat.compiled import CompiledAction, compile_action, raw_flow_key
 from repro.nat.rewrite import rewrite_destination, rewrite_source
 from repro.obs import flight
 from repro.obs.registry import MetricsRegistry
@@ -67,6 +68,26 @@ from repro.packets.lazy import (
 
 #: A microflow key: (device, proto, src_ip, src_port, dst_ip, dst_port).
 FlowKey = Tuple[int, int, int, int, int, int]
+
+#: The fast-path modes a runtime spec can name.
+FASTPATH_MODES = ("off", "cache", "compiled")
+
+
+def normalize_fastpath(value) -> str:
+    """Coerce a spec's ``fastpath`` value to one of :data:`FASTPATH_MODES`.
+
+    Booleans are the historical spelling: ``True`` is the replay cache,
+    ``False`` is off. Strings must name a mode exactly.
+    """
+    if value is True:
+        return "cache"
+    if value is False:
+        return "off"
+    if value in FASTPATH_MODES:
+        return value
+    raise ValueError(
+        f"fastpath must be a bool or one of {FASTPATH_MODES}, got {value!r}"
+    )
 
 
 @dataclass(slots=True)
@@ -209,9 +230,18 @@ class FastPathNat(NetworkFunction):
     inner NF stays reachable as ``.inner`` for introspection.
     """
 
-    def __init__(self, inner: NetworkFunction, max_entries: int = 65_536) -> None:
+    def __init__(
+        self,
+        inner: NetworkFunction,
+        max_entries: int = 65_536,
+        mode: str = "cache",
+    ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
+        if mode not in ("cache", "compiled"):
+            raise ValueError(
+                f'mode must be "cache" or "compiled", got {mode!r}'
+            )
         hooks = inner.fastpath_hooks()
         if hooks is None:
             raise TypeError(
@@ -220,8 +250,16 @@ class FastPathNat(NetworkFunction):
         self.inner = inner
         self.name = inner.name
         self.max_entries = max_entries
+        self.mode = mode
         self._hooks = hooks
         self._cache: Dict[FlowKey, CachedAction] = {}
+        # Compiled closures are a second, narrower store over the same
+        # keys (compiled ⊆ cached): an entry exists only when the NF
+        # supports the raw path, the mode asks for compilation, and the
+        # closure's output byte-matched the slow path at learn time.
+        # Every invalidation/eviction of a cached action must drop the
+        # compiled twin as well — a stale closure must never fire.
+        self._compiled: Dict[FlowKey, CompiledAction] = {}
         # The cache counters are registry-backed typed instruments
         # (``repro.obs``): the same objects serve the NF's op_counters()
         # surface, the merged metrics snapshots and the Prometheus
@@ -257,10 +295,36 @@ class FastPathNat(NetworkFunction):
             "actions pre-installed from restored flow state",
             cache_labels,
         )
+        self._compiles = metrics.counter(
+            "fastpath_compiles_total",
+            "flow rewrites compiled into specialized closures",
+            cache_labels,
+        )
+        self._compile_rejected = metrics.counter(
+            "fastpath_compile_rejected_total",
+            "compiled closures whose output diverged from the slow path",
+            cache_labels,
+        )
+        self._compiled_hits = metrics.counter(
+            "fastpath_compiled_hits_total",
+            "packets rewritten by a compiled closure",
+            cache_labels,
+        )
+        self._compiled_batches = metrics.counter(
+            "fastpath_compiled_batches_total",
+            "same-flow runs batch-applied through a compiled closure",
+            cache_labels,
+        )
         metrics.gauge_fn(
             "fastpath_cache_entries",
             lambda: len(self._cache),
             "actions currently cached",
+            cache_labels,
+        )
+        metrics.gauge_fn(
+            "fastpath_compiled_entries",
+            lambda: len(self._compiled),
+            "compiled closures currently installed",
             cache_labels,
         )
         self.metrics = metrics
@@ -269,6 +333,10 @@ class FastPathNat(NetworkFunction):
     @property
     def cache_size(self) -> int:
         return len(self._cache)
+
+    @property
+    def compiled_size(self) -> int:
+        return len(self._compiled)
 
     def op_counters(self) -> Dict[str, int]:
         counters = dict(self.inner.op_counters())
@@ -281,6 +349,10 @@ class FastPathNat(NetworkFunction):
             fastpath_learns=self._learns.value,
             fastpath_learn_rejected=self._learn_rejected.value,
             fastpath_warmed=self._warmed.value,
+            fastpath_compiles=self._compiles.value,
+            fastpath_compile_rejected=self._compile_rejected.value,
+            fastpath_compiled_hits=self._compiled_hits.value,
+            fastpath_compiled_batches=self._compiled_batches.value,
         )
         return counters
 
@@ -324,6 +396,26 @@ class FastPathNat(NetworkFunction):
                 "fastpath_warmed_total",
                 "actions pre-installed from restored flow state",
             ),
+            (
+                self._compiles,
+                "fastpath_compiles_total",
+                "flow rewrites compiled into specialized closures",
+            ),
+            (
+                self._compile_rejected,
+                "fastpath_compile_rejected_total",
+                "compiled closures whose output diverged from the slow path",
+            ),
+            (
+                self._compiled_hits,
+                "fastpath_compiled_hits_total",
+                "packets rewritten by a compiled closure",
+            ),
+            (
+                self._compiled_batches,
+                "fastpath_compiled_batches_total",
+                "same-flow runs batch-applied through a compiled closure",
+            ),
         ):
             registry.counter_fn(
                 name, lambda c=counter: c.value, help_text, cache_labels
@@ -332,6 +424,12 @@ class FastPathNat(NetworkFunction):
             "fastpath_cache_entries",
             lambda: len(self._cache),
             "actions currently cached",
+            cache_labels,
+        )
+        registry.gauge_fn(
+            "fastpath_compiled_entries",
+            lambda: len(self._compiled),
+            "compiled closures currently installed",
             cache_labels,
         )
         self.inner.register_metrics(registry, labels)
@@ -362,6 +460,7 @@ class FastPathNat(NetworkFunction):
         if self._cache:
             self._invalidations.inc(len(self._cache))
             self._cache.clear()
+        self._compiled.clear()
 
     def warm(self) -> int:
         """Pre-install cached actions for the inner NF's live flows.
@@ -386,6 +485,7 @@ class FastPathNat(NetworkFunction):
         if warm_entries is None:
             return 0
         generation = self._hooks.generation()
+        compiling = self.mode == "compiled" and self._hooks.supports_raw
         installed = 0
         for key, action in warm_entries():
             if len(self._cache) >= self.max_entries:
@@ -396,6 +496,13 @@ class FastPathNat(NetworkFunction):
                     (key[2], key[3]), (key[4], key[5]), action
                 )
             self._cache[key] = action
+            if compiling:
+                # Warmed closures skip the byte-compare for the same
+                # reason warmed actions skip replay verification: they
+                # are derived from restore-validated flow state, not
+                # inferred from one packet.
+                self._compiled[key] = compile_action(key, action)
+                self._compiles.inc()
             installed += 1
         if installed:
             self._warmed.inc(installed)
@@ -414,6 +521,7 @@ class FastPathNat(NetworkFunction):
             return None
         if action.generation != self._hooks.generation():
             del self._cache[key]
+            self._compiled.pop(key, None)
             self._invalidations.inc()
             return None
         return action
@@ -455,10 +563,37 @@ class FastPathNat(NetworkFunction):
         if self._hooks.supports_raw:
             action.raw_ops = _raw_ops_for(packet, action)
         if len(self._cache) >= self.max_entries:
-            self._cache.pop(next(iter(self._cache)))
+            evicted = next(iter(self._cache))
+            del self._cache[evicted]
+            # The compiled twin must go with it: were it to linger, a
+            # re-learned flow at the same key could race a stale closure.
+            self._compiled.pop(evicted, None)
             self._evictions.inc()
         self._cache[key] = action
         self._learns.inc()
+        if self.mode == "compiled" and self._hooks.supports_raw:
+            self._compile(packet, key, action, out)
+
+    def _compile(
+        self, packet: Packet, key: FlowKey, action: CachedAction, out: Packet
+    ) -> None:
+        """Compile the just-learned action and self-verify the closure.
+
+        Same discipline as the learn itself: the compiled output is
+        byte-compared against what the slow path actually emitted for
+        the triggering packet, and a diverging closure is never
+        installed (the flow still has its verified replay action, so
+        it degrades to the replay path, not to a wrong rewrite).
+        """
+        compiled = compile_action(key, action)
+        if (
+            compiled.out_device != out.device
+            or compiled.apply(packet.wire_bytes()) != out.wire_bytes()
+        ):
+            self._compile_rejected.inc()
+            return
+        self._compiled[key] = compiled
+        self._compiles.inc()
 
     def _handle(self, packet: Packet, now: int) -> List[Packet]:
         key = packet_flow_key(packet)
@@ -520,6 +655,7 @@ class FastPathNat(NetworkFunction):
                     results.append([apply_action(packet, action)])
                     continue
                 del cache[key]
+                self._compiled.pop(key, None)
                 self._invalidations.inc()
             self._misses.inc()
             if tracing:
@@ -551,6 +687,8 @@ class FastPathNat(NetworkFunction):
         now = self._hooks.begin_burst(now)
         recorder = obs.recorder()
         tracing = recorder.active
+        if self.mode == "compiled":
+            return self._compiled_raw_burst(frames, now, recorder, tracing)
         results: List[List[Tuple[bytes, int]]] = []
         for buf, device in frames:
             view = LazyPacket(buf, device)
@@ -578,10 +716,116 @@ class FastPathNat(NetworkFunction):
             results.append([(out.wire_bytes(), out.device) for out in outputs])
         return results
 
+    def _compiled_raw_burst(
+        self,
+        frames: Sequence[Tuple[bytearray, int]],
+        now: int,
+        recorder,
+        tracing: bool,
+    ) -> List[List[Tuple[bytes, int]]]:
+        """The batch-applied compiled path over one raw burst.
+
+        Struct-of-arrays over the burst: every frame's flow key is
+        extracted in one pass (no view objects), the burst is
+        partitioned into maximal same-key runs, and each run that has a
+        live compiled closure pays its dict lookup, generation check
+        and rejuvenation *once* before the closure is applied across
+        the whole run. Frames without a closure — ineligible shapes,
+        cold flows, rejected compiles, stale generations — fall back to
+        the replay/slow path one at a time, exactly as in cache mode.
+        """
+        hooks = self._hooks
+        compiled = self._compiled
+        rejuvenate = hooks.rejuvenate
+        generation = hooks.generation()
+        keys = [raw_flow_key(buf, device) for buf, device in frames]
+        n = len(frames)
+        results: List[List[Tuple[bytes, int]]] = [[] for _ in range(n)]
+        hits = 0
+        batches = 0
+        i = 0
+        while i < n:
+            key = keys[i]
+            action = compiled.get(key) if key is not None else None
+            if action is not None and action.generation != generation:
+                # A flow was created/expired since this closure was
+                # compiled: drop it and its replay twin — the replay
+                # lookup below would discard the twin anyway, but the
+                # closure must never survive on its own.
+                del compiled[key]
+                if self._cache.pop(key, None) is not None:
+                    self._invalidations.inc()
+                action = None
+            if action is None:
+                buf, device = frames[i]
+                results[i] = self._raw_replay_one(
+                    buf, device, key, now, recorder, tracing
+                )
+                generation = hooks.generation()
+                i += 1
+                continue
+            rejuvenate(action.token, now)
+            run_end = i + 1
+            if run_end < n and keys[run_end] == key:
+                while run_end < n and keys[run_end] == key:
+                    run_end += 1
+                outs = action.apply_batch(
+                    [frames[k][0] for k in range(i, run_end)]
+                )
+                out_device = action.out_device
+                for k in range(i, run_end):
+                    results[k] = [(outs[k - i], out_device)]
+            else:
+                results[i] = [(action.apply_one(frames[i][0]), action.out_device)]
+            run_len = run_end - i
+            hits += run_len
+            batches += 1
+            if tracing:
+                for _ in range(run_len):
+                    recorder.trace(flight.FASTPATH_HIT, t_us=now)
+            i = run_end
+        if hits:
+            self._hits.inc(hits)
+            self._compiled_hits.inc(hits)
+            self._compiled_batches.inc(batches)
+        return results
+
+    def _raw_replay_one(
+        self,
+        buf: bytearray,
+        device: int,
+        key: Optional[FlowKey],
+        now: int,
+        recorder,
+        tracing: bool,
+    ) -> List[Tuple[bytes, int]]:
+        """One compiled-path miss through the replay cache or slow path."""
+        action = self._lookup(key)
+        if action is not None and action.raw_ops is not None:
+            self._hits.inc()
+            if tracing:
+                recorder.trace(flight.FASTPATH_HIT, t_us=now)
+            self._hooks.rejuvenate(action.token, now)
+            _apply_raw(LazyPacket(buf, device), action.raw_ops)
+            return [(bytes(buf), action.out_device)]
+        self._misses.inc()
+        if tracing:
+            recorder.trace(flight.SLOW_PATH, t_us=now)
+        try:
+            packet = Packet.from_bytes(bytes(buf), device)
+        except ParseError:
+            return []
+        outputs = self.inner.process(packet, now)
+        if key is not None:
+            self._learn(packet, key, outputs)
+        return [(out.wire_bytes(), out.device) for out in outputs]
+
 
 __all__ = [
     "CachedAction",
+    "FASTPATH_MODES",
     "FastPathNat",
     "apply_endpoint_action",
+    "normalize_fastpath",
     "packet_flow_key",
 ]

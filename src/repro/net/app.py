@@ -44,7 +44,7 @@ from typing import (
 from repro.libvig.batcher import Batcher
 from repro.nat.base import NetworkFunction
 from repro.nat.config import NatConfig
-from repro.nat.fastpath import FastPathNat
+from repro.nat.fastpath import FastPathNat, normalize_fastpath
 from repro.net.dpdk import DpdkRuntime, ShardedRuntime
 from repro.obs.registry import MetricsRegistry
 from repro.packets.headers import Packet
@@ -72,7 +72,12 @@ class RuntimeSpec:
     config: Optional[NatConfig] = None
     workers: int = 1
     execution: str = THREADED_DETERMINISTIC
-    fastpath: bool = False
+    #: The microflow fast path: ``"off"``, ``"cache"`` (the replay
+    #: action cache) or ``"compiled"`` (batch-applied compiled
+    #: closures; NFs without raw-path support degrade to replay).
+    #: Booleans are accepted and normalized — ``True`` → ``"cache"``,
+    #: ``False`` → ``"off"`` — so existing call sites keep working.
+    fastpath: object = False
     burst_size: int = 32
     port_count: int = 2
     rx_capacity: int = 512
@@ -100,6 +105,11 @@ class RuntimeSpec:
     ring_slot_bytes: int = 256
 
     def __post_init__(self) -> None:
+        # Normalize the fastpath tri-state in place (frozen dataclass,
+        # hence object.__setattr__) so equal deployments stay equal
+        # specs: with_(fastpath=True) and with_(fastpath="cache")
+        # describe — and hash as — the same thing.
+        object.__setattr__(self, "fastpath", normalize_fastpath(self.fastpath))
         if self.execution not in EXECUTION_MODES:
             raise ValueError(
                 f"unknown execution mode {self.execution!r}; "
@@ -192,7 +202,11 @@ class InlineRuntime:
         self.spec = spec
         self.config = spec.resolved_config()
         nf = spec.nf_factory(self.config)
-        self.nf: NetworkFunction = FastPathNat(nf) if spec.fastpath else nf
+        self.nf: NetworkFunction = (
+            FastPathNat(nf, mode=spec.fastpath)
+            if spec.fastpath != "off"
+            else nf
+        )
         self.runtime = DpdkRuntime(
             spec.port_count, spec.rx_capacity, spec.pool_size
         )

@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro import obs
 from repro.nat.base import NetworkFunction
 from repro.nat.config import NatConfig
-from repro.nat.fastpath import FastPathNat
+from repro.nat.fastpath import FastPathNat, normalize_fastpath
 from repro.net.mbuf import Mbuf, MbufPool
 from repro.net.nic import Port, RssNic
 from repro.net.rss import NatSteering
@@ -234,7 +234,7 @@ class ShardedRuntime:
         port_count: int = 2,
         rx_capacity: int = 512,
         pool_size: int = 4096,
-        fastpath: bool = False,
+        fastpath="off",
         fault_plan=None,
         _from_spec: bool = False,
     ) -> None:
@@ -253,11 +253,12 @@ class ShardedRuntime:
         self.shards: Tuple[NatConfig, ...] = config.partition(workers)
         self.steering = steering if steering is not None else NatSteering(self.shards)
         self.nfs: List[NetworkFunction] = [nf_factory(cfg) for cfg in self.shards]
-        if fastpath:
+        fastpath = normalize_fastpath(fastpath)
+        if fastpath != "off":
             # Per-worker microflow caches: each worker caches only the
             # flows steered to it, so caches stay private like all other
             # worker state.
-            self.nfs = [FastPathNat(nf) for nf in self.nfs]
+            self.nfs = [FastPathNat(nf, mode=fastpath) for nf in self.nfs]
         self.runtimes: List[DpdkRuntime] = [
             DpdkRuntime(port_count, rx_capacity, pool_size) for _ in range(workers)
         ]

@@ -79,7 +79,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro import obs
 from repro.nat.base import NetworkFunction
 from repro.nat.config import NatConfig
-from repro.nat.fastpath import FastPathNat
+from repro.nat.fastpath import FastPathNat, normalize_fastpath
 from repro.net.dpdk import DpdkRuntime
 from repro.net.mbuf import SLOT_HEADER, pack_slot_record, unpack_slot_records
 from repro.net.nic import RssNic
@@ -311,7 +311,7 @@ def _worker_main(
     worker_id: int,
     nf_factory: Callable[[NatConfig], NetworkFunction],
     shard: NatConfig,
-    fastpath: bool,
+    fastpath: str,
     port_count: int,
     rx_capacity: int,
     pool_size: int,
@@ -337,8 +337,8 @@ def _worker_main(
     from repro.resil.checkpoint import snapshot as snapshot_checkpoint
 
     nf = nf_factory(shard)
-    if fastpath:
-        nf = FastPathNat(nf)
+    if fastpath != "off":
+        nf = FastPathNat(nf, mode=fastpath)
     runtime = DpdkRuntime(port_count, rx_capacity, pool_size)
     runtime.worker_id = worker_id
     seized: List = []
@@ -446,8 +446,8 @@ def _worker_main(
                 # (the fastpath cache starts cold, as after any restore:
                 # the generation bump would invalidate it anyway).
                 fresh = nf_factory(shard)
-                if fastpath:
-                    fresh = FastPathNat(fresh)
+                if fastpath != "off":
+                    fresh = FastPathNat(fresh, mode=fastpath)
                 restore_checkpoint(fresh, Checkpoint.from_bytes(message[1:]))
                 nf = fresh
                 conn.send_bytes(RE_RESTORED)
@@ -514,7 +514,7 @@ class ProcessShardedRuntime:
         port_count: int = 2,
         rx_capacity: int = 512,
         pool_size: int = 4096,
-        fastpath: bool = False,
+        fastpath="off",
         fault_plan=None,
         turn_timeout_s: float = 30.0,
         transport: str = TRANSPORT_SHM,
@@ -546,7 +546,7 @@ class ProcessShardedRuntime:
         self._ring_slots = ring_slots
         self._ring_slot_bytes = ring_slot_bytes
         self._nf_factory = nf_factory
-        self._fastpath = fastpath
+        self._fastpath = normalize_fastpath(fastpath)
         self._port_count = port_count
         self._rx_capacity = rx_capacity
         self._pool_size = pool_size

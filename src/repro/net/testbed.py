@@ -481,8 +481,8 @@ class Rfc2544Testbed:
         config = spec.resolved_config()
         shards = config.partition(spec.workers)
         nfs: List[NetworkFunction] = [spec.nf_factory(cfg) for cfg in shards]
-        if spec.fastpath:
-            nfs = [FastPathNat(nf) for nf in nfs]
+        if spec.fastpath != "off":
+            nfs = [FastPathNat(nf, mode=spec.fastpath) for nf in nfs]
         steering = NatSteering(shards)
         outcome = self._run_sharded(nfs, steering.worker_for, events)
         outcome.nfs = nfs

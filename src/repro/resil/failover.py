@@ -38,7 +38,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro import obs
 from repro.nat.base import NetworkFunction
 from repro.nat.config import NatConfig
-from repro.nat.fastpath import FastPathNat
+from repro.nat.fastpath import FastPathNat, normalize_fastpath
 from repro.net.dpdk import DpdkRuntime, ShardedRuntime
 from repro.obs import flight
 from repro.obs.registry import MetricsRegistry
@@ -140,7 +140,7 @@ class ReplicatedRuntime:
         workers: int = 1,
         *,
         lag: int = 0,
-        fastpath: bool = False,
+        fastpath="off",
         fault_plan: Optional[FaultPlan] = None,
         port_count: int = 2,
         rx_capacity: int = 512,
@@ -152,7 +152,8 @@ class ReplicatedRuntime:
             raise ValueError("failover costs cannot be negative")
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self._nf_factory = nf_factory
-        self._fastpath = fastpath
+        self._fastpath = normalize_fastpath(fastpath)
+        fastpath = self._fastpath
         self._port_count = port_count
         self._rx_capacity = rx_capacity
         self._pool_size = pool_size
@@ -321,8 +322,8 @@ class ReplicatedRuntime:
         replica = self.replicas[worker_id]
         checkpoint = replica.to_checkpoint(now_us)
         fresh: NetworkFunction = self._nf_factory(self.runtime.shards[worker_id])
-        if self._fastpath:
-            fresh = FastPathNat(fresh)
+        if self._fastpath != "off":
+            fresh = FastPathNat(fresh, mode=self._fastpath)
         restore(fresh, checkpoint)
         fresh.delta_sink(self._sink_for(worker_id))
         # The restored NF knows every recovered flow; rebuild the

@@ -48,9 +48,9 @@ NFS = (
 
 GRID = [
     pytest.param(name, factory, cfg_kind, fastpath, workers, transport,
-                 id=f"{name}-fp{int(fastpath)}-w{workers}-{transport}")
+                 id=f"{name}-fp-{fastpath}-w{workers}-{transport}")
     for name, factory, cfg_kind, supports_fp in NFS
-    for fastpath in ((False, True) if supports_fp else (False,))
+    for fastpath in (("off", "cache", "compiled") if supports_fp else ("off",))
     for workers in WORKER_COUNTS
     for transport in TRANSPORTS
 ]

@@ -1,0 +1,250 @@
+"""Compiled per-flow closures: byte-identity, rejection, invalidation.
+
+The compiled fast path (:mod:`repro.nat.compiled`) must be *invisible*:
+a closure's output is byte-for-byte what the slow path would have
+emitted, for every packet shape the flow can carry — payload lengths,
+TTLs, and UDP's "checksum disabled" sentinel included. This file
+proves that property three ways: a hypothesis sweep over randomized
+traffic, an injected miscompilation that the learn-time
+self-verification must reject, and the invalidation paths (expiry,
+eviction, restore) that must drop a closure before it can fire stale.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.nat.compiled import compile_action, raw_flow_key
+from repro.nat.config import NatConfig
+from repro.nat.fastpath import FastPathNat
+from repro.nat.vignat import VigNat
+from repro.packets.builder import make_tcp_packet, make_udp_packet
+from repro.packets.headers import Packet
+from repro.packets.lazy import LazyPacket
+
+
+def _raw(nf, packet, now):
+    """One frame through the raw burst path -> [(wire, device), ...]."""
+    return nf.process_raw_burst(
+        [(bytearray(packet.wire_bytes()), packet.device)], now
+    )[0]
+
+
+def _slow(nf, packet, now):
+    """The same frame through the object slow path, rendered alike."""
+    return [
+        (out.wire_bytes(), out.device)
+        for out in nf.process(packet.clone(), now)
+    ]
+
+
+def _flow_packets(proto, sport, payloads_ttls, zero_checksum):
+    """Packets of one flow varying every non-key field the wire allows."""
+    packets = []
+    for payload, ttl in payloads_ttls:
+        if proto == "udp":
+            packet = make_udp_packet(
+                "10.0.0.5", "8.8.8.8", sport, 53,
+                payload=payload, ttl=ttl, device=0,
+            )
+            if zero_checksum:
+                packet.l4.checksum = 0
+        else:
+            packet = make_tcp_packet(
+                "10.0.0.5", "198.18.0.9", sport, 443,
+                payload=payload, ttl=ttl, device=0,
+            )
+        packets.append(packet)
+    return packets
+
+
+class TestCompiledByteIdentity:
+    """Closure output == slow-path output, over randomized traffic."""
+
+    @given(
+        proto=st.sampled_from(["udp", "tcp"]),
+        sport=st.integers(1_024, 65_000),
+        payloads_ttls=st.lists(
+            st.tuples(st.binary(min_size=0, max_size=64), st.integers(1, 255)),
+            min_size=2,
+            max_size=6,
+        ),
+        zero_checksum=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_compiled_matches_slow_path(
+        self, proto, sport, payloads_ttls, zero_checksum
+    ):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)), mode="compiled")
+        slow = VigNat(NatConfig(max_flows=64))
+        for t, packet in enumerate(
+            _flow_packets(proto, sport, payloads_ttls, zero_checksum),
+            start=1_000,
+        ):
+            assert _raw(fast, packet, t) == _slow(slow, packet, t)
+        counters = fast.op_counters()
+        assert counters["fastpath_compiles"] == 1
+        assert counters["fastpath_compile_rejected"] == 0
+        # Every packet after the learn miss ran the compiled closure.
+        assert counters["fastpath_compiled_hits"] == len(payloads_ttls) - 1
+
+    def test_zero_udp_checksum_stays_zero_through_closure(self):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)), mode="compiled")
+        packet = make_udp_packet("10.0.0.5", "8.8.8.8", 4_000, 53, device=0)
+        packet.l4.checksum = 0
+        _raw(fast, packet, 1_000)  # learn + compile
+        ((wire, _),) = _raw(fast, packet, 1_001)  # compiled hit
+        assert fast.op_counters()["fastpath_compiled_hits"] == 1
+        assert Packet.from_bytes(wire, 1).l4.checksum == 0
+
+    def test_reply_direction_compiles_too(self):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)), mode="compiled")
+        slow = VigNat(NatConfig(max_flows=64))
+        out = make_udp_packet("10.0.0.5", "8.8.8.8", 4_000, 53, device=0)
+        assert _raw(fast, out, 1_000) == _slow(slow, out, 1_000)
+        ((wire, _),) = _raw(fast, out, 1_001)
+        ext_port = Packet.from_bytes(wire, 1).l4.src_port
+        reply = make_udp_packet(
+            "8.8.8.8", NatConfig(max_flows=64).external_ip, 53, ext_port,
+            device=1,
+        )
+        for t in (1_002, 1_003):
+            assert _raw(fast, reply, t) == _slow(slow, reply, t)
+        assert fast.op_counters()["fastpath_compiles"] == 2
+
+
+class TestRawFlowKeyEquivalence:
+    """raw_flow_key is LazyPacket.flow_key without the view object."""
+
+    @given(
+        proto=st.sampled_from(["udp", "tcp"]),
+        sport=st.integers(1, 0xFFFF),
+        payload=st.binary(min_size=0, max_size=48),
+        device=st.integers(0, 3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_lazy_packet(self, proto, sport, payload, device):
+        make = make_udp_packet if proto == "udp" else make_tcp_packet
+        packet = make(
+            "10.0.0.5", "8.8.8.8", sport, 53, payload=payload, device=device
+        )
+        buf = bytearray(packet.wire_bytes())
+        assert raw_flow_key(buf, device) == LazyPacket(buf, device).flow_key()
+
+    def test_ineligible_frames_return_none(self):
+        packet = make_udp_packet("10.0.0.5", "8.8.8.8", 4_000, 53, device=0)
+        assert raw_flow_key(bytearray(b"\x00" * 10), 0) is None  # truncated
+        arp = bytearray(packet.wire_bytes())
+        arp[12:14] = b"\x08\x06"
+        assert raw_flow_key(arp, 0) is None  # not IPv4
+        frag = bytearray(packet.wire_bytes())
+        frag[21] = 8
+        assert raw_flow_key(frag, 0) is None  # fragment offset
+        icmp = bytearray(packet.wire_bytes())
+        icmp[23] = 1
+        assert raw_flow_key(icmp, 0) is None  # not TCP/UDP
+
+
+class TestLearnTimeVerificationRejectsMiscompiles:
+    """An injected compiler bug must never reach the data path."""
+
+    def _learn_with_bad_compiler(self, monkeypatch, corrupt):
+        fast = FastPathNat(VigNat(NatConfig(max_flows=64)), mode="compiled")
+        slow = VigNat(NatConfig(max_flows=64))
+
+        def miscompile(key, action):
+            compiled = compile_action(key, action)
+            corrupt(compiled)
+            return compiled
+
+        monkeypatch.setattr("repro.nat.fastpath.compile_action", miscompile)
+        packet = make_udp_packet("10.0.0.5", "8.8.8.8", 4_000, 53, device=0)
+        for t in (1_000, 1_001, 1_002):
+            assert _raw(fast, packet, t) == _slow(slow, packet, t)
+        return fast
+
+    def test_wrong_bytes_rejected(self, monkeypatch):
+        def corrupt(compiled):
+            real = compiled.apply_one
+            compiled.apply_one = lambda buf: b"\x00" * len(real(buf))
+
+        fast = self._learn_with_bad_compiler(monkeypatch, corrupt)
+        counters = fast.op_counters()
+        assert counters["fastpath_compile_rejected"] >= 1
+        assert counters["fastpath_compiles"] == 0
+        assert counters["fastpath_compiled_hits"] == 0
+        assert fast.compiled_size == 0
+        # The replay cache still serves the flow correctly.
+        assert counters["fastpath_hits"] >= 1
+
+    def test_wrong_device_rejected(self, monkeypatch):
+        def corrupt(compiled):
+            compiled.out_device ^= 1
+
+        fast = self._learn_with_bad_compiler(monkeypatch, corrupt)
+        assert fast.op_counters()["fastpath_compile_rejected"] >= 1
+        assert fast.compiled_size == 0
+
+
+class TestStaleClosureInvalidation:
+    """Expiry, eviction and restore must drop compiled closures."""
+
+    def test_expiry_drops_closure_before_it_can_fire(self):
+        cfg = NatConfig(max_flows=64, expiration_time=10)
+        fast = FastPathNat(VigNat(cfg), mode="compiled")
+        slow = VigNat(NatConfig(max_flows=64, expiration_time=10))
+        packet = make_udp_packet("10.0.0.5", "8.8.8.8", 4_000, 53, device=0)
+        for t in (0, 1):
+            assert _raw(fast, packet, t) == _slow(slow, packet, t)
+        hits_before = fast.op_counters()["fastpath_compiled_hits"]
+        assert hits_before == 1
+        # Far past expiry the flow is freed. A competing flow then takes
+        # the freed external port, so a stale closure would emit the
+        # *wrong* translation — the slow-path differential catches it.
+        rival = make_udp_packet("10.0.0.6", "8.8.8.8", 5_000, 53, device=0)
+        assert _raw(fast, rival, 1_000) == _slow(slow, rival, 1_000)
+        assert _raw(fast, packet, 1_001) == _slow(slow, packet, 1_001)
+        counters = fast.op_counters()
+        assert counters["fastpath_invalidations"] >= 1
+        # The stale closure never fired: no compiled hit between the
+        # expiry and the re-learn.
+        assert counters["fastpath_compiled_hits"] == hits_before
+
+    def test_eviction_drops_closure_with_cache_entry(self):
+        fast = FastPathNat(
+            VigNat(NatConfig(max_flows=64)), max_entries=2, mode="compiled"
+        )
+        for i in range(6):
+            packet = make_udp_packet(
+                "10.0.0.5", "8.8.8.8", 4_000 + i, 53, device=0
+            )
+            _raw(fast, packet, 1_000 + i)
+        counters = fast.op_counters()
+        assert counters["fastpath_evictions"] >= 1
+        assert fast.cache_size <= 2
+        # compiled ⊆ cached: an evicted flow keeps no closure behind.
+        assert fast.compiled_size <= fast.cache_size
+
+    def test_warm_after_restore_installs_closures(self):
+        # The promoted-standby path: a fresh NF restores a checkpoint
+        # and warm() pre-compiles every restored flow, so the first
+        # post-failover packets run the compiled path immediately.
+        cfg = NatConfig(max_flows=64)
+        primary = VigNat(cfg)
+        slow = VigNat(cfg)
+        for i in range(4):
+            packet = make_udp_packet(
+                "10.0.0.5", "8.8.8.8", 4_000 + i, 53, device=0
+            )
+            primary.process(packet.clone(), 1_000)
+            slow.process(packet.clone(), 1_000)
+        standby = VigNat(cfg)
+        standby.restore_state(primary.checkpoint_state())
+        fast = FastPathNat(standby, mode="compiled")
+        warmed = fast.warm()
+        assert warmed == 8  # both directions of all four flows
+        assert fast.compiled_size == warmed
+        assert fast.op_counters()["fastpath_compiles"] == warmed
+        packet = make_udp_packet("10.0.0.5", "8.8.8.8", 4_001, 53, device=0)
+        assert _raw(fast, packet, 2_000) == _slow(slow, packet, 2_000)
+        counters = fast.op_counters()
+        assert counters["fastpath_compiled_hits"] == 1
+        assert counters["fastpath_misses"] == 0

@@ -8,8 +8,9 @@ both directions, repeated flows (cache hits), disabled UDP checksums,
 TCP and UDP, fragments, and time gaps that cross the expiry threshold.
 
 Coverage spans all three data paths the cache plugs into: the per-packet
-and burst NF entry points, the DPDK-style runtime main loop, and the
-RSS-sharded multi-worker runtime (``fastpath=True``).
+and burst NF entry points (object and raw-byte, in ``cache`` and
+``compiled`` mode), the DPDK-style runtime main loop, and the
+RSS-sharded multi-worker runtime (``fastpath="cache"|"compiled"``).
 """
 
 from hypothesis import given, settings, strategies as st
@@ -111,11 +112,12 @@ class TestNfEntryPoints:
             )
 
     @settings(max_examples=40, deadline=None)
-    @given(steps=_steps())
-    def test_vignat_raw_burst_identical(self, steps):
-        """The zero-copy byte path against the object slow path."""
+    @given(steps=_steps(), mode=st.sampled_from(("cache", "compiled")))
+    def test_vignat_raw_burst_identical(self, steps, mode):
+        """The zero-copy byte path — replay cache and compiled
+        closures — against the object slow path."""
         slow = VigNat(NatConfig(**CFG_KW))
-        fast = FastPathNat(VigNat(NatConfig(**CFG_KW)))
+        fast = FastPathNat(VigNat(NatConfig(**CFG_KW)), mode=mode)
         now = 0
         for direction, selector, kind, dt in steps:
             now += dt
@@ -125,6 +127,31 @@ class TestNfEntryPoints:
                 [(bytearray(packet.wire_bytes()), packet.device)], now
             )[0]
             assert raw_out == [(p.wire_bytes(), p.device) for p in slow_out]
+
+    @settings(max_examples=30, deadline=None)
+    @given(steps=_steps(), burst=st.sampled_from((1, 4, 32)))
+    def test_vignat_raw_burst_compiled_batches_identical(self, steps, burst):
+        """Whole bursts through the compiled batch path: same-flow runs
+        are partitioned and batch-applied, yet the wire output must
+        match the per-packet object slow path exactly."""
+        slow = VigNat(NatConfig(**CFG_KW))
+        fast = FastPathNat(VigNat(NatConfig(**CFG_KW)), mode="compiled")
+        now = 0
+        packets, times = [], []
+        for direction, selector, kind, dt in steps:
+            now += dt
+            packets.append(_packet(direction, selector, kind, slow.config))
+            times.append(now)
+        for i in range(0, len(packets), burst):
+            chunk = packets[i : i + burst]
+            at = times[i]
+            slow_out = slow.process_burst([p.clone() for p in chunk], at)
+            raw_out = fast.process_raw_burst(
+                [(bytearray(p.wire_bytes()), p.device) for p in chunk], at
+            )
+            assert [list(outs) for outs in raw_out] == [
+                [(p.wire_bytes(), p.device) for p in outs] for outs in slow_out
+            ]
 
 
 class TestRuntimeMainLoop:
@@ -160,8 +187,12 @@ class TestRuntimeMainLoop:
 
 class TestShardedRuntime:
     @settings(max_examples=25, deadline=None)
-    @given(steps=_steps(), workers=st.sampled_from((1, 2, 4)))
-    def test_sharded_identical(self, steps, workers):
+    @given(
+        steps=_steps(),
+        workers=st.sampled_from((1, 2, 4)),
+        fastpath=st.sampled_from(("cache", "compiled")),
+    )
+    def test_sharded_identical(self, steps, workers, fastpath):
         def drive(fastpath):
             runtime = ShardedRuntime(
                 VigNat, NatConfig(**CFG_KW), workers=workers, fastpath=fastpath
@@ -180,8 +211,8 @@ class TestShardedRuntime:
                 )
             return collected, runtime
 
-        slow_frames, _ = drive(fastpath=False)
-        fast_frames, fast_runtime = drive(fastpath=True)
+        slow_frames, _ = drive(fastpath="off")
+        fast_frames, fast_runtime = drive(fastpath=fastpath)
         assert fast_frames == slow_frames
         # The wrapper is in place and the counters surface per worker.
         aggregated = fast_runtime.op_counters()

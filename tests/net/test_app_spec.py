@@ -80,6 +80,22 @@ class TestSpecValidation:
         with pytest.raises(Exception):
             a.workers = 3
 
+    def test_fastpath_tri_state_normalizes_booleans(self):
+        # The historical bool spelling and the mode name are the same
+        # spec: normalization happens at construction, so they compare
+        # (and hash) equal.
+        assert spec().fastpath == "off"
+        assert spec(fastpath=False) == spec(fastpath="off")
+        assert spec(fastpath=True) == spec(fastpath="cache")
+        assert hash(spec(fastpath=True)) == hash(spec(fastpath="cache"))
+        assert spec(fastpath="compiled").fastpath == "compiled"
+
+    def test_fastpath_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="fastpath"):
+            spec(fastpath="turbo")
+        with pytest.raises(ValueError, match="fastpath"):
+            spec(fastpath=1)
+
 
 class TestLaunch:
     def _exercise(self, runtime):
@@ -138,6 +154,34 @@ class TestLaunch:
         s = spec(workers=2)
         runtime = launch(s)
         assert runtime.spec is s
+        runtime.stop()
+
+    @pytest.mark.parametrize("mode", ["cache", "compiled"])
+    def test_fastpath_modes_launch_everywhere(self, mode):
+        """Every execution mode accepts the tri-state fastpath value and
+        wires the wrapper through (visible via its counters)."""
+        for s in (
+            spec(execution=INLINE, fastpath=mode),
+            spec(workers=2, fastpath=mode),
+            spec(workers=2, execution=PROCESS, fastpath=mode),
+        ):
+            runtime = launch(s)
+            self._exercise(runtime)
+
+    def test_compiled_inline_runtime_compiles(self):
+        """Inline + compiled: repeated flows install closures, and the
+        compile counters surface through the runtime facade."""
+        runtime = launch(spec(execution=INLINE, fastpath="compiled"))
+        now = 1_000
+        for t in range(3):
+            packet = make_udp_packet(
+                "10.0.0.1", "8.8.8.8", 1_024, 53, device=0
+            )
+            runtime.inject(0, packet, now + t)
+            runtime.main_loop_burst(now + t, 8)
+        counters = runtime.op_counters()
+        assert counters["fastpath_compiles"] >= 1
+        assert counters["fastpath_compile_rejected"] == 0
         runtime.stop()
 
 
