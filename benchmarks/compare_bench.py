@@ -72,6 +72,17 @@ byte-identity; the verified NAT's compiled closures reach
 ``COMPILED_MIN_SPEEDUP`` (1.3x) over the replay cache at some 90%+
 hit-rate point; and the no-op forwarder's compiled path never loses to
 running with no fast path at all.
+
+``BENCH_chain.json`` (records keyed by ``(nf, scenario)``) gates the
+operational scenario suite: every fresh record must report
+``sla_ok`` — the measured availability, disruption window, mapping
+survival and probe loss all inside their declared budgets; the warm
+upgrade and the stage promotion must not cost a single NAT mapping
+(``flows_lost == 0``) and their post-disruption probes must be
+lossless; and the chaos soak's fault ledger must show the storm
+actually fired (including the reordering link). Against the baseline,
+``disruption_us`` rides the lower-is-better recovery gate and
+``flows_lost`` the 0 -> >0 transition gate, like the failover sweep.
 """
 
 from __future__ import annotations
@@ -96,7 +107,7 @@ THROUGHPUT_FIELDS = (
 #: Lower is better: a fresh value *above* baseline is the regression.
 #: (``flows_lost`` is gated separately — nonzero losses scale with the
 #: workload, so only its 0 -> >0 transition fails the gate.)
-RECOVERY_FIELDS = ("recovery_us",)
+RECOVERY_FIELDS = ("recovery_us", "disruption_us")
 
 #: Sweeps that gate a budget rather than track a trend: every baseline
 #: point must be matched, and the baseline file itself must exist.
@@ -104,6 +115,7 @@ BUDGET_GATED = (
     "BENCH_failover.json",
     "BENCH_cgnat.json",
     "BENCH_procs.json",
+    "BENCH_chain.json",
 )
 
 #: Fraction of the core-aware ideal (min(workers, cores) x the
@@ -133,10 +145,13 @@ COMPILED_MIN_SPEEDUP = 1.3
 
 
 def _key_of(record: Dict) -> Tuple:
-    """Records with a ``lag`` field (failover sweep) key on it; records
+    """Records with a ``scenario`` field (chain suite) key on it;
+    records with a ``lag`` field (failover sweep) key on it; records
     with ``workers`` but no ``flow_count`` (procs sweep) key on the
     worker count plus transport; the throughput sweeps key on
     ``flow_count``."""
+    if "scenario" in record:
+        return (record["nf"], record["scenario"])
     if "lag" in record:
         return (record["nf"], record["lag"])
     if "workers" in record and "flow_count" not in record:
@@ -276,6 +291,55 @@ def compare_file(
         failures.extend(_procs_invariants(name, fresh))
     if name == "BENCH_fastpath.json":
         failures.extend(_fastpath_invariants(name, fresh))
+    if name == "BENCH_chain.json":
+        failures.extend(_chain_invariants(name, fresh))
+    return failures
+
+
+def _chain_invariants(name: str, fresh: Dict[Tuple, Dict]) -> List[str]:
+    """Operational-suite acceptance on the fresh chain results.
+
+    SLA verdicts are measured against budgets declared in the same
+    record, so they gate on any runner shape. The chaos soak must also
+    prove the storm fired: a fault plan that never applied a fault
+    would trivially "pass" its SLA without soaking anything.
+    """
+    failures: List[str] = []
+    for key, record in sorted(fresh.items()):
+        scenario = record.get("scenario", "?")
+        if not record.get("sla_ok", False):
+            failures.append(
+                f"{name}: {key} breached its declared SLA "
+                f"(availability {record.get('availability')}, "
+                f"disruption {record.get('disruption_us')}us, "
+                f"flows_lost {record.get('flows_lost')}, "
+                f"probe_lost {record.get('probe_lost')})"
+            )
+        if scenario in ("warm-upgrade", "promote-stage"):
+            # Packets may die during the control action; connections
+            # may not, and the recovered chain must serve the probes.
+            if record.get("flows_lost", 0) != 0:
+                failures.append(
+                    f"{name}: {key} lost {record['flows_lost']} NAT "
+                    f"mapping(s); upgrades/promotions must carry state"
+                )
+            if record.get("probe_lost", 0) != 0:
+                failures.append(
+                    f"{name}: {key} dropped {record['probe_lost']} "
+                    f"post-disruption probe packet(s)"
+                )
+        if scenario == "chaos-soak":
+            applied = record.get("details", {}).get("faults_applied", {})
+            if sum(applied.values()) == 0:
+                failures.append(
+                    f"{name}: {key} applied no faults; the soak "
+                    f"measured an undisturbed chain"
+                )
+            elif applied.get("reorder", 0) == 0:
+                failures.append(
+                    f"{name}: {key} never exercised the reordering "
+                    f"link (faults applied: {applied})"
+                )
     return failures
 
 

@@ -153,6 +153,26 @@ def procs_packet_count() -> int:
     return 4_000
 
 
+def chain_scenario_rounds() -> int:
+    """Traffic rounds per chain scenario.
+
+    The warm-upgrade SLA maths needs enough rounds that the one
+    deliberately abandoned in-flight round stays under the 10%% loss
+    floor; 16 is the minimum comfortable margin, so smoke keeps it.
+    """
+    if scale() == "paper":
+        return 48
+    return 16
+
+
+def chain_flow_count() -> int:
+    if scale() == "paper":
+        return 256
+    if scale() == "smoke":
+        return 24
+    return 64
+
+
 def cgnat_flow_counts() -> tuple:
     """1x/10x/100x flow regimes for the stateless-CGNAT scaling sweep.
 

@@ -1,0 +1,108 @@
+"""Chain scenario sweep: the operational suite over the reference chain.
+
+Not a figure of the paper — the paper verifies one NF in isolation —
+but real deployments run NFs in chains and operate them live. The
+sweep runs the full scenario suite (warm upgrade via coordinated
+checkpoint/restore, active/standby stage promotion, seeded chaos soak)
+over the firewall → limiter → NAT chain and gates three contracts:
+
+(a) **every declared SLA holds**: measured availability, disruption
+    window, flow-mapping survival and post-disruption probe loss stay
+    within each scenario's budget;
+(b) **upgrades and promotions preserve state**: not one NAT mapping
+    observed before the disruption may change after it
+    (``flows_lost == 0`` — packets may die, connections may not);
+(c) **chaos is confined**: the fault storm demonstrably fired (drops/
+    reorders/corruption applied) yet the post-window probe rounds are
+    lossless.
+
+The measured numbers are published to
+``benchmarks/results/BENCH_chain.json`` alongside the rendered table.
+"""
+
+import json
+
+from benchmarks.conftest import (
+    RESULTS_DIR,
+    chain_flow_count,
+    chain_scenario_rounds,
+)
+from repro.chain import chain_breaches, chain_scenarios, default_chain_spec
+from repro.eval.reporting import render_chain_scenarios
+from repro.obs import merge_snapshots, snapshot_of_counters
+
+SCENARIOS = ("warm-upgrade", "promote-stage", "chaos-soak")
+
+
+def _report_snapshot(report):
+    """One scenario's measurements in the shared snapshot schema."""
+    return snapshot_of_counters(
+        {
+            "chain_scenario_offered": report.offered,
+            "chain_scenario_delivered": report.delivered,
+            "chain_scenario_lost": report.lost,
+            "chain_scenario_disruption_us": report.disruption_us,
+            "chain_scenario_flows_lost": report.flows_lost,
+            "chain_scenario_probe_lost": report.probe_lost,
+        },
+        labels={"nf": "chain", "scenario": report.scenario},
+        help_text="chain-scenario measured disruption ledger",
+    )
+
+
+def test_chain_sweep(benchmark, publish, publish_snapshot):
+    rounds = chain_scenario_rounds()
+    flows = chain_flow_count()
+    spec = default_chain_spec(max_flows=max(64, 2 * flows))
+    reports = benchmark.pedantic(
+        lambda: chain_scenarios(spec, flows=flows, rounds=rounds),
+        rounds=1,
+        iterations=1,
+    )
+    publish("chain_sweep", render_chain_scenarios(reports))
+    publish_snapshot(
+        "chain_sweep", merge_snapshots([_report_snapshot(r) for r in reports])
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_chain.json").write_text(
+        json.dumps([r.to_record() for r in reports], indent=2) + "\n"
+    )
+
+    by_scenario = {r.scenario: r for r in reports}
+    assert set(by_scenario) == set(SCENARIOS)
+
+    for report in reports:
+        # Each scenario offered real traffic and was genuinely
+        # disruptive-capable: the ledger adds up.
+        assert report.offered == flows * max(rounds, 9), report.scenario
+        assert report.delivered + report.lost == report.offered
+        # (b) no scenario may cost a single NAT mapping.
+        assert report.flows_lost == 0, report.scenario
+        # Post-disruption probes prove the chain serves again.
+        assert report.probe_offered > 0, report.scenario
+        assert report.probe_lost == 0, report.scenario
+
+    upgrade = by_scenario["warm-upgrade"]
+    # The upgrade abandoned exactly one in-flight round — measured, and
+    # the measured window covers exactly that round.
+    assert upgrade.lost == flows
+    assert upgrade.disruption_us == upgrade.details["tick_us"]
+    assert upgrade.action_wall_us > 0
+
+    promotion = by_scenario["promote-stage"]
+    # The stage was down for the configured rounds and not one more.
+    down = promotion.details["down_rounds"]
+    assert promotion.lost == down * flows
+    assert promotion.disruption_us == down * promotion.details["tick_us"]
+
+    soak = by_scenario["chaos-soak"]
+    # (c) the storm fired for real — including the reordering link —
+    # and everything it cost happened inside the window.
+    applied = soak.details["faults_applied"]
+    assert applied.get("reorder", 0) > 0, applied
+    assert sum(applied.values()) > 0
+    window_start, window_end = soak.details["window_us"]
+    assert soak.disruption_us <= window_end - window_start + soak.details["tick_us"]
+
+    # (a) the SLA gate the CLI enforces holds here too.
+    assert chain_breaches(reports) == []

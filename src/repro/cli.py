@@ -9,7 +9,7 @@ Commands:
   discard NF, ``--model`` selects one of the three Fig. 4 ring models.
   ``--emit-tasks FILE`` writes the Fig. 10-style verification tasks.
 - ``demo`` — translate a conversation through the verified NAT.
-- ``experiments {fig12,fig13,fig14,burst,shard,fastpath,failover,cgnat,metrics,verification}``
+- ``experiments {fig12,fig13,fig14,burst,shard,fastpath,failover,cgnat,procs,chain,metrics,verification}``
   — regenerate one of the paper's evaluation artifacts at quick scale
   (``burst`` is the burst-size sweep of the burst-mode data path,
   ``shard`` the worker-count scaling sweep of the sharded data path,
@@ -20,7 +20,10 @@ Commands:
   recovery exceeds the loss budget, notably any established-flow loss
   at lag 0; ``cgnat`` the stateless-CGNAT scaling sweep — exit code 1
   when the deterministic NAT's memory footprint is not flat across
-  10x/100x flow counts; ``metrics`` a merged observability snapshot
+  10x/100x flow counts; ``chain`` the operational scenario suite over
+  the firewall → limiter → NAT service chain — exit code 1 when any
+  measured loss, disruption window or mapping survival breaches its
+  declared SLA; ``metrics`` a merged observability snapshot
   from a sharded run).
 - ``metrics`` — the same merged snapshot with knobs: worker count,
   fastpath on/off, table/Prometheus/JSON rendering, file output.
@@ -335,6 +338,25 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             "transport; scaling within budget"
         )
         return 0
+    if args.artifact == "chain":
+        from repro.chain import chain_breaches, chain_scenarios
+        from repro.eval.reporting import render_chain_scenarios
+
+        # The full operational suite over the reference chain (firewall
+        # -> limiter -> NAT): warm upgrade, stage promotion, chaos soak.
+        reports = chain_scenarios(flows=32, rounds=16)
+        print(render_chain_scenarios(reports))
+        breaches = chain_breaches(reports)
+        if breaches:
+            print("\nscenario SLA BREACHED:")
+            for breach in breaches:
+                print(f"  - {breach}")
+            return 1
+        print(
+            "\nall scenario SLAs respected (measured loss, disruption "
+            "and mapping survival within budget)"
+        )
+        return 0
     if args.artifact == "metrics":
         from repro.eval.experiments import collect_sharded_metrics
         from repro.eval.reporting import render_metrics
@@ -429,6 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
             "failover",
             "cgnat",
             "procs",
+            "chain",
             "metrics",
             "verification",
         ],

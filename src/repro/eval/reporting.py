@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from repro.eval.experiments import (
     BurstPoint,
@@ -16,6 +16,9 @@ from repro.eval.experiments import (
 )
 from repro.eval.verification_stats import VerificationStats
 from repro.net.testbed import ThroughputResult
+
+if TYPE_CHECKING:
+    from repro.chain.scenarios import ScenarioReport
 
 
 def render_fig12(points: Sequence[LatencyPoint]) -> str:
@@ -386,6 +389,41 @@ def render_procs_sweep(points: Sequence[ProcsPoint]) -> str:
             for w in widths
         )
         lines.append(f"{nf:>20s}/{transport:<5s}: {row}")
+    return "\n".join(lines)
+
+
+def render_chain_scenarios(reports: Sequence["ScenarioReport"]) -> str:
+    """Chain scenario suite: measured loss/disruption vs. declared SLAs.
+
+    One row per scenario. Every number is measured from traffic that
+    actually exited the chain — the disruption column is the span of
+    lossy rounds in traffic time, not a model — and the verdict column
+    is the SLA judgement the CLI and CI gate on.
+    """
+    from repro.chain.scenarios import scenario_breaches
+
+    lines = [
+        "Chain scenario suite — measured disruption vs. declared SLAs",
+        "        scenario   offered/delivered      avail (floor)"
+        "   disruption (budget)   flows lost   probe lost   verdict",
+    ]
+    for r in reports:
+        lines.append(
+            f"  {r.scenario:>14s}   {r.offered:>7d}/{r.delivered:<9d}"
+            f"   {r.availability:7.3%} ({r.sla.min_availability:.0%})"
+            f"   {r.disruption_us:>7d}us ({r.sla.max_disruption_us}us)"
+            f"   {r.flows_lost:>4d}/{r.flows_total:<5d}"
+            f"   {r.probe_lost:>4d}/{r.probe_offered:<5d}"
+            f"   {'ok' if not scenario_breaches(r) else 'SLA BREACH'}"
+        )
+    actions = [r for r in reports if r.action_wall_us]
+    if actions:
+        lines.append("")
+        for r in actions:
+            lines.append(
+                f"  {r.scenario}: control-plane action took "
+                f"{r.action_wall_us}us wall clock (reported, not gated)"
+            )
     return "\n".join(lines)
 
 

@@ -241,3 +241,53 @@ class VigBridge(NetworkFunction):
         env = _ConcreteBridgeEnv(self, packet, now)
         bridge_loop_iteration(env, self.config)
         return env.outputs
+
+    def checkpoint_state(self) -> Dict:
+        """Learned stations in chain age order, plus counters."""
+        stations = []
+        for index, touched in self._chain.cells():
+            station = self._stations[index]
+            stations.append([index, touched, station.mac, station.device])
+        return {
+            "stations": stations,
+            "free_list": list(self._chain.free_list()),
+            "counters": {
+                "expired": self._expired_total,
+                "dropped": self._dropped_total,
+                "forwarded": self._forwarded_total,
+            },
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Rebuild the station table from a checkpoint, validated first.
+
+        Checks run before any structure is mutated: MACs must be
+        distinct and bound to one of this bridge's two ports, and the
+        chain cells age-ordered with in-range indices (enforced by
+        :meth:`DoubleChain.restore_cells`).
+        """
+        if self._chain.size() or self._stations:
+            raise ValueError("restore_state requires a freshly constructed NF")
+        cells = []
+        entries = []
+        seen = set()
+        valid_devices = (self.config.device_a, self.config.device_b)
+        for index, touched, mac, device in state.get("stations", []):
+            if mac in seen:
+                raise ValueError(f"MAC {mac:012x} appears twice in checkpoint")
+            if device not in valid_devices:
+                raise ValueError(
+                    f"station {mac:012x} bound to device {device}; this "
+                    f"bridge has ports {valid_devices}"
+                )
+            seen.add(mac)
+            cells.append((index, touched))
+            entries.append((index, _Station(mac=mac, device=device)))
+        self._chain.restore_cells(cells, state.get("free_list"))
+        for index, station in entries:
+            self._table.put(station.mac, index)
+            self._stations[index] = station
+        counters = state.get("counters", {})
+        self._expired_total = int(counters.get("expired", 0))
+        self._dropped_total = int(counters.get("dropped", 0))
+        self._forwarded_total = int(counters.get("forwarded", 0))

@@ -186,3 +186,56 @@ class VigFirewall(NetworkFunction):
         env = _ConcreteFwEnv(self, packet, now)
         firewall_loop_iteration(env, self.config)
         return env.outputs
+
+    def checkpoint_state(self) -> Dict:
+        """Session state in chain age order (the VigNat layout, minus
+        the port column: a firewall rewrites nothing)."""
+        sessions = []
+        for index, touched in self._chain.cells():
+            fid = self._sessions.get_value(index)
+            sessions.append(
+                [
+                    index,
+                    touched,
+                    [fid.src_ip, fid.src_port, fid.dst_ip, fid.dst_port, fid.protocol],
+                ]
+            )
+        return {
+            "sessions": sessions,
+            "free_list": list(self._chain.free_list()),
+            "counters": {
+                "expired": self._expired_total,
+                "dropped": self._dropped_total,
+                "forwarded": self._forwarded_total,
+            },
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Rebuild the session table from a checkpoint, validated first.
+
+        Every check runs before any structure is mutated: the internal
+        5-tuples must be distinct (double-map key-A uniqueness) and the
+        chain cells age-ordered with in-range indices (enforced by
+        :meth:`DoubleChain.restore_cells`).
+        """
+        if self._sessions.size() or self._chain.size():
+            raise ValueError("restore_state requires a freshly constructed NF")
+        cells = []
+        entries = []
+        seen = set()
+        for index, touched, fid_fields in state.get("sessions", []):
+            fid = FlowId(*fid_fields)
+            if fid in seen:
+                raise ValueError(
+                    f"session 5-tuple {fid} appears twice in checkpoint"
+                )
+            seen.add(fid)
+            cells.append((index, touched))
+            entries.append((index, fid))
+        self._chain.restore_cells(cells, state.get("free_list"))
+        for index, fid in entries:
+            self._sessions.put(index, fid)
+        counters = state.get("counters", {})
+        self._expired_total = int(counters.get("expired", 0))
+        self._dropped_total = int(counters.get("dropped", 0))
+        self._forwarded_total = int(counters.get("forwarded", 0))

@@ -225,3 +225,54 @@ class VigLimiter(NetworkFunction):
         env = _ConcreteLimiterEnv(self, packet, now)
         limiter_loop_iteration(env, self.config)
         return env.outputs
+
+    def checkpoint_state(self) -> Dict:
+        """Open budget windows in chain age order, plus counters."""
+        budgets = []
+        for index, touched in self._chain.cells():
+            budgets.append(
+                [index, touched, self._source_of[index], self._counters.get(index)]
+            )
+        return {
+            "budgets": budgets,
+            "free_list": list(self._chain.free_list()),
+            "counters": {
+                "expired": self._expired_total,
+                "dropped": self._dropped_total,
+                "forwarded": self._forwarded_total,
+            },
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Rebuild the budget table from a checkpoint, validated first.
+
+        Checks run before any structure is mutated: sources must be
+        distinct, spent counts within ``(0, max_packets]``, and the
+        chain cells age-ordered with in-range indices (enforced by
+        :meth:`DoubleChain.restore_cells`).
+        """
+        if self._chain.size() or self._source_of:
+            raise ValueError("restore_state requires a freshly constructed NF")
+        cells = []
+        entries = []
+        seen = set()
+        for index, touched, src_ip, count in state.get("budgets", []):
+            if src_ip in seen:
+                raise ValueError(f"source {src_ip} appears twice in checkpoint")
+            if not 0 < count <= self.config.max_packets:
+                raise ValueError(
+                    f"source {src_ip} spent {count} of a "
+                    f"{self.config.max_packets}-packet budget"
+                )
+            seen.add(src_ip)
+            cells.append((index, touched))
+            entries.append((index, src_ip, count))
+        self._chain.restore_cells(cells, state.get("free_list"))
+        for index, src_ip, count in entries:
+            self._table.put(src_ip, index)
+            self._source_of[index] = src_ip
+            self._counters.set(index, count)
+        counters = state.get("counters", {})
+        self._expired_total = int(counters.get("expired", 0))
+        self._dropped_total = int(counters.get("dropped", 0))
+        self._forwarded_total = int(counters.get("forwarded", 0))

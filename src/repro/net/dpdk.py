@@ -327,7 +327,18 @@ class ShardedRuntime:
                 worker=worker,
                 detail=f"port {port_id}",
             )
-        return self.runtimes[worker].inject(port_id, packet, timestamp)
+        # The reorder draw happens for every delivered-verdict packet
+        # (not only when a swap is possible) so the seeded RNG sequence
+        # is identical across runtimes consulting the same plan.
+        reorder = (
+            plan is not None
+            and not plan.empty
+            and plan.reorder_fires(timestamp, worker)
+        )
+        accepted = self.runtimes[worker].inject(port_id, packet, timestamp)
+        if reorder and accepted:
+            self.runtimes[worker].ports[port_id].swap_tail()
+        return accepted
 
     def collect(self) -> List[Tuple[int, int, Packet]]:
         """All workers' transmissions, merged: (port, timestamp, packet)."""

@@ -63,6 +63,21 @@ class Port:
             return None
         return self._rx.popleft()
 
+    def swap_tail(self) -> bool:
+        """Swap the two newest RX descriptors (a reordering link).
+
+        Timestamps stay with their descriptor slots so arrival times
+        remain monotonic on the ring; only the payload order changes —
+        exactly what a reordering wire does. Returns False (no-op) with
+        fewer than two pending descriptors.
+        """
+        if len(self._rx) < 2:
+            return False
+        (ts_a, pkt_a), (ts_b, pkt_b) = self._rx[-2], self._rx[-1]
+        self._rx[-2] = (ts_a, pkt_b)
+        self._rx[-1] = (ts_b, pkt_a)
+        return True
+
     # -- transmit side --------------------------------------------------------------
     def transmit(self, packet: Packet, timestamp: int) -> None:
         self._tx.append((timestamp, packet))

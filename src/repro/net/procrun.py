@@ -699,6 +699,22 @@ class ProcessShardedRuntime:
         self._pending[worker].append(
             (port_id, packet.device, timestamp, packet.wire_bytes())
         )
+        if (
+            plan is not None
+            and not plan.empty
+            and plan.reorder_fires(timestamp, worker)
+        ):
+            # Mirror Port.swap_tail on the not-yet-flushed batch: the
+            # two newest same-port records trade payloads while their
+            # timestamps stay with the slots, so arrival stamps remain
+            # monotonic on the worker's ring.
+            records = self._pending[worker]
+            tail = [i for i, r in enumerate(records) if r[0] == port_id][-2:]
+            if len(tail) == 2:
+                a, b = tail
+                pa, pb = records[a], records[b]
+                records[a] = (pa[0], pb[1], pa[2], pb[3])
+                records[b] = (pb[0], pa[1], pb[2], pa[3])
         return True
 
     def collect(self) -> List[Tuple[int, int, Packet]]:

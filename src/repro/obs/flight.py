@@ -45,6 +45,8 @@ REASON_POOL_HIGH_WATER = "pool-high-water"
 REASON_LINK_FAULT = "link-fault"
 REASON_WORKER_KILL = "worker-kill"
 REASON_REPLICATION_LOSS = "replication-loss"
+#: A chain stage emitted on a device that maps to no neighbor or wire.
+REASON_CHAIN_MISROUTE = "chain-misroute"
 
 
 @dataclass(frozen=True, slots=True)
@@ -276,6 +278,7 @@ __all__ = [
     "STAGES",
     "STEER",
     "TX",
+    "REASON_CHAIN_MISROUTE",
     "REASON_DIVERGENCE",
     "REASON_DROP_SPIKE",
     "REASON_LINK_FAULT",

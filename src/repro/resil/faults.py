@@ -21,6 +21,7 @@ Fault kinds and where they bite:
 ``worker-kill`` the worker stops serving; its queued packets are lost
 ``worker-hang`` the worker stops serving; its queued packets survive
 ``clock-skew``  the worker's ``now`` reads ``magnitude`` µs off true time
+``reorder``     the packet swaps with its predecessor in the RX ring
 =============== ===========================================================
 
 ``clock-skew`` with a negative magnitude drives the NF clock *backwards*
@@ -44,6 +45,7 @@ KINDS = (
     "worker-kill",
     "worker-hang",
     "clock-skew",
+    "reorder",
 )
 
 
@@ -183,6 +185,19 @@ class FaultPlan:
             Fault("clock-skew", start_us, end_us, worker, magnitude_us)
         )
 
+    def reorder(
+        self,
+        start_us: int = 0,
+        end_us: Optional[int] = None,
+        worker: Optional[int] = None,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """A reordering link: delivered packets swap with their
+        predecessor in the RX ring with the given per-packet chance."""
+        return self.add(
+            Fault("reorder", start_us, end_us, worker, 0, probability)
+        )
+
     def clear(
         self, kind: Optional[str] = None, worker: Optional[int] = None
     ) -> "FaultPlan":
@@ -237,6 +252,19 @@ class FaultPlan:
                 delay_us += fault.magnitude
                 self._note(fault.kind)
         return verdict, delay_us
+
+    def reorder_fires(self, t_us: int, worker: Optional[int] = None) -> bool:
+        """Whether one just-delivered packet swaps with its ring
+        predecessor. Consulted only for packets the wire delivered, so
+        the seeded draw sequence is shared with :meth:`link_verdict`."""
+        fired = False
+        for fault in self.faults:
+            if fault.kind != "reorder" or not fault.active_at(t_us, worker):
+                continue
+            if not fired and self._fires(fault):
+                fired = True
+                self._note("reorder")
+        return fired
 
     def worker_killed(self, t_us: int, worker: int) -> bool:
         return any(

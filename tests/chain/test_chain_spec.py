@@ -1,0 +1,297 @@
+"""ChainSpec/ChainStage validation and the ChainRuntime protocol surface."""
+
+import pytest
+
+from repro.chain import (
+    ChainRuntime,
+    ChainSpec,
+    ChainStage,
+    default_chain_spec,
+    launch_chain,
+)
+from repro.nat.config import NatConfig
+from repro.nat.noop import NoopForwarder
+from repro.nat.vignat import VigNat
+from repro.net.app import INLINE, PROCESS
+from repro.obs import flight
+from repro.obs.expo import sample_value
+from repro.packets.builder import make_udp_packet
+
+
+def noop_stage(name="noop", device_a=0, device_b=1):
+    return ChainStage(
+        name,
+        lambda _cfg, a=device_a, b=device_b: NoopForwarder(a, b),
+        device_a=device_a,
+        device_b=device_b,
+    )
+
+
+def nat_stage(name="nat"):
+    config = NatConfig(max_flows=64, expiration_time=60_000_000, start_port=1000)
+    return ChainStage(name, lambda cfg: VigNat(cfg), config)
+
+
+class TestStageValidation:
+    def test_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            ChainStage("", lambda _cfg: NoopForwarder())
+
+    def test_requires_callable_factory(self):
+        with pytest.raises(ValueError, match="callable"):
+            ChainStage("s", "not-a-factory")
+
+    def test_devices_must_differ(self):
+        with pytest.raises(ValueError, match="differ"):
+            ChainStage("s", lambda _cfg: NoopForwarder(), device_a=1, device_b=1)
+
+    def test_devices_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            ChainStage("s", lambda _cfg: NoopForwarder(), device_a=-1)
+
+
+class TestSpecValidation:
+    def test_needs_a_stage(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            ChainSpec(stages=())
+
+    def test_stage_names_unique(self):
+        with pytest.raises(ValueError, match="unique"):
+            ChainSpec(stages=(noop_stage("a"), noop_stage("a")))
+
+    def test_unknown_execution(self):
+        with pytest.raises(ValueError, match="execution"):
+            ChainSpec(stages=(noop_stage(),), execution="quantum")
+
+    def test_threaded_execution_rejected(self):
+        # Chains compose single-worker engines; the sharded thread
+        # runtime is not a chain execution mode.
+        with pytest.raises(ValueError, match="execution"):
+            ChainSpec(stages=(noop_stage(),), execution="threaded-deterministic")
+
+    def test_fastpath_tri_state_normalized(self):
+        assert ChainSpec(stages=(noop_stage(),)).fastpath == "off"
+        assert ChainSpec(stages=(noop_stage(),), fastpath=True).fastpath == "cache"
+        spec = ChainSpec(stages=(noop_stage(),), fastpath="compiled")
+        assert spec.fastpath == "compiled"
+
+    def test_bad_sizes(self):
+        for field, value in [
+            ("burst_size", 0),
+            ("rx_capacity", 0),
+            ("pool_size", -1),
+            ("truth_log_capacity", 0),
+            ("turn_timeout_s", 0),
+        ]:
+            with pytest.raises(ValueError):
+                ChainSpec(stages=(noop_stage(),), **{field: value})
+
+    def test_unknown_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            ChainSpec(stages=(noop_stage(),), transport="carrier-pigeon")
+
+    def test_with_varies_a_copy(self):
+        spec = ChainSpec(stages=(noop_stage(),))
+        varied = spec.with_(execution=PROCESS, fastpath="cache")
+        assert spec.execution == INLINE and spec.fastpath == "off"
+        assert varied.execution == PROCESS and varied.fastpath == "cache"
+        assert varied.stages == spec.stages
+
+    def test_stages_coerced_to_tuple(self):
+        spec = ChainSpec(stages=[noop_stage()])
+        assert isinstance(spec.stages, tuple)
+
+
+class TestChainRuntime:
+    def test_launch_chain_builds_runtime(self):
+        chain = launch_chain(ChainSpec(stages=(noop_stage(), nat_stage())))
+        try:
+            assert isinstance(chain, ChainRuntime)
+            assert chain.workers == 2
+            assert chain.stage_names() == ["noop", "nat"]
+        finally:
+            chain.stop()
+
+    def test_forward_and_reply_traverse_the_chain(self):
+        chain = launch_chain(default_chain_spec(max_flows=64))
+        try:
+            out = make_udp_packet("10.0.0.1", "203.0.113.9", 1024, 2000)
+            assert chain.inject(0, out, 10)
+            chain.main_loop_burst(10)
+            exits = chain.collect()
+            assert [port for port, _, _ in exits] == [1]
+            translated = exits[0][2]
+            # The NAT stage rewrote the source; the firewall/limiter
+            # stages forwarded the same bytes through.
+            assert translated.l4.src_port >= 1000
+            assert translated.l4.dst_port == 2000
+
+            reply = make_udp_packet(
+                "203.0.113.9",
+                "192.0.2.1",
+                2000,
+                translated.l4.src_port,
+                device=1,
+            )
+            assert chain.inject(1, reply, 20)
+            chain.main_loop_burst(20)
+            exits = chain.collect()
+            assert [port for port, _, _ in exits] == [0]
+            assert exits[0][2].l4.dst_port == 1024
+        finally:
+            chain.stop()
+
+    def test_reply_completes_within_one_turn(self):
+        # The descending sweep carries leftward traffic the whole way
+        # back inside the same main_loop_burst call.
+        chain = launch_chain(default_chain_spec(max_flows=64))
+        try:
+            chain.inject(0, make_udp_packet("10.0.0.1", "203.0.113.9", 1, 2000), 10)
+            chain.main_loop_burst(10)
+            (_, _, translated), = chain.collect()
+            chain.inject(
+                1,
+                make_udp_packet(
+                    "203.0.113.9", "192.0.2.1", 2000, translated.l4.src_port, device=1
+                ),
+                20,
+            )
+            assert chain.main_loop_burst(20) > 0
+            assert len(chain.collect()) == 1
+        finally:
+            chain.stop()
+
+    def test_bad_port_rejected(self):
+        chain = launch_chain(ChainSpec(stages=(noop_stage(),)))
+        try:
+            with pytest.raises(ValueError, match="ports are 0 and 1"):
+                chain.inject(2, make_udp_packet("10.0.0.1", "10.0.0.2", 1, 2), 0)
+        finally:
+            chain.stop()
+
+    def test_op_and_stage_counters(self):
+        chain = launch_chain(default_chain_spec(max_flows=64))
+        try:
+            for i in range(5):
+                chain.inject(
+                    0, make_udp_packet("10.0.0.1", "203.0.113.9", 1024, 2000 + i), 10
+                )
+            chain.main_loop_burst(10)
+            chain.collect()
+            ops = chain.op_counters()
+            assert ops["injected"] == 5
+            assert ops["exited"] == 5
+            # Two handoffs per packet in a three-stage chain.
+            assert ops["handoffs"] == 10
+            assert ops["misroutes"] == 0
+            per_stage = chain.per_stage_counters()
+            assert len(per_stage) == 3
+            assert all(stage["forwarded"] == 5 for stage in per_stage)
+            assert chain.flow_count() >= 5  # the NAT's table
+        finally:
+            chain.stop()
+
+    def test_truth_logs_record_every_stage_hop(self):
+        spec = ChainSpec(stages=(noop_stage("a"), noop_stage("b")))
+        chain = launch_chain(spec)
+        try:
+            chain.inject(0, make_udp_packet("10.0.0.1", "10.0.0.2", 1, 2), 5)
+            chain.main_loop_burst(5)
+            for index in range(2):
+                stages = [e.stage for e in chain.stage_truth(index).last()]
+                assert stages == [flight.RX, flight.TX]
+                assert all(e.worker == index for e in chain.stage_truth(index).last())
+        finally:
+            chain.stop()
+
+    def test_truth_log_is_bounded(self):
+        spec = ChainSpec(stages=(noop_stage(),), truth_log_capacity=4)
+        chain = launch_chain(spec)
+        try:
+            for i in range(8):
+                chain.inject(0, make_udp_packet("10.0.0.1", "10.0.0.2", 1, 2), i)
+            chain.main_loop_burst(10)
+            log = chain.stage_truth(0)
+            assert len(log.last()) == 4
+            assert log.recorded_total == 16  # 8 rx + 8 tx
+        finally:
+            chain.stop()
+
+    def test_misroute_is_dropped_counted_and_logged(self):
+        # A stage whose declared devices disagree with where its NF
+        # actually emits: the noop forwards 0<->1 but the stage claims
+        # its outward side is device 3.
+        stage = ChainStage(
+            "lost", lambda _cfg: NoopForwarder(0, 1), device_a=0, device_b=3
+        )
+        chain = launch_chain(ChainSpec(stages=(stage,)))
+        try:
+            chain.inject(0, make_udp_packet("10.0.0.1", "10.0.0.2", 1, 2), 5)
+            chain.main_loop_burst(5)
+            assert chain.collect() == []
+            assert chain.op_counters()["misroutes"] == 1
+            assert chain.drop_causes()["chain_misroute"] == 1
+            drops = [
+                e
+                for e in chain.stage_truth(0).last()
+                if e.stage == flight.DROP
+            ]
+            assert len(drops) == 1
+            assert drops[0].reason == flight.REASON_CHAIN_MISROUTE
+        finally:
+            chain.stop()
+
+    def test_snapshot_metrics_carries_stage_labels(self):
+        chain = launch_chain(default_chain_spec(max_flows=64))
+        try:
+            chain.inject(0, make_udp_packet("10.0.0.1", "203.0.113.9", 1, 2000), 10)
+            chain.main_loop_burst(10)
+            chain.collect()
+            snapshot = chain.snapshot_metrics()
+            names = {metric["name"] for metric in snapshot["metrics"]}
+            assert {
+                "chain_stage_rx_total",
+                "chain_stage_tx_total",
+                "chain_stage_misroute_total",
+                "chain_stage_flows",
+                "chain_handoffs_total",
+                "chain_exited_total",
+            } <= names
+            for index, name in enumerate(chain.stage_names()):
+                labels = {"stage": str(index), "stage_name": name}
+                assert sample_value(snapshot, "chain_stage_rx_total", labels) == 1
+                assert sample_value(snapshot, "chain_stage_tx_total", labels) == 1
+            assert (
+                sample_value(
+                    snapshot,
+                    "chain_stage_flows",
+                    {"stage": "2", "stage_name": "nat"},
+                )
+                == 1
+            )
+        finally:
+            chain.stop()
+
+    def test_hookless_stages_run_fastpath_off(self):
+        # The firewall/limiter publish no fast-path hooks; a chain-wide
+        # fastpath setting must quietly not wrap them (FastPathNat
+        # would refuse) while still accelerating the NAT stage.
+        spec = default_chain_spec(fastpath="cache", max_flows=64)
+        chain = launch_chain(spec)
+        try:
+            assert chain._stage_fastpath == ["off", "off", "cache"]
+        finally:
+            chain.stop()
+
+
+class TestProcessExecution:
+    def test_process_chain_round_trip(self):
+        chain = launch_chain(default_chain_spec(execution=PROCESS, max_flows=64))
+        try:
+            chain.inject(0, make_udp_packet("10.0.0.1", "203.0.113.9", 1024, 2000), 10)
+            chain.main_loop_burst(10)
+            exits = chain.collect()
+            assert [port for port, _, _ in exits] == [1]
+            assert exits[0][2].l4.dst_port == 2000
+        finally:
+            chain.stop()

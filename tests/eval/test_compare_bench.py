@@ -99,12 +99,56 @@ PROCS_RECORDS = [
 ]
 
 
+CHAIN_RECORDS = [
+    {
+        "nf": "chain",
+        "scenario": "warm-upgrade",
+        "offered": 1_024,
+        "delivered": 960,
+        "lost": 64,
+        "availability": 0.9375,
+        "disruption_us": 1_000,
+        "flows_lost": 0,
+        "probe_lost": 0,
+        "sla_ok": True,
+        "details": {},
+    },
+    {
+        "nf": "chain",
+        "scenario": "promote-stage",
+        "offered": 1_024,
+        "delivered": 896,
+        "lost": 128,
+        "availability": 0.875,
+        "disruption_us": 2_000,
+        "flows_lost": 0,
+        "probe_lost": 0,
+        "sla_ok": True,
+        "details": {},
+    },
+    {
+        "nf": "chain",
+        "scenario": "chaos-soak",
+        "offered": 1_024,
+        "delivered": 1_000,
+        "lost": 24,
+        "availability": 0.9766,
+        "disruption_us": 4_000,
+        "flows_lost": 0,
+        "probe_lost": 0,
+        "sla_ok": True,
+        "details": {"faults_applied": {"link-drop": 5, "reorder": 3}},
+    },
+]
+
+
 def _write(
     directory: pathlib.Path,
     records,
     failover=FAILOVER_RECORDS,
     cgnat=CGNAT_RECORDS,
     procs=PROCS_RECORDS,
+    chain=CHAIN_RECORDS,
 ) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     (directory / "BENCH_fastpath.json").write_text(json.dumps(records))
@@ -114,6 +158,8 @@ def _write(
         (directory / "BENCH_cgnat.json").write_text(json.dumps(cgnat))
     if procs is not None:
         (directory / "BENCH_procs.json").write_text(json.dumps(procs))
+    if chain is not None:
+        (directory / "BENCH_chain.json").write_text(json.dumps(chain))
 
 
 @pytest.fixture
@@ -363,5 +409,85 @@ class TestProcsInvariants:
         failures = compare_dirs(baseline, fresh, tolerance=0.25)
         assert any(
             "BENCH_procs.json" in f and "must be matched" in f
+            for f in failures
+        )
+
+
+class TestChainInvariants:
+    """The operational-suite gate: measured SLAs, lossless state
+    carriage across control actions, and a fault ledger that proves
+    the chaos soak actually soaked."""
+
+    def test_healthy_records_pass(self, dirs):
+        baseline, fresh = dirs
+        _write(fresh, BASE_RECORDS)
+        assert compare_dirs(baseline, fresh, tolerance=0.25) == []
+
+    def test_sla_breach_fails(self, dirs):
+        baseline, fresh = dirs
+        breached = copy.deepcopy(CHAIN_RECORDS)
+        breached[0]["sla_ok"] = False
+        _write(fresh, BASE_RECORDS, chain=breached)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any(
+            "BENCH_chain.json" in f and "breached its declared SLA" in f
+            for f in failures
+        )
+
+    def test_mapping_loss_during_promotion_fails(self, dirs):
+        baseline, fresh = dirs
+        lossy = copy.deepcopy(CHAIN_RECORDS)
+        lossy[1]["flows_lost"] = 2
+        _write(fresh, BASE_RECORDS, chain=lossy)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        # Both the generic 0 -> >0 transition gate and the chain
+        # invariant must name the loss.
+        assert any("must carry state" in f for f in failures)
+        assert any("flows_lost regressed from 0" in f for f in failures)
+
+    def test_quiet_chaos_soak_fails(self, dirs):
+        baseline, fresh = dirs
+        quiet = copy.deepcopy(CHAIN_RECORDS)
+        quiet[2]["details"]["faults_applied"] = {}
+        _write(fresh, BASE_RECORDS, chain=quiet)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any("applied no faults" in f for f in failures)
+
+    def test_soak_without_reordering_fails(self, dirs):
+        baseline, fresh = dirs
+        unshuffled = copy.deepcopy(CHAIN_RECORDS)
+        unshuffled[2]["details"]["faults_applied"] = {"link-drop": 5}
+        _write(fresh, BASE_RECORDS, chain=unshuffled)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any("reordering link" in f for f in failures)
+
+    def test_disruption_regression_fails(self, dirs):
+        baseline, fresh = dirs
+        slower = copy.deepcopy(CHAIN_RECORDS)
+        slower[0]["disruption_us"] = 5_000  # 5x the baseline window
+        _write(fresh, BASE_RECORDS, chain=slower)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any(
+            "BENCH_chain.json" in f and "disruption_us" in f
+            for f in failures
+        )
+
+    def test_dropped_scenario_is_a_hard_error(self, dirs):
+        baseline, fresh = dirs
+        _write(fresh, BASE_RECORDS, chain=CHAIN_RECORDS[:2])
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any(
+            "BENCH_chain.json" in f and "must be matched" in f
+            for f in failures
+        )
+
+    def test_deleted_chain_baseline_is_a_hard_error(self, tmp_path):
+        baseline = tmp_path / "baseline"
+        fresh = tmp_path / "fresh"
+        _write(baseline, BASE_RECORDS, chain=None)
+        _write(fresh, BASE_RECORDS)
+        failures = compare_dirs(baseline, fresh, tolerance=0.25)
+        assert any(
+            "BENCH_chain.json" in f and "baseline missing" in f
             for f in failures
         )

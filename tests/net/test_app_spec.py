@@ -227,3 +227,61 @@ class TestDeprecationShims:
             testbed.run_spec(
                 spec(workers=2, replication_lag=0), iter(())
             )
+
+
+# -- property: with_() round-trips every field --------------------------------
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.nat.fastpath import normalize_fastpath  # noqa: E402
+from repro.net.procrun import TRANSPORTS  # noqa: E402
+
+
+@st.composite
+def spec_overrides(draw):
+    """Valid override sets covering every ``with_()``-able field, with
+    the cross-field constraints the spec validates (inline is
+    single-worker, supervision and replication are mode-specific)."""
+    execution = draw(st.sampled_from(EXECUTION_MODES))
+    overrides = {
+        "execution": execution,
+        "workers": 1 if execution == INLINE else draw(st.integers(1, 8)),
+        "fastpath": draw(
+            st.sampled_from([False, True, "off", "cache", "compiled"])
+        ),
+        "burst_size": draw(st.integers(1, 512)),
+        "port_count": draw(st.integers(2, 8)),
+        "rx_capacity": draw(st.integers(1, 4_096)),
+        "pool_size": draw(st.integers(1, 8_192)),
+        "turn_timeout_s": draw(
+            st.floats(0.001, 300.0, allow_nan=False, allow_infinity=False)
+        ),
+        "transport": draw(st.sampled_from(TRANSPORTS)),
+        "supervise": draw(st.booleans()) if execution == PROCESS else False,
+        "ring_slots": draw(st.integers(1, 8_192)),
+        "ring_slot_bytes": draw(st.integers(1, 4_096)),
+    }
+    if execution == THREADED_DETERMINISTIC and draw(st.booleans()):
+        overrides["replication_lag"] = draw(st.integers(0, 128))
+    return overrides
+
+
+class TestWithRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(overrides=spec_overrides())
+    def test_every_field_round_trips(self, overrides):
+        base = spec()
+        varied = base.with_(**overrides)
+        for name, value in overrides.items():
+            expected = normalize_fastpath(value) if name == "fastpath" else value
+            assert getattr(varied, name) == expected
+        # Fields not named ride along untouched...
+        assert varied.nf_factory is base.nf_factory
+        assert varied.config is base.config
+        assert varied.fault_plan is base.fault_plan
+        # ...the base spec is never mutated, and restoring the named
+        # fields to their base values reproduces it exactly.
+        reverted = varied.with_(
+            **{name: getattr(base, name) for name in overrides}
+        )
+        assert reverted == base
